@@ -1,0 +1,63 @@
+"""Ablation: all-reduce algorithms (the §3.4 lecture content).
+
+Reproduces the bandwidth-optimality story of ring all-reduce (Patarasuk &
+Yuan): the ring's bandwidth term is ~independent of the rank count while
+the naive algorithm scales linearly, and the tree wins only in the
+latency-bound (tiny-message, many-rank) regime.  Also benchmarks the
+executable chunked ring all-reduce on real NumPy buffers.
+"""
+
+import numpy as np
+
+from repro.common.tables import format_table
+from repro.training import GPU_CATALOG, llm, ring_allreduce
+from repro.training.collectives import allreduce_cost
+
+A100 = GPU_CATALOG["A100-80GB"]
+
+
+def test_allreduce_cost_model_scaling(benchmark):
+    grad_bytes = llm(13).n_params * 2  # 13B bf16 gradients
+
+    def sweep():
+        out = []
+        for p in (2, 4, 8, 16, 64, 256):
+            costs = {
+                algo: allreduce_cost(
+                    algo, grad_bytes, p,
+                    link_bandwidth_gbs=A100.interconnect_gbs,
+                    link_latency_us=A100.link_latency_us,
+                ).total_s
+                for algo in ("naive", "ring", "tree")
+            }
+            out.append([p, costs["naive"], costs["ring"], costs["tree"],
+                        costs["naive"] / costs["ring"]])
+        return out
+
+    rows = benchmark(sweep)
+    print()
+    print(format_table(
+        ["ranks", "naive s", "ring s", "tree s", "naive/ring"],
+        rows,
+        title="All-reduce of 13B bf16 gradients (alpha-beta model, A100 NVLink):",
+        float_fmt=".3f",
+    ))
+
+    ring_2 = allreduce_cost("ring", grad_bytes, 2, link_bandwidth_gbs=300).bandwidth_s
+    ring_256 = allreduce_cost("ring", grad_bytes, 256, link_bandwidth_gbs=300).bandwidth_s
+    assert ring_256 < 2 * ring_2  # bandwidth term bounded as p grows
+    naive_256 = allreduce_cost("naive", grad_bytes, 256, link_bandwidth_gbs=300).bandwidth_s
+    assert naive_256 > 100 * ring_256 / 2  # naive scales linearly
+
+
+def test_ring_allreduce_execution(benchmark):
+    rng = np.random.default_rng(0)
+    buffers = [rng.standard_normal(1 << 16) for _ in range(8)]
+
+    results, schedule = benchmark(ring_allreduce, buffers)
+
+    expected = np.sum(buffers, axis=0)
+    np.testing.assert_allclose(results[0], expected, rtol=1e-10)
+    assert len(schedule) == 2 * (8 - 1)
+    print(f"\nexecuted ring all-reduce: 8 ranks x 64Ki elements, "
+          f"{len(schedule)} steps, {schedule[0].bytes_per_rank} B/rank/step")

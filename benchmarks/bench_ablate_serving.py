@@ -1,0 +1,71 @@
+"""Ablation: serving configurations under a performance budget (§3.6).
+
+The Unit 6 lab's deliverable: model-level (INT8 quantization, graph
+optimization) x system-level (dynamic batching, instance groups)
+configurations, compared on latency / throughput / artifact size /
+accuracy / cost — including the edge-device regime where an A100's
+batching advantage disappears.
+"""
+
+from repro.common.tables import format_table
+from repro.serving import (
+    DEVICE_CATALOG,
+    BatchingConfig,
+    InferenceEngine,
+    LoadProfile,
+    TritonServer,
+    food11_classifier,
+)
+
+
+def test_serving_config_sweep(benchmark):
+    base = food11_classifier()
+    configs = {
+        "fp32 b1": (base, BatchingConfig(max_batch=1)),
+        "fp32 b8+batch": (base, BatchingConfig(max_batch=8, max_queue_delay_ms=2)),
+        "graph+int8 b1": (base.graph_optimized().quantized(), BatchingConfig(max_batch=1)),
+        "graph+int8 b8+batch": (
+            base.graph_optimized().quantized(),
+            BatchingConfig(max_batch=8, max_queue_delay_ms=2),
+        ),
+    }
+    server = TritonServer(DEVICE_CATALOG["a100"], gpus=1)
+    load = LoadProfile(rate_rps=1500, n_requests=3000, seed=0)
+
+    def run_all():
+        out = {}
+        for name, (model, cfg) in configs.items():
+            server.load_model(model, batching=cfg)
+            out[name] = server.benchmark(model.name, load)
+        return out
+
+    metrics = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [name, m.p50_ms, m.p99_ms, m.throughput_rps, m.model_size_mb,
+         m.accuracy, m.mean_batch]
+        for name, m in metrics.items()
+    ]
+    print()
+    print(format_table(
+        ["config", "p50 ms", "p99 ms", "rps", "size MB", "accuracy", "mean batch"],
+        rows,
+        title="Serving the food classifier on one A100 @ 1500 rps:",
+        float_fmt=".2f",
+    ))
+
+    # shape: quantization shrinks the artifact 4x at <1pp accuracy cost and
+    # raises throughput; batching raises throughput further
+    fp32 = metrics["fp32 b1"]
+    best = metrics["graph+int8 b8+batch"]
+    assert best.model_size_mb < 0.3 * fp32.model_size_mb
+    assert best.accuracy > fp32.accuracy - 0.01
+    assert best.throughput_rps >= fp32.throughput_rps
+
+    # edge regime: batching gains collapse on the Raspberry Pi
+    pi = InferenceEngine(base.quantized(), DEVICE_CATALOG["raspberrypi5"])
+    a100 = InferenceEngine(base.quantized(), DEVICE_CATALOG["a100"])
+    pi_gain = pi.throughput_rps(16) / pi.throughput_rps(1)
+    a100_gain = a100.throughput_rps(16) / a100.throughput_rps(1)
+    print(f"\nbatching gain (b16/b1): A100 {a100_gain:.1f}x vs Raspberry Pi 5 {pi_gain:.2f}x")
+    assert a100_gain > 2 * pi_gain

@@ -1,0 +1,31 @@
+"""Regenerates **Figure 2**: distribution of per-student lab cost.
+
+Paper reference values: mean $124 AWS / $111 GCP; most expensive student
+$665 AWS / $590 GCP; 75% (AWS) and 73% (GCP) of students exceed the
+expected cost ($79.80 / $58.85).
+"""
+
+import numpy as np
+
+from repro.common.tables import format_table
+from repro.core import fig2_cost_distribution
+
+
+def test_fig2(benchmark, semester_records):
+    result = benchmark(fig2_cost_distribution, semester_records)
+
+    print()
+    print(result.render())
+
+    # a text histogram of the AWS distribution (the figure's series)
+    counts, edges = result.histogram("aws", bins=12)
+    rows = []
+    for i, c in enumerate(counts):
+        bar = "#" * int(np.ceil(c / max(1, counts.max()) * 40))
+        rows.append([f"${edges[i]:,.0f}-{edges[i + 1]:,.0f}", int(c), bar])
+    print()
+    print(format_table(["Per-student AWS cost", "Students", ""], rows,
+                       title="Fig 2 histogram (AWS):"))
+
+    assert result.aws_stats["pct_exceeding_expected"] > 55
+    assert result.aws_stats["max"] > 3 * result.aws_stats["mean"]

@@ -1,0 +1,25 @@
+"""Regenerates **Figure 3 + §5 project numbers**: open-ended project usage.
+
+Paper reference values: 70,259 VM hours (non-GPU), 5,446 GPU hours, 975
+bare-metal CPU hours, 175 edge hours, 9 TB block storage, 1,541 GB object
+storage; estimated $25,889 AWS (~$136/student) and $26,218 GCP
+(~$137/student).  Also prints the headline summary (abstract: 186,692
+total hours; §6: ≈$250/student).
+"""
+
+from repro.core import fig3_project_usage
+from repro.core.report import headline_summary
+
+
+def test_fig3_and_headlines(benchmark, semester_records):
+    result = benchmark(fig3_project_usage, semester_records)
+
+    print()
+    print(result.render())
+    print()
+    print("Headline summary (abstract / §6):")
+    for key, value in headline_summary(semester_records).items():
+        print(f"  {key:28s} {value:>12,.0f}")
+
+    assert abs(result.vm_hours_total - 70_259) / 70_259 < 0.05
+    assert abs(result.gpu_hours_total - 5_446) / 5_446 < 0.10

@@ -1,0 +1,42 @@
+"""Regenerates **Table 1**: usage and estimated cost per lab assignment.
+
+Paper reference values: 109,837 total instance hours; 53,387 floating-IP
+hours; $23,698 AWS ($124/student); $21,119 GCP ($111/student).
+
+The benchmark measures the analysis pipeline (aggregation + matching +
+costing) over the simulated semester's ~8k usage records; the cohort
+simulation itself runs once in a session fixture.
+"""
+
+from repro.common.tables import format_table
+from repro.core import table1
+from repro.core.course import PAPER_TABLE1_HOURS
+
+
+def test_table1(benchmark, semester_records):
+    result = benchmark(table1, semester_records)
+
+    print()
+    print(result.render())
+    print()
+    rows = []
+    for row in result.rows:
+        key = (row.lab_id, row.resource_type)
+        paper = PAPER_TABLE1_HOURS.get(key)
+        if paper is None:
+            continue
+        rows.append([
+            row.title, row.resource_type, paper[0], round(row.instance_hours),
+            row.instance_hours / paper[0],
+        ])
+    rows.append([
+        "Total", "", 109837, round(result.totals["instance_hours"]),
+        result.totals["instance_hours"] / 109837,
+    ])
+    print(format_table(
+        ["Assignment", "Type", "Paper h", "Measured h", "Ratio"],
+        rows,
+        title="Paper vs measured instance hours:",
+    ))
+
+    assert abs(result.totals["instance_hours"] - 109_837) / 109_837 < 0.05

@@ -1,0 +1,11 @@
+"""Shared benchmark fixtures: one simulated semester for all benches."""
+
+import pytest
+
+from repro.core import CohortSimulation
+
+
+@pytest.fixture(scope="session")
+def semester_records():
+    """The default-seed semester (labs + project) used by every bench."""
+    return CohortSimulation().run()

@@ -1,0 +1,115 @@
+"""Unit 4–5 tour: fitting and scaling a 13B LLM, then tuning it.
+
+Reproduces the lab storyline (paper §3.4–3.5):
+
+1. memory accounting — why full fp32 fine-tuning of a 13B model cannot fit
+   one A100-80GB, and how bf16 / gradient checkpointing / LoRA / QLoRA
+   progressively make it fit;
+2. distributed paradigms — DDP vs FSDP memory and step time on 4 GPUs,
+   pipeline bubble vs micro-batches, ring vs naive all-reduce;
+3. hyperparameter search — Ray-Tune-style ASHA vs exhaustive training.
+
+Run:  python examples/distributed_training_tour.py
+"""
+
+from repro.common.tables import format_table
+from repro.scheduling import Tuner
+from repro.training import (
+    GPU_CATALOG,
+    DDPSimulator,
+    FSDPSimulator,
+    MemoryEstimator,
+    MixedPrecisionPlan,
+    PipelineSimulator,
+    TrainingMode,
+    TrainingSimulator,
+    llm,
+)
+from repro.training.collectives import allreduce_cost
+
+
+def memory_story(model, gpu):
+    configs = [
+        ("full fp32", TrainingMode.full(), MixedPrecisionPlan.fp32(), False),
+        ("full bf16-mixed", TrainingMode.full(), MixedPrecisionPlan.bf16_mixed(), False),
+        ("full bf16 + ckpt", TrainingMode.full(), MixedPrecisionPlan.bf16_mixed(), True),
+        ("LoRA r16 bf16 + ckpt", TrainingMode.lora(16), MixedPrecisionPlan.bf16_mixed(), True),
+        ("QLoRA r16 + ckpt", TrainingMode.qlora(16), MixedPrecisionPlan.bf16_mixed(), True),
+    ]
+    rows = []
+    for name, mode, precision, ckpt in configs:
+        est = MemoryEstimator(model, mode=mode, precision=precision,
+                              micro_batch=1, grad_checkpointing=ckpt)
+        b = est.breakdown()
+        rows.append([name, b.weights_gib, b.gradients_gib + b.master_weights_gib,
+                     b.optimizer_gib, b.activations_gib, b.total_gib,
+                     "yes" if b.fits(gpu) else "NO"])
+    print(format_table(
+        ["config", "weights GiB", "grads+master", "optimizer", "activations",
+         "total GiB", f"fits {gpu.name}?"],
+        rows,
+        title=f"Memory accounting for {model.name} ({model.n_params_billion:.1f}B params):",
+        float_fmt=",.1f",
+    ))
+
+
+def parallelism_story(model, gpu):
+    rows = []
+    for p in (1, 2, 4, 8):
+        ddp = DDPSimulator(model, gpu, p, mode=TrainingMode.lora(16))
+        fsdp = FSDPSimulator(model, gpu, p)
+        ddp_mem = ddp.memory_per_rank(1, grad_checkpointing=True).total_gib
+        fsdp_mem = fsdp.memory_per_rank(1, grad_checkpointing=True).total_gib
+        rows.append([p, ddp.step_time(16).total_s, ddp_mem,
+                     fsdp.step_time(16).total_s, fsdp_mem,
+                     ddp.scaling_efficiency(16)])
+    print(format_table(
+        ["GPUs", "DDP(LoRA) step s", "DDP GiB/rank", "FSDP(full) step s",
+         "FSDP GiB/rank", "DDP scaling eff"],
+        rows,
+        title=f"Scaling the fine-tune across {gpu.name}s (global batch 16):",
+        float_fmt=",.2f",
+    ))
+
+    grad_bytes = model.n_params * 2
+    rows = [[algo,
+             allreduce_cost(algo, grad_bytes, 4,
+                            link_bandwidth_gbs=gpu.interconnect_gbs).total_s]
+            for algo in ("naive", "ring", "tree")]
+    print(format_table(["all-reduce", "seconds (4 ranks)"], rows,
+                       title="Gradient all-reduce (13B bf16):", float_fmt=".3f"))
+
+    rows = [[m, PipelineSimulator.bubble_fraction(4, m)] for m in (1, 4, 16, 64)]
+    print(format_table(["micro-batches", "pipeline bubble"], rows,
+                       title="Pipeline bubble, 4 stages:", float_fmt=".3f"))
+
+
+def tuning_story():
+    sim = TrainingSimulator(seed=0, noise=0.0)
+    tuner = Tuner(sim, max_steps=300, seed=0)
+    configs = tuner.random({"lr": (1e-6, 1e-1)}, 18)
+    full = tuner.fit(configs)
+    asha = tuner.fit_asha(configs, reduction_factor=3, min_steps=10)
+    print(format_table(
+        ["strategy", "best lr", "best loss", "total steps"],
+        [["train all to 300 steps", f"{full.best.config['lr']:.2e}",
+          full.best.final_loss, full.total_steps],
+         ["ASHA successive halving", f"{asha.best.config['lr']:.2e}",
+          asha.best.final_loss, asha.total_steps]],
+        title="Hyperparameter search over 18 sampled learning rates:",
+        float_fmt=".4f",
+    ))
+
+
+def main() -> None:
+    model = llm(13)  # the lab's 13B model
+    a100 = GPU_CATALOG["A100-80GB"]
+    memory_story(model, a100)
+    print()
+    parallelism_story(model, a100)
+    print()
+    tuning_story()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,141 @@
+"""GourmetGram end-to-end: the course's running MLOps example.
+
+Walks the Unit 2–7 arc in one script:
+
+1. **IaC** (Unit 3): Terraform-style plan/apply provisions the cluster VMs
+   on the simulated testbed; an Ansible-style playbook installs Kubernetes.
+2. **Orchestration** (Unit 2): deploy the food classifier behind a
+   load-balanced service; GitOps promotes a new image through
+   staging -> production.
+3. **Lifecycle** (Units 5-7): the continuous loop serves drifting traffic,
+   detects drift, retrains through the workflow engine, gates, canaries,
+   and promotes in the model registry.
+
+Run:  python examples/gourmetgram_mlops.py
+"""
+
+from repro.cloud import chameleon
+from repro.iac import (
+    Config,
+    Host,
+    OpenStackProvider,
+    Play,
+    Playbook,
+    PlaybookRunner,
+    State,
+    Task,
+    apply_plan,
+    make_plan,
+)
+from repro.mlops import FoodDatasetGenerator, MLOpsLifecycle
+from repro.orchestration.gitops import Application, GitOpsController, GitRepo, Manifest
+from repro.orchestration.kubernetes import Cluster, KubeNode
+
+
+def provision_infrastructure():
+    """Unit 3 part 1: Terraform-style provisioning."""
+    testbed = chameleon()
+    site = testbed.site("kvm@tacc")
+    cfg = Config()
+    cfg.resource("os_network", "gg_net")
+    cfg.resource("os_subnet", "gg_subnet",
+                 network_id="${os_network.gg_net.id}", cidr="192.168.77.0/24")
+    for i in range(3):
+        cfg.resource("os_server", f"gg_node{i}",
+                     name=f"gg-node{i}", flavor="m1.medium",
+                     network_id="${os_network.gg_net.id}",
+                     depends_on=("os_subnet.gg_subnet",))
+    state = State()
+    plan = make_plan(cfg, state)
+    print(f"terraform plan: {plan.summary()}")
+    apply_plan(plan, state, OpenStackProvider(site, "gourmetgram", lab="lab3"))
+    nodes = [s for s in site.compute.servers.values()]
+    print(f"terraform apply: {len(nodes)} VMs up "
+          f"({', '.join(s.fixed_ips[0] for s in nodes)})")
+    return nodes
+
+
+def configure_kubernetes(nodes):
+    """Unit 3 part 2: Ansible-style configuration."""
+    inventory = {s.name: Host(s.name) for s in nodes}
+    playbook = Playbook("install-k8s", (
+        Play("kubernetes", tuple(inventory), (
+            Task("install containerd", "package", {"name": "containerd"}),
+            Task("install kubeadm", "package", {"name": "kubeadm"}),
+            Task("kubelet config", "copy",
+                 {"dest": "/etc/kubernetes/kubelet.yaml", "content": "cgroupDriver: systemd"},
+                 notify=("restart kubelet",)),
+            Task("start kubelet", "service", {"name": "kubelet", "state": "running"}),
+        ), handlers=(Task("restart kubelet", "service",
+                          {"name": "kubelet", "state": "restarted"}),)),
+    ))
+    runner = PlaybookRunner(inventory)
+    results = runner.run(playbook)
+    changed = sum(1 for r in results if r.changed)
+    print(f"ansible: {len(results)} tasks, {changed} changed")
+    rerun = runner.run(playbook)
+    print(f"ansible re-run: {sum(1 for r in rerun if r.changed)} changed (idempotent)")
+
+    cluster = Cluster("gourmetgram")
+    for s in nodes:
+        cluster.add_node(KubeNode(s.name, cpu=2.0, mem_gib=4.0))
+    return cluster
+
+
+def deploy_with_gitops(cluster):
+    """Unit 3 part 3: Argo-CD-style declarative environments."""
+    repo = GitRepo()
+    ctrl = GitOpsController(repo)
+    ctrl.register(Application("gg-prod", "envs/prod", cluster, auto_sync=True))
+
+    def manifests(version, replicas):
+        return [
+            Manifest("Deployment", "food-classifier",
+                     {"image": f"gourmetgram:{version}", "replicas": replicas,
+                      "labels": {"app": "gg"}}),
+            Manifest("Service", "gg-svc", {"selector": {"app": "gg"}, "port": 8000}),
+        ]
+
+    repo.commit("envs/prod", manifests("v1", replicas=3))
+    ctrl.poll()
+    print(f"gitops: {len(cluster.ready_pods('food-classifier'))} replicas of v1 serving")
+    hits = [cluster.route("gg-svc").name for _ in range(6)]
+    print(f"gitops: load balancing across {len(set(hits))} pods")
+    repo.commit("envs/prod", manifests("v2", replicas=3))
+    ctrl.poll()
+    images = {p.template.image for p in cluster.ready_pods("food-classifier")}
+    print(f"gitops: rolled to {images.pop()} with zero downtime")
+
+
+def run_lifecycle():
+    """Units 5-7: the continuous retrain loop over drifting data."""
+    generator = FoodDatasetGenerator(seed=3, drift_rate=0.6, class_spread=0.8)
+    lifecycle = MLOpsLifecycle(generator, seed=3)
+    lifecycle.initial_deploy()
+    report = lifecycle.run(until=10.0, dt=1.0)
+
+    print("lifecycle timeline:")
+    for t, acc in report.accuracy_series():
+        marker = ""
+        for e in report.events:
+            if e.time == t and e.kind in ("drift", "promote", "rollback", "gate_failed"):
+                marker += f"  <- {e.kind}"
+        print(f"  t={t:4.1f}  accuracy={acc:.3f}{marker}")
+    prod = lifecycle.client.registry.production(MLOpsLifecycle.MODEL_NAME)
+    print(f"retrains: {report.retrain_count}; production model: v{prod.version} "
+          f"(val_acc={prod.metrics['val_accuracy']:.3f})")
+
+
+def main() -> None:
+    print("== 1. provision (Terraform-style IaC) ==")
+    nodes = provision_infrastructure()
+    print("\n== 2. configure (Ansible-style CaC) ==")
+    cluster = configure_kubernetes(nodes)
+    print("\n== 3. deploy (Argo-CD-style GitOps) ==")
+    deploy_with_gitops(cluster)
+    print("\n== 4. operate (drift -> retrain -> canary -> promote) ==")
+    run_lifecycle()
+
+
+if __name__ == "__main__":
+    main()

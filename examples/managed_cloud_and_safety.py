@@ -1,0 +1,128 @@
+"""Units 9–10: safeguards and the commercial-cloud transfer demo.
+
+Reproduces the last two course units (paper §3.9–3.10): deploying
+GourmetGram on a GCP-like managed platform (managed Kubernetes, serverless
+functions, a managed GPU notebook — contrasting their billing semantics
+with IaaS), then wrapping the endpoint in the Unit 9 safeguards (content
+filters, confidence-floor abstention, red-teaming, a bias audit) and
+scoring the whole system with the ML Test Score rubric the Unit 7 lecture
+references.
+
+Run:  python examples/managed_cloud_and_safety.py
+"""
+
+from repro.cloud.inventory import CHAMELEON_FLAVORS
+from repro.cloud.managed import ManagedKubernetes, ManagedNotebook, ServerlessPlatform
+from repro.cloud.quota import Quota
+from repro.cloud.site import Site, SiteKind
+from repro.common import EventLoop
+from repro.common.tables import format_table
+from repro.mlops.safety import ContentFilter, Guardrail, RedTeamHarness, bias_audit
+from repro.monitoring.mltestscore import RUBRIC_ITEMS, MLTestScorecard, TestStatus
+from repro.orchestration.kubernetes import Deployment, PodTemplate
+
+
+def managed_cloud_demo():
+    loop = EventLoop()
+    site = Site("gcp-like", SiteKind.KVM, loop, quota=Quota.unlimited(),
+                flavors=CHAMELEON_FLAVORS)
+
+    # managed Kubernetes: one call, no Kubespray
+    gke = ManagedKubernetes(site, "gourmetgram")
+    cluster = gke.create_cluster("gg-prod", nodes=3)
+    loop.run_until(0.1)
+    cluster.apply_deployment(Deployment("food-classifier",
+                                        PodTemplate(image="gg:v3"), replicas=3))
+    cluster.reconcile_to_convergence()
+    print(f"managed k8s: {len(cluster.ready_pods('food-classifier'))} replicas, "
+          f"zero playbooks run")
+
+    # serverless thumbnailer: scale-to-zero billing
+    faas = ServerlessPlatform(site, "gourmetgram")
+    faas.deploy("thumbnail", lambda img: f"thumb({img})", memory_gb=0.5)
+    _, cold = faas.invoke("thumbnail", "photo-1", duration_ms=80)
+    _, warm = faas.invoke("thumbnail", "photo-2", duration_ms=80)
+    for _ in range(5000):
+        faas.invoke("thumbnail", "p", duration_ms=80)
+    stats = faas.stats("thumbnail")
+    print(f"serverless: cold start {cold:.0f} ms, warm {warm:.0f} ms; "
+          f"{stats['invocations']:.0f} invocations cost ${stats['cost_usd']:.4f} "
+          f"(idle cost: $0)")
+
+    # managed notebook: hourly GPU billing
+    nb = ManagedNotebook(site, "gourmetgram")
+    nb.start("finetune-nb")
+    loop.run_until(2.1)
+    hours = nb.stop("finetune-nb")
+    print(f"managed notebook: {hours:.1f} h GPU session, ${nb.cost('finetune-nb'):.2f}")
+    loop.run_until(24.0)
+    print(f"after 24 h: control-plane fee so far ${gke.management_fee('gg-prod'):.2f}")
+
+
+def make_endpoint():
+    def classify(request):
+        text = str(request)
+        if "pizza" in text:
+            return "pizza", 0.95
+        if "blurry" in text:
+            return "dessert", 0.35
+        return "vegetable", 0.85
+
+    return classify
+
+
+def safety_demo():
+    guard = Guardrail(
+        make_endpoint(),
+        input_filter=ContentFilter.default_gourmetgram(),
+        confidence_floor=0.5,
+    )
+    for request in ("margherita pizza", "blurry night shot",
+                    "pizza, reach me at bob@example.com"):
+        resp = guard.serve(request)
+        verdict = ("blocked: " + resp.reason if resp.blocked
+                   else "abstained" if resp.abstained else f"-> {resp.prediction}")
+        print(f"  {request!r:45s} {verdict}")
+
+    report = RedTeamHarness(guard).run(RedTeamHarness.default_suite())
+    print(f"red team: {report.defended}/{report.total} attacks defended "
+          f"({report.defense_rate:.0%})")
+
+    # bias audit across photo-condition slices
+    y_true = ["pizza"] * 60
+    y_pred = ["pizza"] * 40 + ["pizza"] * 12 + ["salad"] * 8
+    slices = ["daylight"] * 40 + ["low-light"] * 20
+    audit = bias_audit(y_true, y_pred, slices, min_support=10)
+    print(f"bias audit: overall {audit.overall:.2f}; flagged slices: "
+          f"{list(audit.flagged) or 'none'}")
+
+
+def rubric_demo():
+    card = MLTestScorecard("gourmetgram")
+    automated = {
+        "data": 3, "model": 4, "infrastructure": 5, "monitoring": 4,
+    }
+    for section, n in automated.items():
+        for item in RUBRIC_ITEMS[section][:n]:
+            card.record(section, item, TestStatus.AUTOMATED)
+        for item in RUBRIC_ITEMS[section][n:n + 1]:
+            card.record(section, item, TestStatus.MANUAL)
+    rows = [[s, v] for s, v in card.summary().items()]
+    print(format_table(["section", "score"], rows,
+                       title="ML Test Score (Breck et al., paper ref [3]):",
+                       float_fmt=".1f"))
+    print(f"readiness: {card.readiness}")
+    print(f"top gaps: {card.gaps()[:3]}")
+
+
+def main() -> None:
+    print("== Unit 10: GCP-like managed services ==")
+    managed_cloud_demo()
+    print("\n== Unit 9: safeguards ==")
+    safety_demo()
+    print("\n== production readiness ==")
+    rubric_demo()
+
+
+if __name__ == "__main__":
+    main()

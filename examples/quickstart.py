@@ -1,0 +1,51 @@
+"""Quickstart: provision on the simulated testbed and estimate its cost.
+
+Mirrors the course's first two labs (paper §3.1–3.2): bring up a VM with a
+floating IP on the Chameleon-like testbed, watch the meter, and translate
+the usage into commercial-cloud dollars with the paper's matching rule.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cloud import chameleon
+from repro.core import AWS_CATALOG, GCP_CATALOG, RequirementSpec, cheapest_match
+
+
+def main() -> None:
+    # -- 1. a Chameleon-shaped testbed (KVM + bare-metal + edge sites) -----
+    testbed = chameleon()
+    kvm = testbed.site("kvm@tacc")
+
+    # -- 2. "Hello, Chameleon": network, VM, floating IP --------------------
+    net = kvm.network.create_network("demo", "private-net")
+    kvm.network.create_subnet(net.id, "192.168.50.0/24")
+    server = kvm.compute.create_server(
+        "demo", "node1", "m1.medium", network_id=net.id, lab="lab1", user="me"
+    )
+    fip = kvm.network.allocate_floating_ip("demo", lab="lab1", user="me")
+    kvm.compute.associate_floating_ip(server.id, fip.id)
+    print(f"provisioned {server.id} ({server.resource_type}) at {server.fixed_ips[0]}, "
+          f"public {fip.address}")
+
+    # -- 3. simulated time passes; the student forgets the VM for 3 days ---
+    testbed.run_until(72.0)
+    kvm.compute.delete_server(server.id)
+    kvm.network.release_floating_ip(fip.id)
+
+    # -- 4. the meter knows ---------------------------------------------------
+    records = testbed.usage_records()
+    vm_hours = sum(r.unit_hours for r in records if r.kind == "server")
+    ip_hours = sum(r.unit_hours for r in records if r.kind == "floating_ip")
+    print(f"metered: {vm_hours:.1f} instance-hours, {ip_hours:.1f} floating-IP hours")
+
+    # -- 5. the paper's cost rule: cheapest instance meeting the need ------
+    need = RequirementSpec(vcpus=2, ram_gib=4)
+    for catalog in (AWS_CATALOG, GCP_CATALOG):
+        eq = cheapest_match(need, catalog)
+        cost = vm_hours * eq.hourly_usd + ip_hours * catalog.ip_hourly_usd
+        print(f"{catalog.provider.upper()}: equivalent {eq.name} "
+              f"(${eq.hourly_usd}/h) -> ${cost:.2f} for this one forgotten VM")
+
+
+if __name__ == "__main__":
+    main()

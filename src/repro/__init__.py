@@ -1,0 +1,23 @@
+"""repro — reproduction of *The Cost of Teaching Operational ML* (SC-W '25).
+
+The library has three layers:
+
+1. :mod:`repro.cloud` — a Chameleon-like research-cloud testbed simulator
+   (compute, network, storage, quotas, advance reservations, metering).
+2. The MLOps substrates the course teaches on top of it:
+   :mod:`repro.iac`, :mod:`repro.orchestration`, :mod:`repro.training`,
+   :mod:`repro.tracking`, :mod:`repro.scheduling`, :mod:`repro.serving`,
+   :mod:`repro.monitoring`, :mod:`repro.datasys`, and the GourmetGram
+   reference application in :mod:`repro.mlops`.
+3. :mod:`repro.core` — the paper's contribution: the course definition,
+   student-cohort usage simulation, commercial-cloud pricing catalog and
+   matching, the cost model, and report generators for Table 1 and
+   Figures 1–3.
+
+See DESIGN.md for the full system inventory and experiment index and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,226 @@
+"""An OpenStack-CLI-style command interface to a simulated site.
+
+Unit 2's lab deliberately walks students from the GUI ("ClickOps") to the
+CLI "to perform the same tasks more efficiently" (paper §3.2), and §4
+emphasises that Chameleon speaks "widely adopted, industry-relevant
+tools".  :class:`OpenStackCli` accepts the same command shapes the lab
+instructions use:
+
+    openstack network create my-net
+    openstack subnet create --network my-net --subnet-range 10.0.0.0/24 my-subnet
+    openstack server create --flavor m1.medium --image CC-Ubuntu24.04 \
+        --network my-net node1
+    openstack floating ip create public
+    openstack server add floating ip node1 <address>
+    openstack server list
+    openstack server delete node1
+    openstack volume create --size 2 my-volume
+
+Commands return structured rows (list of dicts); :func:`render` formats
+them as the fixed-width tables the real client prints.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Any
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.tables import format_table
+from repro.cloud.site import Site
+
+
+def render(rows: list[dict[str, Any]]) -> str:
+    """Fixed-width table rendering of structured CLI output."""
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0])
+    return format_table(headers, [[r.get(h) for h in headers] for r in rows])
+
+
+class OpenStackCli:
+    """Parse and execute ``openstack ...`` command lines against a site."""
+
+    def __init__(self, site: Site, project: str = "demo", *, user: str | None = None) -> None:
+        self.site = site
+        self.project = project
+        self.user = user
+        self.lab: str | None = None  # set to tag resources with an assignment
+
+    # -- entry point -------------------------------------------------------------
+
+    def run(self, command_line: str) -> list[dict[str, Any]]:
+        """Execute one command line; returns structured rows."""
+        tokens = shlex.split(command_line)
+        if not tokens:
+            raise ValidationError("empty command")
+        if tokens[0] == "openstack":
+            tokens = tokens[1:]
+        if not tokens:
+            raise ValidationError("missing subcommand")
+
+        # find the action by consuming leading resource words
+        handlers = {
+            ("network", "create"): self._network_create,
+            ("network", "list"): self._network_list,
+            ("network", "delete"): self._network_delete,
+            ("subnet", "create"): self._subnet_create,
+            ("router", "create"): self._router_create,
+            ("server", "create"): self._server_create,
+            ("server", "list"): self._server_list,
+            ("server", "delete"): self._server_delete,
+            ("server", "add", "floating", "ip"): self._server_add_fip,
+            ("floating", "ip", "create"): self._fip_create,
+            ("floating", "ip", "list"): self._fip_list,
+            ("volume", "create"): self._volume_create,
+            ("volume", "list"): self._volume_list,
+        }
+        for length in (4, 3, 2):
+            key = tuple(tokens[:length])
+            if key in handlers:
+                flags, positionals = self._parse_args(tokens[length:])
+                return handlers[key](flags, positionals)
+        raise ValidationError(f"unknown command: {' '.join(tokens[:3])!r}")
+
+    @staticmethod
+    def _parse_args(tokens: list[str]) -> tuple[dict[str, str], list[str]]:
+        flags: dict[str, str] = {}
+        positionals: list[str] = []
+        i = 0
+        while i < len(tokens):
+            tok = tokens[i]
+            if tok.startswith("--"):
+                name = tok[2:]
+                if i + 1 >= len(tokens) or tokens[i + 1].startswith("--"):
+                    flags[name] = "true"
+                    i += 1
+                else:
+                    flags[name] = tokens[i + 1]
+                    i += 2
+            else:
+                positionals.append(tok)
+                i += 1
+        return flags, positionals
+
+    @staticmethod
+    def _one_positional(positionals: list[str], what: str) -> str:
+        if len(positionals) != 1:
+            raise ValidationError(f"expected exactly one {what}, got {positionals!r}")
+        return positionals[0]
+
+    def _require(self, flags: dict[str, str], name: str) -> str:
+        if name not in flags:
+            raise ValidationError(f"missing required --{name}")
+        return flags[name]
+
+    # -- name lookups (the CLI addresses resources by name) -----------------------
+
+    def _network_by_name(self, name: str):
+        for net in self.site.network.networks.values():
+            if net.name == name:
+                return net
+        raise NotFoundError(f"no network named {name!r}")
+
+    def _server_by_name(self, name: str):
+        for server in self.site.compute.servers.values():
+            if server.name == name:
+                return server
+        raise NotFoundError(f"no server named {name!r}")
+
+    def _fip_by_address(self, address: str):
+        for fip in self.site.network.floating_ips.values():
+            if fip.address == address:
+                return fip
+        raise NotFoundError(f"no floating IP {address!r}")
+
+    # -- handlers ------------------------------------------------------------------
+
+    def _network_create(self, flags, positionals):
+        name = self._one_positional(positionals, "network name")
+        net = self.site.network.create_network(self.project, name)
+        return [{"ID": net.id, "Name": net.name}]
+
+    def _network_list(self, flags, positionals):
+        return [
+            {"ID": n.id, "Name": n.name, "External": n.external}
+            for n in self.site.network.networks.values()
+        ]
+
+    def _network_delete(self, flags, positionals):
+        net = self._network_by_name(self._one_positional(positionals, "network name"))
+        self.site.network.delete_network(net.id)
+        return []
+
+    def _subnet_create(self, flags, positionals):
+        name = self._one_positional(positionals, "subnet name")
+        net = self._network_by_name(self._require(flags, "network"))
+        cidr = self._require(flags, "subnet-range")
+        subnet = self.site.network.create_subnet(net.id, cidr)
+        return [{"ID": subnet.id, "Name": name, "CIDR": subnet.cidr, "Network": net.name}]
+
+    def _router_create(self, flags, positionals):
+        name = self._one_positional(positionals, "router name")
+        router = self.site.network.create_router(self.project, name)
+        return [{"ID": router.id, "Name": router.name}]
+
+    def _server_create(self, flags, positionals):
+        name = self._one_positional(positionals, "server name")
+        flavor = self._require(flags, "flavor")
+        image = flags.get("image", "CC-Ubuntu24.04")
+        network_id = None
+        if "network" in flags:
+            network_id = self._network_by_name(flags["network"]).id
+        server = self.site.compute.create_server(
+            self.project, name, flavor, image=image, network_id=network_id,
+            user=self.user, lab=self.lab,
+        )
+        return [{
+            "ID": server.id, "Name": server.name, "Status": server.status.value,
+            "Flavor": server.resource_type,
+            "Networks": server.fixed_ips[0] if server.fixed_ips else "",
+        }]
+
+    def _server_list(self, flags, positionals):
+        return [
+            {"ID": s.id, "Name": s.name, "Status": s.status.value, "Flavor": s.resource_type}
+            for s in self.site.compute.list_servers(project=self.project)
+        ]
+
+    def _server_delete(self, flags, positionals):
+        server = self._server_by_name(self._one_positional(positionals, "server name"))
+        self.site.compute.delete_server(server.id)
+        return []
+
+    def _server_add_fip(self, flags, positionals):
+        if len(positionals) != 2:
+            raise ValidationError("usage: server add floating ip <server> <address>")
+        server = self._server_by_name(positionals[0])
+        fip = self._fip_by_address(positionals[1])
+        self.site.compute.associate_floating_ip(server.id, fip.id)
+        return []
+
+    def _fip_create(self, flags, positionals):
+        # the positional is the external network name, accepted for fidelity
+        fip = self.site.network.allocate_floating_ip(self.project, lab=self.lab, user=self.user)
+        return [{"ID": fip.id, "Floating IP Address": fip.address}]
+
+    def _fip_list(self, flags, positionals):
+        return [
+            {"ID": f.id, "Floating IP Address": f.address,
+             "Port": f.port_device_id or ""}
+            for f in self.site.network.floating_ips.values()
+        ]
+
+    def _volume_create(self, flags, positionals):
+        name = self._one_positional(positionals, "volume name")
+        size = int(self._require(flags, "size"))
+        vol = self.site.block_storage.create_volume(
+            self.project, name, size, user=self.user, lab=self.lab
+        )
+        return [{"ID": vol.id, "Name": vol.name, "Size": vol.size_gb, "Status": vol.status.value}]
+
+    def _volume_list(self, flags, positionals):
+        return [
+            {"ID": v.id, "Name": v.name, "Size": v.size_gb, "Status": v.status.value}
+            for v in self.site.block_storage.volumes.values()
+        ]

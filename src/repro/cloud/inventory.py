@@ -1,0 +1,221 @@
+"""Hardware inventory: VM flavors, bare-metal node types, edge devices.
+
+The catalog mirrors the resources named in the paper's Table 1 and §3:
+``m1.*`` KVM flavors, GPU bare-metal node types (``gpu_a100_pcie``,
+``gpu_v100``, ``gpu_mi100``, ``gpu_p100``, ``compute_gigaio``,
+``compute_liqid``), and the Raspberry Pi 5 devices the authors added to
+CHI@Edge.  Sizes follow Chameleon's published specs where the paper states
+them (e.g. "three virtual machines, each with 2 vCPUs and 4 GB of RAM" for
+``m1.medium``) and representative values elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Flavor:
+    """A VM instance shape (OpenStack "flavor").
+
+    Attributes
+    ----------
+    name: Flavor name, e.g. ``m1.medium``.
+    vcpus: Number of virtual CPUs.
+    ram_gib: RAM in GiB.
+    disk_gb: Root disk size in decimal GB.
+    """
+
+    name: str
+    vcpus: int
+    ram_gib: float
+    disk_gb: int
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0 or self.ram_gib <= 0 or self.disk_gb < 0:
+            raise ValidationError(f"invalid flavor spec: {self!r}")
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """GPU complement of a bare-metal node."""
+
+    model: str
+    count: int
+    memory_gib: float
+    compute_capability: float | None = None  # None for non-NVIDIA parts
+
+    def __post_init__(self) -> None:
+        if self.count <= 0 or self.memory_gib <= 0:
+            raise ValidationError(f"invalid GPU spec: {self!r}")
+
+    @property
+    def supports_bf16(self) -> bool:
+        """NVIDIA compute capability >= 8.0 implies bfloat16 support (§3.4)."""
+        return self.compute_capability is not None and self.compute_capability >= 8.0
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """A bare-metal node type reservable through the lease system.
+
+    ``gpu`` is ``None`` for CPU-only node types (the paper's projects used
+    975 hours of non-GPU bare metal for data processing).
+    """
+
+    name: str
+    vcpus: int
+    ram_gib: float
+    disk_gb: int
+    gpu: GpuSpec | None = None
+    count_available: int = 4  # nodes of this type in the site
+
+    def __post_init__(self) -> None:
+        if self.vcpus <= 0 or self.ram_gib <= 0 or self.count_available <= 0:
+            raise ValidationError(f"invalid node type: {self!r}")
+
+    @property
+    def gpu_count(self) -> int:
+        return self.gpu.count if self.gpu is not None else 0
+
+
+@dataclass(frozen=True)
+class EdgeDeviceType:
+    """A low-resource CHI@Edge device type (Raspberry Pi, Jetson)."""
+
+    name: str
+    cpu: str
+    cores: int
+    ram_gib: float
+    accelerator: str | None = None
+    count_available: int = 4
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.ram_gib <= 0 or self.count_available <= 0:
+            raise ValidationError(f"invalid edge device type: {self!r}")
+
+
+@dataclass(frozen=True)
+class Image:
+    """A bootable machine image."""
+
+    name: str
+    os: str = "ubuntu-24.04"
+    size_gb: float = 2.5
+    properties: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+
+# --- Chameleon-like catalogs -------------------------------------------------
+
+CHAMELEON_FLAVORS: dict[str, Flavor] = {
+    f.name: f
+    for f in (
+        Flavor("m1.tiny", vcpus=1, ram_gib=1, disk_gb=20),
+        Flavor("m1.small", vcpus=1, ram_gib=2, disk_gb=20),
+        Flavor("m1.medium", vcpus=2, ram_gib=4, disk_gb=40),
+        Flavor("m1.large", vcpus=4, ram_gib=8, disk_gb=40),
+        Flavor("m1.xlarge", vcpus=8, ram_gib=16, disk_gb=40),
+        Flavor("m1.xxlarge", vcpus=16, ram_gib=32, disk_gb=40),
+    )
+}
+
+CHAMELEON_NODE_TYPES: dict[str, NodeType] = {
+    n.name: n
+    for n in (
+        # 4x A100 80GB PCIe node used for the Unit 4 multi-GPU lab.
+        NodeType(
+            "gpu_a100_pcie",
+            vcpus=128,
+            ram_gib=512,
+            disk_gb=1920,
+            gpu=GpuSpec("A100-80GB-PCIe", count=4, memory_gib=80, compute_capability=8.0),
+            count_available=4,
+        ),
+        # 4x V100 node (the alternative for Unit 4 multi-GPU).
+        NodeType(
+            "gpu_v100",
+            vcpus=96,
+            ram_gib=384,
+            disk_gb=960,
+            gpu=GpuSpec("V100-32GB", count=4, memory_gib=32, compute_capability=7.0),
+            count_available=4,
+        ),
+        # GigaIO composable node with a single A100 80GB (Unit 4 single-GPU,
+        # Unit 5 tracking, Unit 6 model optimizations).
+        NodeType(
+            "compute_gigaio",
+            vcpus=64,
+            ram_gib=256,
+            disk_gb=960,
+            gpu=GpuSpec("A100-80GB-SXM", count=1, memory_gib=80, compute_capability=8.0),
+            count_available=8,
+        ),
+        # Liqid composable node with a single A100 40GB.
+        NodeType(
+            "compute_liqid",
+            vcpus=64,
+            ram_gib=256,
+            disk_gb=960,
+            gpu=GpuSpec("A100-40GB-PCIe", count=1, memory_gib=40, compute_capability=8.0),
+            count_available=8,
+        ),
+        # Liqid node composed with two A100 40GB GPUs (Unit 5 multi-GPU).
+        NodeType(
+            "compute_liqid_2",
+            vcpus=64,
+            ram_gib=256,
+            disk_gb=960,
+            gpu=GpuSpec("A100-40GB-PCIe", count=2, memory_gib=40, compute_capability=8.0),
+            count_available=4,
+        ),
+        # 2x AMD MI100 node (the alternative for Unit 5 multi-GPU).
+        NodeType(
+            "gpu_mi100",
+            vcpus=64,
+            ram_gib=256,
+            disk_gb=960,
+            gpu=GpuSpec("MI100-32GB", count=2, memory_gib=32, compute_capability=None),
+            count_available=8,
+        ),
+        # 2x P100 node (Unit 6 system-level serving optimizations).
+        NodeType(
+            "gpu_p100",
+            vcpus=48,
+            ram_gib=128,
+            disk_gb=480,
+            gpu=GpuSpec("P100-16GB", count=2, memory_gib=16, compute_capability=6.0),
+            count_available=8,
+        ),
+        # CPU-only bare metal, used by projects for large data processing.
+        NodeType("compute_cascadelake", vcpus=96, ram_gib=192, disk_gb=480, count_available=16),
+    )
+}
+
+EDGE_DEVICE_TYPES: dict[str, EdgeDeviceType] = {
+    d.name: d
+    for d in (
+        # The 7 Raspberry Pi 5 devices the authors added to CHI@Edge (§4).
+        EdgeDeviceType(
+            "raspberrypi5", cpu="ARM Cortex-A76", cores=4, ram_gib=8, count_available=7
+        ),
+        EdgeDeviceType(
+            "jetson-nano",
+            cpu="ARM Cortex-A57",
+            cores=4,
+            ram_gib=4,
+            accelerator="Maxwell-128-core",
+            count_available=4,
+        ),
+    )
+}
+
+DEFAULT_IMAGES: dict[str, Image] = {
+    i.name: i
+    for i in (
+        Image("CC-Ubuntu24.04"),
+        Image("CC-Ubuntu24.04-CUDA", properties=(("cuda", "12.4"),)),
+        Image("CC-Ubuntu24.04-ROCm", properties=(("rocm", "6.0"),)),
+    )
+}

@@ -1,0 +1,84 @@
+"""A cloud site: one coherent region of compute + network + storage + leases.
+
+Chameleon (paper §4) comprises several sites with different capabilities:
+KVM@TACC offers on-demand VMs; CHI@TACC / CHI@UC offer reservable bare-metal
+nodes; CHI@Edge offers reservable low-resource devices.  :class:`Site` wires
+the per-site services to one shared event loop and usage meter.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.common.events import EventLoop
+from repro.common.ids import IdGenerator
+from repro.cloud.compute import ComputeService
+from repro.cloud.inventory import (
+    DEFAULT_IMAGES,
+    EdgeDeviceType,
+    Flavor,
+    Image,
+    NodeType,
+)
+from repro.cloud.leases import LeaseManager
+from repro.cloud.metering import UsageMeter
+from repro.cloud.network import NetworkService
+from repro.cloud.quota import Quota, QuotaManager
+from repro.cloud.storage import BlockStorageService, ObjectStorageService
+
+
+class SiteKind(str, Enum):
+    KVM = "kvm"  # on-demand VMs
+    BARE_METAL = "bare_metal"  # lease-gated bare metal
+    EDGE = "edge"  # lease-gated edge devices
+
+
+class Site:
+    """One cloud site bound to a shared :class:`~repro.common.events.EventLoop`."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: SiteKind,
+        loop: EventLoop,
+        *,
+        quota: Quota | None = None,
+        flavors: dict[str, Flavor] | None = None,
+        node_types: dict[str, NodeType] | None = None,
+        edge_types: dict[str, EdgeDeviceType] | None = None,
+        images: dict[str, Image] | None = None,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.loop = loop
+        self.ids = IdGenerator()
+        self.quota = QuotaManager(quota)
+        self.meter = UsageMeter(loop.clock, site=name)
+        self.network = NetworkService(loop.clock, self.ids, self.quota, self.meter)
+
+        leases: LeaseManager | None = None
+        if kind is SiteKind.BARE_METAL:
+            inventory = {n.name: n.count_available for n in (node_types or {}).values()}
+            leases = LeaseManager(loop, self.ids, inventory)
+        elif kind is SiteKind.EDGE:
+            inventory = {d.name: d.count_available for d in (edge_types or {}).values()}
+            leases = LeaseManager(loop, self.ids, inventory)
+        self.leases = leases
+
+        self.compute = ComputeService(
+            loop,
+            self.ids,
+            self.quota,
+            self.meter,
+            self.network,
+            flavors=flavors if kind is SiteKind.KVM else {},
+            node_types=node_types if kind is SiteKind.BARE_METAL else {},
+            edge_types=edge_types if kind is SiteKind.EDGE else {},
+            images=images or DEFAULT_IMAGES,
+            leases=leases,
+        )
+        self.block_storage = BlockStorageService(loop.clock, self.ids, self.quota, self.meter)
+        self.object_storage = ObjectStorageService(loop.clock, self.ids, self.quota, self.meter)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Site({self.name!r}, {self.kind.value})"

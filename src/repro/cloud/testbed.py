@@ -1,0 +1,92 @@
+"""The multi-site testbed facade.
+
+:func:`chameleon` assembles a testbed shaped like the one in the paper:
+
+* ``kvm@tacc`` — on-demand VMs with the course's increased quota (§4),
+* ``chi@tacc`` — bare-metal GPU/CPU nodes behind advance reservations,
+* ``chi@edge`` — Raspberry Pi 5 / Jetson devices behind reservations.
+
+All sites share one event loop (and therefore one simulated clock), so
+cross-site usage aggregates coherently — exactly what the paper's §5
+accounting needs.
+"""
+
+from __future__ import annotations
+
+from repro.common.events import EventLoop
+from repro.cloud.inventory import (
+    CHAMELEON_FLAVORS,
+    CHAMELEON_NODE_TYPES,
+    EDGE_DEVICE_TYPES,
+)
+from repro.cloud.metering import UsageMeter, UsageRecord
+from repro.cloud.quota import Quota
+from repro.cloud.site import Site, SiteKind
+from repro.common.errors import ConflictError, NotFoundError
+
+
+class Testbed:
+    """A collection of named sites sharing one event loop."""
+
+    def __init__(self, loop: EventLoop | None = None) -> None:
+        self.loop = loop if loop is not None else EventLoop()
+        self.sites: dict[str, Site] = {}
+
+    @property
+    def clock(self):
+        return self.loop.clock
+
+    def add_site(self, site: Site) -> Site:
+        if site.name in self.sites:
+            raise ConflictError(f"site {site.name!r} already registered")
+        if site.loop is not self.loop:
+            raise ConflictError(f"site {site.name!r} uses a different event loop")
+        self.sites[site.name] = site
+        return site
+
+    def site(self, name: str) -> Site:
+        try:
+            return self.sites[name]
+        except KeyError:
+            raise NotFoundError(f"site {name!r} not found") from None
+
+    def usage_records(self) -> list[UsageRecord]:
+        """All usage records across sites (open spans snapshot at *now*)."""
+        return UsageMeter.merge(s.meter for s in self.sites.values())
+
+    def run_until(self, timestamp: float) -> int:
+        """Advance the shared simulation to ``timestamp``."""
+        return self.loop.run_until(timestamp)
+
+
+def chameleon(loop: EventLoop | None = None, *, quota: Quota | None = None) -> Testbed:
+    """Build a Chameleon-shaped testbed (see module docstring)."""
+    tb = Testbed(loop)
+    tb.add_site(
+        Site(
+            "kvm@tacc",
+            SiteKind.KVM,
+            tb.loop,
+            quota=quota if quota is not None else Quota.course_quota(),
+            flavors=CHAMELEON_FLAVORS,
+        )
+    )
+    tb.add_site(
+        Site(
+            "chi@tacc",
+            SiteKind.BARE_METAL,
+            tb.loop,
+            quota=Quota.unlimited(),
+            node_types=CHAMELEON_NODE_TYPES,
+        )
+    )
+    tb.add_site(
+        Site(
+            "chi@edge",
+            SiteKind.EDGE,
+            tb.loop,
+            quota=Quota.unlimited(),
+            edge_types=EDGE_DEVICE_TYPES,
+        )
+    )
+    return tb

@@ -1,0 +1,56 @@
+"""Shared simulation infrastructure.
+
+Everything in :mod:`repro` is a *discrete-event simulation*: there is no
+wall-clock time, no threads, and no network.  This package provides the
+pieces every subsystem shares:
+
+* :class:`~repro.common.clock.SimClock` — a monotonically advancing
+  simulated clock measured in hours (the paper's accounting unit).
+* :class:`~repro.common.events.EventLoop` — a priority-queue event engine
+  with deterministic tie-breaking.
+* :mod:`~repro.common.ids` — deterministic, human-readable resource ids.
+* :mod:`~repro.common.errors` — the exception hierarchy.
+* :mod:`~repro.common.units` — byte/time unit helpers.
+* :mod:`~repro.common.tables` — fixed-width table rendering used by the
+  benchmark harness to print paper-style tables.
+"""
+
+from repro.common.clock import SimClock
+from repro.common.errors import (
+    ConflictError,
+    InvalidStateError,
+    NotFoundError,
+    QuotaExceededError,
+    ReproError,
+    SchedulingError,
+    ValidationError,
+)
+from repro.common.events import Event, EventLoop
+from repro.common.ids import IdGenerator
+from repro.common.tables import format_table
+from repro.common.units import GB, GIB, HOURS, KB, KIB, MB, MIB, MINUTES, TB, TIB
+
+__all__ = [
+    "SimClock",
+    "EventLoop",
+    "Event",
+    "IdGenerator",
+    "format_table",
+    "ReproError",
+    "NotFoundError",
+    "ConflictError",
+    "ValidationError",
+    "QuotaExceededError",
+    "InvalidStateError",
+    "SchedulingError",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "MINUTES",
+    "HOURS",
+]

@@ -1,0 +1,62 @@
+"""Simulated time.
+
+The whole library accounts time in **hours**, matching the paper's unit
+("186,692 total compute instance hours").  :class:`SimClock` is a plain
+monotonic counter; it never reads the wall clock, which keeps every
+simulation deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+
+
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time, in hours.  Defaults to ``0.0``.
+
+    Notes
+    -----
+    The clock can only move forward.  Components that need to observe the
+    passage of time hold a reference to a shared ``SimClock`` and read
+    :attr:`now`; the event loop (or a driving script) advances it.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValidationError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in hours."""
+        return self._now
+
+    def advance(self, delta_hours: float) -> float:
+        """Advance the clock by ``delta_hours`` and return the new time."""
+        if delta_hours < 0:
+            raise ValidationError(f"cannot advance clock by negative delta {delta_hours!r}")
+        self._now += float(delta_hours)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to an absolute ``timestamp`` (hours).
+
+        Advancing to the current time is a no-op; moving backwards raises
+        :class:`~repro.common.errors.ValidationError`.
+        """
+        if timestamp < self._now:
+            raise ValidationError(
+                f"cannot move clock backwards: now={self._now!r}, requested={timestamp!r}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.4f}h)"

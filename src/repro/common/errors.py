@@ -1,0 +1,41 @@
+"""Exception hierarchy shared by every :mod:`repro` subsystem.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at subsystem boundaries.  The subclasses mirror the error
+taxonomy of an OpenStack-style API (404 / 409 / 400 / 403-quota) because the
+cloud simulator is the lowest substrate everything else builds on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class NotFoundError(ReproError):
+    """A referenced resource does not exist (HTTP-404 analogue)."""
+
+
+class ConflictError(ReproError):
+    """The request conflicts with current resource state (HTTP-409 analogue).
+
+    Examples: deleting an attached volume, double-assigning a floating IP,
+    overlapping bare-metal reservations on the same node.
+    """
+
+
+class ValidationError(ReproError):
+    """The request itself is malformed (HTTP-400 analogue)."""
+
+
+class QuotaExceededError(ReproError):
+    """Admitting the request would exceed a project quota (HTTP-403 analogue)."""
+
+
+class InvalidStateError(ReproError):
+    """The operation is not legal in the resource's current lifecycle state."""
+
+
+class SchedulingError(ReproError):
+    """No placement satisfying the request's constraints exists."""

@@ -1,0 +1,26 @@
+"""Deterministic resource identifiers.
+
+Real clouds mint UUIDs; a reproducible simulation needs ids that are stable
+across runs.  :class:`IdGenerator` produces ``prefix-000001``-style ids from
+per-prefix counters, which also makes traces and test failures readable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class IdGenerator:
+    """Mint sequential, human-readable ids per resource-kind prefix."""
+
+    def __init__(self) -> None:
+        self._counters: defaultdict[str, int] = defaultdict(int)
+
+    def next(self, prefix: str) -> str:
+        """Return the next id for ``prefix``, e.g. ``vm-000007``."""
+        self._counters[prefix] += 1
+        return f"{prefix}-{self._counters[prefix]:06d}"
+
+    def peek(self, prefix: str) -> int:
+        """Number of ids minted so far for ``prefix``."""
+        return self._counters[prefix]

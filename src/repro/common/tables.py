@@ -1,0 +1,67 @@
+"""Fixed-width table rendering.
+
+The benchmark harness prints paper-style tables (Table 1, the Fig 1–3 data
+series) to stdout so a reader can diff them against the paper.  This module
+is intentionally dependency-free: plain monospace alignment, right-aligned
+numbers, left-aligned text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _render_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    if value is None:
+        return "NA"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_fmt: str = ",.2f",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width text table.
+
+    Numeric cells (ints and floats) are right-aligned; floats use
+    ``float_fmt``; ``None`` renders as ``NA`` (matching the paper's
+    Raspberry Pi rows).
+    """
+    rendered: list[list[str]] = []
+    numeric: list[list[bool]] = []
+    for row in rows:
+        rendered.append([_render_cell(v, float_fmt) for v in row])
+        numeric.append([isinstance(v, (int, float)) and not isinstance(v, bool) for v in row])
+
+    ncols = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != ncols:
+            raise ValueError(f"row has {len(row)} cells, expected {ncols}: {row!r}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str], numeric_flags: Sequence[bool] | None = None) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if numeric_flags is not None and numeric_flags[i]:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    for row, flags in zip(rendered, numeric):
+        lines.append(fmt_row(row, flags))
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Unit constants and conversion helpers.
+
+Storage is accounted in **bytes** internally; the paper reports decimal
+units (GB, TB) for storage and **hours** for time, so both decimal and
+binary constants are provided.  Time constants convert to the library-wide
+unit of hours.
+"""
+
+from __future__ import annotations
+
+# Decimal (SI) byte units — what cloud providers bill by.
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+
+# Binary byte units — what RAM and some flavors are specified in.
+KIB = 2**10
+MIB = 2**20
+GIB = 2**30
+TIB = 2**40
+
+# Time, expressed in hours (the library-wide unit).
+SECONDS = 1.0 / 3600.0
+MINUTES = 1.0 / 60.0
+HOURS = 1.0
+DAYS = 24.0
+WEEKS = 168.0
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert bytes to decimal gigabytes."""
+    return n_bytes / GB
+
+
+def bytes_to_gib(n_bytes: float) -> float:
+    """Convert bytes to binary gibibytes."""
+    return n_bytes / GIB
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Convert hours to seconds."""
+    return hours * 3600.0
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return seconds / 3600.0

@@ -1,0 +1,62 @@
+"""The paper's contribution: course usage analysis and cloud cost model.
+
+This package regenerates §5 of the paper — Table 1 (usage and estimated
+cost per lab assignment), Fig 1 (expected vs actual duration), Fig 2
+(per-student cost distribution), Fig 3 (project usage by instance type)
+— from a mechanistic simulation:
+
+* :mod:`repro.core.course` — the course definition: every lab's
+  infrastructure requirements and expected durations (paper §3).
+* :mod:`repro.core.catalog` — an offline AWS/GCP pricing snapshot
+  (July-2025-style on-demand rates).
+* :mod:`repro.core.matching` — the paper's "most cost-effective cloud
+  instance that met the specific needs of each assignment" algorithm.
+* :mod:`repro.core.cohort` — the 191-student behaviour simulation that
+  drives the :mod:`repro.cloud` testbed and produces usage records.
+* :mod:`repro.core.usage` — aggregation of usage records into the
+  per-assignment rows of Table 1.
+* :mod:`repro.core.costmodel` — usage -> commercial-cloud dollars.
+* :mod:`repro.core.report` — the table/figure generators.
+"""
+
+from repro.core.catalog import AWS_CATALOG, GCP_CATALOG, CloudInstance, PricingCatalog
+from repro.core.cohort import CohortConfig, CohortSimulation
+from repro.core.costmodel import CostModel, LabCostRow
+from repro.core.course import (
+    COURSE,
+    CourseDefinition,
+    LabAssignment,
+    LabKind,
+    RequirementSpec,
+)
+from repro.core.matching import cheapest_match
+from repro.core.report import (
+    fig1_duration_data,
+    fig2_cost_distribution,
+    fig3_project_usage,
+    table1,
+)
+from repro.core.usage import AssignmentUsage, aggregate_by_assignment
+
+__all__ = [
+    "CloudInstance",
+    "PricingCatalog",
+    "AWS_CATALOG",
+    "GCP_CATALOG",
+    "RequirementSpec",
+    "cheapest_match",
+    "LabKind",
+    "LabAssignment",
+    "CourseDefinition",
+    "COURSE",
+    "CohortConfig",
+    "CohortSimulation",
+    "AssignmentUsage",
+    "aggregate_by_assignment",
+    "CostModel",
+    "LabCostRow",
+    "table1",
+    "fig1_duration_data",
+    "fig2_cost_distribution",
+    "fig3_project_usage",
+]

@@ -1,0 +1,265 @@
+"""Translating testbed usage into commercial-cloud dollars.
+
+Implements the paper's §5 cost model: each assignment's requirement is
+matched to the cheapest satisfying instance per provider
+(:func:`~repro.core.matching.cheapest_match`); cost = instance-hours ×
+rate + floating-IP-hours × address rate.  Lab storage is excluded ("we do
+not include storage costs, which are negligible"), project storage is
+included.  The "Serving from the Edge" rows have no commercial equivalent
+and cost ``None`` (the paper's "NA").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.metering import UsageRecord
+from repro.common.errors import ValidationError
+from repro.core.catalog import AWS_CATALOG, GCP_CATALOG, CloudInstance, PricingCatalog
+from repro.core.course import COURSE, CourseDefinition, LabKind, TABLE1_ROWS
+from repro.core.matching import RequirementSpec, cheapest_match
+from repro.core.usage import (
+    AssignmentUsage,
+    aggregate_by_assignment,
+    per_user_fip_hours,
+    per_user_instance_hours,
+)
+
+HOURS_PER_MONTH = 730.0
+
+#: Requirement specs for project usage, keyed by Chameleon resource type.
+#: Projects are heterogeneous, so the paper's "conservative assumptions"
+#: are modelled as one representative requirement per resource class.
+PROJECT_SPECS: dict[str, RequirementSpec | None] = {
+    "m1.small": RequirementSpec(vcpus=1, ram_gib=2),
+    # project services run continuously -> dedicated cores, unlike lab 7's VM
+    "m1.medium": RequirementSpec(vcpus=2, ram_gib=4, dedicated_cores=True),
+    "m1.large": RequirementSpec(vcpus=2, ram_gib=8, dedicated_cores=True),
+    "m1.xlarge": RequirementSpec(vcpus=8, ram_gib=16),
+    # project training is mostly single-GPU fine-tuning on mid-range parts
+    "compute_gigaio": RequirementSpec(vcpus=4, ram_gib=16, gpus=1, gpu_mem_gib=24,
+                                      min_compute_capability=7.0),
+    "compute_liqid": RequirementSpec(vcpus=4, ram_gib=16, gpus=1, gpu_mem_gib=24,
+                                     min_compute_capability=7.0),
+    "compute_liqid_2": RequirementSpec(vcpus=8, ram_gib=32, gpus=2, gpu_mem_gib=24),
+    "gpu_mi100": RequirementSpec(vcpus=8, ram_gib=32, gpus=2, gpu_mem_gib=16),
+    "gpu_p100": RequirementSpec(vcpus=8, ram_gib=32, gpus=2, gpu_mem_gib=16,
+                                min_compute_capability=6.0),
+    "gpu_a100_pcie": RequirementSpec(vcpus=8, ram_gib=64, gpus=4, gpu_mem_gib=40, needs_bf16=True),
+    "gpu_v100": RequirementSpec(vcpus=8, ram_gib=32, gpus=4, gpu_mem_gib=16,
+                                min_compute_capability=7.0),
+    "compute_cascadelake": RequirementSpec(vcpus=30, ram_gib=96),
+    "raspberrypi5": None,  # no commercial equivalent
+    "jetson-nano": None,
+}
+
+
+@dataclass(frozen=True)
+class LabCostRow:
+    """One Table-1 row with both providers' costs (None = NA)."""
+
+    lab_id: str
+    title: str
+    resource_type: str
+    instance_hours: float
+    floating_ip_hours: float
+    aws_instance: str | None
+    aws_cost: float | None
+    gcp_instance: str | None
+    gcp_cost: float | None
+
+
+@dataclass(frozen=True)
+class ProjectCost:
+    provider: str
+    instance_usd: float
+    floating_ip_usd: float
+    block_storage_usd: float
+    object_storage_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return (
+            self.instance_usd
+            + self.floating_ip_usd
+            + self.block_storage_usd
+            + self.object_storage_usd
+        )
+
+
+class CostModel:
+    """The §5 cost analysis over a set of usage records."""
+
+    def __init__(
+        self,
+        course: CourseDefinition = COURSE,
+        *,
+        aws: PricingCatalog = AWS_CATALOG,
+        gcp: PricingCatalog = GCP_CATALOG,
+    ) -> None:
+        self.course = course
+        self.catalogs = {"aws": aws, "gcp": gcp}
+
+    # -- matching helpers --------------------------------------------------------
+
+    def lab_equivalent(self, lab_id: str, provider: str) -> CloudInstance | None:
+        """The cheapest instance for a lab's requirement (None for edge)."""
+        spec = self.course.lab(lab_id).requirement
+        if spec is None:
+            return None
+        return cheapest_match(spec, self._catalog(provider))
+
+    def project_equivalent(self, resource_type: str, provider: str) -> CloudInstance | None:
+        try:
+            spec = PROJECT_SPECS[resource_type]
+        except KeyError:
+            raise ValidationError(f"no project spec for {resource_type!r}") from None
+        if spec is None:
+            return None
+        return cheapest_match(spec, self._catalog(provider))
+
+    def hourly_rate(self, lab_id: str, provider: str) -> float | None:
+        inst = self.lab_equivalent(lab_id, provider)
+        return None if inst is None else inst.hourly_usd
+
+    # -- Table 1 --------------------------------------------------------------------
+
+    def lab_rows(self, records: list[UsageRecord]) -> list[LabCostRow]:
+        """Compute every Table-1 row (in the paper's order) from records."""
+        usage = aggregate_by_assignment(records)
+        rows: list[LabCostRow] = []
+        ordered_keys = [k for k in TABLE1_ROWS if k in usage]
+        extra = sorted(k for k in usage if k not in TABLE1_ROWS and k[0] != "project")
+        for lab_id, rtype in ordered_keys + extra:
+            row = usage[(lab_id, rtype)]
+            rows.append(self._cost_row(row))
+        return rows
+
+    def _cost_row(self, usage: AssignmentUsage) -> LabCostRow:
+        lab = self.course.lab(usage.lab_id)
+        out = {}
+        for provider in ("aws", "gcp"):
+            inst = self.lab_equivalent(usage.lab_id, provider)
+            if inst is None:
+                out[provider] = (None, None)
+                continue
+            catalog = self._catalog(provider)
+            # the matched instance replaces the whole per-student VM set of
+            # one Chameleon instance, so instance-hours translate 1:1
+            cost = usage.instance_hours * inst.hourly_usd + (
+                usage.floating_ip_hours * catalog.ip_hourly_usd
+            )
+            out[provider] = (inst.name, cost)
+        return LabCostRow(
+            lab_id=usage.lab_id,
+            title=lab.title,
+            resource_type=usage.resource_type,
+            instance_hours=usage.instance_hours,
+            floating_ip_hours=usage.floating_ip_hours,
+            aws_instance=out["aws"][0],
+            aws_cost=out["aws"][1],
+            gcp_instance=out["gcp"][0],
+            gcp_cost=out["gcp"][1],
+        )
+
+    # -- per-student distribution (Fig 2) --------------------------------------------
+
+    def per_student_costs(self, records: list[UsageRecord], provider: str) -> dict[str, float]:
+        """Lab cost per student (edge rows excluded, like the paper)."""
+        catalog = self._catalog(provider)
+        lab_ids = {lab.id for lab in self.course.labs}
+        inst_hours = per_user_instance_hours(records, labs=lab_ids)
+        fip_hours = per_user_fip_hours(records, labs=lab_ids)
+        costs: dict[str, float] = {}
+        for user, by_row in inst_hours.items():
+            total = 0.0
+            for (lab_id, _rtype), hours in by_row.items():
+                rate = self.hourly_rate(lab_id, provider)
+                if rate is None:
+                    continue  # edge lab: excluded from the commercial estimate
+                total += hours * rate
+            total += fip_hours.get(user, 0.0) * catalog.ip_hourly_usd
+            costs[user] = total
+        return costs
+
+    def expected_cost_per_student(self, provider: str) -> float:
+        """The §3-durations cost (the paper's $79.80 AWS / $58.85 GCP)."""
+        catalog = self._catalog(provider)
+        total = 0.0
+        for lab in self.course.labs:
+            rate = self.hourly_rate(lab.id, provider)
+            if rate is None:
+                continue
+            if lab.kind is LabKind.VM:
+                inst_hours = lab.expected_hours * lab.vm_count
+                fip_hours = lab.expected_hours
+            else:
+                inst_hours = lab.expected_hours
+                fip_hours = lab.expected_hours
+            total += inst_hours * rate + fip_hours * catalog.ip_hourly_usd
+        return total
+
+    # -- project costs (§5) -------------------------------------------------------------
+
+    def project_cost(self, records: list[UsageRecord], provider: str) -> ProjectCost:
+        catalog = self._catalog(provider)
+        instance_usd = 0.0
+        fip_usd = 0.0
+        block_usd = 0.0
+        object_usd = 0.0
+        for rec in records:
+            if rec.lab != "project":
+                continue
+            if rec.kind in ("server", "baremetal", "edge"):
+                inst = self.project_equivalent(rec.resource_type, provider)
+                if inst is not None:
+                    instance_usd += rec.unit_hours * inst.hourly_usd
+            elif rec.kind == "floating_ip":
+                fip_usd += rec.unit_hours * catalog.ip_hourly_usd
+            elif rec.kind == "volume":
+                block_usd += rec.unit_hours / HOURS_PER_MONTH * catalog.block_gb_month_usd
+            elif rec.kind == "object_storage":
+                object_usd += rec.unit_hours / HOURS_PER_MONTH * catalog.object_gb_month_usd
+        return ProjectCost(
+            provider=provider,
+            instance_usd=instance_usd,
+            floating_ip_usd=fip_usd,
+            block_storage_usd=block_usd,
+            object_storage_usd=object_usd,
+        )
+
+    # -- summary -----------------------------------------------------------------------
+
+    def lab_totals(self, rows: list[LabCostRow]) -> dict[str, float]:
+        """Totals row of Table 1."""
+        return {
+            "instance_hours": sum(r.instance_hours for r in rows),
+            "floating_ip_hours": sum(r.floating_ip_hours for r in rows),
+            "aws_cost": sum(r.aws_cost or 0.0 for r in rows),
+            "gcp_cost": sum(r.gcp_cost or 0.0 for r in rows),
+        }
+
+    def _catalog(self, provider: str) -> PricingCatalog:
+        try:
+            return self.catalogs[provider]
+        except KeyError:
+            raise ValidationError(f"unknown provider {provider!r}") from None
+
+
+def distribution_stats(costs: dict[str, float], expected: float) -> dict[str, float]:
+    """The Fig-2 statistics over a per-student cost mapping."""
+    if not costs:
+        raise ValidationError("no per-student costs")
+    arr = np.array(sorted(costs.values()))
+    return {
+        "n": float(arr.size),
+        "mean": float(arr.mean()),
+        "median": float(np.percentile(arr, 50)),
+        "p75": float(np.percentile(arr, 75)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+        "expected": float(expected),
+        "pct_exceeding_expected": float((arr > expected).mean() * 100.0),
+    }

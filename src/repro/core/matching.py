@@ -1,0 +1,73 @@
+"""Cheapest-equivalent instance matching.
+
+The paper's definition (§5): "an 'equivalent' resource was defined as the
+most cost-effective cloud instance that met the specific needs of each
+assignment."  :func:`cheapest_match` implements exactly that: filter the
+provider catalog by the assignment's :class:`RequirementSpec`, take the
+cheapest survivor.  The requirement travels with the *assignment*, not the
+Chameleon node type — which is why Table 1 maps two different Chameleon
+GPU nodes in the same assignment to the same cloud instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SchedulingError, ValidationError
+from repro.core.catalog import CloudInstance, PricingCatalog
+
+
+@dataclass(frozen=True)
+class RequirementSpec:
+    """What an assignment actually needs from an instance.
+
+    All bounds are minimums; ``needs_bf16`` requires NVIDIA compute
+    capability >= 8.0 (paper §3.4); ``dedicated_cores`` excludes
+    shared-core/burstable shapes (the Kubernetes cluster labs).
+    """
+
+    vcpus: int = 1
+    ram_gib: float = 1.0
+    gpus: int = 0
+    gpu_mem_gib: float = 0.0
+    needs_bf16: bool = False
+    min_compute_capability: float | None = None
+    dedicated_cores: bool = False
+
+    def __post_init__(self) -> None:
+        if self.vcpus < 1 or self.ram_gib <= 0 or self.gpus < 0 or self.gpu_mem_gib < 0:
+            raise ValidationError(f"invalid requirement: {self!r}")
+
+    def satisfied_by(self, inst: CloudInstance) -> bool:
+        if inst.vcpus < self.vcpus or inst.ram_gib < self.ram_gib:
+            return False
+        if self.dedicated_cores and inst.shared_core:
+            return False
+        if inst.gpus < self.gpus:
+            return False
+        if self.gpus > 0:
+            if inst.gpu_mem_gib < self.gpu_mem_gib:
+                return False
+            cc = inst.compute_capability
+            if self.needs_bf16 and (cc is None or cc < 8.0):
+                return False
+            if self.min_compute_capability is not None and (
+                cc is None or cc < self.min_compute_capability
+            ):
+                return False
+        return True
+
+
+def matches(spec: RequirementSpec, catalog: PricingCatalog) -> list[CloudInstance]:
+    """Every instance satisfying the spec, cheapest first."""
+    return [inst for inst in catalog if spec.satisfied_by(inst)]
+
+
+def cheapest_match(spec: RequirementSpec, catalog: PricingCatalog) -> CloudInstance:
+    """The paper's equivalence function; raises if nothing qualifies."""
+    candidates = matches(spec, catalog)
+    if not candidates:
+        raise SchedulingError(
+            f"no {catalog.provider} instance satisfies {spec!r}"
+        )
+    return candidates[0]  # catalog is price-sorted

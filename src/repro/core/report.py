@@ -1,0 +1,292 @@
+"""Report generators for the paper's tables and figures.
+
+Each function takes the simulated usage records (plus the course and cost
+model) and returns both structured data and a printable text rendering, so
+the benchmark harness can show paper-style output and tests can assert on
+numbers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.metering import UsageRecord
+from repro.common.tables import format_table
+from repro.core.costmodel import CostModel, LabCostRow, distribution_stats
+from repro.core.course import COURSE, CourseDefinition, LabKind
+from repro.core.usage import aggregate_by_assignment
+
+
+# -- Table 1 ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1:
+    rows: list[LabCostRow]
+    totals: dict[str, float]
+    enrollment: int
+
+    def render(self) -> str:
+        body = []
+        for r in self.rows:
+            body.append([
+                r.title,
+                r.resource_type,
+                round(r.instance_hours),
+                round(r.floating_ip_hours),
+                None if r.aws_cost is None else
+                f"${r.aws_cost:,.0f} (${r.aws_cost / self.enrollment:,.2f})",
+                None if r.gcp_cost is None else
+                f"${r.gcp_cost:,.0f} (${r.gcp_cost / self.enrollment:,.2f})",
+            ])
+        t = self.totals
+        body.append([
+            "Total", "",
+            round(t["instance_hours"]),
+            round(t["floating_ip_hours"]),
+            f"${t['aws_cost']:,.0f} (${t['aws_cost'] / self.enrollment:,.2f})",
+            f"${t['gcp_cost']:,.0f} (${t['gcp_cost'] / self.enrollment:,.2f})",
+        ])
+        return format_table(
+            ["Assignment", "Instance Type", "Instance Hours", "Floating IP Hours",
+             "AWS Cost", "GCP Cost"],
+            body,
+            title="Table 1: Usage and estimated cost overall (and per student) "
+                  "by lab assignment and Chameleon node type or VM flavor.",
+        )
+
+
+def table1(
+    records: list[UsageRecord],
+    *,
+    course: CourseDefinition = COURSE,
+    model: CostModel | None = None,
+) -> Table1:
+    model = model if model is not None else CostModel(course)
+    rows = model.lab_rows(records)
+    return Table1(rows=rows, totals=model.lab_totals(rows), enrollment=course.enrollment)
+
+
+# -- Figure 1 ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    lab_id: str
+    title: str
+    kind: str  # "vm" | "reserved" | "edge"
+    expected_hours_per_student: float
+    actual_hours_per_student: float
+
+    @property
+    def overshoot(self) -> float:
+        return self.actual_hours_per_student / self.expected_hours_per_student
+
+
+@dataclass(frozen=True)
+class Fig1:
+    vm_rows: list[Fig1Row]
+    reserved_rows: list[Fig1Row]
+
+    def render(self) -> str:
+        def table(rows: list[Fig1Row], name: str) -> str:
+            return format_table(
+                ["Lab", "Expected h/student", "Actual h/student", "Actual/Expected"],
+                [[r.title, r.expected_hours_per_student, r.actual_hours_per_student,
+                  r.overshoot] for r in rows],
+                title=name,
+                float_fmt=",.1f",
+            )
+
+        return (
+            table(self.vm_rows, "Fig 1(a): VM instances (no reservation, no auto-termination)")
+            + "\n\n"
+            + table(self.reserved_rows,
+                    "Fig 1(b): bare metal and edge (advance reservation, auto-terminated)")
+        )
+
+
+def fig1_duration_data(
+    records: list[UsageRecord], *, course: CourseDefinition = COURSE
+) -> Fig1:
+    """Expected vs actual per-student instance-hours, per assignment."""
+    usage = aggregate_by_assignment(records)
+    per_lab_hours: dict[str, float] = defaultdict(float)
+    for (lab_id, _rtype), row in usage.items():
+        per_lab_hours[lab_id] += row.instance_hours
+
+    vm_rows, reserved_rows = [], []
+    for lab in course.labs:
+        actual = per_lab_hours.get(lab.id, 0.0) / course.enrollment
+        row = Fig1Row(
+            lab_id=lab.id,
+            title=lab.title,
+            kind=lab.kind.value,
+            expected_hours_per_student=lab.expected_instance_hours,
+            actual_hours_per_student=actual,
+        )
+        (vm_rows if lab.kind is LabKind.VM else reserved_rows).append(row)
+    return Fig1(vm_rows=vm_rows, reserved_rows=reserved_rows)
+
+
+# -- Figure 2 -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig2:
+    aws: dict[str, float]
+    gcp: dict[str, float]
+    aws_stats: dict[str, float]
+    gcp_stats: dict[str, float]
+
+    def histogram(self, provider: str, *, bins: int = 20) -> tuple[np.ndarray, np.ndarray]:
+        costs = np.array(sorted((self.aws if provider == "aws" else self.gcp).values()))
+        return np.histogram(costs, bins=bins)
+
+    def render(self) -> str:
+        body = []
+        for name, stats in (("AWS", self.aws_stats), ("GCP", self.gcp_stats)):
+            body.append([
+                name, stats["mean"], stats["median"], stats["p95"], stats["max"],
+                stats["expected"], stats["pct_exceeding_expected"],
+            ])
+        return format_table(
+            ["Provider", "Mean $", "Median $", "p95 $", "Max $",
+             "Expected $", "% exceeding expected"],
+            body,
+            title="Fig 2: Distribution of estimated per-student lab cost on commercial clouds.",
+        )
+
+
+def fig2_cost_distribution(
+    records: list[UsageRecord],
+    *,
+    course: CourseDefinition = COURSE,
+    model: CostModel | None = None,
+) -> Fig2:
+    model = model if model is not None else CostModel(course)
+    aws = model.per_student_costs(records, "aws")
+    gcp = model.per_student_costs(records, "gcp")
+    return Fig2(
+        aws=aws,
+        gcp=gcp,
+        aws_stats=distribution_stats(aws, model.expected_cost_per_student("aws")),
+        gcp_stats=distribution_stats(gcp, model.expected_cost_per_student("gcp")),
+    )
+
+
+# -- Figure 3 + §5 project numbers -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig3:
+    vm_hours_by_flavor: dict[str, float]
+    gpu_hours_by_type: dict[str, float]
+    baremetal_cpu_hours: float
+    edge_hours: float
+    block_storage_gb_peak: float
+    object_storage_gb_peak: float
+    aws_total_usd: float
+    gcp_total_usd: float
+    enrollment: int
+
+    @property
+    def vm_hours_total(self) -> float:
+        return sum(self.vm_hours_by_flavor.values())
+
+    @property
+    def gpu_hours_total(self) -> float:
+        return sum(self.gpu_hours_by_type.values())
+
+    def render(self) -> str:
+        rows = [["VM (non-GPU): " + f, "", h] for f, h in sorted(self.vm_hours_by_flavor.items())]
+        rows += [["GPU: " + t, "", h] for t, h in sorted(self.gpu_hours_by_type.items())]
+        rows += [
+            ["Bare metal (non-GPU)", "", self.baremetal_cpu_hours],
+            ["Edge devices", "", self.edge_hours],
+            ["Block storage (peak GB)", "", self.block_storage_gb_peak],
+            ["Object storage (peak GB)", "", self.object_storage_gb_peak],
+            ["AWS cost", f"(${self.aws_total_usd / self.enrollment:,.0f}/student)", self.aws_total_usd],
+            ["GCP cost", f"(${self.gcp_total_usd / self.enrollment:,.0f}/student)", self.gcp_total_usd],
+        ]
+        return format_table(
+            ["Project usage", "", "Hours / GB / $"],
+            rows,
+            title="Fig 3 + §5: project usage by instance type, storage, and cost.",
+            float_fmt=",.0f",
+        )
+
+
+def fig3_project_usage(
+    records: list[UsageRecord],
+    *,
+    course: CourseDefinition = COURSE,
+    model: CostModel | None = None,
+) -> Fig3:
+    model = model if model is not None else CostModel(course)
+    vm: dict[str, float] = defaultdict(float)
+    gpu: dict[str, float] = defaultdict(float)
+    bm_cpu = 0.0
+    edge = 0.0
+    block_gb = 0.0
+    object_gb = 0.0
+    gpu_types = {"compute_gigaio", "compute_liqid", "compute_liqid_2", "gpu_mi100",
+                 "gpu_p100", "gpu_a100_pcie", "gpu_v100"}
+    for rec in records:
+        if rec.lab != "project":
+            continue
+        if rec.kind == "server":
+            vm[rec.resource_type] += rec.unit_hours
+        elif rec.kind == "baremetal":
+            if rec.resource_type in gpu_types:
+                gpu[rec.resource_type] += rec.unit_hours
+            else:
+                bm_cpu += rec.unit_hours
+        elif rec.kind == "edge":
+            edge += rec.unit_hours
+        elif rec.kind == "volume":
+            block_gb += rec.quantity
+        elif rec.kind == "object_storage":
+            object_gb += rec.quantity
+    return Fig3(
+        vm_hours_by_flavor=dict(vm),
+        gpu_hours_by_type=dict(gpu),
+        baremetal_cpu_hours=bm_cpu,
+        edge_hours=edge,
+        block_storage_gb_peak=block_gb,
+        object_storage_gb_peak=object_gb,
+        aws_total_usd=model.project_cost(records, "aws").total_usd,
+        gcp_total_usd=model.project_cost(records, "gcp").total_usd,
+        enrollment=course.enrollment,
+    )
+
+
+# -- §5/§6 headline numbers --------------------------------------------------------------
+
+
+def headline_summary(records: list[UsageRecord], *, course: CourseDefinition = COURSE) -> dict[str, float]:
+    """The paper's headline statistics (abstract + §6)."""
+    model = CostModel(course)
+    t1 = table1(records, course=course, model=model)
+    f3 = fig3_project_usage(records, course=course, model=model)
+    lab_hours = t1.totals["instance_hours"]
+    project_hours = (
+        f3.vm_hours_total + f3.gpu_hours_total + f3.baremetal_cpu_hours + f3.edge_hours
+    )
+    n = course.enrollment
+    return {
+        "lab_instance_hours": lab_hours,
+        "project_instance_hours": project_hours,
+        "total_instance_hours": lab_hours + project_hours,
+        "aws_lab_per_student": t1.totals["aws_cost"] / n,
+        "gcp_lab_per_student": t1.totals["gcp_cost"] / n,
+        "aws_project_per_student": f3.aws_total_usd / n,
+        "gcp_project_per_student": f3.gcp_total_usd / n,
+        "aws_total_per_student": (t1.totals["aws_cost"] + f3.aws_total_usd) / n,
+        "gcp_total_per_student": (t1.totals["gcp_cost"] + f3.gcp_total_usd) / n,
+        "aws_course_total": t1.totals["aws_cost"] + f3.aws_total_usd,
+        "gcp_course_total": t1.totals["gcp_cost"] + f3.gcp_total_usd,
+    }

@@ -1,0 +1,36 @@
+"""Data systems for ML pipelines.
+
+Unit 8 of the course (paper §3.8) introduces the storage systems of an ML
+pipeline — relational stores, ETL for batch data, the broker–producer–
+consumer model for streams, and feature stores unifying both.  (Block and
+object storage live with the cloud simulator in
+:mod:`repro.cloud.storage`, where the lab provisions them.)
+
+* :mod:`repro.datasys.relational` — a tiny typed relational store with
+  filtering and aggregation.
+* :mod:`repro.datasys.etl` — extract/transform/load pipelines with
+  per-record error routing and retries.
+* :mod:`repro.datasys.streaming` — topics, partitions, consumer groups,
+  committed offsets.
+* :mod:`repro.datasys.feature_store` — batch + stream materialisation
+  with point-in-time-correct training-set assembly.
+"""
+
+from repro.datasys.etl import EtlPipeline, EtlReport
+from repro.datasys.lake import DataLake, LakehouseTable
+from repro.datasys.feature_store import FeatureStore, FeatureView
+from repro.datasys.relational import Table
+from repro.datasys.streaming import Broker, Consumer, Producer
+
+__all__ = [
+    "Table",
+    "DataLake",
+    "LakehouseTable",
+    "EtlPipeline",
+    "EtlReport",
+    "Broker",
+    "Producer",
+    "Consumer",
+    "FeatureStore",
+    "FeatureView",
+]

@@ -1,0 +1,113 @@
+"""Batch ETL pipelines.
+
+The Unit 8 lecture covers "ETL (extract, transform, load) pipelines for
+batch data" (paper §3.8).  An :class:`EtlPipeline` chains an extractor, a
+list of transforms, and a loader; per-record failures are routed to a
+dead-letter queue rather than aborting the batch, and transient extractor
+failures retry — the operational behaviours that distinguish a pipeline
+from a script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    record: Any
+    stage: str
+    error: str
+
+
+@dataclass
+class EtlReport:
+    """What one pipeline run did."""
+
+    extracted: int = 0
+    loaded: int = 0
+    filtered: int = 0
+    dead_letters: list[DeadLetter] = field(default_factory=list)
+    extract_attempts: int = 0
+
+    @property
+    def failed(self) -> int:
+        return len(self.dead_letters)
+
+
+class EtlPipeline:
+    """extract -> transform* -> load with per-record error routing.
+
+    Transforms return a transformed record, or ``None`` to filter the
+    record out.  A transform raising routes the record to the dead-letter
+    queue with stage/error context.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        extract: Callable[[], Iterable[Any]],
+        transforms: list[tuple[str, Callable[[Any], Any]]] | None = None,
+        load: Callable[[Any], None],
+        extract_retries: int = 2,
+    ) -> None:
+        if extract_retries < 0:
+            raise ValidationError("extract retries cannot be negative")
+        self.name = name
+        self.extract = extract
+        self.transforms = list(transforms or [])
+        self.load = load
+        self.extract_retries = extract_retries
+
+    def add_transform(self, name: str, fn: Callable[[Any], Any]) -> "EtlPipeline":
+        self.transforms.append((name, fn))
+        return self
+
+    def run(self) -> EtlReport:
+        report = EtlReport()
+        records = self._extract_with_retries(report)
+        for record in records:
+            report.extracted += 1
+            current = record
+            dead = False
+            for stage, fn in self.transforms:
+                try:
+                    current = fn(current)
+                except Exception as exc:  # noqa: BLE001 - route to DLQ
+                    report.dead_letters.append(
+                        DeadLetter(record, stage, f"{type(exc).__name__}: {exc}")
+                    )
+                    dead = True
+                    break
+                if current is None:
+                    report.filtered += 1
+                    dead = True
+                    break
+            if dead:
+                continue
+            try:
+                self.load(current)
+            except Exception as exc:  # noqa: BLE001
+                report.dead_letters.append(
+                    DeadLetter(record, "load", f"{type(exc).__name__}: {exc}")
+                )
+                continue
+            report.loaded += 1
+        return report
+
+    def _extract_with_retries(self, report: EtlReport) -> list[Any]:
+        last: Exception | None = None
+        for _attempt in range(self.extract_retries + 1):
+            report.extract_attempts += 1
+            try:
+                return list(self.extract())
+            except Exception as exc:  # noqa: BLE001 - retried
+                last = exc
+        raise ValidationError(
+            f"pipeline {self.name!r} extract failed after "
+            f"{self.extract_retries + 1} attempts: {last}"
+        )

@@ -1,0 +1,130 @@
+"""A feature store unifying batch and streaming sources.
+
+The Unit 8 lecture introduces feature stores "as infrastructure that
+unifies batch and streaming sources for use in ML training and inference"
+(paper §3.8).  The two classic access paths:
+
+* the **online store** serves the *latest* feature vector per entity for
+  inference (materialised from batch loads and stream updates), and
+* the **offline store** keeps full feature history and assembles
+  **point-in-time-correct training sets**: for each labelled event, the
+  feature values *as of* the event timestamp — never future values (the
+  label-leakage bug the lecture warns about).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import NotFoundError, ValidationError
+
+
+@dataclass(frozen=True)
+class FeatureView:
+    """A named group of features keyed by one entity."""
+
+    name: str
+    entity: str  # e.g. "user_id"
+    features: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.features:
+            raise ValidationError(f"feature view {self.name!r} has no features")
+
+
+class FeatureStore:
+    """Timestamped feature storage with online/offline access paths."""
+
+    def __init__(self) -> None:
+        self._views: dict[str, FeatureView] = {}
+        # (view, entity_key, feature) -> sorted [(ts, value)]
+        self._history: dict[tuple[str, Any, str], list[tuple[float, Any]]] = {}
+
+    def register_view(self, view: FeatureView) -> FeatureView:
+        self._views[view.name] = view
+        return view
+
+    def _view(self, name: str) -> FeatureView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise NotFoundError(f"feature view {name!r} not registered") from None
+
+    # -- writes -------------------------------------------------------------
+
+    def write(
+        self, view_name: str, entity_key: Any, values: dict[str, Any], *, timestamp: float
+    ) -> None:
+        """Write feature values observed at ``timestamp`` (batch or stream)."""
+        view = self._view(view_name)
+        unknown = set(values) - set(view.features)
+        if unknown:
+            raise ValidationError(f"unknown features {sorted(unknown)} for view {view_name!r}")
+        for feature, value in values.items():
+            series = self._history.setdefault((view_name, entity_key, feature), [])
+            if series and timestamp < series[-1][0]:
+                # out-of-order write: insert in order (streams can be late)
+                idx = bisect_right([t for t, _ in series], timestamp)
+                series.insert(idx, (timestamp, value))
+            else:
+                series.append((timestamp, value))
+
+    def ingest_batch(
+        self, view_name: str, rows: list[dict[str, Any]], *, timestamp: float
+    ) -> int:
+        """Materialise a batch (e.g. an ETL output) at one load timestamp."""
+        view = self._view(view_name)
+        for row in rows:
+            if view.entity not in row:
+                raise ValidationError(f"row missing entity column {view.entity!r}")
+            values = {k: v for k, v in row.items() if k in view.features}
+            self.write(view_name, row[view.entity], values, timestamp=timestamp)
+        return len(rows)
+
+    # -- online path ---------------------------------------------------------
+
+    def get_online(self, view_name: str, entity_key: Any) -> dict[str, Any]:
+        """Latest value of every feature for the entity (inference path)."""
+        view = self._view(view_name)
+        out: dict[str, Any] = {}
+        for feature in view.features:
+            series = self._history.get((view_name, entity_key, feature))
+            if series:
+                out[feature] = series[-1][1]
+        if not out:
+            raise NotFoundError(
+                f"no features for entity {entity_key!r} in view {view_name!r}"
+            )
+        return out
+
+    # -- offline path -----------------------------------------------------------
+
+    def get_as_of(self, view_name: str, entity_key: Any, *, timestamp: float) -> dict[str, Any]:
+        """Feature values as of ``timestamp`` (no future leakage)."""
+        view = self._view(view_name)
+        out: dict[str, Any] = {}
+        for feature in view.features:
+            series = self._history.get((view_name, entity_key, feature), [])
+            times = [t for t, _ in series]
+            idx = bisect_right(times, timestamp)
+            if idx > 0:
+                out[feature] = series[idx - 1][1]
+        return out
+
+    def training_set(
+        self, view_name: str, events: list[tuple[Any, float, Any]]
+    ) -> list[tuple[dict[str, Any], Any]]:
+        """Point-in-time-correct (features, label) pairs.
+
+        ``events`` are (entity_key, event_timestamp, label).  Events whose
+        entity has no features yet at the event time are dropped (they
+        would otherwise leak post-event values).
+        """
+        out = []
+        for entity_key, ts, label in events:
+            feats = self.get_as_of(view_name, entity_key, timestamp=ts)
+            if feats:
+                out.append((feats, label))
+        return out

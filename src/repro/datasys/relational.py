@@ -1,0 +1,137 @@
+"""A minimal typed relational store.
+
+Enough of a relational database for the course's pipelines: typed columns,
+primary keys, insert/upsert, predicate filtering, grouped aggregation, and
+simple joins.  The GourmetGram app keeps its prediction log here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.common.errors import ConflictError, NotFoundError, ValidationError
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    dtype: type
+
+
+class Table:
+    """A typed table with an optional primary key."""
+
+    def __init__(self, name: str, schema: dict[str, type], *, primary_key: str | None = None) -> None:
+        if not schema:
+            raise ValidationError("schema cannot be empty")
+        if primary_key is not None and primary_key not in schema:
+            raise ValidationError(f"primary key {primary_key!r} not in schema")
+        self.name = name
+        self.schema = dict(schema)
+        self.primary_key = primary_key
+        self._rows: list[dict[str, Any]] = []
+        self._pk_index: dict[Any, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def _check(self, row: dict[str, Any]) -> dict[str, Any]:
+        unknown = set(row) - set(self.schema)
+        if unknown:
+            raise ValidationError(f"unknown columns {sorted(unknown)} for table {self.name!r}")
+        missing = set(self.schema) - set(row)
+        if missing:
+            raise ValidationError(f"missing columns {sorted(missing)} for table {self.name!r}")
+        for col, dtype in self.schema.items():
+            value = row[col]
+            if value is not None and not isinstance(value, dtype):
+                raise ValidationError(
+                    f"column {col!r} expects {dtype.__name__}, got {type(value).__name__}"
+                )
+        return dict(row)
+
+    def insert(self, row: dict[str, Any]) -> None:
+        row = self._check(row)
+        if self.primary_key is not None:
+            key = row[self.primary_key]
+            if key in self._pk_index:
+                raise ConflictError(f"duplicate key {key!r} in table {self.name!r}")
+            self._pk_index[key] = len(self._rows)
+        self._rows.append(row)
+
+    def upsert(self, row: dict[str, Any]) -> bool:
+        """Insert or replace by primary key; returns True if replaced."""
+        if self.primary_key is None:
+            raise ValidationError(f"table {self.name!r} has no primary key")
+        row = self._check(row)
+        key = row[self.primary_key]
+        if key in self._pk_index:
+            self._rows[self._pk_index[key]] = row
+            return True
+        self._pk_index[key] = len(self._rows)
+        self._rows.append(row)
+        return False
+
+    def get(self, key: Any) -> dict[str, Any]:
+        if self.primary_key is None:
+            raise ValidationError(f"table {self.name!r} has no primary key")
+        try:
+            return dict(self._rows[self._pk_index[key]])
+        except KeyError:
+            raise NotFoundError(f"no row with key {key!r} in {self.name!r}") from None
+
+    def select(
+        self,
+        where: Callable[[dict[str, Any]], bool] | None = None,
+        *,
+        columns: Iterable[str] | None = None,
+        order_by: str | None = None,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        rows = [dict(r) for r in self._rows if where is None or where(r)]
+        if order_by is not None:
+            if order_by not in self.schema:
+                raise ValidationError(f"unknown order_by column {order_by!r}")
+            rows.sort(key=lambda r: r[order_by])
+        if columns is not None:
+            cols = list(columns)
+            for c in cols:
+                if c not in self.schema:
+                    raise ValidationError(f"unknown column {c!r}")
+            rows = [{c: r[c] for c in cols} for r in rows]
+        return rows[:limit] if limit is not None else rows
+
+    def aggregate(
+        self,
+        group_by: str,
+        column: str,
+        fn: Callable[[list[Any]], Any],
+        *,
+        where: Callable[[dict[str, Any]], bool] | None = None,
+    ) -> dict[Any, Any]:
+        """``fn`` over ``column`` grouped by ``group_by``."""
+        for c in (group_by, column):
+            if c not in self.schema:
+                raise ValidationError(f"unknown column {c!r}")
+        groups: dict[Any, list[Any]] = {}
+        for r in self._rows:
+            if where is not None and not where(r):
+                continue
+            groups.setdefault(r[group_by], []).append(r[column])
+        return {k: fn(v) for k, v in groups.items()}
+
+    def join(self, other: "Table", *, on: str) -> list[dict[str, Any]]:
+        """Inner equi-join on a shared column (hash join)."""
+        if on not in self.schema or on not in other.schema:
+            raise ValidationError(f"join column {on!r} missing from a side")
+        index: dict[Any, list[dict[str, Any]]] = {}
+        for r in other._rows:
+            index.setdefault(r[on], []).append(r)
+        out = []
+        for left in self._rows:
+            for right in index.get(left[on], []):
+                merged = dict(right)
+                merged.update(left)
+                out.append(merged)
+        return out

@@ -1,0 +1,122 @@
+"""The broker–producer–consumer streaming model.
+
+Kafka-shaped semantics, as the Unit 8 lecture presents them (paper §3.8):
+topics split into partitions; producers append (key-hashed or round-robin);
+consumer groups share partitions and commit offsets, so a restarted
+consumer resumes where its group left off and independent groups each see
+the full stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import ConflictError, NotFoundError, ValidationError
+
+
+@dataclass(frozen=True)
+class Message:
+    topic: str
+    partition: int
+    offset: int
+    key: str | None
+    value: Any
+
+
+class Broker:
+    """Topics, partitions, and committed consumer-group offsets."""
+
+    def __init__(self) -> None:
+        self._topics: dict[str, list[list[Message]]] = {}
+        # committed offsets: (group, topic, partition) -> next offset to read
+        self._offsets: dict[tuple[str, str, int], int] = {}
+
+    def create_topic(self, name: str, *, partitions: int = 3) -> None:
+        if partitions <= 0:
+            raise ValidationError(f"partitions must be positive: {partitions!r}")
+        if name in self._topics:
+            raise ConflictError(f"topic {name!r} already exists")
+        self._topics[name] = [[] for _ in range(partitions)]
+
+    def topic_partitions(self, name: str) -> int:
+        return len(self._topic(name))
+
+    def append(self, topic: str, value: Any, *, key: str | None = None) -> Message:
+        parts = self._topic(topic)
+        if key is not None:
+            idx = int(hashlib.md5(key.encode()).hexdigest(), 16) % len(parts)
+        else:
+            idx = sum(len(p) for p in parts) % len(parts)  # round-robin-ish
+        msg = Message(topic=topic, partition=idx, offset=len(parts[idx]), key=key, value=value)
+        parts[idx].append(msg)
+        return msg
+
+    def poll(
+        self, group: str, topic: str, *, max_messages: int = 100
+    ) -> list[Message]:
+        """Read uncommitted messages for ``group`` across all partitions."""
+        parts = self._topic(topic)
+        out: list[Message] = []
+        for p_idx, part in enumerate(parts):
+            start = self._offsets.get((group, topic, p_idx), 0)
+            take = part[start: start + max(0, max_messages - len(out))]
+            out.extend(take)
+            if len(out) >= max_messages:
+                break
+        return out
+
+    def commit(self, group: str, messages: list[Message]) -> None:
+        """Commit through the given messages (at-least-once semantics)."""
+        for msg in messages:
+            key = (group, msg.topic, msg.partition)
+            self._offsets[key] = max(self._offsets.get(key, 0), msg.offset + 1)
+
+    def lag(self, group: str, topic: str) -> int:
+        """Total uncommitted messages for a group."""
+        parts = self._topic(topic)
+        return sum(
+            len(part) - self._offsets.get((group, topic, i), 0)
+            for i, part in enumerate(parts)
+        )
+
+    def _topic(self, name: str) -> list[list[Message]]:
+        try:
+            return self._topics[name]
+        except KeyError:
+            raise NotFoundError(f"topic {name!r} not found") from None
+
+
+class Producer:
+    """Thin producer handle bound to one broker."""
+
+    def __init__(self, broker: Broker) -> None:
+        self.broker = broker
+
+    def send(self, topic: str, value: Any, *, key: str | None = None) -> Message:
+        return self.broker.append(topic, value, key=key)
+
+
+class Consumer:
+    """A consumer in a group; poll/process/commit loop."""
+
+    def __init__(self, broker: Broker, group: str) -> None:
+        self.broker = broker
+        self.group = group
+
+    def poll(self, topic: str, *, max_messages: int = 100) -> list[Message]:
+        return self.broker.poll(self.group, topic, max_messages=max_messages)
+
+    def commit(self, messages: list[Message]) -> None:
+        self.broker.commit(self.group, messages)
+
+    def consume_all(self, topic: str, *, batch: int = 100) -> list[Message]:
+        """Drain the topic, committing after each batch."""
+        out: list[Message] = []
+        while True:
+            msgs = self.poll(topic, max_messages=batch)
+            if not msgs:
+                return out
+            out.extend(msgs)
+            self.commit(msgs)

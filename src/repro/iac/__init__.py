@@ -1,0 +1,45 @@
+"""Infrastructure-as-Code and Configuration-as-Code engines.
+
+Unit 3 of the course (paper §3.3) replaces "ClickOps" with declarative
+tooling: Terraform provisions the infrastructure, Ansible configures it.
+This package provides functional equivalents operating on the simulated
+testbed:
+
+* :mod:`repro.iac.config` — declarative resource definitions with
+  ``${type.name.attr}`` interpolation (implicit dependencies).
+* :mod:`repro.iac.graph` — the resource dependency DAG (networkx).
+* :mod:`repro.iac.state` — the state file mapping addresses to live ids.
+* :mod:`repro.iac.plan` — plan / apply / destroy with create-update-delete
+  diffing against state, applied in topological order.
+* :mod:`repro.iac.provider` — the OpenStack-like provider binding resource
+  types to :class:`repro.cloud.site.Site` operations.
+* :mod:`repro.iac.ansible` — playbooks, idempotent modules, handlers.
+"""
+
+from repro.iac.ansible import Host, Play, Playbook, PlaybookRunner, Task
+from repro.iac.config import Config, ResourceConfig
+from repro.iac.graph import dependency_graph, execution_order
+from repro.iac.plan import Action, Plan, PlanStep, plan as make_plan, apply as apply_plan, destroy
+from repro.iac.provider import OpenStackProvider
+from repro.iac.state import State, StateEntry
+
+__all__ = [
+    "Config",
+    "ResourceConfig",
+    "dependency_graph",
+    "execution_order",
+    "State",
+    "StateEntry",
+    "Action",
+    "Plan",
+    "PlanStep",
+    "make_plan",
+    "apply_plan",
+    "destroy",
+    "OpenStackProvider",
+    "Playbook",
+    "Play",
+    "Task",
+    "Host",
+    "PlaybookRunner",
+]

@@ -1,0 +1,198 @@
+"""Ansible-like Configuration-as-Code.
+
+Unit 3 uses Ansible to "install Kubernetes and supporting tools" after
+Terraform provisions the VMs (paper §3.3).  This module models the parts
+that matter for the course's learning objective — **idempotence** and
+**handlers** — over simulated hosts:
+
+* a :class:`Host` holds desired-state facts: installed packages, service
+  states, file contents, sysctl-ish settings;
+* a :class:`Task` invokes a module (``package``, ``service``, ``copy``,
+  ``lineinfile``, ``command``, ``set_fact``); modules report ``changed``
+  honestly, so replaying a playbook converges to zero changes;
+* handlers run once at the end of a play if notified by a changed task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.errors import NotFoundError, ValidationError
+
+
+@dataclass
+class Host:
+    """A configurable machine (in practice, a simulated VM)."""
+
+    name: str
+    facts: dict[str, Any] = field(default_factory=dict)
+    packages: set[str] = field(default_factory=set)
+    services: dict[str, str] = field(default_factory=dict)  # name -> "running"|"stopped"
+    files: dict[str, str] = field(default_factory=dict)  # path -> contents
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    host: str
+    task: str
+    changed: bool
+    failed: bool = False
+    msg: str = ""
+
+
+@dataclass(frozen=True)
+class Task:
+    """One module invocation."""
+
+    name: str
+    module: str
+    args: dict[str, Any] = field(default_factory=dict)
+    notify: tuple[str, ...] = ()
+    when: Callable[[Host], bool] | None = None
+
+
+@dataclass(frozen=True)
+class Play:
+    """Tasks applied to a set of hosts, with handlers."""
+
+    name: str
+    hosts: tuple[str, ...]
+    tasks: tuple[Task, ...]
+    handlers: tuple[Task, ...] = ()
+
+
+@dataclass(frozen=True)
+class Playbook:
+    name: str
+    plays: tuple[Play, ...]
+
+
+class PlaybookRunner:
+    """Execute playbooks against an inventory of :class:`Host` objects."""
+
+    def __init__(self, inventory: dict[str, Host]) -> None:
+        self.inventory = dict(inventory)
+        self._modules: dict[str, Callable[[Host, dict[str, Any]], TaskResult]] = {
+            "package": self._mod_package,
+            "service": self._mod_service,
+            "copy": self._mod_copy,
+            "lineinfile": self._mod_lineinfile,
+            "command": self._mod_command,
+            "set_fact": self._mod_set_fact,
+        }
+
+    def register_module(
+        self, name: str, fn: Callable[[Host, dict[str, Any]], TaskResult]
+    ) -> None:
+        """Register a custom module (e.g. the Kubespray-like installer)."""
+        self._modules[name] = fn
+
+    def run(self, playbook: Playbook) -> list[TaskResult]:
+        """Run every play; returns per-(host, task) results in order."""
+        results: list[TaskResult] = []
+        for play in playbook.plays:
+            notified: list[str] = []
+            for host_name in play.hosts:
+                host = self._host(host_name)
+                for task in play.tasks:
+                    if task.when is not None and not task.when(host):
+                        continue
+                    result = self._run_task(host, task)
+                    results.append(result)
+                    if result.failed:
+                        raise ValidationError(
+                            f"task {task.name!r} failed on {host.name}: {result.msg}"
+                        )
+                    if result.changed:
+                        for h in task.notify:
+                            if h not in notified:
+                                notified.append(h)
+            # handlers run once per play, after all tasks, in declaration order
+            handler_map = {h.name: h for h in play.handlers}
+            for handler_name in notified:
+                handler = handler_map.get(handler_name)
+                if handler is None:
+                    raise NotFoundError(f"notified handler {handler_name!r} not defined")
+                for host_name in play.hosts:
+                    results.append(self._run_task(self._host(host_name), handler))
+        return results
+
+    def _run_task(self, host: Host, task: Task) -> TaskResult:
+        module = self._modules.get(task.module)
+        if module is None:
+            raise ValidationError(f"unknown module {task.module!r}")
+        result = module(host, task.args)
+        return TaskResult(host=host.name, task=task.name, changed=result.changed, failed=result.failed, msg=result.msg)
+
+    def _host(self, name: str) -> Host:
+        try:
+            return self.inventory[name]
+        except KeyError:
+            raise NotFoundError(f"host {name!r} not in inventory") from None
+
+    # -- built-in modules (each returns changed honestly) --------------------
+
+    @staticmethod
+    def _mod_package(host: Host, args: dict[str, Any]) -> TaskResult:
+        name = args["name"]
+        state = args.get("state", "present")
+        if state == "present":
+            changed = name not in host.packages
+            host.packages.add(name)
+        elif state == "absent":
+            changed = name in host.packages
+            host.packages.discard(name)
+        else:
+            return TaskResult(host.name, "package", False, failed=True, msg=f"bad state {state!r}")
+        return TaskResult(host.name, "package", changed)
+
+    @staticmethod
+    def _mod_service(host: Host, args: dict[str, Any]) -> TaskResult:
+        name = args["name"]
+        state = args.get("state", "running")
+        if state not in ("running", "stopped", "restarted"):
+            return TaskResult(host.name, "service", False, failed=True, msg=f"bad state {state!r}")
+        if state == "restarted":
+            host.services[name] = "running"
+            return TaskResult(host.name, "service", True)  # restart always changes
+        changed = host.services.get(name) != state
+        host.services[name] = state
+        return TaskResult(host.name, "service", changed)
+
+    @staticmethod
+    def _mod_copy(host: Host, args: dict[str, Any]) -> TaskResult:
+        dest, content = args["dest"], args["content"]
+        changed = host.files.get(dest) != content
+        host.files[dest] = content
+        return TaskResult(host.name, "copy", changed)
+
+    @staticmethod
+    def _mod_lineinfile(host: Host, args: dict[str, Any]) -> TaskResult:
+        path, line = args["path"], args["line"]
+        current = host.files.get(path, "")
+        lines = current.splitlines()
+        if line in lines:
+            return TaskResult(host.name, "lineinfile", False)
+        lines.append(line)
+        host.files[path] = "\n".join(lines)
+        return TaskResult(host.name, "lineinfile", True)
+
+    @staticmethod
+    def _mod_command(host: Host, args: dict[str, Any]) -> TaskResult:
+        # commands are never idempotent unless guarded by `creates`
+        creates = args.get("creates")
+        if creates is not None and creates in host.files:
+            return TaskResult(host.name, "command", False)
+        if creates is not None:
+            host.files[creates] = f"# created by: {args.get('cmd', '')}"
+        return TaskResult(host.name, "command", True)
+
+    @staticmethod
+    def _mod_set_fact(host: Host, args: dict[str, Any]) -> TaskResult:
+        changed = False
+        for k, v in args.items():
+            if host.facts.get(k) != v:
+                changed = True
+            host.facts[k] = v
+        return TaskResult(host.name, "set_fact", changed)

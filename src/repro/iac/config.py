@@ -1,0 +1,155 @@
+"""Declarative resource configuration.
+
+A :class:`Config` is a set of :class:`ResourceConfig` blocks, each addressed
+as ``"<type>.<name>"`` (Terraform style).  Argument values may reference
+attributes of other resources with ``${type.name.attr}``; such references
+create *implicit dependencies* that the planner honours, exactly like
+Terraform's interpolation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.common.errors import ConflictError, ValidationError
+
+_REF_RE = re.compile(r"\$\{([a-zA-Z0-9_]+)\.([a-zA-Z0-9_-]+)\.([a-zA-Z0-9_]+)\}")
+_ADDRESS_RE = re.compile(r"^[a-zA-Z0-9_]+\.[a-zA-Z0-9_-]+$")
+
+
+def find_references(value: Any) -> list[tuple[str, str, str]]:
+    """Extract every ``${type.name.attr}`` reference inside ``value``.
+
+    Strings, and the values of (possibly nested) lists/dicts, are scanned.
+    """
+    refs: list[tuple[str, str, str]] = []
+    if isinstance(value, str):
+        refs.extend((m.group(1), m.group(2), m.group(3)) for m in _REF_RE.finditer(value))
+    elif isinstance(value, dict):
+        for v in value.values():
+            refs.extend(find_references(v))
+    elif isinstance(value, (list, tuple)):
+        for v in value:
+            refs.extend(find_references(v))
+    return refs
+
+
+def interpolate(value: Any, resolve: "dict[str, dict[str, Any]]") -> Any:
+    """Replace references in ``value`` using ``resolve[address][attr]``.
+
+    A string that is *exactly* one reference resolves to the raw attribute
+    value (preserving non-string types); embedded references are stringified.
+    """
+    if isinstance(value, str):
+        whole = _REF_RE.fullmatch(value)
+        if whole:
+            address = f"{whole.group(1)}.{whole.group(2)}"
+            return _lookup(resolve, address, whole.group(3))
+
+        def _sub(m: re.Match) -> str:
+            address = f"{m.group(1)}.{m.group(2)}"
+            return str(_lookup(resolve, address, m.group(3)))
+
+        return _REF_RE.sub(_sub, value)
+    if isinstance(value, dict):
+        return {k: interpolate(v, resolve) for k, v in value.items()}
+    if isinstance(value, list):
+        return [interpolate(v, resolve) for v in value]
+    if isinstance(value, tuple):
+        return tuple(interpolate(v, resolve) for v in value)
+    return value
+
+
+def _lookup(resolve: dict[str, dict[str, Any]], address: str, attr: str) -> Any:
+    try:
+        attrs = resolve[address]
+    except KeyError:
+        raise ValidationError(f"reference to unknown resource {address!r}") from None
+    try:
+        return attrs[attr]
+    except KeyError:
+        raise ValidationError(f"resource {address!r} has no attribute {attr!r}") from None
+
+
+@dataclass(frozen=True)
+class ResourceConfig:
+    """One declared resource block."""
+
+    type: str
+    name: str
+    args: dict[str, Any] = field(default_factory=dict)
+    depends_on: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(r"[a-zA-Z0-9_]+", self.type):
+            raise ValidationError(f"invalid resource type {self.type!r}")
+        if not re.fullmatch(r"[a-zA-Z0-9_-]+", self.name):
+            raise ValidationError(f"invalid resource name {self.name!r}")
+        for dep in self.depends_on:
+            if not _ADDRESS_RE.fullmatch(dep):
+                raise ValidationError(f"invalid depends_on address {dep!r}")
+
+    @property
+    def address(self) -> str:
+        return f"{self.type}.{self.name}"
+
+    def dependencies(self) -> set[str]:
+        """Explicit ``depends_on`` plus implicit interpolation references."""
+        deps = set(self.depends_on)
+        for rtype, rname, _attr in find_references(self.args):
+            deps.add(f"{rtype}.{rname}")
+        return deps
+
+
+class Config:
+    """An ordered collection of resource blocks with unique addresses."""
+
+    def __init__(self, resources: list[ResourceConfig] | None = None) -> None:
+        self._resources: dict[str, ResourceConfig] = {}
+        for r in resources or []:
+            self.add(r)
+
+    def add(self, resource: ResourceConfig) -> ResourceConfig:
+        if resource.address in self._resources:
+            raise ConflictError(f"duplicate resource {resource.address!r}")
+        self._resources[resource.address] = resource
+        return resource
+
+    def resource(self, rtype: str, rname: str, /, **args: Any) -> ResourceConfig:
+        """Declare a resource (builder-style convenience).
+
+        The first two positional-only parameters are the resource type and
+        name; keyword arguments become the resource's ``args`` (so an arg
+        literally called ``name`` is fine, as in ``os_server`` blocks).
+        """
+        depends_on = tuple(args.pop("depends_on", ()))
+        return self.add(ResourceConfig(type=rtype, name=rname, args=args, depends_on=depends_on))
+
+    def get(self, address: str) -> ResourceConfig:
+        try:
+            return self._resources[address]
+        except KeyError:
+            raise ValidationError(f"no resource {address!r} in config") from None
+
+    def addresses(self) -> list[str]:
+        return list(self._resources)
+
+    def __iter__(self) -> Iterator[ResourceConfig]:
+        return iter(self._resources.values())
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._resources
+
+    def validate(self) -> None:
+        """Check that every dependency address exists in the config."""
+        for r in self:
+            for dep in r.dependencies():
+                if dep not in self._resources:
+                    raise ValidationError(
+                        f"resource {r.address!r} depends on unknown {dep!r}"
+                    )

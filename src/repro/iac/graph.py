@@ -1,0 +1,39 @@
+"""Resource dependency graph.
+
+Built with :mod:`networkx` so cycle detection and topological ordering use
+battle-tested algorithms.  Edges point **from dependency to dependent**
+(create order); destroy traverses the reverse order.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.common.errors import ValidationError
+from repro.iac.config import Config
+
+
+def dependency_graph(config: Config) -> nx.DiGraph:
+    """Build the DAG of resource addresses; raises on cycles."""
+    config.validate()
+    g = nx.DiGraph()
+    for r in config:
+        g.add_node(r.address)
+    for r in config:
+        for dep in r.dependencies():
+            g.add_edge(dep, r.address)
+    if not nx.is_directed_acyclic_graph(g):
+        cycle = nx.find_cycle(g)
+        raise ValidationError(f"dependency cycle: {cycle!r}")
+    return g
+
+
+def execution_order(config: Config) -> list[str]:
+    """Deterministic topological order (lexicographic tie-break)."""
+    g = dependency_graph(config)
+    return list(nx.lexicographical_topological_sort(g))
+
+
+def destroy_order(config: Config) -> list[str]:
+    """Reverse topological order — dependents destroyed before dependencies."""
+    return list(reversed(execution_order(config)))

@@ -1,0 +1,188 @@
+"""Plan / apply / destroy.
+
+The planner diffs the desired :class:`~repro.iac.config.Config` against the
+:class:`~repro.iac.state.State` and produces an ordered list of steps:
+
+* resources in state but not in config are **deleted** (reverse creation
+  order, so dependents go before dependencies),
+* resources in config but not in state are **created** (topological order),
+* resources whose arguments changed are **updated** in place, or **replaced**
+  (delete + create) when the provider says the change is immutable.
+
+``apply`` executes a plan against a provider, resolving ``${...}``
+interpolation with live attributes as resources materialise.  Plans are
+idempotent: planning immediately after a successful apply yields no steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Protocol
+
+from repro.common.errors import ValidationError
+from repro.iac.config import Config, ResourceConfig, interpolate
+from repro.iac.graph import execution_order
+from repro.iac.state import State, StateEntry
+
+
+class Action(str, Enum):
+    CREATE = "create"
+    UPDATE = "update"
+    REPLACE = "replace"
+    DELETE = "delete"
+
+
+class Provider(Protocol):
+    """What the planner needs from an infrastructure provider."""
+
+    def create(self, rtype: str, args: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+        """Create a resource; return (resource_id, attributes)."""
+        ...
+
+    def update(
+        self, rtype: str, resource_id: str, old_args: dict[str, Any], new_args: dict[str, Any]
+    ) -> dict[str, Any]:
+        """Update in place; return new attributes."""
+        ...
+
+    def delete(self, rtype: str, resource_id: str) -> None: ...
+
+    def read(self, rtype: str, resource_id: str) -> dict[str, Any] | None:
+        """Live attributes, or None if the resource vanished (drift)."""
+        ...
+
+    def requires_replacement(self, rtype: str, changed_keys: set[str]) -> bool:
+        """Whether changing ``changed_keys`` forces delete-and-recreate."""
+        ...
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    action: Action
+    address: str
+    resource: ResourceConfig | None = None  # None for pure deletes
+    changed_keys: tuple[str, ...] = ()
+
+
+@dataclass
+class Plan:
+    steps: list[PlanStep] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.steps
+
+    def summary(self) -> dict[str, int]:
+        out = {a.value: 0 for a in Action}
+        for s in self.steps:
+            out[s.action.value] += 1
+        return out
+
+
+def plan(config: Config, state: State) -> Plan:
+    """Compute the steps needed to make ``state`` match ``config``."""
+    config.validate()
+    steps: list[PlanStep] = []
+
+    # Deletions: in state, not in config; reverse creation order.
+    doomed = [a for a in state.addresses() if a not in config]
+    for address in reversed(doomed):
+        steps.append(PlanStep(Action.DELETE, address))
+
+    for address in execution_order(config):
+        resource = config.get(address)
+        if address not in state:
+            steps.append(PlanStep(Action.CREATE, address, resource))
+            continue
+        entry = state.get(address)
+        if entry.applied_args == resource.args:
+            continue
+        changed = {
+            k
+            for k in set(entry.applied_args) | set(resource.args)
+            if entry.applied_args.get(k) != resource.args.get(k)
+        }
+        steps.append(PlanStep(Action.UPDATE, address, resource, tuple(sorted(changed))))
+    return Plan(steps)
+
+
+def apply(plan_: Plan, state: State, provider: Provider) -> State:
+    """Execute ``plan_`` against ``provider``, mutating and returning ``state``."""
+    for step in plan_.steps:
+        if step.action is Action.DELETE:
+            entry = state.get(step.address)
+            provider.delete(step.address.split(".", 1)[0], entry.resource_id)
+            state.remove(step.address)
+
+    for step in plan_.steps:
+        if step.action is Action.DELETE:
+            continue
+        resource = step.resource
+        if resource is None:  # pragma: no cover - planner always sets it
+            raise ValidationError(f"step {step!r} missing resource config")
+        resolved_args = interpolate(resource.args, state.resolve_map())
+        if step.action is Action.CREATE:
+            rid, attrs = provider.create(resource.type, resolved_args)
+            state.put(
+                StateEntry(
+                    address=resource.address,
+                    resource_id=rid,
+                    attrs=attrs,
+                    applied_args=dict(resource.args),
+                )
+            )
+        else:  # UPDATE, possibly promoted to REPLACE by the provider
+            entry = state.get(resource.address)
+            if provider.requires_replacement(resource.type, set(step.changed_keys)):
+                provider.delete(resource.type, entry.resource_id)
+                rid, attrs = provider.create(resource.type, resolved_args)
+                state.put(
+                    StateEntry(
+                        address=resource.address,
+                        resource_id=rid,
+                        attrs=attrs,
+                        applied_args=dict(resource.args),
+                    )
+                )
+            else:
+                attrs = provider.update(
+                    resource.type, entry.resource_id, entry.applied_args, resolved_args
+                )
+                entry.attrs = attrs
+                entry.applied_args = dict(resource.args)
+                state.put(entry)
+    return state
+
+
+def destroy(config: Config, state: State, provider: Provider) -> State:
+    """Delete every managed resource, dependents first."""
+    from repro.iac.graph import destroy_order
+
+    for address in destroy_order(config):
+        if address in state:
+            entry = state.get(address)
+            provider.delete(address.split(".", 1)[0], entry.resource_id)
+            state.remove(address)
+    # anything in state not in config (orphans) goes too
+    for address in list(reversed(state.addresses())):
+        entry = state.get(address)
+        provider.delete(address.split(".", 1)[0], entry.resource_id)
+        state.remove(address)
+    return state
+
+
+def detect_drift(state: State, provider: Provider) -> dict[str, str]:
+    """Compare state against live infrastructure.
+
+    Returns ``address -> "missing" | "changed"`` for every drifted resource.
+    """
+    drift: dict[str, str] = {}
+    for address in state.addresses():
+        entry = state.get(address)
+        live = provider.read(address.split(".", 1)[0], entry.resource_id)
+        if live is None:
+            drift[address] = "missing"
+        elif any(live.get(k) != v for k, v in entry.attrs.items()):
+            drift[address] = "changed"
+    return drift

@@ -1,0 +1,208 @@
+"""The OpenStack-like provider.
+
+Binds IaC resource types to :class:`repro.cloud.site.Site` operations — the
+same mapping the course's Terraform configs use against Chameleon's
+OpenStack API (paper §3.3).  Supported resource types:
+
+================== =============================================
+``os_network``       tenant network
+``os_subnet``        subnet (args: ``network_id``, ``cidr``)
+``os_router``        router (args: ``external_network_id?``)
+``os_router_iface``  router interface (args: ``router_id``, ``subnet_id``)
+``os_secgroup``      security group (args: ``rules=[{protocol,port_min,port_max}]``)
+``os_floating_ip``   public address
+``os_server``        VM (args: ``flavor``, ``network_id?``, ``floating_ip_id?`` ...)
+``os_volume``        block volume (args: ``size_gb``)
+================== =============================================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.cloud.network import SecurityGroupRule
+from repro.cloud.site import Site
+
+# Argument keys whose change forces delete-and-recreate (immutable in Nova
+# etc.); everything else updates in place.
+_IMMUTABLE_KEYS: dict[str, set[str]] = {
+    "os_network": set(),
+    "os_subnet": {"network_id", "cidr"},
+    "os_router": set(),
+    "os_router_iface": {"router_id", "subnet_id"},
+    "os_secgroup": set(),
+    "os_floating_ip": set(),
+    "os_server": {"flavor", "image", "network_id"},
+    "os_volume": {"size_gb"},
+}
+
+
+class OpenStackProvider:
+    """IaC provider executing against one simulated site."""
+
+    def __init__(self, site: Site, project: str, *, user: str | None = None, lab: str | None = None) -> None:
+        self.site = site
+        self.project = project
+        self.user = user
+        self.lab = lab
+
+    # -- Provider protocol ---------------------------------------------------
+
+    def create(self, rtype: str, args: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+        handler = getattr(self, f"_create_{rtype}", None)
+        if handler is None:
+            raise ValidationError(f"unknown resource type {rtype!r}")
+        return handler(dict(args))
+
+    def update(
+        self, rtype: str, resource_id: str, old_args: dict[str, Any], new_args: dict[str, Any]
+    ) -> dict[str, Any]:
+        # In-place updates in this simulator are metadata-only: re-read and
+        # return live attributes (name changes etc. have no behavioural effect).
+        live = self.read(rtype, resource_id)
+        if live is None:
+            raise NotFoundError(f"{rtype} {resource_id!r} vanished during update")
+        return live
+
+    def delete(self, rtype: str, resource_id: str) -> None:
+        if rtype == "os_network":
+            self.site.network.delete_network(resource_id)
+        elif rtype == "os_subnet":
+            self.site.network.delete_subnet(resource_id)
+        elif rtype == "os_router":
+            self.site.network.delete_router(resource_id)
+        elif rtype == "os_router_iface":
+            router_id, subnet_id = resource_id.split("/")
+            router = self.site.network.routers.get(router_id)
+            if router and subnet_id in router.interface_subnet_ids:
+                router.interface_subnet_ids.remove(subnet_id)
+        elif rtype == "os_secgroup":
+            self.site.network.delete_security_group(resource_id)
+        elif rtype == "os_floating_ip":
+            if resource_id in self.site.network.floating_ips:
+                fip = self.site.network.floating_ips[resource_id]
+                if fip.associated:
+                    self.site.network.disassociate_floating_ip(resource_id)
+                self.site.network.release_floating_ip(resource_id)
+        elif rtype == "os_server":
+            if resource_id in self.site.compute.servers:
+                self.site.compute.delete_server(resource_id)
+        elif rtype == "os_volume":
+            vol = self.site.block_storage.volumes.get(resource_id)
+            if vol is not None:
+                if vol.attached_to is not None:
+                    self.site.block_storage.detach(resource_id)
+                self.site.block_storage.delete_volume(resource_id)
+        else:
+            raise ValidationError(f"unknown resource type {rtype!r}")
+
+    def read(self, rtype: str, resource_id: str) -> dict[str, Any] | None:
+        if rtype == "os_network":
+            net = self.site.network.networks.get(resource_id)
+            return None if net is None else {"id": net.id, "name": net.name}
+        if rtype == "os_subnet":
+            sub = self.site.network.subnets.get(resource_id)
+            return None if sub is None else {"id": sub.id, "cidr": sub.cidr, "network_id": sub.network_id}
+        if rtype == "os_router":
+            r = self.site.network.routers.get(resource_id)
+            return None if r is None else {"id": r.id, "name": r.name}
+        if rtype == "os_router_iface":
+            router_id, subnet_id = resource_id.split("/")
+            r = self.site.network.routers.get(router_id)
+            if r is None or subnet_id not in r.interface_subnet_ids:
+                return None
+            return {"id": resource_id, "router_id": router_id, "subnet_id": subnet_id}
+        if rtype == "os_secgroup":
+            sg = self.site.network.security_groups.get(resource_id)
+            return None if sg is None else {"id": sg.id, "name": sg.name}
+        if rtype == "os_floating_ip":
+            fip = self.site.network.floating_ips.get(resource_id)
+            return None if fip is None else {"id": fip.id, "address": fip.address}
+        if rtype == "os_server":
+            s = self.site.compute.servers.get(resource_id)
+            if s is None:
+                return None
+            return {
+                "id": s.id,
+                "name": s.name,
+                "flavor": s.resource_type,
+                "status": s.status.value,
+                "fixed_ip": s.fixed_ips[0] if s.fixed_ips else None,
+            }
+        if rtype == "os_volume":
+            v = self.site.block_storage.volumes.get(resource_id)
+            return None if v is None else {"id": v.id, "size_gb": v.size_gb, "status": v.status.value}
+        raise ValidationError(f"unknown resource type {rtype!r}")
+
+    def requires_replacement(self, rtype: str, changed_keys: set[str]) -> bool:
+        immutable = _IMMUTABLE_KEYS.get(rtype)
+        if immutable is None:
+            raise ValidationError(f"unknown resource type {rtype!r}")
+        return bool(changed_keys & immutable)
+
+    # -- create handlers -------------------------------------------------------
+
+    def _create_os_network(self, args: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+        net = self.site.network.create_network(self.project, args.get("name", "net"))
+        return net.id, {"id": net.id, "name": net.name}
+
+    def _create_os_subnet(self, args: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+        sub = self.site.network.create_subnet(args["network_id"], args["cidr"])
+        return sub.id, {"id": sub.id, "cidr": sub.cidr, "network_id": sub.network_id}
+
+    def _create_os_router(self, args: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+        router = self.site.network.create_router(self.project, args.get("name", "router"))
+        if args.get("external_network_id"):
+            self.site.network.set_router_gateway(router.id, args["external_network_id"])
+        return router.id, {"id": router.id, "name": router.name}
+
+    def _create_os_router_iface(self, args: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+        self.site.network.add_router_interface(args["router_id"], args["subnet_id"])
+        rid = f"{args['router_id']}/{args['subnet_id']}"
+        return rid, {"id": rid, "router_id": args["router_id"], "subnet_id": args["subnet_id"]}
+
+    def _create_os_secgroup(self, args: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+        sg = self.site.network.create_security_group(self.project, args.get("name", "sg"))
+        for rule in args.get("rules", []):
+            self.site.network.add_rule(
+                sg.id,
+                SecurityGroupRule(
+                    protocol=rule.get("protocol", "tcp"),
+                    port_min=rule["port_min"],
+                    port_max=rule.get("port_max", rule["port_min"]),
+                    remote_cidr=rule.get("remote_cidr", "0.0.0.0/0"),
+                ),
+            )
+        return sg.id, {"id": sg.id, "name": sg.name}
+
+    def _create_os_floating_ip(self, args: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+        fip = self.site.network.allocate_floating_ip(self.project, lab=self.lab)
+        return fip.id, {"id": fip.id, "address": fip.address}
+
+    def _create_os_server(self, args: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+        server = self.site.compute.create_server(
+            self.project,
+            args.get("name", "server"),
+            args["flavor"],
+            image=args.get("image", "CC-Ubuntu24.04"),
+            network_id=args.get("network_id"),
+            user=self.user,
+            lab=self.lab,
+            security_groups=args.get("security_groups", []),
+        )
+        if args.get("floating_ip_id"):
+            self.site.compute.associate_floating_ip(server.id, args["floating_ip_id"])
+        return server.id, {
+            "id": server.id,
+            "name": server.name,
+            "flavor": server.resource_type,
+            "status": server.status.value,
+            "fixed_ip": server.fixed_ips[0] if server.fixed_ips else None,
+        }
+
+    def _create_os_volume(self, args: dict[str, Any]) -> tuple[str, dict[str, Any]]:
+        vol = self.site.block_storage.create_volume(
+            self.project, args.get("name", "volume"), int(args["size_gb"]), user=self.user, lab=self.lab
+        )
+        return vol.id, {"id": vol.id, "size_gb": vol.size_gb, "status": vol.status.value}

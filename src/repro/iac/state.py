@@ -1,0 +1,88 @@
+"""The IaC state file.
+
+Maps each resource address to the live resource it created: the provider id
+plus the attribute dict other resources interpolate from, plus the argument
+snapshot used for update diffing.  ``to_dict``/``from_dict`` give a JSON-
+serialisable round trip (the "state file" students learn to protect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import NotFoundError
+
+
+@dataclass
+class StateEntry:
+    """State for one managed resource."""
+
+    address: str
+    resource_id: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    applied_args: dict[str, Any] = field(default_factory=dict)
+
+
+class State:
+    """Mutable mapping of address -> :class:`StateEntry`."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, StateEntry] = {}
+        self.serial = 0  # bumped on every mutation, like Terraform's serial
+
+    def get(self, address: str) -> StateEntry:
+        try:
+            return self._entries[address]
+        except KeyError:
+            raise NotFoundError(f"no state for {address!r}") from None
+
+    def put(self, entry: StateEntry) -> None:
+        self._entries[entry.address] = entry
+        self.serial += 1
+
+    def remove(self, address: str) -> None:
+        if address in self._entries:
+            del self._entries[address]
+            self.serial += 1
+
+    def addresses(self) -> list[str]:
+        return list(self._entries)
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def resolve_map(self) -> dict[str, dict[str, Any]]:
+        """Address -> attrs, the lookup table for interpolation."""
+        return {addr: e.attrs for addr, e in self._entries.items()}
+
+    # -- serialisation ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "serial": self.serial,
+            "resources": {
+                addr: {
+                    "resource_id": e.resource_id,
+                    "attrs": e.attrs,
+                    "applied_args": e.applied_args,
+                }
+                for addr, e in self._entries.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "State":
+        state = cls()
+        for addr, body in data.get("resources", {}).items():
+            state._entries[addr] = StateEntry(
+                address=addr,
+                resource_id=body["resource_id"],
+                attrs=dict(body.get("attrs", {})),
+                applied_args=dict(body.get("applied_args", {})),
+            )
+        state.serial = data.get("serial", 0)
+        return state

@@ -1,0 +1,32 @@
+"""The GourmetGram reference application.
+
+The course's running example (paper §3.2): a fictional food-focused
+photo-sharing startup whose ML system tags uploaded photos.  This package
+assembles the library's substrates into the end-to-end operational loop the
+students build as their project:
+
+* :mod:`repro.mlops.data` — a synthetic Food-11-style dataset with
+  controllable distribution drift.
+* :mod:`repro.mlops.model` — a nearest-centroid food classifier whose
+  accuracy genuinely degrades under drift and recovers on retraining.
+* :mod:`repro.mlops.lifecycle` — the continuous loop: serve -> monitor ->
+  detect drift -> retrain -> evaluate gates -> register -> canary ->
+  promote, built on the tracking/registry/monitoring/workflow substrates.
+"""
+
+from repro.mlops.data import FoodDataset, FoodDatasetGenerator
+from repro.mlops.lifecycle import LifecycleReport, MLOpsLifecycle
+from repro.mlops.model import FoodClassifier
+from repro.mlops.safety import ContentFilter, Guardrail, RedTeamHarness, bias_audit
+
+__all__ = [
+    "FoodDatasetGenerator",
+    "FoodDataset",
+    "FoodClassifier",
+    "MLOpsLifecycle",
+    "LifecycleReport",
+    "ContentFilter",
+    "Guardrail",
+    "RedTeamHarness",
+    "bias_audit",
+]

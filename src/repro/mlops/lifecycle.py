@@ -1,0 +1,222 @@
+"""The continuous MLOps lifecycle loop.
+
+The paper's central claim about operational ML (§6): "models must be
+continuously retrained and redeployed in response to data drift, quality
+degradation, or new business requirements … provisioning infrastructure,
+automating pipelines, managing data systems, deploying and monitoring
+services, and implementing feedback loops."  This module wires the
+library's substrates into exactly that loop for GourmetGram:
+
+    serve -> monitor (prediction distribution + labelled subsample)
+          -> detect drift (chi² on predicted-class mix)
+          -> trigger the retraining workflow (Argo-style DAG):
+             collect fresh labels -> train -> evaluate gate -> register
+          -> canary the challenger against production
+          -> promote (or roll back) in the model registry
+
+Every decision is made from measured signals, not a script: accuracy
+really degrades via covariate drift in :mod:`repro.mlops.data`, and really
+recovers because retraining refits centroids on fresh data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.mlops.data import FoodDatasetGenerator
+from repro.mlops.model import FoodClassifier
+from repro.monitoring.drift import chi2_drift
+from repro.orchestration.workflow import StepStatus, Workflow, WorkflowEngine
+from repro.tracking.client import TrackingClient
+from repro.tracking.registry import ModelStage
+
+
+@dataclass
+class LifecycleEvent:
+    time: float
+    kind: str  # "serve" | "drift" | "retrain" | "promote" | "rollback" | "gate_failed"
+    detail: str = ""
+    accuracy: float | None = None
+    version: int | None = None
+
+
+@dataclass
+class LifecycleReport:
+    events: list[LifecycleEvent] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> list[LifecycleEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    @property
+    def retrain_count(self) -> int:
+        return len(self.of_kind("retrain"))
+
+    @property
+    def promote_count(self) -> int:
+        return len(self.of_kind("promote"))
+
+    def accuracy_series(self) -> list[tuple[float, float]]:
+        return [(e.time, e.accuracy) for e in self.of_kind("serve") if e.accuracy is not None]
+
+
+class MLOpsLifecycle:
+    """The GourmetGram operational loop over a drifting data stream."""
+
+    MODEL_NAME = "food-classifier"
+
+    def __init__(
+        self,
+        generator: FoodDatasetGenerator,
+        *,
+        client: TrackingClient | None = None,
+        serve_batch: int = 400,
+        train_size: int = 2000,
+        eval_size: int = 1000,
+        drift_alpha: float = 0.01,
+        gate_margin: float = 0.02,
+        canary_holdout: int = 500,
+        seed: int = 0,
+    ) -> None:
+        if serve_batch <= 0 or train_size <= 0 or eval_size <= 0:
+            raise ValidationError("batch sizes must be positive")
+        self.generator = generator
+        self.client = client if client is not None else TrackingClient()
+        self.serve_batch = serve_batch
+        self.train_size = train_size
+        self.eval_size = eval_size
+        self.drift_alpha = drift_alpha
+        self.gate_margin = gate_margin
+        self.canary_holdout = canary_holdout
+        self._rng = np.random.default_rng(seed)
+        self._engine = WorkflowEngine()
+        self.model: FoodClassifier | None = None
+        self._reference_mix: dict[int, int] | None = None
+        self.report = LifecycleReport()
+
+    # -- bootstrap ------------------------------------------------------------
+
+    def initial_deploy(self) -> int:
+        """Train v1 at t=0, register, promote to Production."""
+        data = self.generator.sample(self.train_size, time=0.0, seed=int(self._rng.integers(1 << 31)))
+        model = FoodClassifier().fit(data)
+        version = self._register(model, time=0.0, accuracy=model.accuracy(data))
+        self.client.registry.transition(self.MODEL_NAME, version, ModelStage.PRODUCTION)
+        self.model = model
+        self._reference_mix = self._prediction_mix(model, time=0.0)
+        self.report.events.append(LifecycleEvent(0.0, "promote", "initial deploy", version=version))
+        return version
+
+    # -- the loop ----------------------------------------------------------------
+
+    def step(self, time: float) -> LifecycleEvent:
+        """Serve one batch at drift time ``time`` and react to what we see."""
+        if self.model is None:
+            raise ValidationError("call initial_deploy() first")
+        batch = self.generator.sample(
+            self.serve_batch, time=time, seed=int(self._rng.integers(1 << 31))
+        )
+        accuracy = self.model.accuracy(batch)
+        current_mix = self._count_mix(self.model.predict(batch.features))
+        event = LifecycleEvent(time, "serve", accuracy=accuracy)
+        self.report.events.append(event)
+
+        drift = chi2_drift(self._reference_mix, current_mix, alpha=self.drift_alpha)
+        if drift.drifted:
+            self.report.events.append(
+                LifecycleEvent(time, "drift", detail=f"chi2 {drift.statistic:.1f} ({drift.detail})")
+            )
+            self._retrain(time)
+        return event
+
+    def run(self, *, until: float, dt: float = 1.0) -> LifecycleReport:
+        """Run the loop over [dt, until] in steps of ``dt``."""
+        if dt <= 0 or until <= 0:
+            raise ValidationError("until and dt must be positive")
+        t = dt
+        while t <= until + 1e-9:
+            self.step(t)
+            t += dt
+        return self.report
+
+    # -- retraining workflow ------------------------------------------------------
+
+    def _retrain(self, time: float) -> None:
+        """The Argo-style retraining DAG with an evaluation gate + canary."""
+        wf = Workflow("retrain-food-classifier")
+        wf.add_step("collect", lambda ctx: self.generator.sample(
+            self.train_size, time=time, seed=int(self._rng.integers(1 << 31))
+        ))
+        wf.add_step("train", lambda ctx: FoodClassifier().fit(ctx["collect"]),
+                    dependencies=("collect",))
+        holdout = self.generator.sample(
+            self.eval_size, time=time, seed=int(self._rng.integers(1 << 31))
+        )
+        wf.add_step(
+            "evaluate",
+            lambda ctx: {
+                "challenger": ctx["train"].accuracy(holdout),
+                "champion": self.model.accuracy(holdout),
+            },
+            dependencies=("train",),
+        )
+        wf.add_step(
+            "register",
+            lambda ctx: self._register(ctx["train"], time=time,
+                                       accuracy=ctx["evaluate"]["challenger"]),
+            dependencies=("train", "evaluate"),
+            when=lambda ctx: ctx["evaluate"]["challenger"]
+            >= ctx["evaluate"]["champion"] + self.gate_margin,
+        )
+        run = self._engine.run(wf)
+        self.report.events.append(
+            LifecycleEvent(time, "retrain", detail=f"workflow {'ok' if run.succeeded else 'failed'}")
+        )
+        if run.results["register"].status is StepStatus.SKIPPED:
+            self.report.events.append(
+                LifecycleEvent(time, "gate_failed", detail="challenger not better than champion + margin")
+            )
+            return
+        version = run.output("register")
+        challenger: FoodClassifier = run.output("train")
+        if self._canary_passes(challenger, time):
+            self.client.registry.transition(self.MODEL_NAME, version, ModelStage.PRODUCTION)
+            self.model = challenger
+            self._reference_mix = self._prediction_mix(challenger, time=time)
+            self.report.events.append(LifecycleEvent(time, "promote", version=version))
+        else:
+            self.client.registry.transition(self.MODEL_NAME, version, ModelStage.ARCHIVED)
+            self.report.events.append(LifecycleEvent(time, "rollback", version=version))
+
+    def _canary_passes(self, challenger: FoodClassifier, time: float) -> bool:
+        """Compare error rates on a fresh labelled canary slice."""
+        canary = self.generator.sample(
+            self.canary_holdout, time=time, seed=int(self._rng.integers(1 << 31))
+        )
+        return challenger.accuracy(canary) >= self.model.accuracy(canary) - 0.01
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _register(self, model: FoodClassifier, *, time: float, accuracy: float) -> int:
+        with self.client.start_run("gourmetgram-retrain", name=f"t={time:g}") as _run:
+            self.client.log_param("train_size", self.train_size)
+            self.client.log_param("drift_time", time)
+            self.client.log_metric("val_accuracy", accuracy)
+            mv = self.client.log_model(
+                self.MODEL_NAME, model.to_bytes(), metrics={"val_accuracy": accuracy}
+            )
+        mv.description = f"centroids {model.fingerprint()}"
+        return mv.version
+
+    def _prediction_mix(self, model: FoodClassifier, *, time: float) -> dict[int, int]:
+        sample = self.generator.sample(
+            max(1000, self.serve_batch), time=time, seed=int(self._rng.integers(1 << 31))
+        )
+        return self._count_mix(model.predict(sample.features))
+
+    @staticmethod
+    def _count_mix(predictions: np.ndarray) -> dict[int, int]:
+        values, counts = np.unique(predictions, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}

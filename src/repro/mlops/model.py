@@ -1,0 +1,90 @@
+"""The GourmetGram food classifier.
+
+A nearest-centroid classifier over the synthetic embedding space: training
+computes per-class centroids; inference assigns the closest class.  Simple
+enough to be exactly analysable, real enough that covariate drift degrades
+it and retraining on fresh data restores it — the property the lifecycle
+loop and its tests depend on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.common.errors import InvalidStateError, ValidationError
+from repro.mlops.data import FOOD_CLASSES, FoodDataset
+
+
+class FoodClassifier:
+    """Nearest-centroid classifier with serialisable weights."""
+
+    def __init__(self) -> None:
+        self.centroids: np.ndarray | None = None  # (k, d)
+        self.trained_at: float | None = None
+
+    @property
+    def is_trained(self) -> bool:
+        return self.centroids is not None
+
+    def fit(self, dataset: FoodDataset) -> "FoodClassifier":
+        """Compute class centroids from the dataset."""
+        if len(dataset) == 0:
+            raise ValidationError("cannot train on an empty dataset")
+        k = int(dataset.labels.max()) + 1
+        d = dataset.features.shape[1]
+        centroids = np.zeros((k, d))
+        for c in range(k):
+            mask = dataset.labels == c
+            if not mask.any():
+                raise ValidationError(f"class {c} ({FOOD_CLASSES[c]}) has no examples")
+            centroids[c] = dataset.features[mask].mean(axis=0)
+        self.centroids = centroids
+        self.trained_at = dataset.time
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Class indices for a (n, d) feature matrix (or a single vector)."""
+        if not self.is_trained:
+            raise InvalidStateError("model is not trained")
+        x = np.atleast_2d(np.asarray(features, dtype=float))
+        if x.shape[1] != self.centroids.shape[1]:
+            raise ValidationError(
+                f"feature dim {x.shape[1]} != model dim {self.centroids.shape[1]}"
+            )
+        # squared distances via broadcasting; views only, no copies of x
+        d2 = ((x[:, None, :] - self.centroids[None, :, :]) ** 2).sum(axis=2)
+        return d2.argmin(axis=1)
+
+    def predict_one(self, features: np.ndarray) -> int:
+        return int(self.predict(features)[0])
+
+    def accuracy(self, dataset: FoodDataset) -> float:
+        """Top-1 accuracy on a labelled dataset."""
+        preds = self.predict(dataset.features)
+        return float((preds == dataset.labels).mean())
+
+    # -- serialisation (artifact-store friendly) ----------------------------------
+
+    def to_bytes(self) -> bytes:
+        if not self.is_trained:
+            raise InvalidStateError("model is not trained")
+        header = np.array(self.centroids.shape, dtype=np.int64).tobytes()
+        return header + self.centroids.astype(np.float64).tobytes()
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "FoodClassifier":
+        if len(payload) < 16:
+            raise ValidationError("payload too short for a model")
+        k, d = np.frombuffer(payload[:16], dtype=np.int64)
+        expected = 16 + int(k) * int(d) * 8
+        if len(payload) != expected:
+            raise ValidationError(f"payload size {len(payload)} != expected {expected}")
+        model = cls()
+        model.centroids = np.frombuffer(payload[16:], dtype=np.float64).reshape(int(k), int(d)).copy()
+        return model
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the weights (for registry descriptions)."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()[:12]

@@ -1,0 +1,68 @@
+"""Evaluation and monitoring across the ML lifecycle.
+
+Unit 7 of the course (paper §3.7) covers offline evaluation (general,
+domain-specific, and operational metrics; slices; behavioral testing),
+online evaluation (shadow, canary, A/B), drift detection without ground
+truth, and closing the loop with production feedback:
+
+* :mod:`repro.monitoring.metrics` — classification/domain/operational
+  metric computation.
+* :mod:`repro.monitoring.slices` — per-slice evaluation and gap detection.
+* :mod:`repro.monitoring.behavioral` — CheckList-style template tests.
+* :mod:`repro.monitoring.drift` — KS / PSI / chi² / windowed-mean drift
+  detectors.
+* :mod:`repro.monitoring.online` — shadow deployments, canary rollouts
+  with automated rollback, A/B tests with a two-proportion z-test.
+* :mod:`repro.monitoring.timeseries` — a metric time-series store with
+  alert rules.
+* :mod:`repro.monitoring.feedback` — production label collection and
+  live-accuracy estimation.
+"""
+
+from repro.monitoring.behavioral import BehavioralSuite, BehavioralTest, TestOutcome
+from repro.monitoring.drift import (
+    DriftReport,
+    chi2_drift,
+    ks_drift,
+    psi,
+    psi_drift,
+    WindowedMeanDetector,
+)
+from repro.monitoring.feedback import FeedbackCollector
+from repro.monitoring.mltestscore import MLTestScorecard
+from repro.monitoring.metrics import (
+    ClassificationReport,
+    classification_report,
+    latency_summary,
+    ngram_overlap_score,
+)
+from repro.monitoring.online import ABTest, CanaryController, CanaryStatus, ShadowDeployment
+from repro.monitoring.slices import SliceReport, evaluate_slices
+from repro.monitoring.timeseries import AlertRule, AlertState, MetricStore
+
+__all__ = [
+    "classification_report",
+    "ClassificationReport",
+    "ngram_overlap_score",
+    "latency_summary",
+    "evaluate_slices",
+    "SliceReport",
+    "BehavioralTest",
+    "BehavioralSuite",
+    "TestOutcome",
+    "ks_drift",
+    "psi",
+    "psi_drift",
+    "chi2_drift",
+    "WindowedMeanDetector",
+    "DriftReport",
+    "ShadowDeployment",
+    "CanaryController",
+    "CanaryStatus",
+    "ABTest",
+    "MetricStore",
+    "AlertRule",
+    "AlertState",
+    "FeedbackCollector",
+    "MLTestScorecard",
+]

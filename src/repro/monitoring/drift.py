@@ -1,0 +1,151 @@
+"""Data-drift detection.
+
+The Unit 7 lecture highlights "the difficulty of detecting performance
+degradation due to data drift when ground truth labels are not readily
+available" (paper §3.7) — these detectors operate on *feature or output
+distributions*, no labels needed:
+
+* :func:`ks_drift` — two-sample Kolmogorov-Smirnov test (continuous).
+* :func:`psi` / :func:`psi_drift` — Population Stability Index with the
+  industry-standard 0.1 / 0.25 bands.
+* :func:`chi2_drift` — chi-squared test on categorical counts (e.g. the
+  predicted-class distribution the lab monitors).
+* :class:`WindowedMeanDetector` — a streaming reference-vs-recent window
+  mean-shift detector for live metrics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    detector: str
+    statistic: float
+    threshold: float
+    drifted: bool
+    detail: str = ""
+
+
+def ks_drift(reference, current, *, alpha: float = 0.01) -> DriftReport:
+    """Two-sample KS test; drift when p-value < alpha."""
+    ref = np.asarray(reference, dtype=float)
+    cur = np.asarray(current, dtype=float)
+    if ref.size < 2 or cur.size < 2:
+        raise ValidationError("KS needs at least 2 samples per side")
+    stat, pvalue = stats.ks_2samp(ref, cur)
+    return DriftReport(
+        detector="ks",
+        statistic=float(stat),
+        threshold=alpha,
+        drifted=bool(pvalue < alpha),
+        detail=f"p={pvalue:.4g}",
+    )
+
+
+def psi(reference, current, *, bins: int = 10) -> float:
+    """Population Stability Index between two continuous samples."""
+    ref = np.asarray(reference, dtype=float)
+    cur = np.asarray(current, dtype=float)
+    if ref.size == 0 or cur.size == 0:
+        raise ValidationError("PSI needs non-empty samples")
+    edges = np.quantile(ref, np.linspace(0, 1, bins + 1))
+    edges[0], edges[-1] = -np.inf, np.inf
+    ref_frac = np.histogram(ref, bins=edges)[0] / ref.size
+    cur_frac = np.histogram(cur, bins=edges)[0] / cur.size
+    eps = 1e-6
+    ref_frac = np.clip(ref_frac, eps, None)
+    cur_frac = np.clip(cur_frac, eps, None)
+    return float(np.sum((cur_frac - ref_frac) * np.log(cur_frac / ref_frac)))
+
+
+def psi_drift(reference, current, *, bins: int = 10, threshold: float = 0.25) -> DriftReport:
+    """PSI with the standard interpretation: <0.1 stable, >0.25 drifted."""
+    value = psi(reference, current, bins=bins)
+    return DriftReport(
+        detector="psi",
+        statistic=value,
+        threshold=threshold,
+        drifted=value > threshold,
+        detail="stable" if value < 0.1 else ("moderate" if value <= threshold else "major"),
+    )
+
+
+def chi2_drift(
+    reference_counts: dict, current_counts: dict, *, alpha: float = 0.01
+) -> DriftReport:
+    """Chi-squared test on categorical count dictionaries."""
+    categories = sorted({*reference_counts, *current_counts}, key=str)
+    if len(categories) < 2:
+        raise ValidationError("need at least two categories")
+    ref = np.array([reference_counts.get(c, 0) for c in categories], dtype=float)
+    cur = np.array([current_counts.get(c, 0) for c in categories], dtype=float)
+    if ref.sum() == 0 or cur.sum() == 0:
+        raise ValidationError("empty count table")
+    # expected current counts under the reference distribution
+    expected = ref / ref.sum() * cur.sum()
+    mask = expected > 0
+    stat = float(np.sum((cur[mask] - expected[mask]) ** 2 / expected[mask]))
+    dof = int(mask.sum()) - 1
+    pvalue = float(stats.chi2.sf(stat, dof)) if dof > 0 else 1.0
+    return DriftReport(
+        detector="chi2",
+        statistic=stat,
+        threshold=alpha,
+        drifted=pvalue < alpha,
+        detail=f"p={pvalue:.4g}",
+    )
+
+
+class WindowedMeanDetector:
+    """Streaming drift detection on a live metric.
+
+    Keeps a frozen reference window and a sliding recent window; signals
+    drift when the recent mean departs from the reference mean by more
+    than ``z_threshold`` reference standard errors.
+    """
+
+    def __init__(self, *, reference_size: int = 200, window_size: int = 50, z_threshold: float = 4.0) -> None:
+        if reference_size < 10 or window_size < 5:
+            raise ValidationError("windows too small to be meaningful")
+        if z_threshold <= 0:
+            raise ValidationError("z threshold must be positive")
+        self.reference_size = reference_size
+        self.window_size = window_size
+        self.z_threshold = z_threshold
+        self._reference: list[float] = []
+        self._window: deque[float] = deque(maxlen=window_size)
+        self._ref_mean = 0.0
+        self._ref_std = 0.0
+
+    @property
+    def calibrated(self) -> bool:
+        return len(self._reference) >= self.reference_size
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; returns True when drift is signalled."""
+        if not self.calibrated:
+            self._reference.append(float(value))
+            if self.calibrated:
+                arr = np.array(self._reference)
+                self._ref_mean = float(arr.mean())
+                self._ref_std = float(arr.std(ddof=1)) or 1e-9
+            return False
+        self._window.append(float(value))
+        if len(self._window) < self.window_size:
+            return False
+        recent_mean = float(np.mean(self._window))
+        z = abs(recent_mean - self._ref_mean) / (self._ref_std / np.sqrt(self.window_size))
+        return z > self.z_threshold
+
+    def reset_reference(self) -> None:
+        """Re-learn the reference (e.g. after a deliberate model update)."""
+        self._reference.clear()
+        self._window.clear()

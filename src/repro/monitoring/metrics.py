@@ -1,0 +1,131 @@
+"""Offline evaluation metrics.
+
+Three families, matching the Unit 7 lecture's taxonomy (paper §3.7):
+general ML metrics (accuracy/precision/recall/F1 from a confusion matrix),
+domain-specific metrics (an n-gram overlap score of the BLEU/ROUGE family),
+and operational metrics (latency percentile summaries).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Per-class and aggregate classification metrics."""
+
+    accuracy: float
+    per_class_precision: dict[str, float]
+    per_class_recall: dict[str, float]
+    per_class_f1: dict[str, float]
+    support: dict[str, int]
+
+    @property
+    def macro_f1(self) -> float:
+        return float(np.mean(list(self.per_class_f1.values())))
+
+    def worst_class(self) -> tuple[str, float]:
+        """The class with the lowest F1 — the lab's 'known failure mode' probe."""
+        cls = min(self.per_class_f1, key=self.per_class_f1.get)
+        return cls, self.per_class_f1[cls]
+
+
+def classification_report(y_true: list, y_pred: list) -> ClassificationReport:
+    """Compute accuracy and per-class precision/recall/F1."""
+    if len(y_true) != len(y_pred):
+        raise ValidationError(f"length mismatch: {len(y_true)} vs {len(y_pred)}")
+    if not y_true:
+        raise ValidationError("empty evaluation set")
+    labels = sorted({*y_true, *y_pred}, key=str)
+    tp: Counter = Counter()
+    fp: Counter = Counter()
+    fn: Counter = Counter()
+    correct = 0
+    for t, p in zip(y_true, y_pred):
+        if t == p:
+            tp[t] += 1
+            correct += 1
+        else:
+            fp[p] += 1
+            fn[t] += 1
+    precision, recall, f1, support = {}, {}, {}, {}
+    true_counts = Counter(y_true)
+    for label in labels:
+        p_den = tp[label] + fp[label]
+        r_den = tp[label] + fn[label]
+        p = tp[label] / p_den if p_den else 0.0
+        r = tp[label] / r_den if r_den else 0.0
+        precision[label] = p
+        recall[label] = r
+        f1[label] = 2 * p * r / (p + r) if (p + r) else 0.0
+        support[label] = true_counts[label]
+    return ClassificationReport(
+        accuracy=correct / len(y_true),
+        per_class_precision=precision,
+        per_class_recall=recall,
+        per_class_f1=f1,
+        support=support,
+    )
+
+
+def ngram_overlap_score(reference: str, candidate: str, *, max_n: int = 4) -> float:
+    """A BLEU-family n-gram precision score in [0, 1].
+
+    Geometric mean of clipped n-gram precisions for n = 1..max_n with a
+    brevity penalty; a stand-in for the "domain-specific metrics (e.g.,
+    BLEU, ROUGE)" the lab computes.
+    """
+    if max_n < 1:
+        raise ValidationError(f"max_n must be >= 1, got {max_n!r}")
+    ref_tokens = reference.split()
+    cand_tokens = candidate.split()
+    if not cand_tokens or not ref_tokens:
+        return 0.0
+    log_sum = 0.0
+    for n in range(1, max_n + 1):
+        ref_ngrams = Counter(tuple(ref_tokens[i:i + n]) for i in range(len(ref_tokens) - n + 1))
+        cand_ngrams = Counter(tuple(cand_tokens[i:i + n]) for i in range(len(cand_tokens) - n + 1))
+        total = sum(cand_ngrams.values())
+        if total == 0:
+            return 0.0
+        clipped = sum(min(c, ref_ngrams[g]) for g, c in cand_ngrams.items())
+        if clipped == 0:
+            return 0.0
+        log_sum += np.log(clipped / total)
+    geo = float(np.exp(log_sum / max_n))
+    brevity = min(1.0, float(np.exp(1 - len(ref_tokens) / len(cand_tokens))))
+    return geo * brevity
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Operational latency metrics over a sample of request latencies."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+
+def latency_summary(latencies_ms) -> LatencySummary:
+    arr = np.asarray(latencies_ms, dtype=float)
+    if arr.size == 0:
+        raise ValidationError("no latency samples")
+    if np.any(arr < 0):
+        raise ValidationError("negative latency sample")
+    return LatencySummary(
+        count=int(arr.size),
+        mean_ms=float(arr.mean()),
+        p50_ms=float(np.percentile(arr, 50)),
+        p95_ms=float(np.percentile(arr, 95)),
+        p99_ms=float(np.percentile(arr, 99)),
+        max_ms=float(arr.max()),
+    )

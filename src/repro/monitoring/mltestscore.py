@@ -1,0 +1,128 @@
+"""The ML Test Score rubric (Breck et al. 2017, the paper's reference [3]).
+
+The Unit 7 lecture frames evaluation/monitoring around "The ML test score:
+A rubric for ML production readiness and technical debt reduction".  This
+module implements the rubric's scoring semantics:
+
+* four sections — *Data*, *Model*, *Infrastructure*, *Monitoring* — each
+  with seven canonical test items;
+* each item scores 0 (not done), 0.5 (manual), or 1.0 (automated);
+* a section's score is the **sum** of its items; the final ML Test Score is
+  the **minimum** over the four sections (the rubric's "weakest link"
+  rule), mapped to the paper's readiness bands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.errors import NotFoundError, ValidationError
+
+
+class TestStatus(float, Enum):
+    NOT_DONE = 0.0
+    MANUAL = 0.5
+    AUTOMATED = 1.0
+
+
+#: The rubric's canonical items (abbreviated from Breck et al., Tables 1-4).
+RUBRIC_ITEMS: dict[str, tuple[str, ...]] = {
+    "data": (
+        "feature expectations captured in a schema",
+        "all features are beneficial",
+        "no feature's cost is too much",
+        "features adhere to meta-level requirements",
+        "data pipeline has appropriate privacy controls",
+        "new features can be added quickly",
+        "all input feature code is tested",
+    ),
+    "model": (
+        "model specs are reviewed and versioned",
+        "offline and online metrics correlate",
+        "all hyperparameters have been tuned",
+        "the impact of model staleness is known",
+        "a simpler model is not better",
+        "model quality is sufficient on important data slices",
+        "the model is tested for considerations of inclusion",
+    ),
+    "infrastructure": (
+        "training is reproducible",
+        "model specs are unit tested",
+        "the ML pipeline is integration tested",
+        "model quality is validated before serving",
+        "the model is debuggable",
+        "models are canaried before serving",
+        "serving models can be rolled back",
+    ),
+    "monitoring": (
+        "dependency changes result in notification",
+        "data invariants hold for inputs",
+        "training and serving are not skewed",
+        "models are not too stale",
+        "models are numerically stable",
+        "computing performance has not regressed",
+        "prediction quality has not regressed",
+    ),
+}
+
+#: Readiness bands from the rubric paper.
+READINESS_BANDS: tuple[tuple[float, str], ...] = (
+    (0.0, "more of a research project than a productionized system"),
+    (1.0, "not totally untested, but serious holes in reliability"),
+    (2.0, "reasonably tested, but more could be done"),
+    (3.0, "reasonable level of testing and monitoring"),
+    (5.0, "strong levels of automated testing and monitoring"),
+)
+
+
+@dataclass
+class MLTestScorecard:
+    """One system's rubric assessment."""
+
+    system: str
+    _scores: dict[tuple[str, str], TestStatus] = field(default_factory=dict)
+
+    def record(self, section: str, item: str, status: TestStatus) -> None:
+        items = RUBRIC_ITEMS.get(section)
+        if items is None:
+            raise ValidationError(f"unknown rubric section {section!r}")
+        if item not in items:
+            raise NotFoundError(f"item {item!r} not in section {section!r}")
+        self._scores[(section, item)] = status
+
+    def section_score(self, section: str) -> float:
+        items = RUBRIC_ITEMS.get(section)
+        if items is None:
+            raise ValidationError(f"unknown rubric section {section!r}")
+        return sum(
+            float(self._scores.get((section, item), TestStatus.NOT_DONE)) for item in items
+        )
+
+    @property
+    def final_score(self) -> float:
+        """min over sections — the rubric's weakest-link rule."""
+        return min(self.section_score(s) for s in RUBRIC_ITEMS)
+
+    @property
+    def readiness(self) -> str:
+        score = self.final_score
+        band = READINESS_BANDS[0][1]
+        for threshold, description in READINESS_BANDS:
+            if score >= threshold:
+                band = description
+        return band
+
+    def gaps(self) -> list[tuple[str, str]]:
+        """Items still at NOT_DONE (the backlog)."""
+        out = []
+        for section, items in RUBRIC_ITEMS.items():
+            for item in items:
+                if self._scores.get((section, item), TestStatus.NOT_DONE) is TestStatus.NOT_DONE:
+                    out.append((section, item))
+        return out
+
+    def summary(self) -> dict[str, float]:
+        return {section: self.section_score(section) for section in RUBRIC_ITEMS} | {
+            "final": self.final_score
+        }

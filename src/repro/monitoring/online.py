@@ -1,0 +1,199 @@
+"""Online evaluation: shadow testing, canary rollouts, A/B tests.
+
+The three online modalities of the Unit 7 lecture (paper §3.7):
+
+* :class:`ShadowDeployment` mirrors live traffic to a challenger whose
+  outputs are recorded but never served, reporting agreement.
+* :class:`CanaryController` routes a traffic fraction to the challenger
+  and automatically rolls back when its error rate exceeds the baseline
+  by a margin, or promotes after enough healthy traffic.
+* :class:`ABTest` splits traffic 50/50 and runs a two-proportion z-test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable
+
+import numpy as np
+from scipy import stats
+
+from repro.common.errors import InvalidStateError, ValidationError
+
+
+class ShadowDeployment:
+    """Serve champion, mirror to challenger, record agreement."""
+
+    def __init__(
+        self,
+        champion: Callable[[Any], Any],
+        challenger: Callable[[Any], Any],
+    ) -> None:
+        self.champion = champion
+        self.challenger = challenger
+        self.records: list[tuple[Any, Any, Any]] = []
+
+    def serve(self, request: Any) -> Any:
+        """Returns the champion's answer; the challenger runs in shadow."""
+        live = self.champion(request)
+        shadow = self.challenger(request)
+        self.records.append((request, live, shadow))
+        return live
+
+    @property
+    def agreement(self) -> float:
+        if not self.records:
+            raise ValidationError("no shadow traffic recorded")
+        return sum(1 for _, a, b in self.records if a == b) / len(self.records)
+
+    def disagreements(self) -> list[tuple[Any, Any, Any]]:
+        return [(r, a, b) for r, a, b in self.records if a != b]
+
+
+class CanaryStatus(str, Enum):
+    RUNNING = "running"
+    PROMOTED = "promoted"
+    ROLLED_BACK = "rolled_back"
+
+
+@dataclass
+class _ArmStats:
+    requests: int = 0
+    errors: int = 0
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.requests if self.requests else 0.0
+
+
+class CanaryController:
+    """Fractional rollout with automated rollback.
+
+    Feed it (is_canary, is_error) observations via :meth:`observe`; after
+    each minimum-sample batch it compares error rates and either rolls
+    back (canary worse than baseline by ``max_error_delta``), promotes
+    (after ``promote_after`` healthy canary requests), or keeps running.
+    """
+
+    def __init__(
+        self,
+        *,
+        canary_fraction: float = 0.1,
+        max_error_delta: float = 0.02,
+        min_samples: int = 100,
+        promote_after: int = 1000,
+        seed: int = 0,
+    ) -> None:
+        if not (0 < canary_fraction < 1):
+            raise ValidationError(f"canary fraction must be in (0,1): {canary_fraction!r}")
+        if min_samples <= 0 or promote_after <= 0 or max_error_delta < 0:
+            raise ValidationError("invalid canary thresholds")
+        self.canary_fraction = canary_fraction
+        self.max_error_delta = max_error_delta
+        self.min_samples = min_samples
+        self.promote_after = promote_after
+        self.status = CanaryStatus.RUNNING
+        self.baseline = _ArmStats()
+        self.canary = _ArmStats()
+        self._rng = np.random.default_rng(seed)
+
+    def route(self) -> str:
+        """Assign one incoming request to an arm."""
+        if self.status is not CanaryStatus.RUNNING:
+            return "baseline"
+        return "canary" if self._rng.random() < self.canary_fraction else "baseline"
+
+    def observe(self, arm: str, *, error: bool) -> CanaryStatus:
+        """Record one request outcome and re-evaluate the rollout."""
+        if self.status is not CanaryStatus.RUNNING:
+            raise InvalidStateError(f"canary already {self.status.value}")
+        stats_ = self.canary if arm == "canary" else self.baseline
+        stats_.requests += 1
+        if error:
+            stats_.errors += 1
+        return self._evaluate()
+
+    def _evaluate(self) -> CanaryStatus:
+        if self.canary.requests >= self.min_samples and self.baseline.requests >= self.min_samples:
+            if self._canary_significantly_worse():
+                self.status = CanaryStatus.ROLLED_BACK
+            elif self.canary.requests >= self.promote_after:
+                self.status = CanaryStatus.PROMOTED
+        return self.status
+
+    def _canary_significantly_worse(self) -> bool:
+        """One-sided two-proportion z-test at z > 2 plus the delta margin.
+
+        Requiring statistical evidence (not just a raw gap) keeps small-
+        sample noise from rolling back a healthy canary.
+        """
+        c, b = self.canary, self.baseline
+        gap = c.error_rate - (b.error_rate + self.max_error_delta)
+        if gap <= 0:
+            return False
+        pooled = (c.errors + b.errors) / (c.requests + b.requests)
+        se = np.sqrt(pooled * (1 - pooled) * (1 / c.requests + 1 / b.requests))
+        if se == 0:
+            return True  # a gap with zero variance is real
+        z = (c.error_rate - b.error_rate) / se
+        return z > 2.0
+
+
+@dataclass(frozen=True)
+class ABResult:
+    conversions_a: int
+    trials_a: int
+    conversions_b: int
+    trials_b: int
+    z_statistic: float
+    p_value: float
+    significant: bool
+    winner: str | None  # "A" | "B" | None
+
+
+class ABTest:
+    """50/50 split with a two-proportion z-test at level alpha."""
+
+    def __init__(self, *, alpha: float = 0.05, seed: int = 0) -> None:
+        if not (0 < alpha < 1):
+            raise ValidationError(f"alpha must be in (0,1): {alpha!r}")
+        self.alpha = alpha
+        self._rng = np.random.default_rng(seed)
+        self._stats = {"A": _ArmStats(), "B": _ArmStats()}
+
+    def assign(self) -> str:
+        return "A" if self._rng.random() < 0.5 else "B"
+
+    def record(self, arm: str, *, success: bool) -> None:
+        if arm not in self._stats:
+            raise ValidationError(f"unknown arm {arm!r}")
+        s = self._stats[arm]
+        s.requests += 1
+        if success:
+            s.errors += 1  # reusing the counter as "successes" here
+
+    def result(self) -> ABResult:
+        a, b = self._stats["A"], self._stats["B"]
+        if a.requests < 2 or b.requests < 2:
+            raise ValidationError("not enough traffic in both arms")
+        p_a = a.errors / a.requests
+        p_b = b.errors / b.requests
+        pooled = (a.errors + b.errors) / (a.requests + b.requests)
+        se = np.sqrt(pooled * (1 - pooled) * (1 / a.requests + 1 / b.requests))
+        z = float((p_a - p_b) / se) if se > 0 else 0.0
+        p_value = float(2 * stats.norm.sf(abs(z)))
+        significant = p_value < self.alpha
+        winner = None
+        if significant:
+            winner = "A" if p_a > p_b else "B"
+        return ABResult(
+            conversions_a=a.errors,
+            trials_a=a.requests,
+            conversions_b=b.errors,
+            trials_b=b.requests,
+            z_statistic=z,
+            p_value=p_value,
+            significant=significant,
+            winner=winner,
+        )

@@ -1,0 +1,77 @@
+"""Per-slice evaluation.
+
+The Unit 7 lab "evaluated performance on key data slices and known failure
+modes" (paper §3.7).  :func:`evaluate_slices` computes a metric per slice
+of the eval set and flags slices whose performance falls more than a gap
+threshold below the overall value — the fairness/population-slice analysis
+the lecture motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class SliceReport:
+    """Metric values per slice plus flagged underperformers."""
+
+    overall: float
+    per_slice: dict[Hashable, float]
+    support: dict[Hashable, int]
+    flagged: tuple[Hashable, ...]
+    gap_threshold: float
+
+    def gap(self, slice_key: Hashable) -> float:
+        """Overall minus slice metric (positive = slice underperforms)."""
+        return self.overall - self.per_slice[slice_key]
+
+
+def evaluate_slices(
+    y_true: Sequence,
+    y_pred: Sequence,
+    slice_keys: Sequence[Hashable],
+    *,
+    metric: Callable[[Sequence, Sequence], float] | None = None,
+    gap_threshold: float = 0.05,
+    min_support: int = 10,
+) -> SliceReport:
+    """Evaluate ``metric`` (default accuracy) on each slice.
+
+    Slices with fewer than ``min_support`` examples are reported but never
+    flagged (a noisy 3-sample slice is not evidence of a failure mode).
+    """
+    if not (len(y_true) == len(y_pred) == len(slice_keys)):
+        raise ValidationError("y_true, y_pred, slice_keys must align")
+    if not y_true:
+        raise ValidationError("empty evaluation set")
+
+    if metric is None:
+        def metric(t, p):  # accuracy
+            return sum(1 for a, b in zip(t, p) if a == b) / len(t)
+
+    overall = metric(y_true, y_pred)
+    groups: dict[Hashable, tuple[list, list]] = {}
+    for t, p, k in zip(y_true, y_pred, slice_keys):
+        groups.setdefault(k, ([], []))
+        groups[k][0].append(t)
+        groups[k][1].append(p)
+
+    per_slice = {k: metric(ts, ps) for k, (ts, ps) in groups.items()}
+    support = {k: len(ts) for k, (ts, _) in groups.items()}
+    underperforming = (
+        k
+        for k, v in per_slice.items()
+        if support[k] >= min_support and overall - v > gap_threshold
+    )
+    flagged = tuple(sorted(underperforming, key=str))
+    return SliceReport(
+        overall=overall,
+        per_slice=per_slice,
+        support=support,
+        flagged=flagged,
+        gap_threshold=gap_threshold,
+    )

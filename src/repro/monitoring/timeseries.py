@@ -1,0 +1,117 @@
+"""A Prometheus-like metric time-series store with alert rules.
+
+The lab implements "live monitoring of operational metrics (e.g., latency,
+throughput) and model-specific metrics (e.g., output distribution)"
+(paper §3.7).  The store holds (timestamp, value) series per labelled
+metric; alert rules fire when a window aggregate crosses a threshold for a
+sustained duration, with resolve-on-recovery semantics.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+import numpy as np
+
+from repro.common.errors import NotFoundError, ValidationError
+
+
+class MetricStore:
+    """Append-only labelled time series."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, tuple[list[float], list[float]]] = {}
+
+    @staticmethod
+    def _key(name: str, labels: dict[str, str] | None) -> str:
+        if not labels:
+            return name
+        tags = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        return f"{name}{{{tags}}}"
+
+    def record(self, name: str, timestamp: float, value: float, labels: dict[str, str] | None = None) -> None:
+        ts, vs = self._series.setdefault(self._key(name, labels), ([], []))
+        if ts and timestamp < ts[-1]:
+            raise ValidationError(
+                f"timestamps must be non-decreasing for {name!r}: {timestamp} < {ts[-1]}"
+            )
+        ts.append(float(timestamp))
+        vs.append(float(value))
+
+    def series_names(self) -> list[str]:
+        return sorted(self._series)
+
+    def query(
+        self, name: str, *, start: float = -np.inf, end: float = np.inf,
+        labels: dict[str, str] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(timestamps, values) within [start, end]."""
+        key = self._key(name, labels)
+        try:
+            ts, vs = self._series[key]
+        except KeyError:
+            raise NotFoundError(f"no series {key!r}") from None
+        lo = bisect_left(ts, start)
+        hi = bisect_right(ts, end)
+        return np.array(ts[lo:hi]), np.array(vs[lo:hi])
+
+    def aggregate(
+        self, name: str, fn: Callable[[np.ndarray], float], *,
+        window: float, now: float, labels: dict[str, str] | None = None,
+    ) -> float:
+        """Apply ``fn`` to the values in the trailing ``window`` hours."""
+        _, values = self.query(name, start=now - window, end=now, labels=labels)
+        if values.size == 0:
+            raise ValidationError(f"no samples for {name!r} in the last {window}h")
+        return float(fn(values))
+
+
+class AlertState(str, Enum):
+    OK = "ok"
+    PENDING = "pending"  # condition true but not yet for the hold duration
+    FIRING = "firing"
+
+
+@dataclass
+class AlertRule:
+    """Fire when a window aggregate crosses a threshold for ``for_hours``."""
+
+    name: str
+    metric: str
+    threshold: float
+    comparison: str = ">"  # ">" or "<"
+    window: float = 0.25  # hours of samples to aggregate
+    for_hours: float = 0.0  # sustained-duration requirement
+    aggregate: Callable[[np.ndarray], float] = field(default=lambda v: float(np.mean(v)))
+    labels: dict[str, str] | None = None
+    state: AlertState = AlertState.OK
+    _breach_since: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.comparison not in (">", "<"):
+            raise ValidationError(f"comparison must be '>' or '<': {self.comparison!r}")
+        if self.window <= 0 or self.for_hours < 0:
+            raise ValidationError("invalid alert windows")
+
+    def evaluate(self, store: MetricStore, now: float) -> AlertState:
+        try:
+            value = store.aggregate(
+                self.metric, self.aggregate, window=self.window, now=now, labels=self.labels
+            )
+        except (NotFoundError, ValidationError):
+            return self.state  # no data: hold current state
+        breached = value > self.threshold if self.comparison == ">" else value < self.threshold
+        if not breached:
+            self.state = AlertState.OK
+            self._breach_since = None
+        else:
+            if self._breach_since is None:
+                self._breach_since = now
+            if now - self._breach_since >= self.for_hours:
+                self.state = AlertState.FIRING
+            else:
+                self.state = AlertState.PENDING
+        return self.state

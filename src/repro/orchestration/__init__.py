@@ -1,0 +1,55 @@
+"""Containers, Kubernetes-like orchestration, GitOps, and DAG workflows.
+
+Unit 2 of the course deploys a containerized ML service on Kubernetes with
+"replicas, load balancing, and horizontal scaling"; Unit 3 layers Argo CD
+(declarative GitOps sync into staging/canary/production) and Argo Workflows
+(a manually triggered ML lifecycle pipeline) on top (paper §3.2–3.3).
+
+* :mod:`repro.orchestration.containers` — images, registry, container runtime.
+* :mod:`repro.orchestration.kubernetes` — nodes, pods, deployments, services,
+  rolling updates, and a reconciliation loop.
+* :mod:`repro.orchestration.scaling` — the horizontal pod autoscaler.
+* :mod:`repro.orchestration.gitops` — Argo-CD-like application sync.
+* :mod:`repro.orchestration.workflow` — Argo-Workflows-like DAG execution.
+"""
+
+from repro.orchestration.cicd import CdPromoter, CiPipeline, CodeRepo
+from repro.orchestration.containers import Container, ContainerImage, ContainerRuntime, Registry
+from repro.orchestration.gitops import Application, GitRepo, GitOpsController, SyncStatus
+from repro.orchestration.kubernetes import (
+    Cluster,
+    Deployment,
+    KubeNode,
+    Pod,
+    PodPhase,
+    PodTemplate,
+    Service,
+)
+from repro.orchestration.scaling import HorizontalPodAutoscaler
+from repro.orchestration.workflow import StepStatus, Workflow, WorkflowEngine, WorkflowStep
+
+__all__ = [
+    "ContainerImage",
+    "Registry",
+    "Container",
+    "ContainerRuntime",
+    "KubeNode",
+    "PodTemplate",
+    "Pod",
+    "PodPhase",
+    "Deployment",
+    "Service",
+    "Cluster",
+    "HorizontalPodAutoscaler",
+    "GitRepo",
+    "Application",
+    "GitOpsController",
+    "SyncStatus",
+    "Workflow",
+    "WorkflowStep",
+    "WorkflowEngine",
+    "StepStatus",
+    "CodeRepo",
+    "CiPipeline",
+    "CdPromoter",
+]

@@ -1,0 +1,155 @@
+"""Container images, a registry, and a single-host container runtime.
+
+Unit 2's first deployment step is "deployed a simple ML application in a
+Docker container" (paper §3.2).  The runtime models the lifecycle facts the
+rest of the stack depends on: images must be pulled before they run,
+containers expose ports, and exit records persist for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.errors import ConflictError, InvalidStateError, NotFoundError, ValidationError
+from repro.common.ids import IdGenerator
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """An immutable image reference with build metadata."""
+
+    name: str
+    tag: str = "latest"
+    size_mb: float = 500.0
+    env: tuple[tuple[str, str], ...] = ()
+    command: str = ""
+    labels: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("image name cannot be empty")
+        if self.size_mb <= 0:
+            raise ValidationError(f"image size must be positive: {self.size_mb!r}")
+
+    @property
+    def ref(self) -> str:
+        return f"{self.name}:{self.tag}"
+
+
+class Registry:
+    """A container registry (the course runs one for GourmetGram images)."""
+
+    def __init__(self) -> None:
+        self._images: dict[str, ContainerImage] = {}
+
+    def push(self, image: ContainerImage) -> str:
+        """Store ``image``; re-pushing the same ref overwrites (like a tag move)."""
+        self._images[image.ref] = image
+        return image.ref
+
+    def pull(self, ref: str) -> ContainerImage:
+        try:
+            return self._images[ref]
+        except KeyError:
+            raise NotFoundError(f"image {ref!r} not in registry") from None
+
+    def tags(self, name: str) -> list[str]:
+        return sorted(i.tag for i in self._images.values() if i.name == name)
+
+    def __contains__(self, ref: str) -> bool:
+        return ref in self._images
+
+
+class ContainerState(str, Enum):
+    CREATED = "created"
+    RUNNING = "running"
+    EXITED = "exited"
+
+
+@dataclass
+class Container:
+    id: str
+    image: ContainerImage
+    state: ContainerState = ContainerState.CREATED
+    ports: dict[int, int] = field(default_factory=dict)  # host -> container
+    env: dict[str, str] = field(default_factory=dict)
+    exit_code: int | None = None
+    logs: list[str] = field(default_factory=list)
+
+
+class ContainerRuntime:
+    """Docker-like runtime on one host."""
+
+    def __init__(self, registry: Registry, *, host: str = "localhost") -> None:
+        self.registry = registry
+        self.host = host
+        self._ids = IdGenerator()
+        self.containers: dict[str, Container] = {}
+        self._local_images: dict[str, ContainerImage] = {}
+
+    def pull(self, ref: str) -> ContainerImage:
+        image = self.registry.pull(ref)
+        self._local_images[ref] = image
+        return image
+
+    def run(
+        self,
+        ref: str,
+        *,
+        ports: dict[int, int] | None = None,
+        env: dict[str, str] | None = None,
+    ) -> Container:
+        """Create and start a container; pulls the image if not local."""
+        if ref not in self._local_images:
+            self.pull(ref)
+        image = self._local_images[ref]
+        ports = dict(ports or {})
+        for host_port in ports:
+            for c in self.containers.values():
+                if c.state is ContainerState.RUNNING and host_port in c.ports:
+                    raise ConflictError(f"host port {host_port} already bound by {c.id}")
+        merged_env = dict(image.env)
+        merged_env.update(env or {})
+        container = Container(
+            id=self._ids.next("ctr"),
+            image=image,
+            state=ContainerState.RUNNING,
+            ports=ports,
+            env=merged_env,
+        )
+        container.logs.append(f"started {image.ref}: {image.command}")
+        self.containers[container.id] = container
+        return container
+
+    def stop(self, container_id: str, *, exit_code: int = 0) -> None:
+        c = self._container(container_id)
+        if c.state is not ContainerState.RUNNING:
+            raise InvalidStateError(f"container {container_id} is {c.state.value}")
+        c.state = ContainerState.EXITED
+        c.exit_code = exit_code
+        c.logs.append(f"exited with code {exit_code}")
+
+    def remove(self, container_id: str) -> None:
+        c = self._container(container_id)
+        if c.state is ContainerState.RUNNING:
+            raise ConflictError(f"container {container_id} is running; stop it first")
+        del self.containers[container_id]
+
+    def logs(self, container_id: str) -> list[str]:
+        return list(self._container(container_id).logs)
+
+    def running(self) -> list[Container]:
+        return [c for c in self.containers.values() if c.state is ContainerState.RUNNING]
+
+    def port_owner(self, host_port: int) -> Container | None:
+        for c in self.running():
+            if host_port in c.ports:
+                return c
+        return None
+
+    def _container(self, container_id: str) -> Container:
+        try:
+            return self.containers[container_id]
+        except KeyError:
+            raise NotFoundError(f"container {container_id!r} not found") from None

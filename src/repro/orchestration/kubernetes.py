@@ -1,0 +1,396 @@
+"""A Kubernetes-like orchestrator: nodes, pods, deployments, services.
+
+Models the control-plane behaviours Unit 2 teaches (paper §3.2): declarative
+replica counts, a scheduler that respects resource requests, services that
+load-balance across ready pods, and rolling updates (the substrate the Unit 3
+staging/canary/production environments are built on).
+
+The control loop is explicit: :meth:`Cluster.reconcile` performs one
+convergence pass (deployments -> replica sets -> pods -> scheduling ->
+readiness), mirroring how real controllers converge over several iterations.
+``reconcile_to_convergence`` loops until a fixed point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from repro.common.errors import (
+    ConflictError,
+    NotFoundError,
+    SchedulingError,
+    ValidationError,
+)
+from repro.common.ids import IdGenerator
+
+
+@dataclass(frozen=True)
+class PodTemplate:
+    """The pod spec stamped out by a deployment."""
+
+    image: str  # image ref, e.g. "gourmetgram/food-classifier:v2"
+    cpu_request: float = 0.5
+    mem_request_gib: float = 0.5
+    labels: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.cpu_request <= 0 or self.mem_request_gib <= 0:
+            raise ValidationError(f"pod requests must be positive: {self!r}")
+
+    def label_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+
+class PodPhase(str, Enum):
+    PENDING = "Pending"
+    RUNNING = "Running"
+    TERMINATING = "Terminating"
+    FAILED = "Failed"
+
+
+@dataclass
+class Pod:
+    name: str
+    template: PodTemplate
+    labels: dict[str, str]
+    owner: str | None = None  # replica set name
+    node: str | None = None
+    phase: PodPhase = PodPhase.PENDING
+    ready: bool = False
+    restarts: int = 0
+
+
+@dataclass
+class KubeNode:
+    """A worker node with allocatable CPU / memory."""
+
+    name: str
+    cpu: float
+    mem_gib: float
+    ready: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cpu <= 0 or self.mem_gib <= 0:
+            raise ValidationError(f"node capacity must be positive: {self!r}")
+
+
+@dataclass
+class ReplicaSet:
+    name: str
+    deployment: str
+    template: PodTemplate
+    desired: int = 0
+
+
+@dataclass
+class Deployment:
+    """Desired state: ``replicas`` pods from ``template``."""
+
+    name: str
+    template: PodTemplate
+    replicas: int = 1
+    max_surge: int = 1
+    max_unavailable: int = 0
+    revision: int = 1
+
+    def __post_init__(self) -> None:
+        if self.replicas < 0:
+            raise ValidationError(f"replicas cannot be negative: {self.replicas!r}")
+        if self.max_surge < 0 or self.max_unavailable < 0:
+            raise ValidationError("surge/unavailable cannot be negative")
+        if self.max_surge == 0 and self.max_unavailable == 0:
+            raise ValidationError("max_surge and max_unavailable cannot both be zero")
+
+
+@dataclass
+class Service:
+    """Round-robin load balancer over ready pods matching the selector."""
+
+    name: str
+    selector: dict[str, str]
+    port: int = 80
+    _rr: itertools.cycle | None = field(default=None, repr=False)
+    _rr_pods: tuple[str, ...] = field(default=(), repr=False)
+
+    def matches(self, pod: Pod) -> bool:
+        return all(pod.labels.get(k) == v for k, v in self.selector.items())
+
+
+class Cluster:
+    """The cluster state plus its reconciliation loop."""
+
+    def __init__(self, name: str = "k8s") -> None:
+        self.name = name
+        self._ids = IdGenerator()
+        self.nodes: dict[str, KubeNode] = {}
+        self.pods: dict[str, Pod] = {}
+        self.replicasets: dict[str, ReplicaSet] = {}
+        self.deployments: dict[str, Deployment] = {}
+        self.services: dict[str, Service] = {}
+
+    # -- inventory -----------------------------------------------------------
+
+    def add_node(self, node: KubeNode) -> KubeNode:
+        if node.name in self.nodes:
+            raise ConflictError(f"node {node.name!r} already in cluster")
+        self.nodes[node.name] = node
+        return node
+
+    def drain_node(self, name: str) -> None:
+        """Cordon + evict: pods on the node go back to Pending."""
+        node = self._node(name)
+        node.ready = False
+        for pod in self.pods.values():
+            if pod.node == name and pod.phase is PodPhase.RUNNING:
+                pod.node = None
+                pod.phase = PodPhase.PENDING
+                pod.ready = False
+                pod.restarts += 1
+
+    def node_allocated(self, name: str) -> tuple[float, float]:
+        """(cpu, mem_gib) requested by pods bound to the node."""
+        cpu = mem = 0.0
+        for pod in self.pods.values():
+            if pod.node == name and pod.phase in (PodPhase.RUNNING, PodPhase.PENDING):
+                cpu += pod.template.cpu_request
+                mem += pod.template.mem_request_gib
+        return cpu, mem
+
+    # -- workloads -------------------------------------------------------------
+
+    def apply_deployment(self, deployment: Deployment) -> Deployment:
+        """Create or update (idempotent, like ``kubectl apply``)."""
+        existing = self.deployments.get(deployment.name)
+        if existing is not None and existing.template != deployment.template:
+            deployment = replace(deployment, revision=existing.revision + 1)
+        self.deployments[deployment.name] = deployment
+        return deployment
+
+    def delete_deployment(self, name: str) -> None:
+        if name not in self.deployments:
+            raise NotFoundError(f"deployment {name!r} not found")
+        del self.deployments[name]
+
+    def apply_service(self, service: Service) -> Service:
+        self.services[service.name] = service
+        return service
+
+    def scale(self, deployment_name: str, replicas: int) -> None:
+        dep = self._deployment(deployment_name)
+        self.deployments[deployment_name] = replace(dep, replicas=replicas)
+
+    # -- queries -----------------------------------------------------------------
+
+    def deployment_pods(self, name: str, *, current_only: bool = False) -> list[Pod]:
+        dep = self._deployment(name)
+        rs_names = {
+            rs.name
+            for rs in self.replicasets.values()
+            if rs.deployment == name
+            and (not current_only or rs.template == dep.template)
+        }
+        return [p for p in self.pods.values() if p.owner in rs_names]
+
+    def ready_pods(self, deployment_name: str) -> list[Pod]:
+        return [
+            p
+            for p in self.deployment_pods(deployment_name)
+            if p.phase is PodPhase.RUNNING and p.ready
+        ]
+
+    def route(self, service_name: str) -> Pod:
+        """Route one request through the service's round-robin balancer."""
+        svc = self._service(service_name)
+        backends = sorted(
+            (
+                p
+                for p in self.pods.values()
+                if svc.matches(p) and p.phase is PodPhase.RUNNING and p.ready
+            ),
+            key=lambda p: p.name,
+        )
+        if not backends:
+            raise SchedulingError(f"service {service_name!r} has no ready endpoints")
+        names = tuple(p.name for p in backends)
+        if svc._rr is None or svc._rr_pods != names:
+            svc._rr = itertools.cycle(names)
+            svc._rr_pods = names
+        chosen = next(svc._rr)
+        return self.pods[chosen]
+
+    # -- reconciliation ------------------------------------------------------------
+
+    def reconcile(self) -> bool:
+        """One control-loop pass; returns True if anything changed."""
+        changed = False
+        changed |= self._reconcile_deployments()
+        changed |= self._reconcile_replicasets()
+        changed |= self._schedule_pending()
+        changed |= self._mark_ready()
+        changed |= self._gc_pods()
+        return changed
+
+    def reconcile_to_convergence(self, max_iterations: int = 100) -> int:
+        """Reconcile until a fixed point; returns iterations used."""
+        for i in range(max_iterations):
+            if not self.reconcile():
+                return i + 1
+        raise SchedulingError(f"cluster did not converge in {max_iterations} iterations")
+
+    # -- controller internals ----------------------------------------------------
+
+    def _rs_for(self, dep: Deployment) -> ReplicaSet:
+        for rs in self.replicasets.values():
+            if rs.deployment == dep.name and rs.template == dep.template:
+                return rs
+        rs = ReplicaSet(
+            name=f"{dep.name}-{self._ids.next('rs').split('-')[1]}",
+            deployment=dep.name,
+            template=dep.template,
+        )
+        self.replicasets[rs.name] = rs
+        return rs
+
+    def _reconcile_deployments(self) -> bool:
+        changed = False
+        # adopt orphan replica sets of deleted deployments -> scale to zero
+        for rs in self.replicasets.values():
+            if rs.deployment not in self.deployments and rs.desired != 0:
+                rs.desired = 0
+                changed = True
+        for dep in self.deployments.values():
+            new_rs = self._rs_for(dep)
+            old_rs = [
+                rs
+                for rs in self.replicasets.values()
+                if rs.deployment == dep.name and rs.name != new_rs.name
+            ]
+            total_ready = len(self.ready_pods(dep.name))
+            old_desired = sum(rs.desired for rs in old_rs)
+
+            # scale up the new RS within the surge budget
+            surge_room = dep.replicas + dep.max_surge - (new_rs.desired + old_desired)
+            if new_rs.desired < dep.replicas and surge_room > 0:
+                new_rs.desired = min(dep.replicas, new_rs.desired + surge_room)
+                changed = True
+
+            # scale down old RSes within the availability budget: how many
+            # old pods can we drop while keeping min_available ready?
+            min_available = dep.replicas - dep.max_unavailable
+            can_remove = max(0, total_ready - min_available)
+            for rs in sorted(old_rs, key=lambda r: r.name):
+                if can_remove <= 0:
+                    break
+                drop = min(rs.desired, can_remove)
+                if drop > 0:
+                    rs.desired -= drop
+                    can_remove -= drop
+                    changed = True
+            # plain scale-down of the current RS (no template change)
+            if not old_rs and new_rs.desired > dep.replicas:
+                new_rs.desired = dep.replicas
+                changed = True
+        return changed
+
+    def _reconcile_replicasets(self) -> bool:
+        changed = False
+        for rs in self.replicasets.values():
+            pods = [
+                p
+                for p in self.pods.values()
+                if p.owner == rs.name and p.phase in (PodPhase.PENDING, PodPhase.RUNNING)
+            ]
+            while len(pods) < rs.desired:
+                pod = Pod(
+                    name=self._ids.next(f"{rs.name}"),
+                    template=rs.template,
+                    labels={**rs.template.label_dict(), "pod-template-hash": rs.name},
+                    owner=rs.name,
+                )
+                self.pods[pod.name] = pod
+                pods.append(pod)
+                changed = True
+            excess = len(pods) - rs.desired
+            if excess > 0:
+                # evict not-ready pods first, then lowest name for determinism
+                victims = sorted(pods, key=lambda p: (p.ready, p.name))[:excess]
+                for pod in victims:
+                    pod.phase = PodPhase.TERMINATING
+                    pod.ready = False
+                    changed = True
+        return changed
+
+    def _schedule_pending(self) -> bool:
+        changed = False
+        for pod in sorted(self.pods.values(), key=lambda p: p.name):
+            if pod.phase is not PodPhase.PENDING or pod.node is not None:
+                continue
+            node = self._pick_node(pod)
+            if node is None:
+                continue  # stays Pending — capacity pressure is observable
+            pod.node = node.name
+            pod.phase = PodPhase.RUNNING
+            pod.ready = False  # becomes ready on the next pass
+            changed = True
+        return changed
+
+    def _pick_node(self, pod: Pod) -> KubeNode | None:
+        """Least-allocated-CPU node with room for the pod's requests."""
+        best: KubeNode | None = None
+        best_cpu = float("inf")
+        for node in self.nodes.values():
+            if not node.ready:
+                continue
+            cpu_used, mem_used = self.node_allocated(node.name)
+            if (
+                cpu_used + pod.template.cpu_request <= node.cpu + 1e-9
+                and mem_used + pod.template.mem_request_gib <= node.mem_gib + 1e-9
+                and cpu_used < best_cpu
+            ):
+                best, best_cpu = node, cpu_used
+        return best
+
+    def _mark_ready(self) -> bool:
+        changed = False
+        for pod in self.pods.values():
+            if pod.phase is PodPhase.RUNNING and not pod.ready:
+                pod.ready = True
+                changed = True
+        return changed
+
+    def _gc_pods(self) -> bool:
+        doomed = [n for n, p in self.pods.items() if p.phase is PodPhase.TERMINATING]
+        for name in doomed:
+            del self.pods[name]
+        # GC empty replica sets of old revisions
+        for rs_name in [
+            n
+            for n, rs in self.replicasets.items()
+            if rs.desired == 0 and not any(p.owner == n for p in self.pods.values())
+        ]:
+            dep = self.deployments.get(self.replicasets[rs_name].deployment)
+            if dep is None or dep.template != self.replicasets[rs_name].template:
+                del self.replicasets[rs_name]
+        return bool(doomed)
+
+    # -- lookups --------------------------------------------------------------
+
+    def _node(self, name: str) -> KubeNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise NotFoundError(f"node {name!r} not found") from None
+
+    def _deployment(self, name: str) -> Deployment:
+        try:
+            return self.deployments[name]
+        except KeyError:
+            raise NotFoundError(f"deployment {name!r} not found") from None
+
+    def _service(self, name: str) -> Service:
+        try:
+            return self.services[name]
+        except KeyError:
+            raise NotFoundError(f"service {name!r} not found") from None

@@ -1,0 +1,69 @@
+"""Horizontal pod autoscaling.
+
+Implements the standard HPA control law: with current replica count ``n``
+and per-pod metric values ``m_i`` against target ``t``,
+
+    desired = ceil(n * mean(m_i) / t)
+
+clamped to ``[min_replicas, max_replicas]``, with a stabilisation window on
+scale-down (the controller will not shrink until the metric has been below
+target for ``scale_down_delay`` consecutive evaluations) — preventing the
+flapping the course's Unit 2 lab demonstrates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.orchestration.kubernetes import Cluster
+
+
+@dataclass
+class HorizontalPodAutoscaler:
+    """Autoscale one deployment on a per-pod utilisation metric."""
+
+    deployment: str
+    min_replicas: int = 1
+    max_replicas: int = 10
+    target: float = 0.7  # e.g. 70% CPU utilisation
+    scale_down_delay: int = 3  # consecutive low evaluations required
+    tolerance: float = 0.1  # dead band around target (fractional)
+    _low_streak: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1 or self.max_replicas < self.min_replicas:
+            raise ValidationError(
+                f"bad replica bounds [{self.min_replicas}, {self.max_replicas}]"
+            )
+        if self.target <= 0:
+            raise ValidationError(f"target must be positive: {self.target!r}")
+
+    def desired_replicas(self, current: int, metrics: list[float]) -> int:
+        """Pure control law (no cluster side effects)."""
+        if current == 0 or not metrics:
+            return max(self.min_replicas, current)
+        mean = sum(metrics) / len(metrics)
+        ratio = mean / self.target
+        if abs(ratio - 1.0) <= self.tolerance:
+            return current
+        return max(self.min_replicas, min(self.max_replicas, math.ceil(current * ratio)))
+
+    def evaluate(self, cluster: Cluster, metrics: list[float]) -> int:
+        """Evaluate once against live pod metrics and scale the deployment.
+
+        ``metrics`` holds one utilisation sample per ready pod.  Returns the
+        replica count after this evaluation.
+        """
+        dep = cluster.deployments[self.deployment]
+        desired = self.desired_replicas(dep.replicas, metrics)
+        if desired < dep.replicas:
+            self._low_streak += 1
+            if self._low_streak < self.scale_down_delay:
+                return dep.replicas  # stabilisation window
+        else:
+            self._low_streak = 0
+        if desired != dep.replicas:
+            cluster.scale(self.deployment, desired)
+        return desired

@@ -1,0 +1,46 @@
+"""Cluster scheduling for ML training jobs.
+
+Unit 5's lecture introduces "job scheduling and placement concepts from
+HPC, e.g., backfilling, gang scheduling, and fair sharing, specifically for
+ML training jobs" (paper §3.5), and the lab deploys a Ray cluster with
+resource-aware jobs and hyperparameter search.
+
+* :mod:`repro.scheduling.jobs` — job specs (tasks × GPUs/CPUs, gang
+  semantics, runtime estimates) and a seeded ML-workload generator.
+* :mod:`repro.scheduling.cluster` — the node pool with placement.
+* :mod:`repro.scheduling.policies` — FIFO, EASY backfill, weighted fair
+  share.
+* :mod:`repro.scheduling.scheduler` — the event-driven scheduling
+  simulation producing wait/turnaround/utilisation statistics.
+* :mod:`repro.scheduling.raysim` — Ray-like task pool and a hyperparameter
+  tuner (grid/random + ASHA-style successive halving).
+"""
+
+from repro.scheduling.cluster import SchedCluster, SchedNode
+from repro.scheduling.jobs import Job, JobState, ml_workload
+from repro.scheduling.policies import (
+    BackfillPolicy,
+    FairSharePolicy,
+    FifoPolicy,
+    SchedulingPolicy,
+)
+from repro.scheduling.raysim import RayCluster, RayTask, TuneResult, Tuner
+from repro.scheduling.scheduler import ScheduleResult, Scheduler
+
+__all__ = [
+    "Job",
+    "JobState",
+    "ml_workload",
+    "SchedNode",
+    "SchedCluster",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "BackfillPolicy",
+    "FairSharePolicy",
+    "Scheduler",
+    "ScheduleResult",
+    "RayCluster",
+    "RayTask",
+    "Tuner",
+    "TuneResult",
+]

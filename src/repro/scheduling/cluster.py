@@ -1,0 +1,106 @@
+"""The scheduler's node pool and placement logic.
+
+Placement enforces the gang constraint: a job's tasks are placed
+one-task-per-slot across nodes (a node can host several tasks if it has
+the GPUs/CPUs), and either every task fits simultaneously or the job does
+not start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConflictError, ValidationError
+from repro.scheduling.jobs import Job
+
+
+@dataclass
+class SchedNode:
+    """One node: total and free GPU/CPU capacity."""
+
+    index: int
+    gpus: int
+    cpus: int
+    free_gpus: int = field(default=-1)
+    free_cpus: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.gpus < 0 or self.cpus <= 0:
+            raise ValidationError(f"invalid node capacity: {self!r}")
+        if self.free_gpus < 0:
+            self.free_gpus = self.gpus
+        if self.free_cpus < 0:
+            self.free_cpus = self.cpus
+
+
+class SchedCluster:
+    """A homogeneous (or mixed) pool of :class:`SchedNode`."""
+
+    def __init__(self, nodes: list[SchedNode]) -> None:
+        if not nodes:
+            raise ValidationError("cluster needs at least one node")
+        self.nodes = list(nodes)
+        self._running: dict[str, Job] = {}
+
+    @classmethod
+    def homogeneous(cls, n_nodes: int, *, gpus_per_node: int = 4, cpus_per_node: int = 32) -> "SchedCluster":
+        return cls([SchedNode(i, gpus_per_node, cpus_per_node) for i in range(n_nodes)])
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(n.gpus for n in self.nodes)
+
+    @property
+    def free_gpus(self) -> int:
+        return sum(n.free_gpus for n in self.nodes)
+
+    def find_placement(self, job: Job) -> tuple[int, ...] | None:
+        """Node index per task, or None if the gang does not fit now."""
+        free = [(n.free_gpus, n.free_cpus) for n in self.nodes]
+        placement: list[int] = []
+        for _task in range(job.tasks):
+            placed = False
+            for idx, (fg, fc) in enumerate(free):
+                if fg >= job.gpus_per_task and fc >= job.cpus_per_task:
+                    free[idx] = (fg - job.gpus_per_task, fc - job.cpus_per_task)
+                    placement.append(idx)
+                    placed = True
+                    break
+            if not placed:
+                return None
+        return tuple(placement)
+
+    def allocate(self, job: Job, placement: tuple[int, ...]) -> None:
+        if job.id in self._running:
+            raise ConflictError(f"job {job.id} already allocated")
+        if len(placement) != job.tasks:
+            raise ValidationError(f"placement size {len(placement)} != tasks {job.tasks}")
+        # verify then commit (all-or-nothing)
+        trial = {i: (self.nodes[i].free_gpus, self.nodes[i].free_cpus) for i in set(placement)}
+        for idx in placement:
+            fg, fc = trial[idx]
+            if fg < job.gpus_per_task or fc < job.cpus_per_task:
+                raise ConflictError(f"placement over-subscribes node {idx} for job {job.id}")
+            trial[idx] = (fg - job.gpus_per_task, fc - job.cpus_per_task)
+        for idx in placement:
+            self.nodes[idx].free_gpus -= job.gpus_per_task
+            self.nodes[idx].free_cpus -= job.cpus_per_task
+        self._running[job.id] = job
+        job.placement = placement
+
+    def release(self, job: Job) -> None:
+        if job.id not in self._running:
+            raise ValidationError(f"job {job.id} is not allocated")
+        for idx in job.placement:
+            self.nodes[idx].free_gpus += job.gpus_per_task
+            self.nodes[idx].free_cpus += job.cpus_per_task
+        del self._running[job.id]
+
+    def running_jobs(self) -> list[Job]:
+        return list(self._running.values())
+
+    def check_invariants(self) -> None:
+        """Free counts must stay within [0, capacity] on every node."""
+        for n in self.nodes:
+            if not (0 <= n.free_gpus <= n.gpus and 0 <= n.free_cpus <= n.cpus):
+                raise ConflictError(f"node {n.index} accounting corrupt: {n!r}")

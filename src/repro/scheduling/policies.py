@@ -1,0 +1,183 @@
+"""Scheduling policies: FIFO, EASY backfill, weighted fair share.
+
+A policy answers one question at each scheduling point: *given the queue,
+the cluster, and the clock, which queued jobs start now?*  The scheduler
+invokes it on every submission and completion event.
+
+* **FIFO** starts jobs strictly in queue order and blocks on the first job
+  that does not fit — exhibiting the convoy effect (a wide gang job at the
+  head idles the whole cluster).
+* **EASY backfill** gives the head job a reservation at the earliest time
+  running jobs' *estimates* free enough resources, then lets later jobs
+  jump ahead if (by their estimates) they finish before that reservation —
+  the classic utilisation win the lecture covers.
+* **Weighted fair share** orders the queue by each user's consumed
+  GPU-hours divided by share weight, so heavy users yield to light ones.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.scheduling.cluster import SchedCluster, SchedNode
+from repro.scheduling.jobs import Job
+
+
+class SchedulingPolicy(Protocol):
+    """Strategy interface used by the :class:`~repro.scheduling.scheduler.Scheduler`."""
+
+    name: str
+
+    def select(self, now: float, queue: list[Job], cluster: SchedCluster) -> list[Job]:
+        """Jobs (in order) to start now.  Must not mutate queue or cluster."""
+        ...
+
+
+class FifoPolicy:
+    """Strict arrival order; head-of-line blocking."""
+
+    name = "fifo"
+
+    def select(self, now: float, queue: list[Job], cluster: SchedCluster) -> list[Job]:
+        started: list[Job] = []
+        shadow = _ShadowCluster(cluster)
+        for job in queue:
+            placement = shadow.find_placement(job)
+            if placement is None:
+                break  # FIFO never skips the head
+            shadow.commit(job, placement)
+            started.append(job)
+        return started
+
+
+class BackfillPolicy:
+    """EASY backfilling: reserve for the head, backfill behind it."""
+
+    name = "backfill"
+
+    def select(self, now: float, queue: list[Job], cluster: SchedCluster) -> list[Job]:
+        if not queue:
+            return []
+        started: list[Job] = []
+        shadow = _ShadowCluster(cluster)
+
+        # start in order while jobs fit
+        remaining = list(queue)
+        while remaining:
+            placement = shadow.find_placement(remaining[0])
+            if placement is None:
+                break
+            job = remaining.pop(0)
+            shadow.commit(job, placement)
+            started.append(job)
+        if not remaining:
+            return started
+
+        head = remaining.pop(0)
+        reservation = self._earliest_start(now, head, shadow, cluster)
+
+        # backfill: later jobs may start if they'd finish by the reservation,
+        # or if they don't touch resources the head needs (conservatively: the
+        # finish-by-reservation test only).
+        for job in remaining:
+            if now + job.estimate_hours > reservation + 1e-9:
+                continue
+            placement = shadow.find_placement(job)
+            if placement is None:
+                continue
+            shadow.commit(job, placement)
+            started.append(job)
+        return started
+
+    @staticmethod
+    def _earliest_start(
+        now: float, head: Job, shadow: "_ShadowCluster", cluster: SchedCluster
+    ) -> float:
+        """Earliest time the head fits, assuming running jobs end at estimates."""
+        releases = sorted(
+            (j.start_time + j.estimate_hours, j)
+            for j in cluster.running_jobs()
+            if j.start_time is not None
+        )
+        probe = shadow.clone()
+        t = now
+        for release_time, job in releases:
+            if probe.find_placement(head) is not None:
+                return t
+            probe.free(job)
+            t = max(t, release_time)
+        return t if probe.find_placement(head) is not None else t
+
+
+class FairSharePolicy:
+    """Order the queue by usage/share, then schedule greedily like backfill.
+
+    ``shares`` maps user -> weight (default 1.0); ``usage`` is maintained by
+    the scheduler (consumed GPU-hours).
+    """
+
+    name = "fair_share"
+
+    def __init__(self, shares: dict[str, float] | None = None) -> None:
+        self.shares = dict(shares or {})
+        self.usage: dict[str, float] = {}
+
+    def record_usage(self, user: str, gpu_hours: float) -> None:
+        self.usage[user] = self.usage.get(user, 0.0) + gpu_hours
+
+    def _priority(self, job: Job) -> float:
+        share = self.shares.get(job.user, 1.0)
+        return self.usage.get(job.user, 0.0) / max(share, 1e-9)
+
+    def select(self, now: float, queue: list[Job], cluster: SchedCluster) -> list[Job]:
+        ordered = sorted(queue, key=lambda j: (self._priority(j), j.submit_time, j.id))
+        started: list[Job] = []
+        shadow = _ShadowCluster(cluster)
+        for job in ordered:
+            placement = shadow.find_placement(job)
+            if placement is None:
+                continue  # fair share skips (no head-of-line blocking)
+            shadow.commit(job, placement)
+            started.append(job)
+        return started
+
+
+class _ShadowCluster:
+    """A copy-on-write view of free resources for what-if placement."""
+
+    def __init__(self, cluster: SchedCluster) -> None:
+        self._nodes = [
+            SchedNode(n.index, n.gpus, n.cpus, free_gpus=n.free_gpus, free_cpus=n.free_cpus)
+            for n in cluster.nodes
+        ]
+
+    def clone(self) -> "_ShadowCluster":
+        twin = object.__new__(_ShadowCluster)
+        twin._nodes = [
+            SchedNode(n.index, n.gpus, n.cpus, free_gpus=n.free_gpus, free_cpus=n.free_cpus)
+            for n in self._nodes
+        ]
+        return twin
+
+    def find_placement(self, job: Job) -> tuple[int, ...] | None:
+        free = [(n.free_gpus, n.free_cpus) for n in self._nodes]
+        placement: list[int] = []
+        for _ in range(job.tasks):
+            for idx, (fg, fc) in enumerate(free):
+                if fg >= job.gpus_per_task and fc >= job.cpus_per_task:
+                    free[idx] = (fg - job.gpus_per_task, fc - job.cpus_per_task)
+                    placement.append(idx)
+                    break
+            else:
+                return None
+        return tuple(placement)
+
+    def commit(self, job: Job, placement: tuple[int, ...]) -> None:
+        for idx in placement:
+            self._nodes[idx].free_gpus -= job.gpus_per_task
+            self._nodes[idx].free_cpus -= job.cpus_per_task
+
+    def free(self, job: Job) -> None:
+        for idx in job.placement:
+            self._nodes[idx].free_gpus += job.gpus_per_task
+            self._nodes[idx].free_cpus += job.cpus_per_task

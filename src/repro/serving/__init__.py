@@ -1,0 +1,38 @@
+"""Model serving: optimizations, inference latency, batching, and servers.
+
+Unit 6 of the course (paper §3.6) has students prepare "multiple model
+serving configurations that balance cost, latency, disk space and
+throughput under tight performance budgets":
+
+* :mod:`repro.serving.models` — the servable-model abstraction with
+  model-level optimizations (graph fusion, INT8 quantization, structured
+  pruning, distillation), each with analytic latency/size/accuracy effects.
+* :mod:`repro.serving.devices` — serving device profiles, from A100-class
+  server GPUs down to the Raspberry Pi 5 edge devices of CHI@Edge.
+* :mod:`repro.serving.engine` — the single-device inference latency model.
+* :mod:`repro.serving.batching` — dynamic batching queue simulation with
+  per-request latency percentiles.
+* :mod:`repro.serving.server` — a Triton-like server (instance groups ×
+  concurrency × batching) with a benchmark harness and SLO checking.
+"""
+
+from repro.serving.batching import BatchingConfig, BatchingResult, simulate_batching
+from repro.serving.devices import DEVICE_CATALOG, DeviceProfile
+from repro.serving.engine import InferenceEngine
+from repro.serving.models import Precision, ServableModel, food11_classifier
+from repro.serving.server import LoadProfile, ServingMetrics, TritonServer
+
+__all__ = [
+    "ServableModel",
+    "Precision",
+    "food11_classifier",
+    "DeviceProfile",
+    "DEVICE_CATALOG",
+    "InferenceEngine",
+    "BatchingConfig",
+    "BatchingResult",
+    "simulate_batching",
+    "TritonServer",
+    "LoadProfile",
+    "ServingMetrics",
+]

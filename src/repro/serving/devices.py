@@ -1,0 +1,110 @@
+"""Serving device profiles: server GPUs down to edge boards.
+
+The Unit 6 lab spans "server-grade hardware", "a low-resource environment
+typical of mobile/edge use cases" (the Raspberry Pi 5 devices added to
+CHI@Edge), and multi-GPU Triton deployments (paper §3.6).  Throughputs are
+representative *effective* inference numbers (a fraction of datasheet
+peaks), per precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import NotFoundError, ValidationError
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Effective inference capability of one device.
+
+    Attributes
+    ----------
+    name: Device name.
+    gflops: Effective GFLOP/s by precision key ("fp32", "fp16", "int8").
+    mem_bw_gbs: Memory bandwidth, GB/s (weights streaming term).
+    launch_overhead_ms: Fixed per-inference overhead (kernel launches,
+        pre/post-processing) — dominant for tiny batches on big GPUs.
+    is_gpu: Whether the device is a discrete accelerator.
+    hourly_cost_usd: Commercial-cloud cost of the instance hosting this
+        device (used by the cost/latency trade-off lab exercise).
+    """
+
+    name: str
+    gflops: tuple[tuple[str, float], ...]
+    mem_bw_gbs: float
+    launch_overhead_ms: float
+    is_gpu: bool = True
+    hourly_cost_usd: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mem_bw_gbs <= 0 or self.launch_overhead_ms < 0:
+            raise ValidationError(f"invalid device profile: {self!r}")
+
+    def throughput_gflops(self, precision: str) -> float:
+        for key, value in self.gflops:
+            if key == precision:
+                return value
+        raise NotFoundError(f"{self.name} has no {precision!r} execution provider")
+
+    def supports(self, precision: str) -> bool:
+        return any(k == precision for k, _ in self.gflops)
+
+
+DEVICE_CATALOG: dict[str, DeviceProfile] = {
+    d.name: d
+    for d in (
+        DeviceProfile(
+            "a100",
+            gflops=(("fp32", 15000.0), ("fp16", 90000.0), ("int8", 180000.0)),
+            mem_bw_gbs=1500.0,
+            launch_overhead_ms=0.35,
+            hourly_cost_usd=3.30,
+        ),
+        DeviceProfile(
+            "a30",
+            gflops=(("fp32", 8000.0), ("fp16", 50000.0), ("int8", 100000.0)),
+            mem_bw_gbs=933.0,
+            launch_overhead_ms=0.35,
+            hourly_cost_usd=1.46,
+        ),
+        DeviceProfile(
+            "p100",
+            gflops=(("fp32", 7000.0), ("fp16", 14000.0)),
+            mem_bw_gbs=700.0,
+            launch_overhead_ms=0.40,
+            hourly_cost_usd=1.10,
+        ),
+        DeviceProfile(
+            "t4",
+            gflops=(("fp32", 5500.0), ("fp16", 35000.0), ("int8", 80000.0)),
+            mem_bw_gbs=300.0,
+            launch_overhead_ms=0.40,
+            hourly_cost_usd=0.53,
+        ),
+        DeviceProfile(
+            "server-cpu-16c",
+            gflops=(("fp32", 900.0), ("int8", 2800.0)),
+            mem_bw_gbs=80.0,
+            launch_overhead_ms=0.10,
+            is_gpu=False,
+            hourly_cost_usd=0.68,
+        ),
+        # The Raspberry Pi 5 (ARM Cortex-A76) the authors added to CHI@Edge.
+        DeviceProfile(
+            "raspberrypi5",
+            gflops=(("fp32", 30.0), ("int8", 110.0)),
+            mem_bw_gbs=17.0,
+            launch_overhead_ms=0.50,
+            is_gpu=False,
+            hourly_cost_usd=0.0,  # no commercial equivalent (paper: "NA")
+        ),
+        DeviceProfile(
+            "jetson-nano",
+            gflops=(("fp32", 235.0), ("fp16", 470.0)),
+            mem_bw_gbs=25.6,
+            launch_overhead_ms=0.60,
+            hourly_cost_usd=0.0,
+        ),
+    )
+}

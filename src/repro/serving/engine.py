@@ -1,0 +1,77 @@
+"""The single-device inference latency model.
+
+A roofline-style decomposition of one batched forward pass:
+
+    t(b) = overhead + weights_bytes / mem_bw + b · flops / throughput
+
+The fixed overhead and the weights-streaming term amortise over the batch,
+which is exactly why dynamic batching raises throughput (Unit 6's
+system-level optimization) — and why the effect is strongest on devices
+with high compute-to-overhead ratios (server GPUs) and weakest on edge
+boards that are compute-bound even at batch 1.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.serving.devices import DeviceProfile
+from repro.serving.models import ServableModel
+
+
+class InferenceEngine:
+    """Latency/throughput predictions for one model on one device."""
+
+    def __init__(self, model: ServableModel, device: DeviceProfile) -> None:
+        if not device.supports(model.precision.value):
+            raise NotFoundError(
+                f"{device.name} has no {model.precision.value} execution provider "
+                f"for {model.name}"
+            )
+        self.model = model
+        self.device = device
+
+    def latency_ms(self, batch_size: int = 1) -> float:
+        """End-to-end latency of one batch, milliseconds."""
+        if batch_size <= 0:
+            raise ValidationError(f"batch size must be positive: {batch_size!r}")
+        m, d = self.model, self.device
+        overhead = d.launch_overhead_ms
+        weights_ms = m.size_mb / (d.mem_bw_gbs * 1e3) * 1e3  # MB over GB/s
+        compute_ms = batch_size * m.gflops_per_inference / d.throughput_gflops(m.precision.value) * 1e3
+        return overhead + weights_ms + compute_ms
+
+    def throughput_rps(self, batch_size: int = 1) -> float:
+        """Steady-state requests/second at a fixed batch size."""
+        return batch_size / (self.latency_ms(batch_size) / 1e3)
+
+    def max_throughput_rps(self, *, max_batch: int = 256) -> float:
+        """Throughput at the largest allowed batch (the saturation point)."""
+        return self.throughput_rps(max_batch)
+
+    def meets_slo(self, *, latency_budget_ms: float, batch_size: int = 1) -> bool:
+        return self.latency_ms(batch_size) <= latency_budget_ms
+
+    def best_batch_under_slo(self, latency_budget_ms: float, *, max_batch: int = 256) -> int:
+        """Largest batch whose latency fits the budget (0 if none does)."""
+        best = 0
+        b = 1
+        while b <= max_batch:
+            if self.latency_ms(b) <= latency_budget_ms:
+                best = b
+                b *= 2
+            else:
+                break
+        # refine between best and 2*best
+        lo, hi = best, min(max_batch, best * 2 if best else 1)
+        for b in range(lo + 1, hi + 1):
+            if self.latency_ms(b) <= latency_budget_ms:
+                best = b
+        return best
+
+    def cost_per_million_requests(self, *, batch_size: int = 8) -> float:
+        """Dollars per 1M requests at the device's hourly price."""
+        rps = self.throughput_rps(batch_size)
+        if rps <= 0:
+            raise ValidationError("zero throughput")
+        hours = 1e6 / rps / 3600.0
+        return hours * self.device.hourly_cost_usd

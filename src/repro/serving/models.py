@@ -1,0 +1,140 @@
+"""Servable models and model-level optimizations.
+
+The GourmetGram food classifier starts as an fp32 CNN/ViT-class model; the
+lab applies ONNX-Runtime-style graph optimizations, INT8 quantization, and
+explores pruning/distillation (paper §3.6).  Each optimization returns a
+*new* :class:`ServableModel` with analytic effects:
+
+===================== ============ ============ =================
+optimization           size         FLOPs        accuracy
+graph optimization     ×1           ×0.85        unchanged
+INT8 quantization      ×0.25        ×1 (int8 u.) −0.4 pp
+pruning (structured)   ×(1−s)       ×(1−s)       −4·s² pp
+distillation (×k)      ×1/k         ×1/k         −1.5·log2(k) pp
+===================== ============ ============ =================
+
+The provenance chain is recorded so illegal compositions (e.g. quantizing
+twice) fail loudly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.common.errors import InvalidStateError, ValidationError
+
+
+class Precision(str, Enum):
+    FP32 = "fp32"
+    FP16 = "fp16"
+    INT8 = "int8"
+
+    @property
+    def bytes(self) -> float:
+        return {"fp32": 4.0, "fp16": 2.0, "int8": 1.0}[self.value]
+
+
+@dataclass(frozen=True)
+class ServableModel:
+    """An inference artifact.
+
+    Attributes
+    ----------
+    name: Artifact name (provenance suffixes appended by optimizations).
+    params_million: Parameter count, millions.
+    gflops_per_inference: Dense FLOPs per single-sample forward pass, GFLOPs.
+    precision: Storage/compute precision.
+    base_accuracy: Top-1 accuracy on the reference eval set, in [0, 1].
+    optimizations: Provenance chain.
+    """
+
+    name: str
+    params_million: float
+    gflops_per_inference: float
+    precision: Precision = Precision.FP32
+    base_accuracy: float = 0.90
+    optimizations: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.params_million <= 0 or self.gflops_per_inference <= 0:
+            raise ValidationError(f"invalid model size/flops: {self!r}")
+        if not (0.0 <= self.base_accuracy <= 1.0):
+            raise ValidationError(f"accuracy must be in [0,1]: {self.base_accuracy!r}")
+
+    @property
+    def size_mb(self) -> float:
+        """On-disk artifact size (weights only)."""
+        return self.params_million * 1e6 * self.precision.bytes / 1e6
+
+    @property
+    def accuracy(self) -> float:
+        return self.base_accuracy
+
+    # -- optimizations -----------------------------------------------------------
+
+    def graph_optimized(self) -> "ServableModel":
+        """Operator fusion / constant folding: fewer FLOPs, same weights."""
+        if "graph" in self.optimizations:
+            raise InvalidStateError(f"{self.name} is already graph-optimized")
+        return replace(
+            self,
+            name=f"{self.name}+graph",
+            gflops_per_inference=self.gflops_per_inference * 0.85,
+            optimizations=self.optimizations + ("graph",),
+        )
+
+    def quantized(self, precision: Precision = Precision.INT8) -> "ServableModel":
+        """Post-training quantization: 4× smaller, small accuracy cost."""
+        if self.precision is not Precision.FP32:
+            raise InvalidStateError(f"{self.name} is already {self.precision.value}")
+        if precision is Precision.FP32:
+            raise ValidationError("cannot quantize to fp32")
+        drop = 0.004 if precision is Precision.INT8 else 0.001
+        return replace(
+            self,
+            name=f"{self.name}+{precision.value}",
+            precision=precision,
+            base_accuracy=max(0.0, self.base_accuracy - drop),
+            optimizations=self.optimizations + (f"quant:{precision.value}",),
+        )
+
+    def pruned(self, sparsity: float) -> "ServableModel":
+        """Structured pruning at the given sparsity in (0, 0.95]."""
+        if not (0.0 < sparsity <= 0.95):
+            raise ValidationError(f"sparsity must be in (0, 0.95], got {sparsity!r}")
+        drop = 0.04 * sparsity**2
+        return replace(
+            self,
+            name=f"{self.name}+prune{sparsity:g}",
+            params_million=self.params_million * (1 - sparsity),
+            gflops_per_inference=self.gflops_per_inference * (1 - sparsity),
+            base_accuracy=max(0.0, self.base_accuracy - drop),
+            optimizations=self.optimizations + (f"prune:{sparsity:g}",),
+        )
+
+    def distilled(self, factor: float) -> "ServableModel":
+        """Distil into a model ``factor``× smaller (factor > 1)."""
+        if factor <= 1.0:
+            raise ValidationError(f"distillation factor must exceed 1, got {factor!r}")
+        drop = 0.015 * math.log2(factor)
+        return replace(
+            self,
+            name=f"{self.name}+distill{factor:g}x",
+            params_million=self.params_million / factor,
+            gflops_per_inference=self.gflops_per_inference / factor,
+            base_accuracy=max(0.0, self.base_accuracy - drop),
+            optimizations=self.optimizations + (f"distill:{factor:g}",),
+        )
+
+
+def food11_classifier() -> ServableModel:
+    """The GourmetGram food classifier: a ResNet50-class image model."""
+    return ServableModel(
+        name="food11-resnet50",
+        params_million=25.6,
+        gflops_per_inference=4.1,
+        precision=Precision.FP32,
+        base_accuracy=0.90,
+    )

@@ -1,0 +1,33 @@
+"""Experiment tracking, artifact storage, and a model registry.
+
+Unit 5's lab deploys "an MLFlow tracking server, including all necessary
+services (backend store, artifact store, UI)" and uses it to "identify
+training bottlenecks, compare experiment results, and inspect model
+artifacts" (paper §3.5).  Unit 3's pipeline exercises "model registration
+and promotion".  The same three services live here:
+
+* :mod:`repro.tracking.store` — experiments, runs, params, tags, and
+  stepped/timestamped metrics with search.
+* :mod:`repro.tracking.artifacts` — a content-addressed artifact store.
+* :mod:`repro.tracking.registry` — model versions with stage transitions
+  (None → Staging → Production → Archived).
+* :mod:`repro.tracking.client` — the user-facing client tying them together.
+"""
+
+from repro.tracking.artifacts import ArtifactStore
+from repro.tracking.client import TrackingClient
+from repro.tracking.registry import ModelRegistry, ModelStage, ModelVersion
+from repro.tracking.store import Experiment, MetricPoint, Run, RunStatus, TrackingStore
+
+__all__ = [
+    "TrackingStore",
+    "Experiment",
+    "Run",
+    "RunStatus",
+    "MetricPoint",
+    "ArtifactStore",
+    "ModelRegistry",
+    "ModelStage",
+    "ModelVersion",
+    "TrackingClient",
+]

@@ -1,0 +1,71 @@
+"""The artifact store.
+
+Artifacts (model weights, plots, eval reports) are stored per run under a
+path hierarchy, content-addressed by SHA-256 so identical payloads dedupe —
+and so tests can verify integrity end-to-end.  Optionally backed by the
+simulated object store (the lab deploys MinIO for exactly this role).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.cloud.storage import ObjectStorageService
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    run_id: str
+    path: str
+    size: int
+    sha256: str
+
+
+class ArtifactStore:
+    """Per-run artifact storage with optional object-store backing."""
+
+    def __init__(self, backend: ObjectStorageService | None = None, *, bucket: str = "mlflow-artifacts", project: str = "mlops") -> None:
+        self._blobs: dict[str, bytes] = {}  # sha -> payload
+        self._index: dict[tuple[str, str], ArtifactInfo] = {}
+        self._backend = backend
+        self._bucket = bucket
+        if backend is not None and bucket not in backend.buckets:
+            backend.create_bucket(project, bucket)
+
+    def log_artifact(self, run_id: str, path: str, data: bytes) -> ArtifactInfo:
+        if not path or path.startswith("/"):
+            raise ValidationError(f"artifact path must be relative, got {path!r}")
+        sha = hashlib.sha256(data).hexdigest()
+        self._blobs.setdefault(sha, data)
+        info = ArtifactInfo(run_id=run_id, path=path, size=len(data), sha256=sha)
+        self._index[(run_id, path)] = info
+        if self._backend is not None:
+            self._backend.put_object(self._bucket, f"{run_id}/{path}", data)
+        return info
+
+    def get_artifact(self, run_id: str, path: str) -> bytes:
+        info = self._info(run_id, path)
+        return self._blobs[info.sha256]
+
+    def list_artifacts(self, run_id: str, prefix: str = "") -> list[ArtifactInfo]:
+        return sorted(
+            (i for (rid, p), i in self._index.items() if rid == run_id and p.startswith(prefix)),
+            key=lambda i: i.path,
+        )
+
+    def verify(self, run_id: str, path: str) -> bool:
+        """Re-hash the stored payload against the recorded digest."""
+        info = self._info(run_id, path)
+        return hashlib.sha256(self._blobs[info.sha256]).hexdigest() == info.sha256
+
+    def total_bytes(self) -> int:
+        """Deduplicated storage footprint."""
+        return sum(len(b) for b in self._blobs.values())
+
+    def _info(self, run_id: str, path: str) -> ArtifactInfo:
+        try:
+            return self._index[(run_id, path)]
+        except KeyError:
+            raise NotFoundError(f"no artifact {path!r} for run {run_id!r}") from None

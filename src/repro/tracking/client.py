@@ -1,0 +1,98 @@
+"""The user-facing tracking client.
+
+Wraps the backend store, artifact store, and registry behind the API a
+training script uses — the shape of the MLflow fluent API the lab's
+"configure a training script to log experiment metadata" step exercises.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.common.errors import InvalidStateError
+from repro.tracking.artifacts import ArtifactStore
+from repro.tracking.registry import ModelRegistry, ModelStage, ModelVersion
+from repro.tracking.store import Run, RunStatus, TrackingStore
+
+
+class TrackingClient:
+    """One client session against a tracking server."""
+
+    def __init__(
+        self,
+        store: TrackingStore | None = None,
+        artifacts: ArtifactStore | None = None,
+        registry: ModelRegistry | None = None,
+    ) -> None:
+        self.store = store if store is not None else TrackingStore()
+        self.artifacts = artifacts if artifacts is not None else ArtifactStore()
+        self.registry = registry if registry is not None else ModelRegistry()
+        self._active: Run | None = None
+
+    def set_experiment(self, name: str) -> str:
+        """Create-or-get an experiment; returns its id."""
+        try:
+            return self.store.get_experiment_by_name(name).id
+        except Exception:
+            return self.store.create_experiment(name).id
+
+    @contextmanager
+    def start_run(self, experiment: str, name: str = "") -> Iterator[Run]:
+        """Context manager: the run finishes FINISHED, or FAILED on error."""
+        if self._active is not None:
+            raise InvalidStateError(f"run {self._active.id} is already active")
+        exp_id = self.set_experiment(experiment)
+        run = self.store.create_run(exp_id, name)
+        self._active = run
+        try:
+            yield run
+        except Exception:
+            self.store.finish_run(run.id, RunStatus.FAILED)
+            raise
+        else:
+            self.store.finish_run(run.id, RunStatus.FINISHED)
+        finally:
+            self._active = None
+
+    # -- fluent logging (targets the active run) -----------------------------
+
+    def log_param(self, key: str, value: Any) -> None:
+        self.store.log_param(self._require_active().id, key, value)
+
+    def log_params(self, params: dict[str, Any]) -> None:
+        for k, v in params.items():
+            self.log_param(k, v)
+
+    def log_metric(self, key: str, value: float, *, step: int | None = None) -> None:
+        self.store.log_metric(self._require_active().id, key, value, step=step)
+
+    def log_metrics(self, metrics: dict[str, float], *, step: int | None = None) -> None:
+        for k, v in metrics.items():
+            self.log_metric(k, v, step=step)
+
+    def set_tag(self, key: str, value: str) -> None:
+        self.store.set_tag(self._require_active().id, key, value)
+
+    def log_artifact(self, path: str, data: bytes) -> None:
+        self.artifacts.log_artifact(self._require_active().id, path, data)
+
+    def log_model(
+        self,
+        model_name: str,
+        weights: bytes,
+        *,
+        metrics: dict[str, float] | None = None,
+    ) -> ModelVersion:
+        """Log weights as an artifact and register a new model version."""
+        run = self._require_active()
+        self.artifacts.log_artifact(run.id, f"models/{model_name}/weights.bin", weights)
+        return self.registry.register(model_name, run.id, metrics=metrics)
+
+    def promote(self, model_name: str, version: int, stage: ModelStage) -> ModelVersion:
+        return self.registry.transition(model_name, version, stage)
+
+    def _require_active(self) -> Run:
+        if self._active is None:
+            raise InvalidStateError("no active run; use start_run()")
+        return self._active

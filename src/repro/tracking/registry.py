@@ -1,0 +1,121 @@
+"""The model registry: versions, stages, promotion.
+
+Unit 3's pipeline simulates "model registration and promotion" (paper
+§3.3); the GourmetGram retraining loop in :mod:`repro.mlops` registers a
+new version on every retrain and promotes it through Staging → Production
+after evaluation gates pass.  Stage semantics follow MLflow: at most one
+version of a model holds Production at a time (the previous occupant is
+archived on promotion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.errors import ConflictError, NotFoundError, ValidationError
+
+
+class ModelStage(str, Enum):
+    NONE = "None"
+    STAGING = "Staging"
+    PRODUCTION = "Production"
+    ARCHIVED = "Archived"
+
+
+_ALLOWED_TRANSITIONS: dict[ModelStage, set[ModelStage]] = {
+    ModelStage.NONE: {ModelStage.STAGING, ModelStage.ARCHIVED, ModelStage.PRODUCTION},
+    ModelStage.STAGING: {ModelStage.PRODUCTION, ModelStage.ARCHIVED, ModelStage.NONE},
+    ModelStage.PRODUCTION: {ModelStage.ARCHIVED, ModelStage.STAGING},
+    ModelStage.ARCHIVED: {ModelStage.STAGING, ModelStage.NONE},
+}
+
+
+@dataclass
+class ModelVersion:
+    name: str
+    version: int
+    run_id: str
+    stage: ModelStage = ModelStage.NONE
+    description: str = ""
+    metrics: dict[str, float] = field(default_factory=dict)
+
+
+class ModelRegistry:
+    """Versioned model store with single-occupancy Production stage."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, list[ModelVersion]] = {}
+
+    def register(
+        self,
+        name: str,
+        run_id: str,
+        *,
+        description: str = "",
+        metrics: dict[str, float] | None = None,
+    ) -> ModelVersion:
+        """Register a new version of ``name`` (versions start at 1)."""
+        versions = self._models.setdefault(name, [])
+        mv = ModelVersion(
+            name=name,
+            version=len(versions) + 1,
+            run_id=run_id,
+            description=description,
+            metrics=dict(metrics or {}),
+        )
+        versions.append(mv)
+        return mv
+
+    def get(self, name: str, version: int) -> ModelVersion:
+        for mv in self._versions(name):
+            if mv.version == version:
+                return mv
+        raise NotFoundError(f"model {name!r} has no version {version}")
+
+    def versions(self, name: str) -> list[ModelVersion]:
+        return list(self._versions(name))
+
+    def latest(self, name: str, *, stage: ModelStage | None = None) -> ModelVersion:
+        """Newest version (optionally restricted to a stage)."""
+        candidates = [
+            mv for mv in self._versions(name) if stage is None or mv.stage is stage
+        ]
+        if not candidates:
+            raise NotFoundError(
+                f"model {name!r} has no version"
+                + (f" in stage {stage.value}" if stage else "")
+            )
+        return candidates[-1]
+
+    def transition(self, name: str, version: int, stage: ModelStage) -> ModelVersion:
+        """Move a version to ``stage``, archiving any Production occupant."""
+        mv = self.get(name, version)
+        if stage is mv.stage:
+            raise ConflictError(f"{name} v{version} is already in {stage.value}")
+        if stage not in _ALLOWED_TRANSITIONS[mv.stage]:
+            raise ValidationError(
+                f"illegal transition {mv.stage.value} -> {stage.value} for {name} v{version}"
+            )
+        if stage is ModelStage.PRODUCTION:
+            for other in self._versions(name):
+                if other.stage is ModelStage.PRODUCTION and other.version != version:
+                    other.stage = ModelStage.ARCHIVED
+        mv.stage = stage
+        return mv
+
+    def production(self, name: str) -> ModelVersion:
+        """The unique Production version (404 if none)."""
+        prods = [mv for mv in self._versions(name) if mv.stage is ModelStage.PRODUCTION]
+        if not prods:
+            raise NotFoundError(f"model {name!r} has no Production version")
+        return prods[0]
+
+    def model_names(self) -> list[str]:
+        return sorted(self._models)
+
+    def _versions(self, name: str) -> list[ModelVersion]:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise NotFoundError(f"model {name!r} not registered") from None

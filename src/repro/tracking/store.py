@@ -1,0 +1,192 @@
+"""The tracking backend store: experiments, runs, params, metrics, tags.
+
+Semantics follow MLflow's: params are write-once per run, metrics are
+append-only time series keyed by (step, timestamp), runs belong to
+experiments and end in a terminal status.  ``search_runs`` supports the
+comparison queries the lab's UI work performs ("compare experiment
+results", paper §3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from repro.common.clock import SimClock
+from repro.common.errors import (
+    ConflictError,
+    InvalidStateError,
+    NotFoundError,
+    ValidationError,
+)
+from repro.common.ids import IdGenerator
+
+
+class RunStatus(str, Enum):
+    RUNNING = "RUNNING"
+    FINISHED = "FINISHED"
+    FAILED = "FAILED"
+    KILLED = "KILLED"
+
+
+@dataclass(frozen=True)
+class MetricPoint:
+    """One logged metric observation."""
+
+    step: int
+    timestamp: float
+    value: float
+
+
+@dataclass
+class Run:
+    id: str
+    experiment_id: str
+    name: str
+    status: RunStatus = RunStatus.RUNNING
+    start_time: float = 0.0
+    end_time: float | None = None
+    params: dict[str, str] = field(default_factory=dict)
+    tags: dict[str, str] = field(default_factory=dict)
+    metrics: dict[str, list[MetricPoint]] = field(default_factory=dict)
+
+    def latest_metric(self, key: str) -> float:
+        """Value of the most recent point for ``key``."""
+        points = self.metrics.get(key)
+        if not points:
+            raise NotFoundError(f"run {self.id} has no metric {key!r}")
+        return points[-1].value
+
+    def best_metric(self, key: str, *, mode: str = "min") -> float:
+        points = self.metrics.get(key)
+        if not points:
+            raise NotFoundError(f"run {self.id} has no metric {key!r}")
+        values = [p.value for p in points]
+        return min(values) if mode == "min" else max(values)
+
+
+@dataclass
+class Experiment:
+    id: str
+    name: str
+    run_ids: list[str] = field(default_factory=list)
+
+
+class TrackingStore:
+    """In-memory MLflow-like backend store."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self._clock = clock if clock is not None else SimClock()
+        self._ids = IdGenerator()
+        self.experiments: dict[str, Experiment] = {}
+        self.runs: dict[str, Run] = {}
+        self._experiment_names: dict[str, str] = {}
+
+    # -- experiments ---------------------------------------------------------
+
+    def create_experiment(self, name: str) -> Experiment:
+        if name in self._experiment_names:
+            raise ConflictError(f"experiment {name!r} already exists")
+        exp = Experiment(id=self._ids.next("exp"), name=name)
+        self.experiments[exp.id] = exp
+        self._experiment_names[name] = exp.id
+        return exp
+
+    def get_experiment_by_name(self, name: str) -> Experiment:
+        try:
+            return self.experiments[self._experiment_names[name]]
+        except KeyError:
+            raise NotFoundError(f"experiment {name!r} not found") from None
+
+    # -- runs ----------------------------------------------------------------
+
+    def create_run(self, experiment_id: str, name: str = "") -> Run:
+        exp = self._experiment(experiment_id)
+        run = Run(
+            id=self._ids.next("run"),
+            experiment_id=exp.id,
+            name=name or f"run-{len(exp.run_ids) + 1}",
+            start_time=self._clock.now,
+        )
+        self.runs[run.id] = run
+        exp.run_ids.append(run.id)
+        return run
+
+    def log_param(self, run_id: str, key: str, value: Any) -> None:
+        run = self._active_run(run_id)
+        text = str(value)
+        if key in run.params and run.params[key] != text:
+            raise ConflictError(
+                f"param {key!r} already logged with a different value on run {run_id}"
+            )
+        run.params[key] = text
+
+    def log_metric(self, run_id: str, key: str, value: float, *, step: int | None = None) -> None:
+        run = self._active_run(run_id)
+        if not isinstance(value, (int, float)):
+            raise ValidationError(f"metric value must be numeric, got {value!r}")
+        series = run.metrics.setdefault(key, [])
+        step = step if step is not None else len(series)
+        series.append(MetricPoint(step=step, timestamp=self._clock.now, value=float(value)))
+
+    def set_tag(self, run_id: str, key: str, value: str) -> None:
+        self._run(run_id).tags[key] = str(value)
+
+    def finish_run(self, run_id: str, status: RunStatus = RunStatus.FINISHED) -> None:
+        run = self._run(run_id)
+        if run.status is not RunStatus.RUNNING:
+            raise InvalidStateError(f"run {run_id} already terminal ({run.status.value})")
+        if status is RunStatus.RUNNING:
+            raise ValidationError("cannot finish a run into RUNNING")
+        run.status = status
+        run.end_time = self._clock.now
+
+    # -- queries ----------------------------------------------------------------
+
+    def search_runs(
+        self,
+        experiment_id: str,
+        *,
+        predicate: Callable[[Run], bool] | None = None,
+        order_by_metric: str | None = None,
+        ascending: bool = True,
+        limit: int | None = None,
+    ) -> list[Run]:
+        exp = self._experiment(experiment_id)
+        runs = [self.runs[r] for r in exp.run_ids]
+        if predicate is not None:
+            runs = [r for r in runs if predicate(r)]
+        if order_by_metric is not None:
+            runs = [r for r in runs if order_by_metric in r.metrics]
+            runs.sort(key=lambda r: r.latest_metric(order_by_metric), reverse=not ascending)
+        return runs[:limit] if limit is not None else runs
+
+    def best_run(self, experiment_id: str, metric: str, *, mode: str = "min") -> Run:
+        """The run whose latest ``metric`` is best (lab: compare results)."""
+        runs = self.search_runs(
+            experiment_id, order_by_metric=metric, ascending=(mode == "min"), limit=1
+        )
+        if not runs:
+            raise NotFoundError(f"no runs with metric {metric!r}")
+        return runs[0]
+
+    # -- internals ------------------------------------------------------------
+
+    def _experiment(self, experiment_id: str) -> Experiment:
+        try:
+            return self.experiments[experiment_id]
+        except KeyError:
+            raise NotFoundError(f"experiment {experiment_id!r} not found") from None
+
+    def _run(self, run_id: str) -> Run:
+        try:
+            return self.runs[run_id]
+        except KeyError:
+            raise NotFoundError(f"run {run_id!r} not found") from None
+
+    def _active_run(self, run_id: str) -> Run:
+        run = self._run(run_id)
+        if run.status is not RunStatus.RUNNING:
+            raise InvalidStateError(f"run {run_id} is {run.status.value}, not RUNNING")
+        return run

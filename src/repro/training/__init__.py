@@ -1,0 +1,79 @@
+"""Distributed-training simulation: memory models, collectives, parallelism.
+
+Unit 4 of the course (paper §3.4) teaches training models "beyond the memory
+limitations of a single GPU": gradient accumulation, reduced/mixed precision,
+LoRA/QLoRA, and the distributed paradigms DDP / FSDP / model parallelism,
+with the ring all-reduce pattern covered in detail.  This package implements
+that content as an analytic simulator:
+
+* :mod:`repro.training.hardware` — a GPU spec catalog (A100/V100/MI100/...).
+* :mod:`repro.training.model` — transformer model specs sized by parameter
+  count (e.g. the 13B LLM fine-tuned in the lab).
+* :mod:`repro.training.precision` — dtype sizes and mixed-precision plans.
+* :mod:`repro.training.memory` — the GPU memory estimator (weights, grads,
+  optimizer states, activations; full fine-tune vs LoRA vs QLoRA).
+* :mod:`repro.training.collectives` — α-β cost models for naive / ring /
+  tree all-reduce **and** an executable chunked ring all-reduce over
+  simulated ranks, verifying the bandwidth-optimal schedule.
+* :mod:`repro.training.parallelism` — DDP / FSDP / pipeline step-time and
+  per-rank memory simulation.
+* :mod:`repro.training.trainer` — a training-loop simulator with seeded
+  loss curves, checkpointing, and fault injection (the Ray Train lab).
+"""
+
+from repro.training.accumulation import (
+    AccumulationPlan,
+    plan_accumulation,
+    step_time_with_accumulation,
+)
+from repro.training.collectives import (
+    CollectiveCost,
+    all_gather,
+    allreduce_cost,
+    reduce_scatter,
+    ring_allreduce,
+    ring_allreduce_schedule,
+    tree_allreduce,
+)
+from repro.training.fabric import Comm, Fabric
+from repro.training.hardware import GPU_CATALOG, GpuModel
+from repro.training.memory import MemoryBreakdown, MemoryEstimator, TrainingMode
+from repro.training.model import ModelSpec, llm
+from repro.training.parallelism import (
+    DDPSimulator,
+    FSDPSimulator,
+    PipelineSimulator,
+    StepTime,
+)
+from repro.training.precision import DType, MixedPrecisionPlan
+from repro.training.trainer import TrainingRun, TrainingSimulator
+
+__all__ = [
+    "GpuModel",
+    "GPU_CATALOG",
+    "ModelSpec",
+    "llm",
+    "DType",
+    "MixedPrecisionPlan",
+    "MemoryEstimator",
+    "MemoryBreakdown",
+    "TrainingMode",
+    "CollectiveCost",
+    "allreduce_cost",
+    "ring_allreduce",
+    "ring_allreduce_schedule",
+    "reduce_scatter",
+    "all_gather",
+    "tree_allreduce",
+    "Fabric",
+    "Comm",
+    "AccumulationPlan",
+    "plan_accumulation",
+    "step_time_with_accumulation",
+    "DDPSimulator",
+    "FSDPSimulator",
+    "PipelineSimulator",
+    "StepTime",
+    "TrainingSimulator",
+    "TrainingRun",
+]

@@ -1,0 +1,95 @@
+"""Gradient accumulation planning (the first Unit 4 technique, §3.4).
+
+Gradient accumulation trades wall-clock for memory: run ``accum_steps``
+micro-batches, accumulating gradients, before one optimizer step — so the
+*effective* batch is ``micro_batch x accum_steps x world_size`` while
+activation memory only pays for the micro-batch.  :func:`plan_accumulation`
+finds the largest micro-batch that fits the GPU and derives the
+accumulation depth for a target effective batch; :func:`step_time_with_accumulation`
+models the throughput cost (per-micro-batch fixed overheads stop
+amortising).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import SchedulingError, ValidationError
+from repro.training.hardware import GpuModel
+from repro.training.memory import MemoryEstimator
+
+
+@dataclass(frozen=True)
+class AccumulationPlan:
+    """How to realise a target effective batch on given hardware."""
+
+    micro_batch: int
+    accum_steps: int
+    world_size: int
+    target_effective_batch: int
+
+    @property
+    def effective_batch(self) -> int:
+        return self.micro_batch * self.accum_steps * self.world_size
+
+    def __post_init__(self) -> None:
+        if min(self.micro_batch, self.accum_steps, self.world_size) < 1:
+            raise ValidationError(f"invalid accumulation plan: {self!r}")
+
+
+def plan_accumulation(
+    estimator: MemoryEstimator,
+    gpu: GpuModel,
+    *,
+    target_effective_batch: int,
+    world_size: int = 1,
+) -> AccumulationPlan:
+    """Largest fitting micro-batch, then enough accumulation to hit the target.
+
+    Raises :class:`~repro.common.errors.SchedulingError` when even
+    micro-batch 1 does not fit — the signal to move to LoRA/QLoRA or FSDP.
+    """
+    if target_effective_batch < world_size:
+        raise ValidationError(
+            f"target batch {target_effective_batch} < world size {world_size}"
+        )
+    per_rank_target = target_effective_batch // world_size
+    micro = estimator.max_micro_batch(gpu, limit=per_rank_target)
+    if micro == 0:
+        raise SchedulingError(
+            f"micro-batch 1 of {estimator.model.name} does not fit {gpu.name}; "
+            "reduce precision, adapt (LoRA/QLoRA), or shard (FSDP)"
+        )
+    micro = min(micro, per_rank_target)
+    accum = math.ceil(per_rank_target / micro)
+    return AccumulationPlan(
+        micro_batch=micro,
+        accum_steps=accum,
+        world_size=world_size,
+        target_effective_batch=target_effective_batch,
+    )
+
+
+def step_time_with_accumulation(
+    plan: AccumulationPlan,
+    estimator: MemoryEstimator,
+    gpu: GpuModel,
+    *,
+    mfu: float = 0.4,
+    per_micro_overhead_ms: float = 10.0,
+) -> float:
+    """Seconds per optimizer step under the plan.
+
+    Compute scales with tokens; the per-micro-batch overhead (launches,
+    data loading) is why deep accumulation is slower than a genuinely
+    bigger batch — the trade-off the lab measures.
+    """
+    if not (0 < mfu <= 1):
+        raise ValidationError(f"MFU must be in (0,1], got {mfu!r}")
+    model = estimator.model
+    tokens_per_rank = plan.micro_batch * plan.accum_steps * model.seq_len
+    peak = gpu.tflops(int(estimator.precision.compute_dtype.bytes)) * 1e12
+    compute = model.flops_per_token() * tokens_per_rank / (peak * mfu)
+    overhead = plan.accum_steps * per_micro_overhead_ms / 1e3
+    return compute + overhead

@@ -1,0 +1,287 @@
+"""Collective communication: cost models and an executable ring all-reduce.
+
+Unit 4 covers "the ring all-reduce communication pattern, first introduced
+in an HPC context and later applied to efficient gradient aggregation"
+(paper §3.4, citing Patarasuk & Yuan 2009 and Gibiansky 2017).  Two things
+live here:
+
+1. **α-β cost models** for naive (central reducer), ring, and binary-tree
+   all-reduce of an ``n``-byte buffer across ``p`` ranks over links with
+   latency α and bandwidth B:
+
+   ================= ========================== ==========================
+   algorithm          latency term               bandwidth term
+   naive              2(p-1) α                   2(p-1) · n / B
+   ring               2(p-1) α                   2 n (p-1)/(p B)
+   tree               2 ⌈log2 p⌉ α               2 ⌈log2 p⌉ · n / B
+   ================= ========================== ==========================
+
+   The ring's bandwidth term is (asymptotically) independent of ``p`` —
+   the bandwidth-optimality fact the lecture teaches, reproduced by
+   ``benchmarks/bench_ablate_allreduce.py``.
+
+2. :func:`ring_allreduce` — an actual chunked reduce-scatter + all-gather
+   over NumPy buffers, written in the message-passing style of an MPI rank
+   program.  It returns both the reduced arrays and the communication
+   schedule (per-step transfer sizes) so tests can verify the 2(p-1) step
+   count and per-step volume n/p.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.training.hardware import GpuModel
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Predicted cost of one collective, seconds."""
+
+    algorithm: str
+    latency_s: float
+    bandwidth_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.latency_s + self.bandwidth_s
+
+
+def allreduce_cost(
+    algorithm: str,
+    n_bytes: float,
+    p: int,
+    *,
+    link_bandwidth_gbs: float,
+    link_latency_us: float = 5.0,
+) -> CollectiveCost:
+    """α-β cost of all-reducing ``n_bytes`` across ``p`` ranks."""
+    if p < 1:
+        raise ValidationError(f"need at least one rank, got {p!r}")
+    if n_bytes < 0 or link_bandwidth_gbs <= 0:
+        raise ValidationError("invalid buffer size or bandwidth")
+    if p == 1:
+        return CollectiveCost(algorithm, 0.0, 0.0)
+    alpha = link_latency_us * 1e-6
+    beta = 1.0 / (link_bandwidth_gbs * 1e9)  # seconds per byte
+    if algorithm == "naive":
+        lat = 2 * (p - 1) * alpha
+        bw = 2 * (p - 1) * n_bytes * beta
+    elif algorithm == "ring":
+        lat = 2 * (p - 1) * alpha
+        bw = 2 * n_bytes * (p - 1) / p * beta
+    elif algorithm == "tree":
+        steps = 2 * math.ceil(math.log2(p))
+        lat = steps * alpha
+        bw = steps * n_bytes * beta
+    else:
+        raise ValidationError(f"unknown all-reduce algorithm {algorithm!r}")
+    return CollectiveCost(algorithm, lat, bw)
+
+
+def allreduce_cost_on(
+    algorithm: str, n_bytes: float, p: int, gpu: GpuModel
+) -> CollectiveCost:
+    """Cost using a GPU's interconnect numbers."""
+    return allreduce_cost(
+        algorithm,
+        n_bytes,
+        p,
+        link_bandwidth_gbs=gpu.interconnect_gbs,
+        link_latency_us=gpu.link_latency_us,
+    )
+
+
+@dataclass(frozen=True)
+class TransferStep:
+    """One step of the ring schedule: every rank sends one chunk."""
+
+    phase: str  # "reduce-scatter" | "all-gather"
+    step: int
+    bytes_per_rank: int
+
+
+def ring_allreduce_schedule(n_bytes: int, p: int) -> list[TransferStep]:
+    """The communication schedule of a chunked ring all-reduce.
+
+    2(p-1) steps; in each, every rank transfers one n/p-byte chunk.
+    """
+    if p < 1:
+        raise ValidationError(f"need at least one rank, got {p!r}")
+    if p == 1:
+        return []
+    chunk = math.ceil(n_bytes / p)
+    steps = []
+    for s in range(p - 1):
+        steps.append(TransferStep("reduce-scatter", s, chunk))
+    for s in range(p - 1):
+        steps.append(TransferStep("all-gather", s, chunk))
+    return steps
+
+
+def ring_allreduce(buffers: list[np.ndarray]) -> tuple[list[np.ndarray], list[TransferStep]]:
+    """Execute a chunked ring all-reduce over per-rank NumPy buffers.
+
+    ``buffers[r]`` is rank r's contribution; all must share shape and dtype.
+    Returns per-rank results (each equal to the elementwise sum) plus the
+    executed schedule.  The implementation follows the classic two-phase
+    algorithm:
+
+    * **reduce-scatter** — p-1 steps; at step s, rank r sends chunk
+      ``(r - s) mod p`` to rank r+1 and accumulates the chunk arriving from
+      rank r-1, so chunk c ends fully reduced on rank ``(c + p - 1) mod p``;
+    * **all-gather** — p-1 steps circulating the reduced chunks.
+    """
+    p = len(buffers)
+    if p == 0:
+        raise ValidationError("no ranks")
+    shape, dtype = buffers[0].shape, buffers[0].dtype
+    for b in buffers:
+        if b.shape != shape or b.dtype != dtype:
+            raise ValidationError("all rank buffers must share shape and dtype")
+    if p == 1:
+        return [buffers[0].copy()], []
+
+    flat = [b.reshape(-1).astype(np.float64, copy=True) for b in buffers]
+    n = flat[0].size
+    bounds = np.linspace(0, n, p + 1).astype(int)
+    chunks = [[f[bounds[c]: bounds[c + 1]].copy() for c in range(p)] for f in flat]
+
+    schedule: list[TransferStep] = []
+    itemsize = np.dtype(np.float64).itemsize
+
+    # reduce-scatter
+    for s in range(p - 1):
+        sends = []
+        for r in range(p):
+            c = (r - s) % p
+            sends.append((r, (r + 1) % p, c, chunks[r][c].copy()))
+        for _src, dst, c, payload in sends:
+            chunks[dst][c] += payload
+        schedule.append(TransferStep("reduce-scatter", s, int(math.ceil(n / p)) * itemsize))
+
+    # all-gather
+    for s in range(p - 1):
+        sends = []
+        for r in range(p):
+            c = (r + 1 - s) % p
+            sends.append((r, (r + 1) % p, c, chunks[r][c].copy()))
+        for _src, dst, c, payload in sends:
+            chunks[dst][c] = payload
+        schedule.append(TransferStep("all-gather", s, int(math.ceil(n / p)) * itemsize))
+
+    results = []
+    for r in range(p):
+        out = np.concatenate(chunks[r]).astype(dtype).reshape(shape)
+        results.append(out)
+    return results, schedule
+
+
+def reduce_scatter(buffers: list[np.ndarray]) -> tuple[list[np.ndarray], list[TransferStep]]:
+    """Executable ring reduce-scatter: rank r ends with chunk r fully reduced.
+
+    The first phase of the ring all-reduce, exposed separately because FSDP
+    uses it directly for gradient sharding (paper §3.4's FSDP coverage).
+    Returns per-rank reduced chunks plus the executed schedule.
+    """
+    p = len(buffers)
+    if p == 0:
+        raise ValidationError("no ranks")
+    shape, dtype = buffers[0].shape, buffers[0].dtype
+    for b in buffers:
+        if b.shape != shape or b.dtype != dtype:
+            raise ValidationError("all rank buffers must share shape and dtype")
+    flat = [b.reshape(-1).astype(np.float64, copy=True) for b in buffers]
+    n = flat[0].size
+    if p == 1:
+        return [flat[0].astype(dtype)], []
+    bounds = np.linspace(0, n, p + 1).astype(int)
+    chunks = [[f[bounds[c]: bounds[c + 1]].copy() for c in range(p)] for f in flat]
+    schedule: list[TransferStep] = []
+    itemsize = np.dtype(np.float64).itemsize
+    for s in range(p - 1):
+        sends = []
+        for r in range(p):
+            c = (r - s) % p
+            sends.append(((r + 1) % p, c, chunks[r][c].copy()))
+        for dst, c, payload in sends:
+            chunks[dst][c] += payload
+        schedule.append(TransferStep("reduce-scatter", s, int(math.ceil(n / p)) * itemsize))
+    # chunk c is complete on rank (c + p - 1) mod p; shift so rank r owns chunk r
+    out = [chunks[(c + p - 1) % p][c].astype(dtype) for c in range(p)]
+    return out, schedule
+
+
+def all_gather(chunks: list[np.ndarray]) -> tuple[list[np.ndarray], list[TransferStep]]:
+    """Executable ring all-gather: every rank ends with the concatenation.
+
+    ``chunks[r]`` is rank r's shard; the result on each rank is
+    ``concatenate(chunks)``.  The second phase of the ring all-reduce and
+    the parameter-gathering step of FSDP's forward pass.
+    """
+    p = len(chunks)
+    if p == 0:
+        raise ValidationError("no ranks")
+    for c in chunks:
+        if c.ndim != 1:
+            raise ValidationError("all-gather shards must be 1-D")
+    if p == 1:
+        return [chunks[0].copy()], []
+    held: list[dict[int, np.ndarray]] = [{r: chunks[r].copy()} for r in range(p)]
+    schedule: list[TransferStep] = []
+    max_bytes = max(c.nbytes for c in chunks)
+    for s in range(p - 1):
+        sends = []
+        for r in range(p):
+            c = (r - s) % p  # the shard received at step s-1 (own shard at s=0)
+            sends.append(((r + 1) % p, c, held[r][c].copy()))
+        for dst, c, payload in sends:
+            held[dst][c] = payload
+        schedule.append(TransferStep("all-gather", s, max_bytes))
+    results = [np.concatenate([held[r][c] for c in range(p)]) for r in range(p)]
+    return results, schedule
+
+
+def tree_allreduce(buffers: list[np.ndarray]) -> tuple[list[np.ndarray], list[TransferStep]]:
+    """Executable binomial-tree all-reduce (reduce-to-root + broadcast).
+
+    The latency-optimal alternative the lecture contrasts with the ring:
+    2*ceil(log2 p) rounds, each moving whole n-byte buffers.
+    """
+    p = len(buffers)
+    if p == 0:
+        raise ValidationError("no ranks")
+    shape, dtype = buffers[0].shape, buffers[0].dtype
+    for b in buffers:
+        if b.shape != shape or b.dtype != dtype:
+            raise ValidationError("all rank buffers must share shape and dtype")
+    work = [b.reshape(-1).astype(np.float64, copy=True) for b in buffers]
+    n_bytes = work[0].nbytes
+    schedule: list[TransferStep] = []
+    # reduce toward rank 0
+    step = 1
+    rounds = 0
+    while step < p:
+        for r in range(0, p, 2 * step):
+            src = r + step
+            if src < p:
+                work[r] = work[r] + work[src]
+        schedule.append(TransferStep("tree-reduce", rounds, n_bytes))
+        step *= 2
+        rounds += 1
+    # broadcast from rank 0
+    step //= 2
+    while step >= 1:
+        for r in range(0, p, 2 * step):
+            dst = r + step
+            if dst < p:
+                work[dst] = work[r].copy()
+        schedule.append(TransferStep("tree-broadcast", rounds, n_bytes))
+        step //= 2
+        rounds += 1
+    results = [w.astype(dtype).reshape(shape) for w in work]
+    return results, schedule

@@ -1,0 +1,141 @@
+"""A message-passing fabric for SPMD rank programs.
+
+The lecture teaches collectives "first introduced in an HPC context"
+(paper §3.4); this module lets them be *written the way MPI programs are
+written* — one program, parameterised by rank, communicating through
+blocking send/recv — without threads.  Rank programs are Python
+generators that yield communication requests to a deterministic
+round-robin scheduler:
+
+    def program(comm: Comm):
+        if comm.rank == 0:
+            yield from comm.send(1, {"a": 7})
+        elif comm.rank == 1:
+            data = yield from comm.recv(0)
+        return data
+
+Matching follows MPI semantics: a ``recv(src)`` matches the oldest
+unconsumed message from ``src`` (per-link FIFO ordering).  Deadlocks
+(every live rank blocked on a recv with no matching send in flight) are
+detected and reported rather than hanging.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.common.errors import SchedulingError, ValidationError
+
+
+@dataclass(frozen=True)
+class _Send:
+    dst: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class _Recv:
+    src: int
+
+
+class Comm:
+    """The per-rank communicator handle passed to rank programs."""
+
+    def __init__(self, rank: int, size: int) -> None:
+        self.rank = rank
+        self.size = size
+
+    def send(self, dst: int, payload: Any) -> Generator:
+        """Blocking send (rendezvous not required: buffered per link)."""
+        if not (0 <= dst < self.size) or dst == self.rank:
+            raise ValidationError(f"rank {self.rank} cannot send to {dst}")
+        yield _Send(dst, payload)
+
+    def recv(self, src: int) -> Generator:
+        """Blocking receive of the oldest message from ``src``."""
+        if not (0 <= src < self.size) or src == self.rank:
+            raise ValidationError(f"rank {self.rank} cannot recv from {src}")
+        payload = yield _Recv(src)
+        return payload
+
+    # -- convenience collectives written in terms of send/recv ---------------
+
+    def ring_exchange(self, payload: Any) -> Generator:
+        """Send to rank+1, receive from rank-1 (one ring step)."""
+        yield from self.send((self.rank + 1) % self.size, payload)
+        received = yield from self.recv((self.rank - 1) % self.size)
+        return received
+
+    def allreduce_sum(self, value: float) -> Generator:
+        """Ring all-reduce of a scalar, written as a rank program."""
+        total = value
+        token = value
+        for _ in range(self.size - 1):
+            token = yield from self.ring_exchange(token)
+            total += token
+        return total
+
+
+class Fabric:
+    """Deterministic round-robin executor of rank programs."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValidationError(f"need at least one rank, got {size!r}")
+        self.size = size
+
+    def execute(self, program: Callable[[Comm], Generator]) -> list[Any]:
+        """Run ``program`` on every rank; returns per-rank return values."""
+        comms = [Comm(r, self.size) for r in range(self.size)]
+        gens: list[Generator | None] = []
+        results: list[Any] = [None] * self.size
+        # per-(src, dst) FIFO channels
+        channels: dict[tuple[int, int], deque] = {}
+        # ranks blocked on a recv: rank -> src
+        waiting: dict[int, int] = {}
+        # value to feed into the generator at its next resume
+        inbox: dict[int, Any] = {}
+
+        for r in range(self.size):
+            gen = program(comms[r])
+            if not hasattr(gen, "send"):
+                raise ValidationError("rank program must be a generator function")
+            gens.append(gen)
+
+        live = set(range(self.size))
+        while live:
+            progressed = False
+            for r in sorted(live):
+                if r in waiting:
+                    src = waiting[r]
+                    chan = channels.get((src, r))
+                    if not chan:
+                        continue  # still blocked
+                    inbox[r] = chan.popleft()
+                    del waiting[r]
+                gen = gens[r]
+                try:
+                    request = gen.send(inbox.pop(r, None))
+                except StopIteration as stop:
+                    results[r] = stop.value
+                    live.discard(r)
+                    progressed = True
+                    continue
+                progressed = True
+                if isinstance(request, _Send):
+                    channels.setdefault((r, request.dst), deque()).append(request.payload)
+                    inbox[r] = None  # resume immediately next pass
+                elif isinstance(request, _Recv):
+                    chan = channels.get((request.src, r))
+                    if chan:
+                        inbox[r] = chan.popleft()
+                    else:
+                        waiting[r] = request.src
+                else:
+                    raise ValidationError(f"rank {r} yielded {request!r}, not a comm op")
+            if not progressed:
+                blocked = {r: waiting[r] for r in sorted(waiting)}
+                raise SchedulingError(f"deadlock: every live rank is blocked ({blocked})")
+        return results

@@ -1,0 +1,71 @@
+"""GPU hardware catalog.
+
+Peak numbers are representative datasheet values (dense, no sparsity).  The
+catalog covers the accelerators in the course's Chameleon node types
+(paper Table 1) plus the commercial-cloud parts the cost model maps to.
+The simulator derives *shape* claims from these (who fits, who is faster,
+where crossovers fall), not absolute wall-clock promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """One accelerator model.
+
+    Attributes
+    ----------
+    name: Marketing name, e.g. ``"A100-80GB"``.
+    mem_gib: Device memory.
+    tflops_fp32 / tflops_fp16: Peak dense throughput (fp16 column covers
+        bf16 on parts with compute capability >= 8.0).
+    mem_bw_gbs: Device memory bandwidth, GB/s.
+    interconnect_gbs: Per-direction GPU-to-GPU bandwidth within a node
+        (NVLink or PCIe), GB/s — the ``B`` of the α-β collective model.
+    link_latency_us: Per-message launch latency — the ``α`` term.
+    compute_capability: NVIDIA CC (None for non-NVIDIA parts).
+    """
+
+    name: str
+    mem_gib: float
+    tflops_fp32: float
+    tflops_fp16: float
+    mem_bw_gbs: float
+    interconnect_gbs: float
+    link_latency_us: float = 5.0
+    compute_capability: float | None = None
+
+    def __post_init__(self) -> None:
+        if min(self.mem_gib, self.tflops_fp32, self.tflops_fp16, self.mem_bw_gbs,
+               self.interconnect_gbs) <= 0:
+            raise ValidationError(f"invalid GPU spec: {self!r}")
+
+    @property
+    def supports_bf16(self) -> bool:
+        """bfloat16 needs CUDA compute capability >= 8.0 (paper §3.4)."""
+        return self.compute_capability is not None and self.compute_capability >= 8.0
+
+    def tflops(self, dtype_bytes: int) -> float:
+        """Peak TFLOPs for a dtype of the given width."""
+        return self.tflops_fp16 if dtype_bytes <= 2 else self.tflops_fp32
+
+
+GPU_CATALOG: dict[str, GpuModel] = {
+    g.name: g
+    for g in (
+        GpuModel("A100-80GB", 80, 19.5, 312.0, 2039, 300, compute_capability=8.0),
+        GpuModel("A100-40GB", 40, 19.5, 312.0, 1555, 300, compute_capability=8.0),
+        GpuModel("V100-32GB", 32, 15.7, 125.0, 900, 150, compute_capability=7.0),
+        GpuModel("P100-16GB", 16, 10.6, 21.2, 732, 80, compute_capability=6.0),
+        GpuModel("T4-16GB", 16, 8.1, 65.0, 320, 16, compute_capability=7.5),
+        GpuModel("L4-24GB", 24, 30.3, 121.0, 300, 16, compute_capability=8.9),
+        GpuModel("A10G-24GB", 24, 31.2, 125.0, 600, 16, compute_capability=8.6),
+        GpuModel("H100-80GB", 80, 67.0, 989.0, 3350, 450, compute_capability=9.0),
+        GpuModel("MI100-32GB", 32, 23.1, 184.6, 1229, 100, compute_capability=None),
+    )
+}

@@ -1,0 +1,180 @@
+"""GPU memory estimation for training.
+
+Implements the standard accounting taught in Unit 4 (paper §3.4).  For a
+model with P parameters (P_t of them trainable):
+
+* **weights** — P × width of the storage dtype (NF4 for QLoRA bases),
+* **master weights** — P_t × 4 bytes when mixed precision keeps fp32 copies,
+* **gradients** — P_t × gradient dtype width,
+* **optimizer state** — P_t × 8 bytes for Adam's two fp32 moments,
+* **activations** — per layer ≈ s·b·h·(34 + 5·a·s/h) bytes at 16-bit
+  (Korthikanti et al.'s transformer accounting), scaled by dtype width;
+  with gradient checkpointing only block inputs (≈ 2·s·b·h bytes/layer at
+  16-bit) are retained and the rest recomputed.
+
+Gradient accumulation enters through the micro-batch: activations scale
+with the *micro* batch while the effective batch is micro × accumulation —
+exactly the memory/throughput trade the lab explores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+from repro.common.units import GIB
+from repro.training.hardware import GpuModel
+from repro.training.model import ModelSpec
+from repro.training.precision import DType, MixedPrecisionPlan
+
+
+@dataclass(frozen=True)
+class TrainingMode:
+    """Which parameters train, and how bases are stored.
+
+    Use the constructors: :meth:`full`, :meth:`lora`, :meth:`qlora`.
+    """
+
+    kind: str  # "full" | "lora" | "qlora"
+    lora_rank: int = 0
+    base_dtype: DType | None = None  # overrides compute dtype for frozen base
+
+    @classmethod
+    def full(cls) -> "TrainingMode":
+        return cls("full")
+
+    @classmethod
+    def lora(cls, rank: int = 16) -> "TrainingMode":
+        return cls("lora", lora_rank=rank)
+
+    @classmethod
+    def qlora(cls, rank: int = 16) -> "TrainingMode":
+        """LoRA over a 4-bit (NF4) quantized frozen base."""
+        return cls("qlora", lora_rank=rank, base_dtype=DType.NF4)
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Per-component memory, in GiB."""
+
+    weights_gib: float
+    master_weights_gib: float
+    gradients_gib: float
+    optimizer_gib: float
+    activations_gib: float
+
+    @property
+    def total_gib(self) -> float:
+        return (
+            self.weights_gib
+            + self.master_weights_gib
+            + self.gradients_gib
+            + self.optimizer_gib
+            + self.activations_gib
+        )
+
+    def fits(self, gpu: GpuModel, *, usable_fraction: float = 0.9) -> bool:
+        """Whether the footprint fits in the GPU (with allocator headroom)."""
+        return self.total_gib <= gpu.mem_gib * usable_fraction
+
+
+class MemoryEstimator:
+    """Estimate training memory for one model / mode / precision setup."""
+
+    ADAM_BYTES_PER_PARAM = 8.0  # two fp32 moments
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        *,
+        mode: TrainingMode | None = None,
+        precision: MixedPrecisionPlan | None = None,
+        micro_batch: int = 1,
+        grad_checkpointing: bool = False,
+    ) -> None:
+        if micro_batch <= 0:
+            raise ValidationError(f"micro batch must be positive: {micro_batch!r}")
+        self.model = model
+        self.mode = mode if mode is not None else TrainingMode.full()
+        self.precision = precision if precision is not None else MixedPrecisionPlan.fp32()
+        self.micro_batch = micro_batch
+        self.grad_checkpointing = grad_checkpointing
+
+    # -- parameter accounting ------------------------------------------------
+
+    @property
+    def trainable_params(self) -> int:
+        if self.mode.kind == "full":
+            return self.model.n_params
+        return self.model.lora_params(self.mode.lora_rank)
+
+    @property
+    def frozen_params(self) -> int:
+        return self.model.n_params - (
+            self.trainable_params if self.mode.kind == "full" else 0
+        )
+
+    # -- components ---------------------------------------------------------------
+
+    def weights_bytes(self) -> float:
+        compute_bytes = self.precision.compute_dtype.bytes
+        if self.mode.kind == "full":
+            return self.model.n_params * compute_bytes
+        base_bytes = (
+            self.mode.base_dtype.bytes if self.mode.base_dtype is not None else compute_bytes
+        )
+        adapters = self.model.lora_params(self.mode.lora_rank) * compute_bytes
+        return self.model.n_params * base_bytes + adapters
+
+    def master_weights_bytes(self) -> float:
+        if not self.precision.master_weights:
+            return 0.0
+        return self.trainable_params * DType.FP32.bytes
+
+    def gradients_bytes(self) -> float:
+        return self.trainable_params * self.precision.effective_grad_dtype.bytes
+
+    def optimizer_bytes(self) -> float:
+        return self.trainable_params * self.ADAM_BYTES_PER_PARAM
+
+    def activations_bytes(self) -> float:
+        m = self.model
+        s, b, h, a = m.seq_len, self.micro_batch, m.hidden_dim, m.n_heads
+        scale = self.precision.compute_dtype.bytes / 2.0  # formula is for 16-bit
+        if self.grad_checkpointing:
+            per_layer = 2.0 * s * b * h
+        else:
+            per_layer = s * b * h * (34.0 + 5.0 * a * s / h)
+        return m.n_layers * per_layer * scale
+
+    def breakdown(self) -> MemoryBreakdown:
+        return MemoryBreakdown(
+            weights_gib=self.weights_bytes() / GIB,
+            master_weights_gib=self.master_weights_bytes() / GIB,
+            gradients_gib=self.gradients_bytes() / GIB,
+            optimizer_gib=self.optimizer_bytes() / GIB,
+            activations_gib=self.activations_bytes() / GIB,
+        )
+
+    def fits(self, gpu: GpuModel, *, usable_fraction: float = 0.9) -> bool:
+        self.precision.validate_on(gpu)
+        return self.breakdown().fits(gpu, usable_fraction=usable_fraction)
+
+    def max_micro_batch(self, gpu: GpuModel, *, limit: int = 4096) -> int:
+        """Largest micro-batch that fits (0 if even b=1 does not)."""
+        lo = 0
+        for b in (2**k for k in range(limit.bit_length())):
+            if b > limit:
+                break
+            est = MemoryEstimator(
+                self.model,
+                mode=self.mode,
+                precision=self.precision,
+                micro_batch=b,
+                grad_checkpointing=self.grad_checkpointing,
+            )
+            if est.fits(gpu):
+                lo = b
+            else:
+                break
+        return lo

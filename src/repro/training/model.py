@@ -1,0 +1,101 @@
+"""Transformer model specifications.
+
+Sizes follow the standard decoder-only parameter-count identity
+
+    P ≈ 12 · L · H² · (1 + 13/(12H)) + V·H  ≈ 12 · L · H²   (for large H)
+
+so :func:`llm` can synthesise a realistic (layers, hidden) geometry for a
+target parameter count — e.g. the 13B model fine-tuned in the Unit 4 lab.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A decoder-only transformer.
+
+    Attributes
+    ----------
+    name: Display name.
+    n_layers: Transformer blocks.
+    hidden_dim: Model width H.
+    n_heads: Attention heads.
+    vocab_size: Embedding vocabulary.
+    seq_len: Training sequence length.
+    """
+
+    name: str
+    n_layers: int
+    hidden_dim: int
+    n_heads: int = 0
+    vocab_size: int = 32_000
+    seq_len: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.n_layers <= 0 or self.hidden_dim <= 0 or self.vocab_size <= 0 or self.seq_len <= 0:
+            raise ValidationError(f"invalid model spec: {self!r}")
+        if self.n_heads == 0:
+            object.__setattr__(self, "n_heads", max(1, self.hidden_dim // 128))
+        if self.hidden_dim % self.n_heads != 0:
+            raise ValidationError(
+                f"hidden_dim {self.hidden_dim} not divisible by n_heads {self.n_heads}"
+            )
+
+    @property
+    def n_params(self) -> int:
+        """Total parameter count (attention + MLP + embeddings + norms)."""
+        per_layer = 12 * self.hidden_dim**2 + 13 * self.hidden_dim
+        return self.n_layers * per_layer + self.vocab_size * self.hidden_dim
+
+    @property
+    def n_params_billion(self) -> float:
+        return self.n_params / 1e9
+
+    def flops_per_token(self, *, backward: bool = True) -> float:
+        """Training FLOPs per token: ~6P (2P forward + 4P backward)."""
+        return (6.0 if backward else 2.0) * self.n_params
+
+    def lora_params(self, rank: int, *, target_fraction: float = 1.0) -> int:
+        """Trainable parameters with LoRA adapters of the given rank.
+
+        LoRA adds two rank-r matrices per adapted weight matrix.  With the
+        standard 4 attention projections adapted per layer (q,k,v,o), each
+        H×H, the adapter count is ``L · 4 · 2 · H · r`` (scaled by
+        ``target_fraction`` when only a subset of layers is adapted).
+        """
+        if rank <= 0:
+            raise ValidationError(f"LoRA rank must be positive: {rank!r}")
+        return int(self.n_layers * 4 * 2 * self.hidden_dim * rank * target_fraction)
+
+
+def llm(
+    params_billion: float,
+    *,
+    name: str | None = None,
+    seq_len: int = 2048,
+    vocab_size: int = 32_000,
+) -> ModelSpec:
+    """Synthesise a model spec with approximately ``params_billion`` B params.
+
+    Uses the empirical aspect ratio H ≈ 128·L of Llama-family models, then
+    solves 12·L·H² ≈ P for integer (L, H) with H a multiple of 128.
+    """
+    if params_billion <= 0:
+        raise ValidationError(f"parameter count must be positive: {params_billion!r}")
+    target = params_billion * 1e9
+    # with H = 128 L: 12 L (128 L)^2 = target  =>  L = (target / (12*128^2))^(1/3)
+    layers = max(1, round((target / (12 * 128**2)) ** (1 / 3)))
+    hidden = max(128, round(math.sqrt(target / (12 * layers)) / 128) * 128)
+    return ModelSpec(
+        name=name or f"llm-{params_billion:g}b",
+        n_layers=layers,
+        hidden_dim=hidden,
+        vocab_size=vocab_size,
+        seq_len=seq_len,
+    )

@@ -1,0 +1,75 @@
+"""Numeric precision: dtype widths and mixed-precision training plans.
+
+Unit 4 teaches "reduced and mixed-precision arithmetic" (paper §3.4).  The
+memory estimator consumes a :class:`MixedPrecisionPlan` describing which
+dtype holds the working weights/activations and whether fp32 master weights
+are kept (the standard AMP recipe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.common.errors import ValidationError
+
+
+class DType(Enum):
+    """Storage width in bytes per element."""
+
+    FP32 = 4.0
+    FP16 = 2.0
+    BF16 = 2.0
+    INT8 = 1.0
+    NF4 = 0.5  # the 4-bit NormalFloat used by QLoRA
+
+    @property
+    def bytes(self) -> float:
+        return self.value
+
+    @property
+    def is_reduced(self) -> bool:
+        return self.bytes < 4.0
+
+
+@dataclass(frozen=True)
+class MixedPrecisionPlan:
+    """How dtypes are assigned during training.
+
+    ``compute_dtype`` holds working weights and activations;
+    ``master_weights`` keeps an fp32 copy for the optimizer update
+    (standard AMP); ``grad_dtype`` is the gradient storage width.
+    """
+
+    compute_dtype: DType = DType.FP32
+    grad_dtype: DType | None = None  # defaults to compute dtype
+    master_weights: bool = False
+
+    def __post_init__(self) -> None:
+        if self.master_weights and not self.compute_dtype.is_reduced:
+            raise ValidationError("fp32 master weights only make sense with reduced compute")
+
+    @property
+    def effective_grad_dtype(self) -> DType:
+        return self.grad_dtype if self.grad_dtype is not None else self.compute_dtype
+
+    @classmethod
+    def fp32(cls) -> "MixedPrecisionPlan":
+        return cls(DType.FP32)
+
+    @classmethod
+    def bf16_mixed(cls) -> "MixedPrecisionPlan":
+        """bf16 compute + fp32 master weights (needs CC >= 8.0 hardware)."""
+        return cls(DType.BF16, master_weights=True)
+
+    @classmethod
+    def fp16_mixed(cls) -> "MixedPrecisionPlan":
+        return cls(DType.FP16, master_weights=True)
+
+    def validate_on(self, gpu) -> None:
+        """Raise if the plan needs bf16 on a GPU that lacks it (§3.4)."""
+        if self.compute_dtype is DType.BF16 and not gpu.supports_bf16:
+            raise ValidationError(
+                f"{gpu.name} (cc={gpu.compute_capability}) does not support bfloat16; "
+                "compute capability 8.0 or higher is required"
+            )

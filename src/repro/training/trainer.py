@@ -1,0 +1,161 @@
+"""A training-loop simulator with checkpointing and fault injection.
+
+Unit 5's lab configures "a training script to log experiment metadata,
+system metrics, hyperparameters, ML metrics, and models to MLFlow", then
+integrates "Ray Train for distributed execution and fault tolerance"
+(paper §3.5).  :class:`TrainingSimulator` plays the training script: it
+produces a seeded, hyperparameter-sensitive loss curve, emits step timing
+from a parallelism simulator, writes checkpoints, and can resume after an
+injected failure — losing only the steps since the last checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.training.parallelism import DDPSimulator
+
+
+@dataclass
+class Checkpoint:
+    step: int
+    loss: float
+    state: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class TrainingRun:
+    """The record of one (possibly resumed) training run."""
+
+    steps: list[int]
+    losses: list[float]
+    step_times_s: list[float]
+    checkpoints: list[Checkpoint]
+    wall_time_s: float
+    completed: bool
+    failed_at_step: int | None = None
+
+    @property
+    def final_loss(self) -> float:
+        if not self.losses:
+            raise ValidationError("run produced no losses")
+        return self.losses[-1]
+
+    @property
+    def tokens_per_second(self) -> float:
+        return len(self.steps) / self.wall_time_s if self.wall_time_s else 0.0
+
+
+class TrainingSimulator:
+    """Simulates a fine-tuning run with a power-law loss curve.
+
+    loss(t) = floor + amplitude · (1 + t/τ)^(-γ(lr)) + noise, with the decay
+    exponent peaking at ``lr_opt`` — so hyperparameter search (Ray Tune in
+    the lab) has a real optimum to find.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        initial_loss: float = 2.5,
+        floor_loss: float = 0.8,
+        lr_opt: float = 3e-4,
+        noise: float = 0.01,
+        sim: DDPSimulator | None = None,
+        checkpoint_every: int = 50,
+        metric_callback: Callable[[int, dict[str, float]], None] | None = None,
+    ) -> None:
+        if initial_loss <= floor_loss:
+            raise ValidationError("initial loss must exceed the floor")
+        if checkpoint_every <= 0:
+            raise ValidationError("checkpoint interval must be positive")
+        self._rng = np.random.default_rng(seed)
+        self.initial_loss = initial_loss
+        self.floor_loss = floor_loss
+        self.lr_opt = lr_opt
+        self.noise = noise
+        self.sim = sim
+        self.checkpoint_every = checkpoint_every
+        self.metric_callback = metric_callback
+
+    def _gamma(self, lr: float) -> float:
+        """Decay exponent: log-parabola in lr, maximal at lr_opt."""
+        if lr <= 0:
+            raise ValidationError(f"learning rate must be positive: {lr!r}")
+        spread = np.log10(lr / self.lr_opt)
+        return max(0.02, 0.6 * float(np.exp(-(spread**2) / 0.5)))
+
+    def loss_at(self, step: int, lr: float) -> float:
+        """Noiseless expected loss at ``step`` (vectorisable helper)."""
+        gamma = self._gamma(lr)
+        amp = self.initial_loss - self.floor_loss
+        return self.floor_loss + amp * float((1.0 + step / 25.0) ** (-gamma))
+
+    def run(
+        self,
+        *,
+        steps: int,
+        lr: float = 3e-4,
+        global_batch: int = 8,
+        fail_at_step: int | None = None,
+        resume_from: Checkpoint | None = None,
+    ) -> TrainingRun:
+        """Run ``steps`` optimizer steps (optionally resuming / failing)."""
+        if steps <= 0:
+            raise ValidationError(f"steps must be positive: {steps!r}")
+        step_time = (
+            self.sim.step_time(global_batch).total_s if self.sim is not None else 1.0
+        )
+        start = resume_from.step + 1 if resume_from is not None else 0
+
+        out_steps: list[int] = []
+        losses: list[float] = []
+        times: list[float] = []
+        checkpoints: list[Checkpoint] = [resume_from] if resume_from else []
+        wall = 0.0
+        failed_at = None
+
+        for t in range(start, steps):
+            if fail_at_step is not None and t == fail_at_step:
+                failed_at = t
+                break
+            loss = self.loss_at(t, lr) + float(self._rng.normal(0.0, self.noise))
+            out_steps.append(t)
+            losses.append(loss)
+            times.append(step_time)
+            wall += step_time
+            if self.metric_callback is not None:
+                self.metric_callback(t, {"loss": loss, "lr": lr, "step_time_s": step_time})
+            if (t + 1) % self.checkpoint_every == 0:
+                checkpoints.append(Checkpoint(step=t, loss=loss, state={"lr": lr}))
+
+        return TrainingRun(
+            steps=out_steps,
+            losses=losses,
+            step_times_s=times,
+            checkpoints=checkpoints,
+            wall_time_s=wall,
+            completed=failed_at is None,
+            failed_at_step=failed_at,
+        )
+
+    def run_with_recovery(
+        self, *, steps: int, lr: float = 3e-4, global_batch: int = 8, fail_at_step: int
+    ) -> tuple[TrainingRun, TrainingRun]:
+        """Fail at ``fail_at_step``, then resume from the latest checkpoint.
+
+        Returns (failed_run, recovery_run).  The recovery loses at most
+        ``checkpoint_every`` steps of progress — the fault-tolerance story
+        of the Ray Train lab.
+        """
+        first = self.run(steps=steps, lr=lr, global_batch=global_batch, fail_at_step=fail_at_step)
+        if first.completed:
+            return first, first
+        last_ckpt = first.checkpoints[-1] if first.checkpoints else None
+        second = self.run(steps=steps, lr=lr, global_batch=global_batch, resume_from=last_ckpt)
+        return first, second

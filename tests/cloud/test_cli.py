@@ -1,0 +1,123 @@
+"""Tests for the OpenStack-CLI-style interface."""
+
+import pytest
+
+from repro.cloud.cli import OpenStackCli, render
+from repro.cloud.inventory import CHAMELEON_FLAVORS
+from repro.cloud.quota import Quota
+from repro.cloud.site import Site, SiteKind
+from repro.common import EventLoop, NotFoundError, ValidationError
+
+
+@pytest.fixture()
+def cli():
+    loop = EventLoop()
+    site = Site("kvm", SiteKind.KVM, loop, quota=Quota.unlimited(), flavors=CHAMELEON_FLAVORS)
+    return loop, OpenStackCli(site, "demo", user="student001")
+
+
+class TestLab2CommandSequence:
+    def test_full_lab2_cli_walkthrough(self, cli):
+        """The exact command sequence the Unit 2 lab instructions use."""
+        loop, osc = cli
+        osc.lab = "lab2"
+        osc.run("openstack network create private-net")
+        osc.run("openstack subnet create --network private-net "
+                "--subnet-range 192.168.1.0/24 private-subnet")
+        for i in range(3):
+            rows = osc.run(
+                f"openstack server create --flavor m1.medium "
+                f"--image CC-Ubuntu24.04 --network private-net node{i}"
+            )
+            assert rows[0]["Networks"].startswith("192.168.1.")
+        fip_rows = osc.run("openstack floating ip create public")
+        address = fip_rows[0]["Floating IP Address"]
+        osc.run(f"openstack server add floating ip node0 {address}")
+
+        servers = osc.run("openstack server list")
+        assert len(servers) == 3
+        node0 = osc.site.compute.servers[servers[0]["ID"]]
+        assert node0.floating_ip_id is not None
+        # usage metered with the lab tag, like the paper's accounting needs
+        loop.run_until(1.0)
+        assert osc.site.meter.total_hours(lab="lab2") > 0
+
+    def test_delete_cycle(self, cli):
+        _, osc = cli
+        osc.run("openstack server create --flavor m1.small solo")
+        osc.run("openstack server delete solo")
+        assert osc.run("openstack server list") == []
+
+    def test_network_teardown(self, cli):
+        _, osc = cli
+        osc.run("openstack network create n")
+        osc.run("openstack network delete n")
+        names = [r["Name"] for r in osc.run("openstack network list")]
+        assert "n" not in names
+
+
+class TestParsing:
+    def test_openstack_prefix_optional(self, cli):
+        _, osc = cli
+        rows = osc.run("network create n2")
+        assert rows[0]["Name"] == "n2"
+
+    def test_unknown_command(self, cli):
+        _, osc = cli
+        with pytest.raises(ValidationError):
+            osc.run("openstack teleport create x")
+
+    def test_missing_required_flag(self, cli):
+        _, osc = cli
+        with pytest.raises(ValidationError):
+            osc.run("openstack server create nameonly")
+        osc.run("openstack network create x")
+        with pytest.raises(ValidationError):
+            osc.run("openstack subnet create --network x s")  # no --subnet-range
+
+    def test_missing_positional(self, cli):
+        _, osc = cli
+        with pytest.raises(ValidationError):
+            osc.run("openstack network create")
+
+    def test_empty_command(self, cli):
+        _, osc = cli
+        with pytest.raises(ValidationError):
+            osc.run("   ")
+
+    def test_name_lookup_errors(self, cli):
+        _, osc = cli
+        with pytest.raises(NotFoundError):
+            osc.run("openstack server delete ghost")
+        with pytest.raises(NotFoundError):
+            osc.run("openstack server create --flavor m1.small --network ghost x")
+
+    def test_quoted_arguments(self, cli):
+        _, osc = cli
+        rows = osc.run('openstack network create "my net"')
+        assert rows[0]["Name"] == "my net"
+
+
+class TestVolumesAndRender:
+    def test_volume_create_list(self, cli):
+        _, osc = cli
+        osc.run("openstack volume create --size 2 data-vol")
+        rows = osc.run("openstack volume list")
+        assert rows[0]["Size"] == 2
+
+    def test_render_table(self, cli):
+        _, osc = cli
+        osc.run("openstack server create --flavor m1.small a")
+        text = render(osc.run("openstack server list"))
+        assert "Name" in text and "m1.small" in text
+
+    def test_render_empty(self):
+        assert render([]) == "(no rows)"
+
+    def test_fip_list_shows_association(self, cli):
+        _, osc = cli
+        osc.run("openstack server create --flavor m1.small a")
+        addr = osc.run("openstack floating ip create public")[0]["Floating IP Address"]
+        osc.run(f"openstack server add floating ip a {addr}")
+        rows = osc.run("openstack floating ip list")
+        assert rows[0]["Port"] != ""

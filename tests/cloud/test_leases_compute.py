@@ -1,0 +1,252 @@
+"""Tests for advance reservations and the compute service."""
+
+import pytest
+
+from repro.cloud.site import Site, SiteKind
+from repro.cloud.inventory import (
+    CHAMELEON_FLAVORS,
+    CHAMELEON_NODE_TYPES,
+    EDGE_DEVICE_TYPES,
+)
+from repro.cloud.compute import ServerStatus
+from repro.cloud.leases import LeaseStatus
+from repro.cloud.quota import Quota
+from repro.common import (
+    ConflictError,
+    EventLoop,
+    InvalidStateError,
+    NotFoundError,
+    QuotaExceededError,
+    ValidationError,
+)
+
+
+@pytest.fixture()
+def kvm():
+    loop = EventLoop()
+    return loop, Site("kvm", SiteKind.KVM, loop, quota=Quota.unlimited(), flavors=CHAMELEON_FLAVORS)
+
+
+@pytest.fixture()
+def metal():
+    loop = EventLoop()
+    return loop, Site(
+        "chi", SiteKind.BARE_METAL, loop, quota=Quota.unlimited(), node_types=CHAMELEON_NODE_TYPES
+    )
+
+
+@pytest.fixture()
+def edge():
+    loop = EventLoop()
+    return loop, Site(
+        "edge", SiteKind.EDGE, loop, quota=Quota.unlimited(), edge_types=EDGE_DEVICE_TYPES
+    )
+
+
+class TestVmLifecycle:
+    def test_server_builds_then_activates(self, kvm):
+        loop, site = kvm
+        s = site.compute.create_server("proj", "node1", "m1.medium")
+        assert s.status is ServerStatus.BUILD
+        loop.run_until(0.1)
+        assert s.status is ServerStatus.ACTIVE
+
+    def test_unknown_flavor_raises(self, kvm):
+        _, site = kvm
+        with pytest.raises(NotFoundError):
+            site.compute.create_server("proj", "x", "m9.gigantic")
+
+    def test_vm_persists_until_deleted(self, kvm):
+        """The key Fig 1(a) mechanism: no auto-termination on the KVM site."""
+        loop, site = kvm
+        s = site.compute.create_server("proj", "forgotten", "m1.medium", lab="lab2")
+        loop.run_until(100.0)
+        assert s.id in site.compute.servers
+        site.compute.delete_server(s.id)
+        recs = [r for r in site.meter.records() if r.kind == "server"]
+        assert recs[0].hours == pytest.approx(100.0)
+
+    def test_quota_enforced_on_create(self):
+        loop = EventLoop()
+        site = Site(
+            "kvm", SiteKind.KVM, loop, quota=Quota(instances=1, cores=100, ram_gib=100),
+            flavors=CHAMELEON_FLAVORS,
+        )
+        site.compute.create_server("proj", "a", "m1.small")
+        with pytest.raises(QuotaExceededError):
+            site.compute.create_server("proj", "b", "m1.small")
+
+    def test_delete_releases_quota(self, kvm):
+        _, site = kvm
+        s = site.compute.create_server("proj", "a", "m1.large")
+        assert site.quota.usage("cores") == 4
+        site.compute.delete_server(s.id)
+        assert site.quota.usage("cores") == 0
+
+    def test_stop_start_cycle(self, kvm):
+        loop, site = kvm
+        s = site.compute.create_server("proj", "a", "m1.small")
+        loop.run_until(0.1)
+        site.compute.stop_server(s.id)
+        assert s.status is ServerStatus.SHUTOFF
+        site.compute.start_server(s.id)
+        assert s.status is ServerStatus.ACTIVE
+
+    def test_stop_requires_active(self, kvm):
+        _, site = kvm
+        s = site.compute.create_server("proj", "a", "m1.small")
+        with pytest.raises(InvalidStateError):
+            site.compute.stop_server(s.id)  # still BUILD
+
+    def test_floating_ip_association(self, kvm):
+        loop, site = kvm
+        s = site.compute.create_server("proj", "a", "m1.small")
+        fip = site.network.allocate_floating_ip("proj")
+        site.compute.associate_floating_ip(s.id, fip.id)
+        with pytest.raises(ConflictError):
+            site.compute.associate_floating_ip(s.id, fip.id)
+        site.compute.delete_server(s.id)
+        assert not site.network.floating_ips[fip.id].associated
+
+    def test_attach_network_allocates_fixed_ip(self, kvm):
+        _, site = kvm
+        n = site.network.create_network("proj", "private")
+        site.network.create_subnet(n.id, "192.168.0.0/24")
+        s = site.compute.create_server("proj", "a", "m1.small", network_id=n.id)
+        assert s.fixed_ips and s.fixed_ips[0].startswith("192.168.0.")
+
+    def test_attach_network_requires_subnet(self, kvm):
+        _, site = kvm
+        n = site.network.create_network("proj", "empty")
+        with pytest.raises(InvalidStateError):
+            site.compute.create_server("proj", "a", "m1.small", network_id=n.id)
+
+    def test_security_group_reachability(self, kvm):
+        _, site = kvm
+        from repro.cloud.network import SecurityGroupRule
+
+        sg = site.network.create_security_group("proj", "web")
+        site.network.add_rule(sg.id, SecurityGroupRule("tcp", 22, 22))
+        s = site.compute.create_server("proj", "a", "m1.small", security_groups=[sg.id])
+        assert site.compute.can_reach(s.id, "tcp", 22)
+        assert not site.compute.can_reach(s.id, "tcp", 8080)
+
+    def test_list_servers_filters(self, kvm):
+        _, site = kvm
+        site.compute.create_server("p1", "a", "m1.small", lab="lab1")
+        site.compute.create_server("p1", "b", "m1.small", lab="lab2")
+        site.compute.create_server("p2", "c", "m1.small", lab="lab1")
+        assert len(site.compute.list_servers(project="p1")) == 2
+        assert len(site.compute.list_servers(lab="lab1")) == 2
+
+
+class TestLeases:
+    def test_reservation_capacity_enforced(self, metal):
+        _, site = metal
+        cap = site.leases.capacity("gpu_a100_pcie")
+        for i in range(cap):
+            site.leases.create_lease("proj", "gpu_a100_pcie", start=0.0, end=2.0)
+        with pytest.raises(ConflictError):
+            site.leases.create_lease("proj", "gpu_a100_pcie", start=1.0, end=3.0)
+
+    def test_non_overlapping_ok(self, metal):
+        _, site = metal
+        cap = site.leases.capacity("gpu_a100_pcie")
+        for i in range(cap):
+            site.leases.create_lease("proj", "gpu_a100_pcie", start=0.0, end=2.0)
+        # back-to-back slot reuses the nodes
+        lease = site.leases.create_lease("proj", "gpu_a100_pcie", start=2.0, end=4.0)
+        assert lease.status is LeaseStatus.PENDING
+
+    def test_lease_in_past_rejected(self, metal):
+        loop, site = metal
+        loop.run_until(10.0)
+        with pytest.raises(ValidationError):
+            site.leases.create_lease("proj", "gpu_v100", start=5.0, end=6.0)
+
+    def test_degenerate_interval_rejected(self, metal):
+        _, site = metal
+        with pytest.raises(ValidationError):
+            site.leases.create_lease("proj", "gpu_v100", start=2.0, end=2.0)
+
+    def test_unknown_type_rejected(self, metal):
+        _, site = metal
+        with pytest.raises(NotFoundError):
+            site.leases.create_lease("proj", "gpu_h100", start=0.0, end=1.0)
+
+    def test_lease_activates_then_expires(self, metal):
+        loop, site = metal
+        lease = site.leases.create_lease("proj", "gpu_v100", start=1.0, end=3.0)
+        assert lease.status is LeaseStatus.PENDING
+        loop.run_until(1.5)
+        assert lease.status is LeaseStatus.ACTIVE
+        loop.run_until(3.5)
+        assert lease.status is LeaseStatus.EXPIRED
+
+
+class TestBareMetalAutoTermination:
+    def test_instance_killed_at_lease_end(self, metal):
+        """The Fig 1(b) mechanism: reserved usage cannot exceed the lease."""
+        loop, site = metal
+        lease = site.leases.create_lease("proj", "gpu_v100", start=0.0, end=3.0, lab="lab4")
+        node = site.compute.create_baremetal("proj", "train0", "gpu_v100", lease.id, lab="lab4")
+        loop.run_until(50.0)  # student walks away; node is still auto-killed
+        assert node.id not in site.compute.servers
+        recs = [r for r in site.meter.records() if r.kind == "baremetal"]
+        assert recs[0].hours == pytest.approx(3.0)
+
+    def test_instance_requires_matching_lease_type(self, metal):
+        _, site = metal
+        lease = site.leases.create_lease("proj", "gpu_v100", start=0.0, end=2.0)
+        with pytest.raises(ValidationError):
+            site.compute.create_baremetal("proj", "x", "gpu_a100_pcie", lease.id)
+
+    def test_lease_count_limits_bound_instances(self, metal):
+        _, site = metal
+        lease = site.leases.create_lease("proj", "gpu_v100", start=0.0, end=2.0, count=1)
+        site.compute.create_baremetal("proj", "a", "gpu_v100", lease.id)
+        with pytest.raises(ConflictError):
+            site.compute.create_baremetal("proj", "b", "gpu_v100", lease.id)
+
+    def test_early_lease_delete_kills_instance(self, metal):
+        loop, site = metal
+        lease = site.leases.create_lease("proj", "gpu_v100", start=0.0, end=5.0)
+        node = site.compute.create_baremetal("proj", "a", "gpu_v100", lease.id)
+        loop.run_until(1.0)
+        site.leases.delete_lease(lease.id)
+        assert node.id not in site.compute.servers
+        recs = [r for r in site.meter.records() if r.kind == "baremetal"]
+        assert recs[0].hours == pytest.approx(1.0)
+
+    def test_manual_delete_before_expiry(self, metal):
+        loop, site = metal
+        lease = site.leases.create_lease("proj", "gpu_v100", start=0.0, end=5.0)
+        node = site.compute.create_baremetal("proj", "a", "gpu_v100", lease.id)
+        loop.run_until(2.0)
+        site.compute.delete_server(node.id)
+        loop.run_until(10.0)  # lease expiry must not crash on the gone server
+        recs = [r for r in site.meter.records() if r.kind == "baremetal"]
+        assert recs[0].hours == pytest.approx(2.0)
+
+
+class TestEdgeSessions:
+    def test_edge_session_under_lease(self, edge):
+        loop, site = edge
+        lease = site.leases.create_lease("proj", "raspberrypi5", start=0.0, end=2.0, lab="lab6c")
+        dev = site.compute.create_edge_session("proj", "pi", "raspberrypi5", lease.id, lab="lab6c")
+        loop.run_until(10.0)
+        assert dev.id not in site.compute.servers
+        recs = [r for r in site.meter.records() if r.kind == "edge"]
+        assert recs[0].hours == pytest.approx(2.0)
+        assert recs[0].resource_type == "raspberrypi5"
+
+    def test_seven_pis_available(self, edge):
+        """The authors added 7 Raspberry Pi 5 devices (paper §4)."""
+        _, site = edge
+        assert site.leases.capacity("raspberrypi5") == 7
+
+    def test_kvm_site_has_no_leases(self, kvm):
+        _, site = kvm
+        assert site.leases is None
+        with pytest.raises(InvalidStateError):
+            site.compute.create_baremetal("proj", "x", "gpu_v100", "lease-1")

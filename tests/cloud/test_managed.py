@@ -1,0 +1,147 @@
+"""Tests for the Unit 10 managed cloud services."""
+
+import pytest
+
+from repro.cloud.inventory import CHAMELEON_FLAVORS
+from repro.cloud.managed import ManagedKubernetes, ManagedNotebook, ServerlessPlatform
+from repro.cloud.quota import Quota
+from repro.cloud.site import Site, SiteKind
+from repro.common import ConflictError, EventLoop, InvalidStateError, NotFoundError, ValidationError
+from repro.orchestration.kubernetes import Deployment, PodTemplate
+
+
+@pytest.fixture()
+def env():
+    loop = EventLoop()
+    site = Site("gcp-like", SiteKind.KVM, loop, quota=Quota.unlimited(), flavors=CHAMELEON_FLAVORS)
+    return loop, site
+
+
+class TestManagedKubernetes:
+    def test_one_call_cluster(self, env):
+        loop, site = env
+        gke = ManagedKubernetes(site, "demo")
+        cluster = gke.create_cluster("gg", nodes=3)
+        loop.run_until(0.1)
+        assert len(cluster.nodes) == 3
+        assert len(site.compute.servers) == 3  # node pool is real metered VMs
+        # workloads schedule immediately — no Kubespray step
+        cluster.apply_deployment(Deployment("app", PodTemplate(image="gg:v1"), replicas=2))
+        cluster.reconcile_to_convergence()
+        assert len(cluster.ready_pods("app")) == 2
+
+    def test_management_fee_accrues(self, env):
+        loop, site = env
+        gke = ManagedKubernetes(site, "demo")
+        gke.create_cluster("gg")
+        loop.run_until(10.0)
+        assert gke.management_fee("gg") == pytest.approx(10 * 0.10)
+
+    def test_delete_releases_everything(self, env):
+        loop, site = env
+        gke = ManagedKubernetes(site, "demo")
+        gke.create_cluster("gg", nodes=2)
+        loop.run_until(2.0)
+        gke.delete_cluster("gg")
+        assert not site.compute.servers
+        fee_records = [r for r in site.meter.records() if r.kind == "managed_k8s"]
+        assert fee_records[0].hours == pytest.approx(2.0)
+        with pytest.raises(NotFoundError):
+            gke.cluster("gg")
+
+    def test_duplicate_and_invalid(self, env):
+        _, site = env
+        gke = ManagedKubernetes(site, "demo")
+        gke.create_cluster("gg")
+        with pytest.raises(ConflictError):
+            gke.create_cluster("gg")
+        with pytest.raises(ValidationError):
+            gke.create_cluster("other", nodes=0)
+
+
+class TestServerless:
+    def test_invoke_runs_handler(self, env):
+        _, site = env
+        faas = ServerlessPlatform(site, "demo")
+        faas.deploy("classify", lambda img: "pizza")
+        result, latency = faas.invoke("classify", "img-1")
+        assert result == "pizza"
+        assert latency >= ServerlessPlatform.COLD_START_MS
+
+    def test_warm_invocations_fast(self, env):
+        _, site = env
+        faas = ServerlessPlatform(site, "demo")
+        faas.deploy("f", lambda x: x)
+        _, cold = faas.invoke("f", 1, duration_ms=1.0)
+        _, warm = faas.invoke("f", 1, duration_ms=1.0)
+        assert warm < cold / 10  # 6 ms vs 401 ms: the cold-start penalty
+
+    def test_scale_to_zero_after_idle(self, env):
+        loop, site = env
+        faas = ServerlessPlatform(site, "demo")
+        faas.deploy("f", lambda x: x)
+        faas.invoke("f", 1)
+        loop.run_until(1.0)  # > 15 min idle
+        _, latency = faas.invoke("f", 1)
+        assert latency >= ServerlessPlatform.COLD_START_MS
+
+    def test_zero_cost_when_unused(self, env):
+        """The scale-to-zero contrast with an always-on VM."""
+        _, site = env
+        faas = ServerlessPlatform(site, "demo")
+        faas.deploy("f", lambda x: x)
+        assert faas.cost("f") == 0.0
+
+    def test_usage_billing(self, env):
+        _, site = env
+        faas = ServerlessPlatform(site, "demo")
+        faas.deploy("f", lambda x: x, memory_gb=1.0)
+        for _ in range(1000):
+            faas.invoke("f", 1, duration_ms=100.0)
+        stats = faas.stats("f")
+        assert stats["invocations"] == 1000
+        assert stats["gb_seconds"] == pytest.approx(100.0)  # 1000 * 1GB * 0.1s
+        assert stats["cost_usd"] == pytest.approx(1000 / 1e6 * 0.40 + 100 * 0.0000025)
+
+    def test_unknown_function(self, env):
+        _, site = env
+        with pytest.raises(NotFoundError):
+            ServerlessPlatform(site, "demo").invoke("ghost", 1)
+
+    def test_invalid_memory(self, env):
+        _, site = env
+        with pytest.raises(ValidationError):
+            ServerlessPlatform(site, "demo").deploy("f", lambda x: x, memory_gb=0)
+
+
+class TestManagedNotebook:
+    def test_hourly_billing_while_running(self, env):
+        loop, site = env
+        nb = ManagedNotebook(site, "demo")
+        nb.start("train-nb")
+        loop.run_until(3.0)
+        assert nb.cost("train-nb") == pytest.approx(3 * 1.46)
+        hours = nb.stop("train-nb")
+        assert hours == pytest.approx(3.0)
+        loop.run_until(10.0)
+        assert nb.cost("train-nb") == pytest.approx(3 * 1.46)  # stopped: no accrual
+
+    def test_double_start_and_stop_guards(self, env):
+        _, site = env
+        nb = ManagedNotebook(site, "demo")
+        nb.start("x")
+        with pytest.raises(InvalidStateError):
+            nb.start("x")
+        nb.stop("x")
+        with pytest.raises(InvalidStateError):
+            nb.stop("x")
+
+    def test_metered_on_site(self, env):
+        loop, site = env
+        nb = ManagedNotebook(site, "demo")
+        nb.start("x")
+        loop.run_until(2.0)
+        nb.stop("x")
+        recs = [r for r in site.meter.records() if r.kind == "notebook"]
+        assert recs[0].hours == pytest.approx(2.0)
+        assert recs[0].lab == "lab10"

@@ -1,0 +1,128 @@
+"""Tests for usage metering and the multi-site testbed facade."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cloud import chameleon
+from repro.cloud.metering import UsageMeter, UsageRecord
+from repro.common import ConflictError, NotFoundError, SimClock, ValidationError
+
+
+class TestUsageMeter:
+    def test_span_accrues_hours(self):
+        clock = SimClock()
+        m = UsageMeter(clock, site="s")
+        m.open_span("vm-1", kind="server", resource_type="m1.small", project="p")
+        clock.advance(4.0)
+        rec = m.close_span("vm-1")
+        assert rec.hours == 4.0
+        assert rec.site == "s"
+
+    def test_double_open_conflicts(self):
+        m = UsageMeter(SimClock())
+        m.open_span("x", kind="server", resource_type="t", project="p")
+        with pytest.raises(ConflictError):
+            m.open_span("x", kind="server", resource_type="t", project="p")
+
+    def test_close_unknown_raises(self):
+        m = UsageMeter(SimClock())
+        with pytest.raises(NotFoundError):
+            m.close_span("nope")
+
+    def test_open_span_snapshot(self):
+        clock = SimClock()
+        m = UsageMeter(clock)
+        m.open_span("x", kind="server", resource_type="t", project="p")
+        clock.advance(2.0)
+        recs = m.records()
+        assert recs[0].hours == 2.0
+        assert m.is_open("x")  # snapshot does not close
+
+    def test_records_exclude_open(self):
+        clock = SimClock()
+        m = UsageMeter(clock)
+        m.open_span("x", kind="server", resource_type="t", project="p")
+        assert m.records(include_open=False) == []
+
+    def test_adjust_quantity_preserves_integral(self):
+        clock = SimClock()
+        m = UsageMeter(clock)
+        m.open_span("obj", kind="object_storage", resource_type="os", project="p", quantity=1.0)
+        clock.advance(2.0)  # 2 GB-hours
+        m.adjust_quantity("obj", 3.0)
+        clock.advance(1.0)  # 3 GB-hours
+        m.close_span("obj")
+        total = sum(r.unit_hours for r in m.records())
+        assert total == pytest.approx(5.0)
+
+    def test_total_hours_filters(self):
+        clock = SimClock()
+        m = UsageMeter(clock)
+        m.open_span("a", kind="server", resource_type="t", project="p", lab="lab1")
+        m.open_span("b", kind="floating_ip", resource_type="fip", project="p", lab="lab1")
+        clock.advance(3.0)
+        assert m.total_hours(kind="server") == 3.0
+        assert m.total_hours(lab="lab1") == 6.0
+        assert m.total_hours(lab="lab9") == 0.0
+
+    def test_record_validation(self):
+        with pytest.raises(ValidationError):
+            UsageRecord("x", "server", "t", "p", start=2.0, end=1.0)
+        with pytest.raises(ValidationError):
+            UsageRecord("x", "server", "t", "p", start=0.0, end=1.0, quantity=-1)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=10, allow_nan=False), min_size=1, max_size=10))
+    def test_unit_hours_additive_across_spans(self, durations):
+        clock = SimClock()
+        m = UsageMeter(clock)
+        for i, d in enumerate(durations):
+            m.open_span(f"r{i}", kind="server", resource_type="t", project="p")
+            clock.advance(d)
+            m.close_span(f"r{i}")
+        assert m.total_hours(kind="server") == pytest.approx(sum(durations))
+
+
+class TestChameleonTestbed:
+    def test_three_sites(self):
+        tb = chameleon()
+        assert set(tb.sites) == {"kvm@tacc", "chi@tacc", "chi@edge"}
+
+    def test_sites_share_clock(self):
+        tb = chameleon()
+        tb.run_until(5.0)
+        assert tb.clock.now == 5.0
+        # lease created relative to shared clock
+        lease = tb.site("chi@tacc").leases.create_lease("p", "gpu_v100", start=5.0, end=7.0)
+        assert lease.start == 5.0
+
+    def test_cross_site_usage_aggregation(self):
+        tb = chameleon()
+        kvm = tb.site("kvm@tacc")
+        metal = tb.site("chi@tacc")
+        vm = kvm.compute.create_server("proj", "a", "m1.medium", lab="lab2")
+        lease = metal.leases.create_lease("proj", "gpu_v100", start=0.0, end=2.0, lab="lab4")
+        metal.compute.create_baremetal("proj", "b", "gpu_v100", lease.id, lab="lab4")
+        tb.run_until(10.0)
+        kvm.compute.delete_server(vm.id)
+        recs = tb.usage_records()
+        by_kind = {}
+        for r in recs:
+            by_kind.setdefault(r.kind, 0.0)
+            by_kind[r.kind] += r.unit_hours
+        assert by_kind["server"] == pytest.approx(10.0)
+        assert by_kind["baremetal"] == pytest.approx(2.0)
+
+    def test_duplicate_site_rejected(self):
+        tb = chameleon()
+        with pytest.raises(ConflictError):
+            tb.add_site(tb.site("kvm@tacc"))
+
+    def test_unknown_site_raises(self):
+        tb = chameleon()
+        with pytest.raises(NotFoundError):
+            tb.site("chi@mars")
+
+    def test_kvm_quota_is_course_quota(self):
+        tb = chameleon()
+        assert tb.site("kvm@tacc").quota.limits.instances == 600

@@ -1,0 +1,179 @@
+"""Tests for the Neutron-like network service."""
+
+import pytest
+
+from repro.cloud.metering import UsageMeter
+from repro.cloud.network import NetworkService, SecurityGroupRule
+from repro.cloud.quota import Quota, QuotaManager
+from repro.common import (
+    ConflictError,
+    NotFoundError,
+    SimClock,
+    ValidationError,
+)
+from repro.common.ids import IdGenerator
+
+
+@pytest.fixture()
+def svc():
+    clock = SimClock()
+    return clock, NetworkService(clock, IdGenerator(), QuotaManager(Quota.unlimited()), UsageMeter(clock))
+
+
+class TestNetworksAndRouters:
+    def test_external_network_preexists(self, svc):
+        _, net = svc
+        assert net.networks["external"].external
+
+    def test_create_network_subnet_router_wireup(self, svc):
+        _, net = svc
+        n = net.create_network("proj", "private-net")
+        s = net.create_subnet(n.id, "192.168.1.0/24")
+        r = net.create_router("proj", "router0")
+        net.set_router_gateway(r.id, "external")
+        net.add_router_interface(r.id, s.id)
+        assert s.id in net.routers[r.id].interface_subnet_ids
+        assert net.routers[r.id].external_network_id == "external"
+
+    def test_gateway_must_be_external(self, svc):
+        _, net = svc
+        n = net.create_network("proj", "n")
+        r = net.create_router("proj", "r")
+        with pytest.raises(ValidationError):
+            net.set_router_gateway(r.id, n.id)
+
+    def test_cannot_delete_network_with_subnets(self, svc):
+        _, net = svc
+        n = net.create_network("proj", "n")
+        net.create_subnet(n.id, "10.0.0.0/24")
+        with pytest.raises(ConflictError):
+            net.delete_network(n.id)
+
+    def test_cannot_delete_external_network(self, svc):
+        _, net = svc
+        with pytest.raises(ConflictError):
+            net.delete_network("external")
+
+    def test_cannot_delete_router_with_interfaces(self, svc):
+        _, net = svc
+        n = net.create_network("proj", "n")
+        s = net.create_subnet(n.id, "10.0.0.0/24")
+        r = net.create_router("proj", "r")
+        net.add_router_interface(r.id, s.id)
+        with pytest.raises(ConflictError):
+            net.delete_router(r.id)
+
+    def test_cannot_delete_subnet_attached_to_router(self, svc):
+        _, net = svc
+        n = net.create_network("proj", "n")
+        s = net.create_subnet(n.id, "10.0.0.0/24")
+        r = net.create_router("proj", "r")
+        net.add_router_interface(r.id, s.id)
+        with pytest.raises(ConflictError):
+            net.delete_subnet(s.id)
+
+    def test_full_teardown_succeeds(self, svc):
+        _, net = svc
+        n = net.create_network("proj", "n")
+        s = net.create_subnet(n.id, "10.0.0.0/24")
+        net.delete_subnet(s.id)
+        net.delete_network(n.id)
+        assert n.id not in net.networks
+
+    def test_subnet_addresses_unique(self, svc):
+        _, net = svc
+        n = net.create_network("proj", "n")
+        s = net.create_subnet(n.id, "10.0.0.0/28")
+        addrs = {s.allocate_address() for _ in range(4)}
+        assert len(addrs) == 4
+
+    def test_subnet_exhaustion(self, svc):
+        _, net = svc
+        n = net.create_network("proj", "n")
+        s = net.create_subnet(n.id, "10.0.0.0/28")  # 16 addresses, host ids 10..14
+        for _ in range(5):
+            s.allocate_address()
+        with pytest.raises(ConflictError):
+            s.allocate_address()
+
+    def test_invalid_cidr_rejected(self, svc):
+        _, net = svc
+        n = net.create_network("proj", "n")
+        with pytest.raises(ValueError):
+            net.create_subnet(n.id, "not-a-cidr")
+
+
+class TestFloatingIPs:
+    def test_allocate_associate_release(self, svc):
+        clock, net = svc
+        fip = net.allocate_floating_ip("proj")
+        net.associate_floating_ip(fip.id, "vm-1")
+        assert net.floating_ips[fip.id].associated
+        net.disassociate_floating_ip(fip.id)
+        net.release_floating_ip(fip.id)
+        assert fip.id not in net.floating_ips
+
+    def test_double_association_conflicts(self, svc):
+        _, net = svc
+        fip = net.allocate_floating_ip("proj")
+        net.associate_floating_ip(fip.id, "vm-1")
+        with pytest.raises(ConflictError):
+            net.associate_floating_ip(fip.id, "vm-2")
+
+    def test_floating_ip_hours_metered(self, svc):
+        clock, net = svc
+        fip = net.allocate_floating_ip("proj", lab="lab1")
+        clock.advance(3.0)
+        net.release_floating_ip(fip.id)
+        clock.advance(10.0)  # no further accrual after release
+        meter_records = [r for r in net._meter.records() if r.kind == "floating_ip"]
+        assert len(meter_records) == 1
+        assert meter_records[0].hours == pytest.approx(3.0)
+        assert meter_records[0].lab == "lab1"
+
+    def test_quota_enforced(self):
+        clock = SimClock()
+        net = NetworkService(
+            clock, IdGenerator(), QuotaManager(Quota(floating_ips=1)), UsageMeter(clock)
+        )
+        net.allocate_floating_ip("proj")
+        from repro.common import QuotaExceededError
+
+        with pytest.raises(QuotaExceededError):
+            net.allocate_floating_ip("proj")
+
+    def test_addresses_are_public_pool(self, svc):
+        _, net = svc
+        fip = net.allocate_floating_ip("proj")
+        assert fip.address.startswith("129.114.")
+
+
+class TestSecurityGroups:
+    def test_rule_permits_port_range(self, svc):
+        _, net = svc
+        sg = net.create_security_group("proj", "ssh-jupyter")
+        net.add_rule(sg.id, SecurityGroupRule("tcp", 22, 22))
+        net.add_rule(sg.id, SecurityGroupRule("tcp", 8888, 8890))
+        assert sg.permits("tcp", 22)
+        assert sg.permits("tcp", 8889)
+        assert not sg.permits("tcp", 80)
+        assert not sg.permits("udp", 22)
+
+    def test_duplicate_rule_conflicts(self, svc):
+        _, net = svc
+        sg = net.create_security_group("proj", "sg")
+        rule = SecurityGroupRule("tcp", 22, 22)
+        net.add_rule(sg.id, rule)
+        with pytest.raises(ConflictError):
+            net.add_rule(sg.id, rule)
+
+    def test_invalid_rule_rejected(self):
+        with pytest.raises(ValidationError):
+            SecurityGroupRule("tcp", 100, 50)
+        with pytest.raises(ValidationError):
+            SecurityGroupRule("bogus", 1, 2)
+
+    def test_missing_group_raises(self, svc):
+        _, net = svc
+        with pytest.raises(NotFoundError):
+            net.add_rule("sg-nope", SecurityGroupRule("tcp", 22, 22))

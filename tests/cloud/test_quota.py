@@ -1,0 +1,95 @@
+"""Tests for per-project quota accounting."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cloud.quota import Quota, QuotaManager
+from repro.common import QuotaExceededError, ValidationError
+
+
+class TestQuota:
+    def test_course_quota_matches_paper(self):
+        q = Quota.course_quota()
+        assert q.instances == 600
+        assert q.cores == 1200
+        assert q.ram_gib == 2560
+        assert q.routers == 200
+        assert q.floating_ips == 300
+        assert q.security_groups == 100
+        assert q.volumes == 200
+        assert q.volume_storage_gb == 10_000
+        assert math.isinf(q.networks)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValidationError):
+            Quota(instances=-1)
+
+    def test_unlimited_everything(self):
+        q = Quota.unlimited()
+        assert math.isinf(q.cores)
+
+
+class TestQuotaManager:
+    def test_reserve_and_release(self):
+        qm = QuotaManager(Quota(instances=2, cores=4, ram_gib=8))
+        qm.reserve(instances=1, cores=2, ram_gib=4)
+        assert qm.usage("instances") == 1
+        assert qm.available("cores") == 2
+        qm.release(instances=1, cores=2, ram_gib=4)
+        assert qm.usage("instances") == 0
+
+    def test_exceeding_raises(self):
+        qm = QuotaManager(Quota(instances=1))
+        qm.reserve(instances=1)
+        with pytest.raises(QuotaExceededError):
+            qm.reserve(instances=1)
+
+    def test_reserve_is_atomic(self):
+        qm = QuotaManager(Quota(instances=10, cores=2))
+        with pytest.raises(QuotaExceededError):
+            qm.reserve(instances=1, cores=3)
+        # the instances dimension must not have been charged
+        assert qm.usage("instances") == 0
+
+    def test_unknown_dimension_rejected(self):
+        qm = QuotaManager()
+        with pytest.raises(ValidationError):
+            qm.reserve(gpus=1)
+
+    def test_negative_reserve_rejected(self):
+        qm = QuotaManager()
+        with pytest.raises(ValidationError):
+            qm.reserve(instances=-1)
+
+    def test_over_release_rejected(self):
+        qm = QuotaManager()
+        qm.reserve(instances=1)
+        with pytest.raises(ValidationError):
+            qm.release(instances=2)
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["reserve", "release"]), st.integers(1, 5)),
+            max_size=40,
+        )
+    )
+    def test_usage_never_negative_never_over_limit(self, ops):
+        qm = QuotaManager(Quota(instances=10))
+        held = 0
+        for op, n in ops:
+            if op == "reserve":
+                try:
+                    qm.reserve(instances=n)
+                    held += n
+                except QuotaExceededError:
+                    pass
+            else:
+                take = min(n, held)
+                if take:
+                    qm.release(instances=take)
+                    held -= take
+            assert 0 <= qm.usage("instances") <= 10
+            assert qm.usage("instances") == held

@@ -1,0 +1,169 @@
+"""Tests for the simulation clock and event loop."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import SimClock, EventLoop, ValidationError
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(5.5).now == 5.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValidationError):
+            SimClock(-1.0)
+
+    def test_advance_accumulates(self):
+        c = SimClock()
+        c.advance(1.5)
+        c.advance(2.5)
+        assert c.now == 4.0
+
+    def test_advance_negative_rejected(self):
+        c = SimClock()
+        with pytest.raises(ValidationError):
+            c.advance(-0.1)
+
+    def test_advance_to_moves_forward(self):
+        c = SimClock(1.0)
+        c.advance_to(3.0)
+        assert c.now == 3.0
+
+    def test_advance_to_past_rejected(self):
+        c = SimClock(5.0)
+        with pytest.raises(ValidationError):
+            c.advance_to(4.0)
+
+    def test_advance_to_now_is_noop(self):
+        c = SimClock(2.0)
+        c.advance_to(2.0)
+        assert c.now == 2.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), max_size=20))
+    def test_clock_is_monotone(self, deltas):
+        c = SimClock()
+        prev = c.now
+        for d in deltas:
+            c.advance(d)
+            assert c.now >= prev
+            prev = c.now
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(3.0, lambda: order.append("c"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_ties_broken_by_priority_then_seq(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda: order.append("low-prio"), priority=5)
+        loop.schedule(1.0, lambda: order.append("first"), priority=0)
+        loop.schedule(1.0, lambda: order.append("second"), priority=0)
+        loop.run()
+        assert order == ["first", "second", "low-prio"]
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(4.5, lambda: seen.append(loop.clock.now))
+        loop.run()
+        assert seen == [4.5]
+
+    def test_schedule_in_past_rejected(self):
+        loop = EventLoop()
+        loop.clock.advance(10.0)
+        with pytest.raises(ValidationError):
+            loop.schedule(5.0, lambda: None)
+
+    def test_schedule_in_relative(self):
+        loop = EventLoop()
+        loop.clock.advance(2.0)
+        fired = []
+        loop.schedule_in(1.5, lambda: fired.append(loop.clock.now))
+        loop.run()
+        assert fired == [3.5]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValidationError):
+            loop.schedule_in(-1.0, lambda: None)
+
+    def test_run_until_stops_at_boundary(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(2.0, lambda: fired.append(2))
+        loop.schedule(5.0, lambda: fired.append(5))
+        n = loop.run_until(3.0)
+        assert n == 2
+        assert fired == [1, 2]
+        assert loop.clock.now == 3.0
+        assert loop.pending == 1
+
+    def test_run_until_advances_clock_even_without_events(self):
+        loop = EventLoop()
+        loop.run_until(7.0)
+        assert loop.clock.now == 7.0
+
+    def test_event_at_boundary_fires(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(3.0, lambda: fired.append(3))
+        loop.run_until(3.0)
+        assert fired == [3]
+
+    def test_cancel_prevents_firing(self):
+        loop = EventLoop()
+        fired = []
+        ev = loop.schedule(1.0, lambda: fired.append(1))
+        loop.schedule(2.0, lambda: fired.append(2))
+        loop.cancel(ev)
+        loop.run()
+        assert fired == [2]
+
+    def test_callbacks_can_schedule_more_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def cascade():
+            fired.append(loop.clock.now)
+            if len(fired) < 3:
+                loop.schedule_in(1.0, cascade)
+
+        loop.schedule(1.0, cascade)
+        loop.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_max_events_bound(self):
+        loop = EventLoop()
+        for i in range(10):
+            loop.schedule(float(i + 1), lambda: None)
+        assert loop.run(max_events=4) == 4
+        assert loop.pending == 6
+
+    def test_fired_counter(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        loop.run()
+        assert loop.fired == 2
+
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=30))
+    def test_arbitrary_schedules_fire_sorted(self, times):
+        loop = EventLoop()
+        seen = []
+        for t in times:
+            loop.schedule(t, lambda t=t: seen.append(t))
+        loop.run()
+        assert seen == sorted(times)

@@ -1,0 +1,82 @@
+"""Tests for id generation, unit helpers, and table rendering."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import IdGenerator, format_table
+from repro.common.units import (
+    GB,
+    GIB,
+    bytes_to_gb,
+    bytes_to_gib,
+    hours_to_seconds,
+    seconds_to_hours,
+)
+
+
+class TestIdGenerator:
+    def test_sequential_per_prefix(self):
+        ids = IdGenerator()
+        assert ids.next("vm") == "vm-000001"
+        assert ids.next("vm") == "vm-000002"
+        assert ids.next("vol") == "vol-000001"
+
+    def test_peek_counts(self):
+        ids = IdGenerator()
+        ids.next("x")
+        ids.next("x")
+        assert ids.peek("x") == 2
+        assert ids.peek("y") == 0
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), max_size=50))
+    def test_ids_are_unique(self, prefixes):
+        ids = IdGenerator()
+        minted = [ids.next(p) for p in prefixes]
+        assert len(set(minted)) == len(minted)
+
+
+class TestUnits:
+    def test_gb_round_trip(self):
+        assert bytes_to_gb(5 * GB) == 5.0
+
+    def test_gib_round_trip(self):
+        assert bytes_to_gib(3 * GIB) == 3.0
+
+    def test_gib_larger_than_gb(self):
+        assert GIB > GB
+
+    def test_hours_seconds_round_trip(self):
+        assert seconds_to_hours(hours_to_seconds(2.5)) == 2.5
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        out = format_table(["name", "hours"], [["lab1", 2620], ["lab2", 52332]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "2620" in out and "52332" in out
+
+    def test_numbers_right_aligned(self):
+        out = format_table(["k", "v"], [["a", 1], ["bbbb", 1000]])
+        lines = out.splitlines()
+        # the numeric column is right-aligned: '1' ends where '1000' ends
+        assert lines[2].rstrip().endswith("1")
+        assert lines[3].rstrip().endswith("1000")
+
+    def test_none_renders_na(self):
+        out = format_table(["a"], [[None]])
+        assert "NA" in out
+
+    def test_floats_use_format(self):
+        out = format_table(["cost"], [[1234.5]], float_fmt=",.2f")
+        assert "1,234.50" in out
+
+    def test_title_included(self):
+        out = format_table(["a"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_ragged_row_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])

@@ -1,0 +1,16 @@
+"""Shared fixtures: the cohort simulation is expensive, so run it once."""
+
+import pytest
+
+from repro.core import CohortSimulation
+
+
+@pytest.fixture(scope="session")
+def semester_records():
+    """One full simulated semester (labs + project), default seed."""
+    return CohortSimulation().run()
+
+
+@pytest.fixture(scope="session")
+def lab_records(semester_records):
+    return [r for r in semester_records if r.lab != "project"]

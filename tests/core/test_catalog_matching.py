@@ -1,0 +1,151 @@
+"""Tests for the pricing catalog, requirement matching, and course definition."""
+
+import pytest
+
+from repro.common import SchedulingError, ValidationError
+from repro.core import AWS_CATALOG, GCP_CATALOG, COURSE, CloudInstance, RequirementSpec
+from repro.core.catalog import PricingCatalog
+from repro.core.course import TABLE1_ROWS, LabKind
+from repro.core.matching import cheapest_match, matches
+
+
+class TestCatalog:
+    def test_catalogs_are_price_sorted(self):
+        for catalog in (AWS_CATALOG, GCP_CATALOG):
+            prices = [i.hourly_usd for i in catalog]
+            assert prices == sorted(prices)
+
+    def test_paper_recoverable_rates(self):
+        """Rates exactly recoverable from Table 1 (see catalog docstring)."""
+        by_name = {i.name: i for i in AWS_CATALOG}
+        assert by_name["t3.micro"].hourly_usd == 0.0104
+        assert by_name["t3.medium"].hourly_usd == 0.0416
+        assert by_name["t3.xlarge"].hourly_usd == 0.1664
+        assert AWS_CATALOG.ip_hourly_usd == 0.005
+        gcp = {i.name: i for i in GCP_CATALOG}
+        assert gcp["a2-highgpu-4g"].hourly_usd == 14.694
+        assert gcp["g2-standard-24"].hourly_usd == 1.998
+        assert GCP_CATALOG.ip_hourly_usd == 0.004
+
+    def test_provider_mismatch_rejected(self):
+        inst = CloudInstance("x", "aws", 1, 1, 1.0)
+        with pytest.raises(ValidationError):
+            PricingCatalog("gcp", [inst], ip_hourly_usd=0.004)
+
+    def test_invalid_instance_rejected(self):
+        with pytest.raises(ValidationError):
+            CloudInstance("x", "aws", 0, 1, 1.0)
+        with pytest.raises(ValidationError):
+            CloudInstance("x", "aws", 1, 1, 1.0, gpus=1, gpu_mem_gib=0)
+
+
+class TestMatching:
+    def test_cheapest_satisfying_wins(self):
+        spec = RequirementSpec(vcpus=2, ram_gib=4)
+        assert cheapest_match(spec, AWS_CATALOG).name == "t3.medium"
+        assert cheapest_match(spec, GCP_CATALOG).name == "e2-medium"
+
+    def test_dedicated_cores_excludes_shared(self):
+        spec = RequirementSpec(vcpus=2, ram_gib=4, dedicated_cores=True)
+        assert cheapest_match(spec, GCP_CATALOG).name == "n2-standard-2"
+
+    def test_bf16_excludes_pre_ampere(self):
+        spec = RequirementSpec(gpus=1, gpu_mem_gib=16, needs_bf16=True)
+        names = {i.name for i in matches(spec, AWS_CATALOG)}
+        assert "g4dn.xlarge" not in names  # T4 is cc 7.5
+        assert cheapest_match(spec, AWS_CATALOG).compute_capability >= 8.0
+
+    def test_gpu_memory_bound(self):
+        spec = RequirementSpec(gpus=1, gpu_mem_gib=80)
+        assert cheapest_match(spec, GCP_CATALOG).name == "a2-ultragpu-1g"
+
+    def test_impossible_spec_raises(self):
+        with pytest.raises(SchedulingError):
+            cheapest_match(RequirementSpec(gpus=64), AWS_CATALOG)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValidationError):
+            RequirementSpec(vcpus=0)
+
+    def test_lab_equivalents_match_paper_choices(self):
+        """The per-lab matches that are recoverable from Table 1."""
+        from repro.core.costmodel import CostModel
+
+        model = CostModel()
+        expectations = {
+            ("lab1", "aws"): "t3.micro",
+            ("lab2", "aws"): "t3.medium",
+            ("lab2", "gcp"): "n2-standard-2",
+            ("lab7", "aws"): "t3.medium",
+            ("lab7", "gcp"): "e2-medium",
+            ("lab8", "aws"): "t3.xlarge",
+            ("lab8", "gcp"): "e2-standard-2",
+            ("lab4_multi", "gcp"): "a2-highgpu-4g",
+            ("lab4_single", "gcp"): "a2-ultragpu-1g",
+            ("lab5_multi", "gcp"): "g2-standard-24",
+            ("lab6_opt", "gcp"): "g2-standard-4",
+            ("lab6_sys", "gcp"): "g2-standard-24",
+        }
+        for (lab_id, provider), name in expectations.items():
+            assert model.lab_equivalent(lab_id, provider).name == name, (lab_id, provider)
+
+    def test_edge_lab_has_no_equivalent(self):
+        from repro.core.costmodel import CostModel
+
+        assert CostModel().lab_equivalent("lab6_edge", "aws") is None
+
+    def test_same_assignment_same_equivalent_across_node_types(self):
+        """The paper's per-assignment (not per-node-type) matching."""
+        from repro.core.costmodel import CostModel
+
+        model = CostModel()
+        # lab4_multi covers both gpu_a100_pcie and gpu_v100 rows with one match
+        assert model.lab_equivalent("lab4_multi", "aws") is not None
+
+
+class TestCourseDefinition:
+    def test_enrollment_matches_paper(self):
+        assert COURSE.enrollment == 191
+
+    def test_sixteen_table1_rows(self):
+        assert len(TABLE1_ROWS) == 16
+
+    def test_every_lab_has_table1_rows(self):
+        lab_ids = {lab.id for lab in COURSE.labs}
+        assert {lab_id for lab_id, _ in TABLE1_ROWS} == lab_ids
+
+    def test_calibration_targets_consistent_with_paper(self):
+        """mean_actual * enrollment * vm_count reproduces Table 1 hours."""
+        from repro.core.course import PAPER_TABLE1_HOURS
+
+        for lab in COURSE.labs:
+            if lab.kind is not LabKind.VM:
+                continue
+            paper = PAPER_TABLE1_HOURS[(lab.id, lab.flavor)][0]
+            implied = lab.mean_actual_hours * COURSE.enrollment * lab.vm_count
+            assert implied == pytest.approx(paper, rel=0.01)
+
+    def test_reserved_calibration_consistent(self):
+        from repro.core.course import PAPER_TABLE1_HOURS
+
+        for lab in COURSE.labs:
+            if lab.kind is LabKind.VM:
+                continue
+            paper_total = sum(
+                hours for (lid, _), (hours, _) in PAPER_TABLE1_HOURS.items() if lid == lab.id
+            )
+            implied = lab.mean_slots * COURSE.enrollment * lab.slot_hours
+            assert implied == pytest.approx(paper_total, rel=0.01)
+
+    def test_option_weights_sum_to_one(self):
+        for lab in COURSE.labs:
+            if lab.options:
+                assert sum(o.weight for o in lab.options) == pytest.approx(1.0)
+
+    def test_unknown_lab_raises(self):
+        with pytest.raises(ValidationError):
+            COURSE.lab("lab99")
+
+    def test_semester_length(self):
+        assert COURSE.semester_weeks == 14
+        assert COURSE.semester_hours == 2352.0

@@ -1,0 +1,253 @@
+"""Reproduction tests: the simulated semester against the paper's §5 numbers.
+
+These are the headline assertions of the whole repository: the cohort
+simulation (behaviour model + testbed) must land on Table 1 and Figures
+1-3 within tolerance bands — tight for calibrated VM rows (stratified
+sampling makes them nearly exact), loose for small stochastic rows.
+"""
+
+import pytest
+
+from repro.core import (
+    CohortConfig,
+    CohortSimulation,
+    fig1_duration_data,
+    fig2_cost_distribution,
+    fig3_project_usage,
+    table1,
+)
+from repro.core.course import COURSE, PAPER_TABLE1_HOURS
+from repro.core.report import headline_summary
+
+PAPER_LAB_TOTAL_HOURS = 109_837
+PAPER_IP_TOTAL_HOURS = 53_387
+
+
+class TestTable1Reproduction:
+    def test_total_instance_hours_within_5pct(self, semester_records):
+        t1 = table1(semester_records)
+        assert t1.totals["instance_hours"] == pytest.approx(PAPER_LAB_TOTAL_HOURS, rel=0.05)
+
+    def test_total_ip_hours_within_5pct(self, semester_records):
+        t1 = table1(semester_records)
+        assert t1.totals["floating_ip_hours"] == pytest.approx(PAPER_IP_TOTAL_HOURS, rel=0.05)
+
+    def test_vm_rows_within_10pct(self, semester_records):
+        t1 = table1(semester_records)
+        vm_rows = {("lab1", "m1.small"), ("lab2", "m1.medium"), ("lab3", "m1.medium"),
+                   ("lab7", "m1.medium"), ("lab8", "m1.large")}
+        for row in t1.rows:
+            key = (row.lab_id, row.resource_type)
+            if key in vm_rows:
+                paper = PAPER_TABLE1_HOURS[key][0]
+                assert row.instance_hours == pytest.approx(paper, rel=0.10), key
+
+    def test_reserved_rows_within_tolerance(self, semester_records):
+        """Slot counts are Poisson, so small rows get wide bands."""
+        t1 = table1(semester_records)
+        for row in t1.rows:
+            key = (row.lab_id, row.resource_type)
+            if key not in PAPER_TABLE1_HOURS or row.lab_id.startswith("lab" ) is False:
+                continue
+            paper = PAPER_TABLE1_HOURS[key][0]
+            # Poisson slot counts: tiny rows (28 h = ~9 slots) are dominated
+            # by sampling noise, so their band is wide
+            rel = 0.8 if paper < 150 else (0.45 if paper < 300 else 0.25)
+            assert row.instance_hours == pytest.approx(paper, rel=rel), key
+
+    def test_per_student_lab_cost_in_paper_range(self, semester_records):
+        """Paper: $124 AWS / $111 GCP per student for labs."""
+        t1 = table1(semester_records)
+        aws = t1.totals["aws_cost"] / COURSE.enrollment
+        gcp = t1.totals["gcp_cost"] / COURSE.enrollment
+        assert 95 <= aws <= 150
+        assert 90 <= gcp <= 140
+
+    def test_vm_lab_fip_ratio(self, semester_records):
+        """Rows 2-3: one floating IP per three VMs."""
+        t1 = table1(semester_records)
+        for row in t1.rows:
+            if row.lab_id in ("lab2", "lab3"):
+                assert row.floating_ip_hours == pytest.approx(row.instance_hours / 3, rel=0.01)
+
+    def test_reserved_fip_equals_instance_hours(self, semester_records):
+        t1 = table1(semester_records)
+        for row in t1.rows:
+            if row.lab_id.startswith(("lab4", "lab5", "lab6")):
+                assert row.floating_ip_hours == pytest.approx(row.instance_hours, rel=0.01)
+
+    def test_edge_row_has_no_commercial_cost(self, semester_records):
+        t1 = table1(semester_records)
+        edge = [r for r in t1.rows if r.resource_type == "raspberrypi5"]
+        assert edge and edge[0].aws_cost is None and edge[0].gcp_cost is None
+
+    def test_render_contains_paper_columns(self, semester_records):
+        text = table1(semester_records).render()
+        for needle in ("Assignment", "Instance Hours", "Floating IP Hours",
+                       "AWS Cost", "GCP Cost", "Total", "NA"):
+            assert needle in text
+
+
+class TestFig1Reproduction:
+    def test_vm_labs_overshoot_expected(self, semester_records):
+        """Fig 1(a): every VM lab's actual usage far exceeds expected."""
+        f1 = fig1_duration_data(semester_records)
+        assert len(f1.vm_rows) == 5
+        for row in f1.vm_rows:
+            assert row.overshoot > 3.0, row.lab_id
+
+    def test_lab2_overshoot_is_extreme(self, semester_records):
+        f1 = fig1_duration_data(semester_records)
+        lab2 = next(r for r in f1.vm_rows if r.lab_id == "lab2")
+        assert lab2.overshoot > 10.0  # paper: ~18x
+
+    def test_reserved_labs_track_expected(self, semester_records):
+        """Fig 1(b): auto-termination keeps actual near expected."""
+        f1 = fig1_duration_data(semester_records)
+        for row in f1.reserved_rows:
+            assert 0.1 <= row.overshoot <= 3.0, row.lab_id
+
+    def test_unit4_single_below_unit5_multi_above(self, semester_records):
+        """The paper's §5 note: single-GPU under, multi-GPU re-runs over."""
+        f1 = fig1_duration_data(semester_records)
+        by_id = {r.lab_id: r for r in f1.reserved_rows}
+        assert by_id["lab4_single"].overshoot < 1.0
+        assert by_id["lab5_multi"].overshoot > 1.5
+
+    def test_render(self, semester_records):
+        text = fig1_duration_data(semester_records).render()
+        assert "Fig 1(a)" in text and "Fig 1(b)" in text
+
+
+class TestFig2Reproduction:
+    def test_majority_exceed_expected_cost(self, semester_records):
+        """Paper: 75% (AWS) / 73% (GCP) of students exceed the expected cost."""
+        f2 = fig2_cost_distribution(semester_records)
+        assert f2.aws_stats["pct_exceeding_expected"] > 55
+        assert f2.gcp_stats["pct_exceeding_expected"] > 55
+
+    def test_long_tail_max_several_times_mean(self, semester_records):
+        """Paper: max $665 vs mean $124 on AWS (5.4x)."""
+        f2 = fig2_cost_distribution(semester_records)
+        for stats in (f2.aws_stats, f2.gcp_stats):
+            assert stats["max"] > 3.0 * stats["mean"]
+            assert stats["max"] < 15.0 * stats["mean"]
+
+    def test_max_student_in_paper_range(self, semester_records):
+        f2 = fig2_cost_distribution(semester_records)
+        assert 400 <= f2.aws_stats["max"] <= 1000  # paper: $665
+
+    def test_expected_cost_matches_paper_ballpark(self, semester_records):
+        """Paper: $79.80 AWS / $58.85 GCP expected per student."""
+        f2 = fig2_cost_distribution(semester_records)
+        assert 50 <= f2.aws_stats["expected"] <= 95
+        assert 40 <= f2.gcp_stats["expected"] <= 80
+
+    def test_all_students_counted(self, semester_records):
+        f2 = fig2_cost_distribution(semester_records)
+        assert f2.aws_stats["n"] == COURSE.enrollment
+
+    def test_histogram_sums_to_cohort(self, semester_records):
+        f2 = fig2_cost_distribution(semester_records)
+        counts, _ = f2.histogram("aws")
+        assert counts.sum() == COURSE.enrollment
+
+
+class TestFig3Reproduction:
+    def test_project_vm_hours_within_5pct(self, semester_records):
+        f3 = fig3_project_usage(semester_records)
+        assert f3.vm_hours_total == pytest.approx(70_259, rel=0.05)
+
+    def test_project_gpu_hours_within_10pct(self, semester_records):
+        f3 = fig3_project_usage(semester_records)
+        assert f3.gpu_hours_total == pytest.approx(5_446, rel=0.10)
+
+    def test_other_project_resources(self, semester_records):
+        f3 = fig3_project_usage(semester_records)
+        assert f3.baremetal_cpu_hours == pytest.approx(975, rel=0.10)
+        assert f3.edge_hours == pytest.approx(175, rel=0.10)
+        assert f3.block_storage_gb_peak == pytest.approx(9_000, rel=0.05)
+        assert f3.object_storage_gb_peak == pytest.approx(1_541, rel=0.05)
+
+    def test_project_cost_in_paper_range(self, semester_records):
+        """Paper: $25,889 AWS / $26,218 GCP for projects."""
+        f3 = fig3_project_usage(semester_records)
+        assert 18_000 <= f3.aws_total_usd <= 33_000
+        assert 16_000 <= f3.gcp_total_usd <= 33_000
+
+
+class TestHeadlines:
+    def test_total_instance_hours_matches_abstract(self, semester_records):
+        """Abstract: 186,692 total compute instance hours."""
+        hs = headline_summary(semester_records)
+        assert hs["total_instance_hours"] == pytest.approx(186_692, rel=0.05)
+
+    def test_cost_per_student_approximately_250(self, semester_records):
+        hs = headline_summary(semester_records)
+        assert 200 <= hs["aws_total_per_student"] <= 300
+        assert 180 <= hs["gcp_total_per_student"] <= 300
+
+    def test_course_total_under_60k(self, semester_records):
+        """Abstract: 'almost $50,000 for our course'."""
+        hs = headline_summary(semester_records)
+        assert 38_000 <= hs["aws_course_total"] <= 60_000
+
+
+class TestCohortMechanics:
+    def test_deterministic_under_seed(self):
+        a = CohortSimulation(config=CohortConfig(seed=7)).run(include_project=False)
+        b = CohortSimulation(config=CohortConfig(seed=7)).run(include_project=False)
+        assert len(a) == len(b)
+        assert sum(r.unit_hours for r in a) == pytest.approx(sum(r.unit_hours for r in b))
+
+    def test_different_seed_different_usage(self):
+        a = CohortSimulation(config=CohortConfig(seed=1)).run(include_project=False)
+        b = CohortSimulation(config=CohortConfig(seed=2)).run(include_project=False)
+        assert sum(r.unit_hours for r in a) != sum(r.unit_hours for r in b)
+
+    def test_cannot_run_twice(self):
+        sim = CohortSimulation()
+        sim.run(include_project=False)
+        with pytest.raises(Exception):
+            sim.run()
+
+    def test_no_open_spans_after_semester(self, semester_records):
+        """Every resource was eventually torn down (spans all closed)."""
+        # records() snapshots open spans at now == semester end; spans that
+        # are genuinely open would keep accruing if we advanced further.
+        sim = CohortSimulation()
+        records = sim.run(include_project=False)
+        for site in sim.testbed.sites.values():
+            assert not site.compute.servers
+            assert not site.network.floating_ips
+
+    def test_vm_reaper_ablation_slashes_vm_hours(self):
+        """§5: 'Chameleon has introduced advance reservation for VM
+        instances ... with automatic termination' — the reaper ablation."""
+        base = CohortSimulation(config=CohortConfig(seed=3)).run(include_project=False)
+        reaped = CohortSimulation(
+            config=CohortConfig(seed=3, vm_reaper=True)
+        ).run(include_project=False)
+
+        def vm_hours(records):
+            return sum(r.unit_hours for r in records if r.kind == "server")
+
+        assert vm_hours(reaped) < 0.25 * vm_hours(base)
+
+    def test_quota_never_exceeded(self):
+        sim = CohortSimulation()
+        sim.run()
+        kvm = sim.testbed.site("kvm@tacc")
+        # quota accounting returned to zero after cleanup
+        assert kvm.quota.usage("instances") == 0
+        assert kvm.quota.usage("floating_ips") == 0
+
+    def test_participation_scales_usage(self):
+        full = CohortSimulation(config=CohortConfig(seed=5)).run(include_project=False)
+        # participation correction keeps totals calibrated even at 80%
+        partial = CohortSimulation(
+            config=CohortConfig(seed=5, participation=0.8)
+        ).run(include_project=False)
+        full_h = sum(r.unit_hours for r in full if r.kind == "server")
+        part_h = sum(r.unit_hours for r in partial if r.kind == "server")
+        assert part_h == pytest.approx(full_h, rel=0.2)

@@ -1,0 +1,264 @@
+"""Tests for relational, ETL, streaming, and feature-store components."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import ConflictError, NotFoundError, ValidationError
+from repro.datasys import (
+    Broker,
+    Consumer,
+    EtlPipeline,
+    FeatureStore,
+    FeatureView,
+    Producer,
+    Table,
+)
+
+
+class TestTable:
+    def setup_method(self):
+        self.t = Table(
+            "predictions",
+            {"id": str, "label": str, "confidence": float},
+            primary_key="id",
+        )
+
+    def test_insert_get_round_trip(self):
+        self.t.insert({"id": "r1", "label": "pizza", "confidence": 0.9})
+        assert self.t.get("r1")["label"] == "pizza"
+
+    def test_duplicate_key_rejected(self):
+        self.t.insert({"id": "r1", "label": "pizza", "confidence": 0.9})
+        with pytest.raises(ConflictError):
+            self.t.insert({"id": "r1", "label": "salad", "confidence": 0.1})
+
+    def test_upsert_replaces(self):
+        self.t.insert({"id": "r1", "label": "pizza", "confidence": 0.9})
+        replaced = self.t.upsert({"id": "r1", "label": "salad", "confidence": 0.5})
+        assert replaced and len(self.t) == 1
+        assert self.t.get("r1")["label"] == "salad"
+
+    def test_type_enforcement(self):
+        with pytest.raises(ValidationError):
+            self.t.insert({"id": "r1", "label": "pizza", "confidence": "high"})
+
+    def test_missing_and_unknown_columns(self):
+        with pytest.raises(ValidationError):
+            self.t.insert({"id": "r1", "label": "pizza"})
+        with pytest.raises(ValidationError):
+            self.t.insert({"id": "r1", "label": "p", "confidence": 0.5, "extra": 1})
+
+    def test_select_where_order_limit(self):
+        for i, conf in enumerate([0.9, 0.1, 0.5]):
+            self.t.insert({"id": f"r{i}", "label": "x", "confidence": conf})
+        rows = self.t.select(lambda r: r["confidence"] > 0.2, order_by="confidence", limit=1)
+        assert rows == [{"id": "r2", "label": "x", "confidence": 0.5}]
+
+    def test_aggregate_group_by(self):
+        for i, (label, c) in enumerate([("pizza", 0.8), ("pizza", 0.6), ("salad", 0.9)]):
+            self.t.insert({"id": f"r{i}", "label": label, "confidence": c})
+        means = self.t.aggregate("label", "confidence", lambda v: sum(v) / len(v))
+        assert means == {"pizza": pytest.approx(0.7), "salad": 0.9}
+
+    def test_join(self):
+        users = Table("users", {"uid": str, "tier": str}, primary_key="uid")
+        users.insert({"uid": "u1", "tier": "pro"})
+        logs = Table("logs", {"uid": str, "event": str})
+        logs.insert({"uid": "u1", "event": "upload"})
+        logs.insert({"uid": "u2", "event": "upload"})
+        joined = logs.join(users, on="uid")
+        assert len(joined) == 1
+        assert joined[0]["tier"] == "pro"
+
+    def test_rows_are_copies(self):
+        self.t.insert({"id": "r1", "label": "pizza", "confidence": 0.9})
+        row = self.t.get("r1")
+        row["label"] = "mutated"
+        assert self.t.get("r1")["label"] == "pizza"
+
+
+class TestEtl:
+    def test_full_pipeline(self):
+        sink = []
+        pipeline = EtlPipeline(
+            "ingest",
+            extract=lambda: [{"img": i, "size": 100 * i} for i in range(5)],
+            transforms=[
+                ("drop tiny", lambda r: r if r["size"] >= 100 else None),
+                ("add thumb", lambda r: {**r, "thumb": f"t{r['img']}"}),
+            ],
+            load=sink.append,
+        )
+        report = pipeline.run()
+        assert report.extracted == 5
+        assert report.filtered == 1  # img 0 dropped
+        assert report.loaded == 4
+        assert all("thumb" in r for r in sink)
+
+    def test_bad_records_go_to_dead_letter_queue(self):
+        sink = []
+        pipeline = EtlPipeline(
+            "ingest",
+            extract=lambda: [1, "two", 3],
+            transforms=[("double", lambda r: r * 2 if isinstance(r, int) else 1 / 0)],
+            load=sink.append,
+        )
+        report = pipeline.run()
+        assert report.loaded == 2
+        assert report.failed == 1
+        assert report.dead_letters[0].stage == "double"
+        assert "ZeroDivisionError" in report.dead_letters[0].error
+
+    def test_load_failures_recorded(self):
+        def load(r):
+            if r == 2:
+                raise IOError("disk full")
+
+        report = EtlPipeline("p", extract=lambda: [1, 2, 3], load=load).run()
+        assert report.loaded == 2
+        assert report.dead_letters[0].stage == "load"
+
+    def test_extract_retries(self):
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise IOError("transient")
+            return [1]
+
+        report = EtlPipeline("p", extract=flaky, load=lambda r: None, extract_retries=3).run()
+        assert report.extract_attempts == 3
+        assert report.loaded == 1
+
+    def test_extract_retries_exhausted(self):
+        def broken():
+            raise IOError("gone")
+
+        with pytest.raises(ValidationError):
+            EtlPipeline("p", extract=broken, load=lambda r: None, extract_retries=1).run()
+
+
+class TestStreaming:
+    def setup_method(self):
+        self.broker = Broker()
+        self.broker.create_topic("uploads", partitions=3)
+
+    def test_produce_consume_commit_cycle(self):
+        producer = Producer(self.broker)
+        for i in range(10):
+            producer.send("uploads", {"img": i})
+        consumer = Consumer(self.broker, "training-pipeline")
+        msgs = consumer.consume_all("uploads")
+        assert len(msgs) == 10
+        assert self.broker.lag("training-pipeline", "uploads") == 0
+
+    def test_key_routing_is_stable(self):
+        producer = Producer(self.broker)
+        parts = {producer.send("uploads", i, key="user-42").partition for i in range(5)}
+        assert len(parts) == 1  # same key, same partition
+
+    def test_independent_groups_see_full_stream(self):
+        producer = Producer(self.broker)
+        for i in range(6):
+            producer.send("uploads", i)
+        a = Consumer(self.broker, "group-a").consume_all("uploads")
+        b = Consumer(self.broker, "group-b").consume_all("uploads")
+        assert len(a) == len(b) == 6
+
+    def test_restart_resumes_from_committed_offset(self):
+        producer = Producer(self.broker)
+        for i in range(10):
+            producer.send("uploads", i, key="k")  # single partition
+        consumer = Consumer(self.broker, "g")
+        first = consumer.poll("uploads", max_messages=4)
+        consumer.commit(first)
+        # "restart": a new consumer object in the same group
+        resumed = Consumer(self.broker, "g").consume_all("uploads")
+        assert len(resumed) == 6
+        assert {m.value for m in first} | {m.value for m in resumed} == set(range(10))
+
+    def test_uncommitted_messages_redelivered(self):
+        Producer(self.broker).send("uploads", "x", key="k")
+        consumer = Consumer(self.broker, "g")
+        assert len(consumer.poll("uploads")) == 1
+        assert len(consumer.poll("uploads")) == 1  # not committed -> redelivered
+
+    def test_lag_accounting(self):
+        producer = Producer(self.broker)
+        for i in range(5):
+            producer.send("uploads", i)
+        assert self.broker.lag("g", "uploads") == 5
+
+    def test_topic_guards(self):
+        with pytest.raises(ConflictError):
+            self.broker.create_topic("uploads")
+        with pytest.raises(NotFoundError):
+            self.broker.append("ghost", 1)
+        with pytest.raises(ValidationError):
+            self.broker.create_topic("bad", partitions=0)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=50))
+    def test_no_message_lost_property(self, values):
+        broker = Broker()
+        broker.create_topic("t", partitions=4)
+        for v in values:
+            broker.append("t", v)
+        got = Consumer(broker, "g").consume_all("t")
+        assert sorted(m.value for m in got) == sorted(values)
+
+
+class TestFeatureStore:
+    def setup_method(self):
+        self.fs = FeatureStore()
+        self.view = self.fs.register_view(
+            FeatureView("user_stats", entity="user_id", features=("uploads_7d", "avg_conf"))
+        )
+
+    def test_online_serves_latest(self):
+        self.fs.write("user_stats", "u1", {"uploads_7d": 3}, timestamp=1.0)
+        self.fs.write("user_stats", "u1", {"uploads_7d": 5, "avg_conf": 0.8}, timestamp=2.0)
+        assert self.fs.get_online("user_stats", "u1") == {"uploads_7d": 5, "avg_conf": 0.8}
+
+    def test_point_in_time_correctness(self):
+        """The label-leakage guard: training rows must not see future values."""
+        self.fs.write("user_stats", "u1", {"uploads_7d": 3}, timestamp=1.0)
+        self.fs.write("user_stats", "u1", {"uploads_7d": 99}, timestamp=5.0)
+        as_of = self.fs.get_as_of("user_stats", "u1", timestamp=2.0)
+        assert as_of == {"uploads_7d": 3}  # not the future 99
+
+    def test_training_set_assembly(self):
+        self.fs.write("user_stats", "u1", {"uploads_7d": 3, "avg_conf": 0.7}, timestamp=1.0)
+        self.fs.write("user_stats", "u2", {"uploads_7d": 1}, timestamp=4.0)
+        events = [("u1", 2.0, "churned"), ("u2", 3.0, "active"), ("u2", 5.0, "active")]
+        ts = self.fs.training_set("user_stats", events)
+        # u2@3.0 dropped (no features yet at that time)
+        assert ts == [
+            ({"uploads_7d": 3, "avg_conf": 0.7}, "churned"),
+            ({"uploads_7d": 1}, "active"),
+        ]
+
+    def test_batch_ingest(self):
+        rows = [{"user_id": f"u{i}", "uploads_7d": i} for i in range(3)]
+        n = self.fs.ingest_batch("user_stats", rows, timestamp=1.0)
+        assert n == 3
+        assert self.fs.get_online("user_stats", "u2")["uploads_7d"] == 2
+
+    def test_late_stream_write_inserted_in_order(self):
+        self.fs.write("user_stats", "u1", {"uploads_7d": 10}, timestamp=5.0)
+        self.fs.write("user_stats", "u1", {"uploads_7d": 2}, timestamp=1.0)  # late
+        assert self.fs.get_as_of("user_stats", "u1", timestamp=2.0) == {"uploads_7d": 2}
+        assert self.fs.get_online("user_stats", "u1") == {"uploads_7d": 10}
+
+    def test_guards(self):
+        with pytest.raises(ValidationError):
+            self.fs.write("user_stats", "u1", {"bogus": 1}, timestamp=0)
+        with pytest.raises(NotFoundError):
+            self.fs.get_online("user_stats", "ghost")
+        with pytest.raises(NotFoundError):
+            self.fs.write("ghost-view", "u1", {}, timestamp=0)
+        with pytest.raises(ValidationError):
+            FeatureView("empty", entity="e", features=())
+        with pytest.raises(ValidationError):
+            self.fs.ingest_batch("user_stats", [{"uploads_7d": 1}], timestamp=0)

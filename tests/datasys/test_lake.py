@@ -1,0 +1,108 @@
+"""Tests for the data lake and lakehouse table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import ConflictError, NotFoundError, ValidationError
+from repro.datasys.lake import DataLake, LakehouseTable
+
+
+class TestDataLake:
+    def test_schema_on_read_accepts_heterogeneous_rows(self):
+        lake = DataLake()
+        lake.write("raw", "uploads", [{"img": 1}, {"img": 2, "exif": {"iso": 800}}])
+        rows = lake.read("raw", "uploads")
+        assert len(rows) == 2
+        assert "exif" in rows[1]
+
+    def test_partitioned_writes_and_reads(self):
+        lake = DataLake()
+        lake.write("raw", "uploads", [{"img": 1}], partition="dt=2025-01-01")
+        lake.write("raw", "uploads", [{"img": 2}], partition="dt=2025-01-02")
+        assert lake.partitions("raw", "uploads") == ["dt=2025-01-01", "dt=2025-01-02"]
+        assert len(lake.read("raw", "uploads")) == 2
+        assert lake.read("raw", "uploads", partition="dt=2025-01-02")[0]["img"] == 2
+
+    def test_promote_raw_to_curated_with_filtering(self):
+        lake = DataLake()
+        lake.write("raw", "uploads", [{"img": 1, "ok": True}, {"img": 2, "ok": False}])
+        n = lake.promote("uploads", lambda r: {"img": r["img"]} if r["ok"] else None)
+        assert n == 1
+        assert lake.read("curated", "uploads") == [{"img": 1}]
+
+    def test_unknown_zone_rejected(self):
+        with pytest.raises(ValidationError):
+            DataLake().write("gold", "x", [])
+
+    def test_missing_data_raises(self):
+        with pytest.raises(NotFoundError):
+            DataLake().read("raw", "ghost")
+
+    def test_reads_are_copies(self):
+        lake = DataLake()
+        lake.write("raw", "d", [{"a": 1}])
+        lake.read("raw", "d")[0]["a"] = 99
+        assert lake.read("raw", "d")[0]["a"] == 1
+
+
+class TestLakehouseTable:
+    def setup_method(self):
+        self.t = LakehouseTable("predictions", {"id": str, "label": str})
+
+    def test_schema_enforced_unlike_the_lake(self):
+        with pytest.raises(ValidationError):
+            self.t.append([{"id": "a"}])  # missing column
+        with pytest.raises(ValidationError):
+            self.t.append([{"id": "a", "label": 5}])  # wrong type
+
+    def test_append_creates_versions(self):
+        v1 = self.t.append([{"id": "a", "label": "pizza"}])
+        v2 = self.t.append([{"id": "b", "label": "soup"}])
+        assert (v1, v2) == (1, 2)
+        assert len(self.t.read()) == 2
+
+    def test_time_travel(self):
+        self.t.append([{"id": "a", "label": "pizza"}])
+        self.t.overwrite([{"id": "z", "label": "salad"}])
+        assert self.t.read(as_of=1) == [{"id": "a", "label": "pizza"}]
+        assert self.t.read() == [{"id": "z", "label": "salad"}]
+        assert self.t.read(as_of=0) == []
+
+    def test_unknown_version_raises(self):
+        with pytest.raises(NotFoundError):
+            self.t.read(as_of=5)
+
+    def test_optimistic_concurrency(self):
+        v = self.t.append([{"id": "a", "label": "x"}])
+        self.t.append([{"id": "b", "label": "y"}], expected_version=v)
+        with pytest.raises(ConflictError):
+            # a writer holding the stale version loses
+            self.t.append([{"id": "c", "label": "z"}], expected_version=v)
+
+    def test_failed_commit_leaves_no_version(self):
+        before = self.t.version
+        with pytest.raises(ValidationError):
+            self.t.append([{"id": "ok", "label": "ok"}, {"bad": True}])
+        assert self.t.version == before
+        assert self.t.read() == []
+
+    def test_restore_is_a_new_commit(self):
+        self.t.append([{"id": "a", "label": "x"}])
+        self.t.overwrite([])
+        v = self.t.restore(1)
+        assert self.t.read() == [{"id": "a", "label": "x"}]
+        assert v == 3  # rollback recorded, history preserved
+        assert [tv.operation for tv in self.t.history()] == [
+            "create", "append", "overwrite", "overwrite",
+        ]
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=20))
+    def test_version_row_counts_monotone_under_appends(self, batches):
+        t = LakehouseTable("t", {"n": int})
+        total = 0
+        for i, n in enumerate(batches):
+            t.append([{"n": j} for j in range(n)])
+            total += n
+            assert t.history()[-1].row_count == total
+        assert len(t.read()) == total

@@ -1,0 +1,130 @@
+"""Tests for the Ansible-like playbook runner."""
+
+import pytest
+
+from repro.common import NotFoundError, ValidationError
+from repro.iac.ansible import Host, Play, Playbook, PlaybookRunner, Task
+
+
+@pytest.fixture()
+def inventory():
+    return {f"node{i}": Host(f"node{i}") for i in range(3)}
+
+
+def k8s_install_playbook() -> Playbook:
+    """A Kubespray-flavored playbook: packages, config, service + handler."""
+    tasks = (
+        Task("install containerd", "package", {"name": "containerd"}),
+        Task("install kubeadm", "package", {"name": "kubeadm"}),
+        Task(
+            "write kubelet config", "copy",
+            {"dest": "/etc/kubernetes/kubelet.yaml", "content": "cgroupDriver: systemd"},
+            notify=("restart kubelet",),
+        ),
+        Task("enable kubelet", "service", {"name": "kubelet", "state": "running"}),
+    )
+    handlers = (Task("restart kubelet", "service", {"name": "kubelet", "state": "restarted"}),)
+    return Playbook("install-k8s", (Play("k8s", ("node0", "node1", "node2"), tasks, handlers),))
+
+
+class TestPlaybookRunner:
+    def test_first_run_changes_everything(self, inventory):
+        runner = PlaybookRunner(inventory)
+        results = runner.run(k8s_install_playbook())
+        task_results = [r for r in results if r.task != "restart kubelet"]
+        assert all(r.changed for r in task_results)
+        assert inventory["node1"].packages == {"containerd", "kubeadm"}
+        assert inventory["node2"].services["kubelet"] == "running"
+
+    def test_second_run_is_idempotent(self, inventory):
+        runner = PlaybookRunner(inventory)
+        runner.run(k8s_install_playbook())
+        results = runner.run(k8s_install_playbook())
+        assert all(not r.changed for r in results)
+
+    def test_handler_fires_once_after_change(self, inventory):
+        runner = PlaybookRunner(inventory)
+        results = runner.run(k8s_install_playbook())
+        restarts = [r for r in results if r.task == "restart kubelet"]
+        assert len(restarts) == 3  # once per host, once per play
+
+    def test_handler_not_fired_without_change(self, inventory):
+        runner = PlaybookRunner(inventory)
+        runner.run(k8s_install_playbook())
+        results = runner.run(k8s_install_playbook())
+        assert [r for r in results if r.task == "restart kubelet"] == []
+
+    def test_when_condition_skips(self, inventory):
+        inventory["node0"].facts["role"] = "control"
+        pb = Playbook("x", (Play("p", ("node0", "node1"), (
+            Task("only control", "package", {"name": "etcd"},
+                 when=lambda h: h.facts.get("role") == "control"),
+        )),))
+        runner = PlaybookRunner(inventory)
+        runner.run(pb)
+        assert "etcd" in inventory["node0"].packages
+        assert "etcd" not in inventory["node1"].packages
+
+    def test_command_guarded_by_creates(self, inventory):
+        pb = Playbook("x", (Play("p", ("node0",), (
+            Task("kubeadm init", "command", {"cmd": "kubeadm init", "creates": "/etc/kubernetes/admin.conf"}),
+        )),))
+        runner = PlaybookRunner(inventory)
+        r1 = runner.run(pb)
+        r2 = runner.run(pb)
+        assert r1[0].changed and not r2[0].changed
+
+    def test_lineinfile_idempotent(self, inventory):
+        pb = Playbook("x", (Play("p", ("node0",), (
+            Task("add module", "lineinfile", {"path": "/etc/modules", "line": "br_netfilter"}),
+        )),))
+        runner = PlaybookRunner(inventory)
+        assert runner.run(pb)[0].changed
+        assert not runner.run(pb)[0].changed
+        assert inventory["node0"].files["/etc/modules"] == "br_netfilter"
+
+    def test_unknown_host_raises(self):
+        runner = PlaybookRunner({})
+        pb = Playbook("x", (Play("p", ("ghost",), (Task("t", "package", {"name": "x"}),)),))
+        with pytest.raises(NotFoundError):
+            runner.run(pb)
+
+    def test_unknown_module_raises(self, inventory):
+        runner = PlaybookRunner(inventory)
+        pb = Playbook("x", (Play("p", ("node0",), (Task("t", "quantum_entangle", {}),)),))
+        with pytest.raises(ValidationError):
+            runner.run(pb)
+
+    def test_unknown_handler_raises(self, inventory):
+        runner = PlaybookRunner(inventory)
+        pb = Playbook("x", (Play("p", ("node0",), (
+            Task("t", "package", {"name": "x"}, notify=("ghost handler",)),
+        )),))
+        with pytest.raises(NotFoundError):
+            runner.run(pb)
+
+    def test_failed_task_aborts(self, inventory):
+        runner = PlaybookRunner(inventory)
+        pb = Playbook("x", (Play("p", ("node0",), (
+            Task("bad", "package", {"name": "x", "state": "sideways"}),
+            Task("never runs", "package", {"name": "y"}),
+        )),))
+        with pytest.raises(ValidationError):
+            runner.run(pb)
+        assert "y" not in inventory["node0"].packages
+
+    def test_custom_module_registration(self, inventory):
+        from repro.iac.ansible import TaskResult
+
+        runner = PlaybookRunner(inventory)
+        runner.register_module(
+            "kubespray", lambda h, a: TaskResult(h.name, "kubespray", True)
+        )
+        pb = Playbook("x", (Play("p", ("node0",), (Task("deploy", "kubespray", {}),)),))
+        assert runner.run(pb)[0].changed
+
+    def test_set_fact_changed_semantics(self, inventory):
+        runner = PlaybookRunner(inventory)
+        pb = Playbook("x", (Play("p", ("node0",), (Task("f", "set_fact", {"a": 1}),)),))
+        assert runner.run(pb)[0].changed
+        assert not runner.run(pb)[0].changed

@@ -1,0 +1,108 @@
+"""Tests for IaC configuration, interpolation, and the dependency graph."""
+
+import pytest
+
+from repro.common import ConflictError, ValidationError
+from repro.iac.config import Config, ResourceConfig, find_references, interpolate
+from repro.iac.graph import dependency_graph, destroy_order, execution_order
+
+
+class TestReferences:
+    def test_find_in_string(self):
+        refs = find_references("${os_network.net1.id}")
+        assert refs == [("os_network", "net1", "id")]
+
+    def test_find_in_nested_structures(self):
+        args = {"a": ["${t.x.id}", {"b": "${t.y.addr}"}], "c": 5}
+        assert set(find_references(args)) == {("t", "x", "id"), ("t", "y", "addr")}
+
+    def test_whole_reference_preserves_type(self):
+        out = interpolate("${t.x.port}", {"t.x": {"port": 8080}})
+        assert out == 8080
+
+    def test_embedded_reference_stringifies(self):
+        out = interpolate("http://${t.x.ip}:80", {"t.x": {"ip": "10.0.0.5"}})
+        assert out == "http://10.0.0.5:80"
+
+    def test_unknown_resource_raises(self):
+        with pytest.raises(ValidationError):
+            interpolate("${t.missing.id}", {})
+
+    def test_unknown_attr_raises(self):
+        with pytest.raises(ValidationError):
+            interpolate("${t.x.nope}", {"t.x": {"id": 1}})
+
+    def test_interpolate_nested(self):
+        resolved = interpolate({"ids": ["${t.x.id}"]}, {"t.x": {"id": "abc"}})
+        assert resolved == {"ids": ["abc"]}
+
+
+class TestConfig:
+    def test_address_and_implicit_deps(self):
+        c = Config()
+        c.resource("os_network", "net1", name="private")
+        r = c.resource("os_subnet", "sub1", network_id="${os_network.net1.id}", cidr="10.0.0.0/24")
+        assert r.address == "os_subnet.sub1"
+        assert r.dependencies() == {"os_network.net1"}
+
+    def test_explicit_depends_on(self):
+        r = ResourceConfig("os_server", "a", depends_on=("os_network.n",))
+        assert "os_network.n" in r.dependencies()
+
+    def test_duplicate_address_rejected(self):
+        c = Config()
+        c.resource("t", "a")
+        with pytest.raises(ConflictError):
+            c.resource("t", "a")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValidationError):
+            ResourceConfig("bad type", "x")
+        with pytest.raises(ValidationError):
+            ResourceConfig("t", "bad name!")
+        with pytest.raises(ValidationError):
+            ResourceConfig("t", "x", depends_on=("notanaddress",))
+
+    def test_validate_catches_dangling_dep(self):
+        c = Config()
+        c.resource("t", "a", ref="${t.ghost.id}")
+        with pytest.raises(ValidationError):
+            c.validate()
+
+
+class TestGraph:
+    def _three_tier(self):
+        c = Config()
+        c.resource("os_network", "net")
+        c.resource("os_subnet", "sub", network_id="${os_network.net.id}", cidr="10.0.0.0/24")
+        c.resource("os_server", "vm", flavor="m1.small", network_id="${os_network.net.id}",
+                   depends_on=("os_subnet.sub",))
+        return c
+
+    def test_execution_order_respects_deps(self):
+        order = execution_order(self._three_tier())
+        assert order.index("os_network.net") < order.index("os_subnet.sub")
+        assert order.index("os_subnet.sub") < order.index("os_server.vm")
+
+    def test_destroy_order_is_reversed(self):
+        c = self._three_tier()
+        assert destroy_order(c) == list(reversed(execution_order(c)))
+
+    def test_cycle_detected(self):
+        c = Config()
+        c.resource("t", "a", ref="${t.b.id}")
+        c.resource("t", "b", ref="${t.a.id}")
+        with pytest.raises(ValidationError):
+            dependency_graph(c)
+
+    def test_order_is_deterministic(self):
+        c = Config()
+        for name in ["zeta", "alpha", "mid"]:
+            c.resource("t", name)
+        assert execution_order(c) == ["t.alpha", "t.mid", "t.zeta"]
+
+    def test_independent_resources_all_present(self):
+        c = Config()
+        c.resource("t", "a")
+        c.resource("u", "b")
+        assert set(execution_order(c)) == {"t.a", "u.b"}

@@ -1,0 +1,155 @@
+"""Tests for plan/apply/destroy against the OpenStack provider."""
+
+import pytest
+
+from repro.cloud.inventory import CHAMELEON_FLAVORS
+from repro.cloud.quota import Quota
+from repro.cloud.site import Site, SiteKind
+from repro.common import EventLoop
+from repro.iac.config import Config
+from repro.iac.plan import Action, apply, destroy, detect_drift, plan
+from repro.iac.provider import OpenStackProvider
+from repro.iac.state import State
+
+
+@pytest.fixture()
+def site():
+    loop = EventLoop()
+    return Site("kvm", SiteKind.KVM, loop, quota=Quota.unlimited(), flavors=CHAMELEON_FLAVORS)
+
+
+@pytest.fixture()
+def provider(site):
+    return OpenStackProvider(site, "proj", lab="lab3")
+
+
+def lab3_config(n_servers: int = 3) -> Config:
+    """The Unit 3 Terraform config: network + router + 3 VMs + floating IP."""
+    c = Config()
+    c.resource("os_network", "private")
+    c.resource("os_subnet", "subnet", network_id="${os_network.private.id}", cidr="192.168.10.0/24")
+    c.resource("os_router", "gw", external_network_id="external")
+    c.resource(
+        "os_router_iface", "gw_iface",
+        router_id="${os_router.gw.id}", subnet_id="${os_subnet.subnet.id}",
+    )
+    c.resource("os_floating_ip", "fip")
+    for i in range(n_servers):
+        c.resource(
+            "os_server", f"node{i}",
+            name=f"node{i}", flavor="m1.medium", network_id="${os_network.private.id}",
+            floating_ip_id="${os_floating_ip.fip.id}" if i == 0 else None,
+            depends_on=("os_subnet.subnet",),
+        )
+    return c
+
+
+class TestPlan:
+    def test_initial_plan_all_creates(self):
+        p = plan(lab3_config(), State())
+        assert p.summary()["create"] == 8
+        assert p.summary()["delete"] == 0
+
+    def test_plan_after_apply_is_empty(self, provider):
+        cfg, state = lab3_config(), State()
+        apply(plan(cfg, state), state, provider)
+        assert plan(cfg, state).empty
+
+    def test_removed_resource_planned_for_delete(self, provider):
+        cfg, state = lab3_config(3), State()
+        apply(plan(cfg, state), state, provider)
+        smaller = lab3_config(2)
+        p = plan(smaller, state)
+        assert [s for s in p.steps if s.action is Action.DELETE][0].address == "os_server.node2"
+
+    def test_changed_args_planned_for_update(self, provider):
+        cfg, state = lab3_config(1), State()
+        apply(plan(cfg, state), state, provider)
+        cfg2 = lab3_config(1)
+        # mutate an arg: same address, different flavor
+        from repro.iac.config import Config, ResourceConfig
+
+        cfg3 = Config([r if r.name != "node0" else ResourceConfig(
+            r.type, r.name, {**r.args, "flavor": "m1.large"}, r.depends_on) for r in cfg2])
+        p = plan(cfg3, state)
+        updates = [s for s in p.steps if s.action is Action.UPDATE]
+        assert len(updates) == 1
+        assert updates[0].changed_keys == ("flavor",)
+
+
+class TestApply:
+    def test_apply_creates_real_resources(self, site, provider):
+        cfg, state = lab3_config(), State()
+        apply(plan(cfg, state), state, provider)
+        assert len(site.compute.servers) == 3
+        assert len(site.network.floating_ips) == 1
+        # interpolation delivered the real network id to the servers
+        server = next(iter(site.compute.servers.values()))
+        assert server.fixed_ips[0].startswith("192.168.10.")
+
+    def test_floating_ip_wired_to_first_server(self, site, provider):
+        cfg, state = lab3_config(), State()
+        apply(plan(cfg, state), state, provider)
+        associated = [s for s in site.compute.servers.values() if s.floating_ip_id]
+        assert len(associated) == 1
+        assert associated[0].name == "node0"
+
+    def test_immutable_change_replaces_server(self, site, provider):
+        cfg, state = lab3_config(1), State()
+        apply(plan(cfg, state), state, provider)
+        old_id = state.get("os_server.node0").resource_id
+        from repro.iac.config import Config, ResourceConfig
+
+        cfg2 = Config([r if r.name != "node0" else ResourceConfig(
+            r.type, r.name, {**r.args, "flavor": "m1.large"}, r.depends_on) for r in lab3_config(1)])
+        apply(plan(cfg2, state), state, provider)
+        new_id = state.get("os_server.node0").resource_id
+        assert new_id != old_id
+        assert old_id not in site.compute.servers
+        assert site.compute.servers[new_id].resource_type == "m1.large"
+
+    def test_apply_is_idempotent_two_rounds(self, site, provider):
+        cfg, state = lab3_config(), State()
+        apply(plan(cfg, state), state, provider)
+        servers_before = set(site.compute.servers)
+        apply(plan(cfg, state), state, provider)
+        assert set(site.compute.servers) == servers_before
+
+    def test_shrink_config_deletes_server(self, site, provider):
+        cfg, state = lab3_config(3), State()
+        apply(plan(cfg, state), state, provider)
+        apply(plan(lab3_config(2), state), state, provider)
+        assert len(site.compute.servers) == 2
+
+
+class TestDestroyAndDrift:
+    def test_destroy_removes_everything(self, site, provider):
+        cfg, state = lab3_config(), State()
+        apply(plan(cfg, state), state, provider)
+        destroy(cfg, state, provider)
+        assert len(state) == 0
+        assert not site.compute.servers
+        assert not site.network.floating_ips
+        # network/subnet/router teardown succeeded despite dependencies
+        assert len(site.network.networks) == 1  # only the external net remains
+
+    def test_no_drift_after_apply(self, provider):
+        cfg, state = lab3_config(), State()
+        apply(plan(cfg, state), state, provider)
+        assert detect_drift(state, provider) == {}
+
+    def test_out_of_band_delete_detected(self, site, provider):
+        cfg, state = lab3_config(1), State()
+        apply(plan(cfg, state), state, provider)
+        # ClickOps deletion out of band
+        sid = state.get("os_server.node0").resource_id
+        site.compute.delete_server(sid)
+        drift = detect_drift(state, provider)
+        assert drift == {"os_server.node0": "missing"}
+
+    def test_out_of_band_change_detected(self, site, provider):
+        cfg, state = lab3_config(1), State()
+        apply(plan(cfg, state), state, provider)
+        sid = state.get("os_server.node0").resource_id
+        site.compute.servers[sid].name = "renamed-by-hand"
+        assert detect_drift(state, provider) == {"os_server.node0": "changed"}

@@ -1,0 +1,147 @@
+"""Failure-injection and fuzz tests: the systems must stay consistent
+under adversarial operation sequences."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.testbed import chameleon
+from repro.common import ConflictError, QuotaExceededError, ValidationError
+from repro.orchestration.kubernetes import Cluster, Deployment, KubeNode, PodPhase, PodTemplate
+from repro.scheduling import BackfillPolicy, SchedCluster, Scheduler, ml_workload
+from repro.tracking import TrackingStore
+
+
+class TestLeaseCalendarFuzz:
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        bookings=st.lists(
+            st.tuples(
+                st.floats(0, 100),  # start
+                st.floats(0.5, 10),  # duration
+                st.integers(1, 3),  # count
+            ),
+            max_size=25,
+        )
+    )
+    def test_overlap_never_exceeds_capacity(self, bookings):
+        """Whatever the booking sequence, accepted leases never oversubscribe."""
+        tb = chameleon()
+        site = tb.site("chi@tacc")
+        cap = site.leases.capacity("gpu_v100")
+        accepted = []
+        for start, duration, count in bookings:
+            try:
+                lease = site.leases.create_lease(
+                    "p", "gpu_v100", start=start, end=start + duration, count=count
+                )
+                accepted.append(lease)
+            except (ConflictError, ValidationError):
+                continue
+        # at every boundary, reserved <= capacity
+        for t in {l.start for l in accepted} | {l.end - 1e-9 for l in accepted}:
+            if t >= 0:
+                assert site.leases.reserved_at("gpu_v100", t) <= cap
+
+
+class TestKubernetesChaos:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        ops=st.lists(st.integers(0, 3), min_size=3, max_size=15),
+    )
+    def test_random_operations_always_converge(self, seed, ops):
+        """Scale/rollout/drain in any order: the cluster reaches a fixed
+        point with exactly the desired ready replicas."""
+        rng = np.random.default_rng(seed)
+        cluster = Cluster()
+        for i in range(4):
+            cluster.add_node(KubeNode(f"n{i}", cpu=8, mem_gib=16))
+        cluster.apply_deployment(
+            Deployment("app", PodTemplate(image="app:v0"), replicas=2)
+        )
+        cluster.reconcile_to_convergence()
+        version = 0
+        for op in ops:
+            if op == 0:  # scale
+                cluster.scale("app", int(rng.integers(1, 6)))
+            elif op == 1:  # rolling update
+                version += 1
+                dep = cluster.deployments["app"]
+                cluster.apply_deployment(
+                    Deployment("app", PodTemplate(image=f"app:v{version}"),
+                               replicas=dep.replicas)
+                )
+            elif op == 2:  # drain a random node (then bring it back)
+                victim = f"n{int(rng.integers(4))}"
+                cluster.drain_node(victim)
+                cluster.nodes[victim].ready = True
+            else:  # chaos-monkey a pod
+                running = [p for p in cluster.pods.values() if p.phase is PodPhase.RUNNING]
+                if running:
+                    pod = running[int(rng.integers(len(running)))]
+                    pod.phase = PodPhase.TERMINATING
+                    pod.ready = False
+            cluster.reconcile_to_convergence()
+        desired = cluster.deployments["app"].replicas
+        ready = cluster.ready_pods("app")
+        assert len(ready) == desired
+        # capacity invariant on every node
+        for node in cluster.nodes.values():
+            cpu, mem = cluster.node_allocated(node.name)
+            assert cpu <= node.cpu + 1e-9 and mem <= node.mem_gib + 1e-9
+
+
+class TestSchedulerFuzz:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_every_trace_completes_consistently(self, seed):
+        cluster = SchedCluster.homogeneous(2, gpus_per_node=4)
+        result = Scheduler(cluster, BackfillPolicy()).run(ml_workload(40, seed=seed))
+        for job in result.jobs:
+            assert job.start_time >= job.submit_time - 1e-9
+            assert job.end_time == pytest.approx(job.start_time + job.actual_end)
+        assert cluster.free_gpus == cluster.total_gpus  # everything released
+
+
+class TestQuotaStorm:
+    def test_burst_of_conflicting_provisions_never_corrupts_accounting(self):
+        tb = chameleon()
+        kvm = tb.site("kvm@tacc")
+        kvm.quota.limits = type(kvm.quota.limits)(
+            instances=10, cores=40, ram_gib=100, floating_ips=5
+        )
+        created = []
+        rejected = 0
+        for i in range(40):
+            try:
+                created.append(kvm.compute.create_server("p", f"s{i}", "m1.medium"))
+            except QuotaExceededError:
+                rejected += 1
+                # delete one and retry — the churn pattern of 191 students
+                if created:
+                    kvm.compute.delete_server(created.pop(0).id)
+        assert rejected > 0
+        assert kvm.quota.usage("instances") == len(created)
+        for server in created:
+            kvm.compute.delete_server(server.id)
+        assert kvm.quota.usage("instances") == 0
+        assert kvm.quota.usage("cores") == 0
+
+
+class TestTrackingStoreFuzz:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50)
+    )
+    def test_metric_series_preserves_order_and_values(self, values):
+        store = TrackingStore()
+        exp = store.create_experiment("fuzz")
+        run = store.create_run(exp.id)
+        for v in values:
+            store.log_metric(run.id, "m", v)
+        points = run.metrics["m"]
+        assert [p.value for p in points] == [float(v) for v in values]
+        assert [p.step for p in points] == list(range(len(values)))
+        assert run.best_metric("m") == min(values)

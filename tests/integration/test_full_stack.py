@@ -1,0 +1,147 @@
+"""Cross-module integration tests: whole course workflows end to end."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.cli import OpenStackCli
+from repro.cloud.testbed import chameleon
+from repro.common import QuotaExceededError
+from repro.iac import Config, OpenStackProvider, State, apply_plan, make_plan
+from repro.iac.plan import destroy
+from repro.mlops import FoodClassifier, FoodDatasetGenerator, MLOpsLifecycle
+from repro.monitoring import BehavioralSuite, BehavioralTest
+from repro.orchestration.kubernetes import Cluster, Deployment, KubeNode, PodTemplate, Service
+from repro.orchestration.scaling import HorizontalPodAutoscaler
+from repro.tracking import TrackingClient
+
+
+class TestLab2ThenLab3OnOneTestbed:
+    """The student's arc: ClickOps/CLI (lab 2), then IaC (lab 3)."""
+
+    def test_cli_then_terraform_share_quota_and_meter(self):
+        tb = chameleon()
+        kvm = tb.site("kvm@tacc")
+
+        # lab 2: CLI provisioning
+        cli = OpenStackCli(kvm, "course", user="student007")
+        cli.lab = "lab2"
+        cli.run("network create lab2-net")
+        cli.run("subnet create --network lab2-net --subnet-range 10.1.0.0/24 s")
+        for i in range(3):
+            cli.run(f"server create --flavor m1.medium --network lab2-net node{i}")
+        tb.run_until(5.0)
+        for i in range(3):
+            cli.run(f"server delete node{i}")
+
+        # lab 3: the same student, now with Terraform
+        cfg = Config()
+        cfg.resource("os_network", "net")
+        cfg.resource("os_subnet", "sub", network_id="${os_network.net.id}",
+                     cidr="10.2.0.0/24")
+        for i in range(3):
+            cfg.resource("os_server", f"node{i}", name=f"iac-node{i}",
+                         flavor="m1.medium", network_id="${os_network.net.id}",
+                         depends_on=("os_subnet.sub",))
+        provider = OpenStackProvider(kvm, "course", user="student007", lab="lab3")
+        state = State()
+        apply_plan(make_plan(cfg, state), state, provider)
+        tb.run_until(12.0)
+        destroy(cfg, state, provider)
+
+        # one meter saw both labs, attributed correctly
+        assert kvm.meter.total_hours(lab="lab2") == pytest.approx(15.0)
+        assert kvm.meter.total_hours(lab="lab3") == pytest.approx(21.0)
+        assert kvm.quota.usage("instances") == 0
+
+    def test_quota_pressure_surfaces_identically_in_both_interfaces(self):
+        tb = chameleon()
+        kvm = tb.site("kvm@tacc")
+        kvm.quota.limits = type(kvm.quota.limits)(instances=2, cores=100, ram_gib=100)
+        cli = OpenStackCli(kvm, "course")
+        cli.run("server create --flavor m1.small a")
+        cli.run("server create --flavor m1.small b")
+        with pytest.raises(QuotaExceededError):
+            cli.run("server create --flavor m1.small c")
+        provider = OpenStackProvider(kvm, "course")
+        cfg = Config()
+        cfg.resource("os_server", "d", name="d", flavor="m1.small")
+        with pytest.raises(QuotaExceededError):
+            apply_plan(make_plan(cfg, State()), State(), provider)
+
+
+class TestServingWithAutoscaling:
+    """Unit 2's horizontal scaling driven by Unit 7's metrics."""
+
+    def test_load_spike_scales_out_then_in(self):
+        cluster = Cluster()
+        for i in range(4):
+            cluster.add_node(KubeNode(f"n{i}", cpu=4, mem_gib=8))
+        cluster.apply_deployment(
+            Deployment("gg", PodTemplate(image="gg:v1", labels=(("app", "gg"),)), replicas=2)
+        )
+        cluster.apply_service(Service("gg-svc", selector={"app": "gg"}))
+        cluster.reconcile_to_convergence()
+        hpa = HorizontalPodAutoscaler("gg", min_replicas=2, max_replicas=8,
+                                      target=0.7, scale_down_delay=2)
+
+        # spike: per-pod utilisation pegged
+        for _ in range(3):
+            n_ready = len(cluster.ready_pods("gg"))
+            hpa.evaluate(cluster, [0.95] * n_ready)
+            cluster.reconcile_to_convergence()
+        peak = len(cluster.ready_pods("gg"))
+        assert peak >= 4
+
+        # calm: utilisation collapses; scale-in after the hold
+        for _ in range(4):
+            n_ready = len(cluster.ready_pods("gg"))
+            hpa.evaluate(cluster, [0.05] * n_ready)
+            cluster.reconcile_to_convergence()
+        assert len(cluster.ready_pods("gg")) == 2
+
+        # the service still routes throughout
+        assert cluster.route("gg-svc").labels["app"] == "gg"
+
+
+class TestLifecycleWithBehavioralGate:
+    """Unit 7's behavioral suite wired as an extra promotion gate."""
+
+    def test_model_restored_from_artifacts_passes_suite(self):
+        gen = FoodDatasetGenerator(seed=5, drift_rate=0.6, class_spread=0.8)
+        lifecycle = MLOpsLifecycle(gen, seed=5)
+        lifecycle.initial_deploy()
+        lifecycle.run(until=8.0, dt=1.0)
+
+        prod = lifecycle.client.registry.production(MLOpsLifecycle.MODEL_NAME)
+        payload = lifecycle.client.artifacts.get_artifact(
+            prod.run_id, f"models/{MLOpsLifecycle.MODEL_NAME}/weights.bin"
+        )
+        model = FoodClassifier.from_bytes(payload)
+
+        # behavioral invariance: tiny feature jitter must not flip predictions
+        probe = gen.sample(20, time=8.0, seed=99)
+        suite = BehavioralSuite(min_pass_rate=0.9)
+        suite.add(BehavioralTest(
+            "jitter invariance", "inv",
+            cases=[probe.features[i] for i in range(20)],
+            perturb=lambda x: x + 1e-6,
+        ))
+        ok, reports = suite.gate(lambda x: model.predict_one(np.asarray(x)))
+        assert ok, reports["jitter invariance"].failed_cases
+
+    def test_tracking_history_spans_all_retrains(self):
+        gen = FoodDatasetGenerator(seed=6, drift_rate=0.7, class_spread=0.8)
+        client = TrackingClient()
+        lifecycle = MLOpsLifecycle(gen, client=client, seed=6)
+        lifecycle.initial_deploy()
+        report = lifecycle.run(until=8.0, dt=1.0)
+        exp = client.store.get_experiment_by_name("gourmetgram-retrain")
+        # one tracked run per registration (initial + every gated retrain)
+        registered = 1 + sum(
+            1 for e in report.events if e.kind in ("promote", "rollback") and e.time > 0
+        )
+        assert len(exp.run_ids) >= registered
+        # every tracked run carries the calibrated params
+        for run_id in exp.run_ids:
+            run = client.store.runs[run_id]
+            assert "train_size" in run.params

@@ -1,0 +1,280 @@
+"""Tests for drift detectors, online evaluation, alerts, and feedback."""
+
+import numpy as np
+import pytest
+
+from repro.common import InvalidStateError, NotFoundError, ValidationError
+from repro.monitoring import (
+    ABTest,
+    AlertRule,
+    AlertState,
+    CanaryController,
+    CanaryStatus,
+    FeedbackCollector,
+    MetricStore,
+    ShadowDeployment,
+    WindowedMeanDetector,
+    chi2_drift,
+    ks_drift,
+    psi,
+    psi_drift,
+)
+
+
+class TestDriftDetectors:
+    def test_ks_no_drift_same_distribution(self):
+        rng = np.random.default_rng(0)
+        ref, cur = rng.normal(0, 1, 500), rng.normal(0, 1, 500)
+        assert not ks_drift(ref, cur).drifted
+
+    def test_ks_detects_shift(self):
+        rng = np.random.default_rng(0)
+        assert ks_drift(rng.normal(0, 1, 500), rng.normal(2, 1, 500)).drifted
+
+    def test_ks_needs_samples(self):
+        with pytest.raises(ValidationError):
+            ks_drift([1.0], [1.0, 2.0])
+
+    def test_psi_zero_for_identical(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 2000)
+        assert psi(x, x) < 0.01
+
+    def test_psi_bands(self):
+        rng = np.random.default_rng(2)
+        ref = rng.normal(0, 1, 2000)
+        mild = psi_drift(ref, rng.normal(0.1, 1, 2000))
+        major = psi_drift(ref, rng.normal(1.5, 1, 2000))
+        assert not mild.drifted
+        assert major.drifted
+        assert major.detail == "major"
+
+    def test_chi2_on_prediction_distribution(self):
+        """The lab's output-distribution monitor: class mix shifts under drift."""
+        ref = {"pizza": 500, "salad": 300, "soup": 200}
+        same = {"pizza": 260, "salad": 145, "soup": 95}
+        shifted = {"pizza": 100, "salad": 100, "soup": 800}
+        assert not chi2_drift(ref, same).drifted
+        assert chi2_drift(ref, shifted).drifted
+
+    def test_chi2_validation(self):
+        with pytest.raises(ValidationError):
+            chi2_drift({"a": 1}, {"a": 2})
+        with pytest.raises(ValidationError):
+            chi2_drift({"a": 0, "b": 0}, {"a": 1, "b": 1})
+
+    def test_windowed_detector_calibrates_then_detects(self):
+        det = WindowedMeanDetector(reference_size=100, window_size=20, z_threshold=4)
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            assert det.update(float(rng.normal(0, 1))) is False
+        assert det.calibrated
+        # stable stream: no detection
+        fired = any(det.update(float(rng.normal(0, 1))) for _ in range(100))
+        assert not fired
+        # shifted stream: detection
+        fired = any(det.update(float(rng.normal(3, 1))) for _ in range(60))
+        assert fired
+
+    def test_windowed_detector_reset(self):
+        det = WindowedMeanDetector(reference_size=50, window_size=10)
+        for _ in range(50):
+            det.update(0.0)
+        det.reset_reference()
+        assert not det.calibrated
+
+    def test_windowed_detector_validation(self):
+        with pytest.raises(ValidationError):
+            WindowedMeanDetector(reference_size=5)
+
+
+class TestShadow:
+    def test_agreement_measured_without_affecting_traffic(self):
+        champion = lambda x: "pizza"
+        challenger = lambda x: "pizza" if x % 2 == 0 else "salad"
+        shadow = ShadowDeployment(champion, challenger)
+        responses = [shadow.serve(i) for i in range(10)]
+        assert all(r == "pizza" for r in responses)  # champion always serves
+        assert shadow.agreement == 0.5
+        assert len(shadow.disagreements()) == 5
+
+    def test_agreement_needs_traffic(self):
+        with pytest.raises(ValidationError):
+            ShadowDeployment(lambda x: x, lambda x: x).agreement
+
+
+class TestCanary:
+    def test_bad_canary_rolled_back(self):
+        ctl = CanaryController(max_error_delta=0.02, min_samples=50, seed=0)
+        rng = np.random.default_rng(100)  # decorrelated from routing
+        status = CanaryStatus.RUNNING
+        while status is CanaryStatus.RUNNING:
+            arm = ctl.route()
+            err = rng.random() < (0.20 if arm == "canary" else 0.02)
+            status = ctl.observe(arm, error=err)
+        assert status is CanaryStatus.ROLLED_BACK
+
+    def test_good_canary_promoted(self):
+        ctl = CanaryController(min_samples=50, promote_after=200, seed=1)
+        rng = np.random.default_rng(101)  # decorrelated from routing
+        status = CanaryStatus.RUNNING
+        for _ in range(20_000):
+            arm = ctl.route()
+            status = ctl.observe(arm, error=rng.random() < 0.02)
+            if status is not CanaryStatus.RUNNING:
+                break
+        assert status is CanaryStatus.PROMOTED
+
+    def test_terminal_canary_rejects_observations(self):
+        ctl = CanaryController(min_samples=1, promote_after=1)
+        ctl.observe("canary", error=False)
+        ctl.observe("baseline", error=False)
+        with pytest.raises(InvalidStateError):
+            ctl.observe("canary", error=False)
+
+    def test_routing_fraction_roughly_respected(self):
+        ctl = CanaryController(canary_fraction=0.1, seed=2)
+        arms = [ctl.route() for _ in range(5000)]
+        frac = arms.count("canary") / len(arms)
+        assert 0.07 < frac < 0.13
+
+    def test_invalid_config(self):
+        with pytest.raises(ValidationError):
+            CanaryController(canary_fraction=0.0)
+
+
+class TestABTest:
+    def test_detects_real_difference(self):
+        ab = ABTest(seed=0)
+        rng = np.random.default_rng(77)
+        for _ in range(4000):
+            arm = ab.assign()
+            p = 0.30 if arm == "A" else 0.20
+            ab.record(arm, success=rng.random() < p)
+        res = ab.result()
+        assert res.significant
+        assert res.winner == "A"
+
+    def test_no_difference_not_significant(self):
+        # distinct seeds: identical streams would correlate arm with outcome
+        ab = ABTest(seed=1)
+        rng = np.random.default_rng(99)
+        for _ in range(2000):
+            arm = ab.assign()
+            ab.record(arm, success=rng.random() < 0.25)
+        res = ab.result()
+        assert not res.significant
+        assert res.winner is None
+
+    def test_needs_traffic_in_both_arms(self):
+        ab = ABTest()
+        ab.record("A", success=True)
+        with pytest.raises(ValidationError):
+            ab.result()
+
+    def test_unknown_arm_rejected(self):
+        with pytest.raises(ValidationError):
+            ABTest().record("C", success=True)
+
+
+class TestMetricStoreAlerts:
+    def test_record_query_window(self):
+        store = MetricStore()
+        for t in range(10):
+            store.record("latency_ms", float(t), 100.0 + t)
+        ts, vs = store.query("latency_ms", start=3, end=6)
+        assert list(ts) == [3.0, 4.0, 5.0, 6.0]
+
+    def test_labelled_series_distinct(self):
+        store = MetricStore()
+        store.record("rps", 0.0, 10, labels={"env": "prod"})
+        store.record("rps", 0.0, 2, labels={"env": "staging"})
+        _, prod = store.query("rps", labels={"env": "prod"})
+        assert list(prod) == [10.0]
+
+    def test_out_of_order_rejected(self):
+        store = MetricStore()
+        store.record("m", 5.0, 1.0)
+        with pytest.raises(ValidationError):
+            store.record("m", 4.0, 1.0)
+
+    def test_missing_series_raises(self):
+        with pytest.raises(NotFoundError):
+            MetricStore().query("ghost")
+
+    def test_alert_fires_after_hold(self):
+        store = MetricStore()
+        rule = AlertRule("high latency", "latency_ms", threshold=200, window=1.0, for_hours=0.5)
+        store.record("latency_ms", 0.0, 100)
+        assert rule.evaluate(store, 0.0) is AlertState.OK
+        # breach begins and is observed at t=1.0
+        store.record("latency_ms", 1.0, 500)
+        assert rule.evaluate(store, 1.0) is AlertState.PENDING
+        store.record("latency_ms", 1.3, 500)
+        assert rule.evaluate(store, 1.3) is AlertState.PENDING  # only 0.3h held
+        store.record("latency_ms", 1.6, 500)
+        assert rule.evaluate(store, 1.6) is AlertState.FIRING  # 0.6h >= for_hours
+
+    def test_alert_resolves_on_recovery(self):
+        store = MetricStore()
+        rule = AlertRule("high", "m", threshold=10, window=0.5, for_hours=0.0)
+        store.record("m", 0.0, 100)
+        assert rule.evaluate(store, 0.0) is AlertState.FIRING
+        store.record("m", 1.0, 1)
+        assert rule.evaluate(store, 1.0) is AlertState.OK
+
+    def test_less_than_comparison(self):
+        store = MetricStore()
+        rule = AlertRule("low accuracy", "acc", threshold=0.8, comparison="<", window=1.0)
+        store.record("acc", 0.0, 0.6)
+        assert rule.evaluate(store, 0.0) is AlertState.FIRING
+
+    def test_invalid_rule(self):
+        with pytest.raises(ValidationError):
+            AlertRule("x", "m", threshold=1, comparison="!=")
+
+
+class TestFeedback:
+    def test_user_flags_and_live_accuracy(self):
+        fc = FeedbackCollector(annotation_rate=0.0, seed=0)
+        for i in range(20):
+            fc.record(f"r{i}", features=i, prediction="pizza")
+        for i in range(5):
+            fc.user_flag(f"r{i}", corrected_label="salad")
+        for i in range(5, 15):
+            fc.annotate(f"r{i}", "pizza")
+        assert fc.flag_rate() == 0.25
+        # 10 correct of 15 labelled
+        assert fc.live_accuracy() == pytest.approx(10 / 15)
+
+    def test_flagged_items_prioritised_for_annotation(self):
+        fc = FeedbackCollector(annotation_rate=0.0, seed=0)
+        fc.record("a", 1, "x")
+        fc.record("b", 2, "x")
+        fc.user_flag("b")
+        assert fc.annotation_backlog() == ["b"]
+
+    def test_sampling_into_annotation_queue(self):
+        fc = FeedbackCollector(annotation_rate=0.5, seed=0)
+        for i in range(200):
+            fc.record(f"r{i}", i, "x")
+        backlog = fc.annotation_backlog()
+        assert 60 < len(backlog) < 140
+
+    def test_training_examples_from_labels(self):
+        fc = FeedbackCollector(annotation_rate=0.0)
+        fc.record("a", {"img": 1}, "pizza")
+        fc.annotate("a", "salad")
+        assert fc.training_examples() == [({"img": 1}, "salad")]
+
+    def test_guards(self):
+        fc = FeedbackCollector()
+        with pytest.raises(ValidationError):
+            fc.flag_rate()
+        fc.record("a", 1, "x")
+        with pytest.raises(ValidationError):
+            fc.record("a", 1, "x")
+        with pytest.raises(NotFoundError):
+            fc.user_flag("ghost")
+        with pytest.raises(ValidationError):
+            fc.live_accuracy()

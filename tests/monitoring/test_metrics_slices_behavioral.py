@@ -1,0 +1,176 @@
+"""Tests for offline metrics, slice evaluation, and behavioral tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import ValidationError
+from repro.monitoring import (
+    BehavioralSuite,
+    BehavioralTest,
+    classification_report,
+    evaluate_slices,
+    latency_summary,
+    ngram_overlap_score,
+)
+
+
+class TestClassificationReport:
+    def test_perfect_predictions(self):
+        rep = classification_report(["a", "b", "a"], ["a", "b", "a"])
+        assert rep.accuracy == 1.0
+        assert rep.macro_f1 == 1.0
+
+    def test_confusion_accounting(self):
+        y_true = ["cat", "cat", "dog", "dog"]
+        y_pred = ["cat", "dog", "dog", "dog"]
+        rep = classification_report(y_true, y_pred)
+        assert rep.accuracy == 0.75
+        assert rep.per_class_recall["cat"] == 0.5
+        assert rep.per_class_precision["dog"] == pytest.approx(2 / 3)
+        assert rep.support == {"cat": 2, "dog": 2}
+
+    def test_worst_class_identified(self):
+        y_true = ["a"] * 10 + ["b"] * 10
+        y_pred = ["a"] * 10 + ["a"] * 8 + ["b"] * 2
+        cls, f1 = classification_report(y_true, y_pred).worst_class()
+        assert cls == "b"
+        assert f1 < 0.5
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            classification_report(["a"], ["a", "b"])
+        with pytest.raises(ValidationError):
+            classification_report([], [])
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=50))
+    def test_accuracy_bounds_property(self, labels):
+        rep = classification_report(labels, list(reversed(labels)))
+        assert 0.0 <= rep.accuracy <= 1.0
+        for v in rep.per_class_f1.values():
+            assert 0.0 <= v <= 1.0
+
+
+class TestNgramOverlap:
+    def test_identical_is_one(self):
+        s = "the curry was delicious and spicy"
+        assert ngram_overlap_score(s, s) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        assert ngram_overlap_score("a b c d", "w x y z") == 0.0
+
+    def test_partial_overlap_between(self):
+        score = ngram_overlap_score("the cat sat on the mat", "the cat sat on a mat")
+        assert 0.0 < score < 1.0
+
+    def test_brevity_penalty(self):
+        ref = "a b c d e f g h"
+        short = ngram_overlap_score(ref, "a b c d")
+        full = ngram_overlap_score(ref, ref)
+        assert short < full
+
+    def test_empty_candidate(self):
+        assert ngram_overlap_score("a b", "") == 0.0
+
+
+class TestLatencySummary:
+    def test_percentile_ordering(self):
+        s = latency_summary(list(range(1, 1001)))
+        assert s.p50_ms <= s.p95_ms <= s.p99_ms <= s.max_ms
+        assert s.count == 1000
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            latency_summary([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            latency_summary([1.0, -2.0])
+
+
+class TestSliceEvaluation:
+    def test_underperforming_slice_flagged(self):
+        # slice "night" photos: 50% accuracy vs 100% for "day"
+        y_true = ["pizza"] * 40
+        y_pred = ["pizza"] * 20 + ["pizza"] * 10 + ["salad"] * 10
+        slices = ["day"] * 20 + ["night"] * 20
+        rep = evaluate_slices(y_true, y_pred, slices)
+        assert rep.flagged == ("night",)
+        assert rep.gap("night") > 0.2
+
+    def test_small_slices_not_flagged(self):
+        y_true = ["a"] * 20 + ["a"] * 3
+        y_pred = ["a"] * 20 + ["b"] * 3
+        slices = ["big"] * 20 + ["tiny"] * 3
+        rep = evaluate_slices(y_true, y_pred, slices, min_support=10)
+        assert rep.flagged == ()
+        assert rep.per_slice["tiny"] == 0.0  # still reported
+
+    def test_custom_metric(self):
+        def always_half(t, p):
+            return 0.5
+
+        rep = evaluate_slices(["a"] * 12, ["a"] * 12, ["s"] * 12, metric=always_half)
+        assert rep.overall == 0.5
+        assert rep.flagged == ()
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ValidationError):
+            evaluate_slices(["a"], ["a"], ["s", "t"])
+
+
+class TestBehavioral:
+    @staticmethod
+    def predict(text: str) -> str:
+        """A toy classifier with a robustness bug: shouting changes the label."""
+        if text.isupper():
+            return "dessert"
+        return "soup" if "soup" in text else "salad"
+
+    def test_mft_passes_and_fails(self):
+        test = BehavioralTest(
+            "basic labels", "mft",
+            cases=["tomato soup", "greek salad"],
+            expected=["soup", "salad"],
+        )
+        report = test.run(self.predict)
+        assert report.pass_rate == 1.0
+
+    def test_invariance_catches_case_bug(self):
+        test = BehavioralTest(
+            "case invariance", "inv",
+            cases=["tomato soup", "greek salad"],
+            perturb=str.upper,
+        )
+        report = test.run(self.predict)
+        assert report.pass_rate == 0.0
+        assert "prediction changed" in report.failed_cases[0].detail
+
+    def test_directional(self):
+        scores = {"small": 0.3, "small extra": 0.5}
+        test = BehavioralTest(
+            "more words more score", "dir",
+            cases=["small"],
+            perturb=lambda s: s + " extra",
+            direction=lambda before, after: after > before,
+        )
+        report = test.run(lambda s: scores[s])
+        assert report.pass_rate == 1.0
+
+    def test_suite_gate(self):
+        suite = BehavioralSuite(min_pass_rate=0.9)
+        suite.add(BehavioralTest("mft", "mft", cases=["tomato soup"], expected=["soup"]))
+        suite.add(BehavioralTest("inv", "inv", cases=["tomato soup"], perturb=str.upper))
+        ok, reports = suite.gate(self.predict)
+        assert not ok  # the invariance failure blocks promotion
+        assert reports["mft"].pass_rate == 1.0
+
+    def test_invalid_tests_rejected(self):
+        with pytest.raises(ValidationError):
+            BehavioralTest("x", "mft", cases=["a"], expected=[])
+        with pytest.raises(ValidationError):
+            BehavioralTest("x", "inv", cases=["a"])
+        with pytest.raises(ValidationError):
+            BehavioralTest("x", "dir", cases=["a"], perturb=str.upper)
+        with pytest.raises(ValidationError):
+            BehavioralTest("x", "fuzz", cases=[])

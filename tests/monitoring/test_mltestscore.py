@@ -1,0 +1,95 @@
+"""Tests for the ML Test Score rubric (Breck et al., paper ref [3])."""
+
+import pytest
+
+from repro.common import NotFoundError, ValidationError
+from repro.monitoring.mltestscore import (
+    READINESS_BANDS,
+    RUBRIC_ITEMS,
+    MLTestScorecard,
+)
+from repro.monitoring.mltestscore import TestStatus as Status
+
+
+class TestRubricStructure:
+    def test_four_sections_of_seven(self):
+        assert set(RUBRIC_ITEMS) == {"data", "model", "infrastructure", "monitoring"}
+        for items in RUBRIC_ITEMS.values():
+            assert len(items) == 7
+
+    def test_bands_ordered(self):
+        thresholds = [t for t, _ in READINESS_BANDS]
+        assert thresholds == sorted(thresholds)
+
+
+class TestScorecard:
+    def test_untouched_card_scores_zero(self):
+        card = MLTestScorecard("gourmetgram")
+        assert card.final_score == 0.0
+        assert "research project" in card.readiness
+
+    def test_section_score_sums_items(self):
+        card = MLTestScorecard("gg")
+        items = RUBRIC_ITEMS["monitoring"]
+        card.record("monitoring", items[0], Status.AUTOMATED)
+        card.record("monitoring", items[1], Status.MANUAL)
+        assert card.section_score("monitoring") == 1.5
+
+    def test_final_score_is_weakest_section(self):
+        card = MLTestScorecard("gg")
+        for section, items in RUBRIC_ITEMS.items():
+            if section == "data":
+                continue  # leave data at zero
+            for item in items:
+                card.record(section, item, Status.AUTOMATED)
+        assert card.final_score == 0.0  # the weakest link rule
+
+    def test_full_automation_scores_seven(self):
+        card = MLTestScorecard("gg")
+        for section, items in RUBRIC_ITEMS.items():
+            for item in items:
+                card.record(section, item, Status.AUTOMATED)
+        assert card.final_score == 7.0
+        assert "strong levels" in card.readiness
+
+    def test_readiness_bands(self):
+        card = MLTestScorecard("gg")
+        for section, items in RUBRIC_ITEMS.items():
+            for item in items[:3]:
+                card.record(section, item, Status.AUTOMATED)
+        assert card.final_score == 3.0
+        assert "reasonable level" in card.readiness
+
+    def test_gaps_are_the_backlog(self):
+        card = MLTestScorecard("gg")
+        item = RUBRIC_ITEMS["data"][0]
+        card.record("data", item, Status.AUTOMATED)
+        gaps = card.gaps()
+        assert ("data", item) not in gaps
+        assert len(gaps) == 27
+
+    def test_manual_counts_half_but_not_a_gap(self):
+        card = MLTestScorecard("gg")
+        item = RUBRIC_ITEMS["model"][0]
+        card.record("model", item, Status.MANUAL)
+        assert ("model", item) not in card.gaps()
+        assert card.section_score("model") == 0.5
+
+    def test_rerecording_overwrites(self):
+        card = MLTestScorecard("gg")
+        item = RUBRIC_ITEMS["data"][0]
+        card.record("data", item, Status.MANUAL)
+        card.record("data", item, Status.AUTOMATED)
+        assert card.section_score("data") == 1.0
+
+    def test_unknown_section_and_item_rejected(self):
+        card = MLTestScorecard("gg")
+        with pytest.raises(ValidationError):
+            card.record("security", "x", Status.MANUAL)
+        with pytest.raises(NotFoundError):
+            card.record("data", "made-up item", Status.MANUAL)
+
+    def test_summary_shape(self):
+        card = MLTestScorecard("gg")
+        summary = card.summary()
+        assert set(summary) == {"data", "model", "infrastructure", "monitoring", "final"}

@@ -1,0 +1,136 @@
+"""Tests for the CI/CD pipeline and its GitOps integration."""
+
+import pytest
+
+from repro.common import NotFoundError, ValidationError
+from repro.orchestration.cicd import CdPromoter, CiPipeline, CodeRepo
+from repro.orchestration.containers import Registry
+from repro.orchestration.gitops import Application, GitOpsController, GitRepo
+from repro.orchestration.kubernetes import Cluster, KubeNode
+
+
+def lint(workspace):
+    return ("\t" not in "".join(workspace.values()), "tabs are forbidden")
+
+
+def unit_tests(workspace):
+    return ("def test_" in workspace.get("tests.py", ""), "no tests found")
+
+
+@pytest.fixture()
+def pipeline():
+    return CiPipeline("gourmetgram/food-classifier",
+                      stages=[("lint", lint), ("unit tests", unit_tests)])
+
+
+GOOD = {"app.py": "def serve(): pass", "tests.py": "def test_serve(): pass"}
+BAD = {"app.py": "def serve():\tpass", "tests.py": "def test_serve(): pass"}
+
+
+class TestCodeRepo:
+    def test_commit_and_head(self):
+        repo = CodeRepo()
+        c1 = repo.commit(GOOD, "initial")
+        c2 = repo.commit({**GOOD, "app.py": "v2"}, "update")
+        assert repo.head() is c2
+        assert [c.message for c in repo.log()] == ["initial", "update"]
+        assert c1.sha != c2.sha
+
+    def test_identical_workspaces_same_sha(self):
+        repo = CodeRepo()
+        a = repo.commit(GOOD, "a")
+        b = repo.commit(dict(GOOD), "b")
+        assert a.sha == b.sha  # content-addressed
+
+    def test_empty_commit_rejected(self):
+        with pytest.raises(ValidationError):
+            CodeRepo().commit({}, "x")
+
+    def test_empty_head_raises(self):
+        with pytest.raises(NotFoundError):
+            CodeRepo().head()
+
+
+class TestCiPipeline:
+    def test_green_build_produces_commit_tagged_image(self, pipeline):
+        commit = CodeRepo().commit(GOOD, "feat")
+        build = pipeline.run(commit)
+        assert build.green
+        assert build.image.tag == commit.sha
+        assert dict(build.image.labels)["message"] == "feat"
+
+    def test_failing_stage_stops_pipeline(self, pipeline):
+        commit = CodeRepo().commit(BAD, "oops")
+        build = pipeline.run(commit)
+        assert not build.green
+        assert build.failed_stage() == "lint"
+        assert len(build.stages) == 1  # unit tests never ran
+        assert build.image is None
+
+    def test_crashing_stage_is_a_failure(self):
+        pipe = CiPipeline("img", stages=[("boom", lambda ws: 1 / 0)])
+        build = pipe.run(CodeRepo().commit(GOOD, "x"))
+        assert not build.green
+        assert "ZeroDivisionError" in build.stages[0].detail
+
+    def test_history_recorded(self, pipeline):
+        repo = CodeRepo()
+        pipeline.run(repo.commit(GOOD, "a"))
+        pipeline.run(repo.commit(BAD, "b"))
+        assert [b.green for b in pipeline.history] == [True, False]
+
+
+class TestCdPromoter:
+    def setup_method(self):
+        self.registry = Registry()
+        self.gitops = GitRepo()
+        self.promoter = CdPromoter(
+            self.registry, self.gitops,
+            environments={"envs/staging": {"replicas": 1}, "envs/prod": {"replicas": 3}},
+        )
+        self.pipeline = CiPipeline("gg", stages=[("lint", lint), ("unit tests", unit_tests)])
+
+    def test_green_build_reaches_registry_and_manifests(self):
+        build = self.pipeline.run(CodeRepo().commit(GOOD, "ship it"))
+        updated = self.promoter.promote(build)
+        assert set(updated) == {"envs/staging", "envs/prod"}
+        ref = f"gg:{build.commit.sha}"
+        assert ref in self.registry
+        staging = self.gitops.read("envs/staging")
+        assert staging[0].spec["image"] == ref
+        assert self.gitops.read("envs/prod")[0].spec["replicas"] == 3
+
+    def test_red_build_refused(self):
+        build = self.pipeline.run(CodeRepo().commit(BAD, "broken"))
+        with pytest.raises(ValidationError, match="red build"):
+            self.promoter.promote(build)
+        assert len(self.registry.tags("gg")) == 0
+
+    def test_staged_promotion(self):
+        build = self.pipeline.run(CodeRepo().commit(GOOD, "v1"))
+        updated = self.promoter.promote(build, only=["envs/staging"])
+        assert updated == ["envs/staging"]
+        with pytest.raises(NotFoundError):
+            self.gitops.read("envs/prod")
+
+    def test_commit_to_deployment_end_to_end(self):
+        """The full loop: commit -> CI -> CD -> GitOps auto-sync -> pods."""
+        cluster = Cluster()
+        cluster.add_node(KubeNode("n0", cpu=8, mem_gib=16))
+        ctrl = GitOpsController(self.gitops)
+        ctrl.register(Application("gg-prod", "envs/prod", cluster, auto_sync=True))
+
+        repo = CodeRepo()
+        build = self.pipeline.run(repo.commit(GOOD, "v1"))
+        self.promoter.promote(build)
+        ctrl.poll()
+        pods = cluster.ready_pods("food-classifier")
+        assert len(pods) == 3
+        assert pods[0].template.image == f"gg:{build.commit.sha}"
+
+        # second commit rolls the deployment to the new sha
+        build2 = self.pipeline.run(repo.commit({**GOOD, "app.py": "v2"}, "v2"))
+        self.promoter.promote(build2)
+        ctrl.poll()
+        images = {p.template.image for p in cluster.ready_pods("food-classifier")}
+        assert images == {f"gg:{build2.commit.sha}"}

@@ -1,0 +1,95 @@
+"""Tests for the container runtime and registry."""
+
+import pytest
+
+from repro.common import ConflictError, InvalidStateError, NotFoundError, ValidationError
+from repro.orchestration.containers import ContainerImage, ContainerRuntime, ContainerState, Registry
+
+
+@pytest.fixture()
+def registry():
+    r = Registry()
+    r.push(ContainerImage("gourmetgram/food-classifier", "v1", command="serve.py"))
+    r.push(ContainerImage("gourmetgram/food-classifier", "v2", command="serve.py"))
+    return r
+
+
+class TestRegistry:
+    def test_push_pull_round_trip(self, registry):
+        img = registry.pull("gourmetgram/food-classifier:v1")
+        assert img.tag == "v1"
+
+    def test_pull_missing_raises(self, registry):
+        with pytest.raises(NotFoundError):
+            registry.pull("nope:latest")
+
+    def test_tags_listing(self, registry):
+        assert registry.tags("gourmetgram/food-classifier") == ["v1", "v2"]
+
+    def test_repush_overwrites(self, registry):
+        registry.push(ContainerImage("gourmetgram/food-classifier", "v1", size_mb=999))
+        assert registry.pull("gourmetgram/food-classifier:v1").size_mb == 999
+
+    def test_invalid_image_rejected(self):
+        with pytest.raises(ValidationError):
+            ContainerImage("", "v1")
+        with pytest.raises(ValidationError):
+            ContainerImage("x", "v1", size_mb=0)
+
+
+class TestRuntime:
+    def test_run_pulls_automatically(self, registry):
+        rt = ContainerRuntime(registry)
+        c = rt.run("gourmetgram/food-classifier:v1", ports={8000: 8000})
+        assert c.state is ContainerState.RUNNING
+        assert rt.port_owner(8000) is c
+
+    def test_port_conflict(self, registry):
+        rt = ContainerRuntime(registry)
+        rt.run("gourmetgram/food-classifier:v1", ports={8000: 8000})
+        with pytest.raises(ConflictError):
+            rt.run("gourmetgram/food-classifier:v2", ports={8000: 8000})
+
+    def test_stopped_container_frees_port(self, registry):
+        rt = ContainerRuntime(registry)
+        c = rt.run("gourmetgram/food-classifier:v1", ports={8000: 8000})
+        rt.stop(c.id)
+        c2 = rt.run("gourmetgram/food-classifier:v2", ports={8000: 8000})
+        assert rt.port_owner(8000) is c2
+
+    def test_env_merges_image_env(self, registry):
+        registry.push(ContainerImage("app", "v1", env=(("MODE", "prod"), ("A", "1"))))
+        rt = ContainerRuntime(registry)
+        c = rt.run("app:v1", env={"A": "2"})
+        assert c.env == {"MODE": "prod", "A": "2"}
+
+    def test_cannot_remove_running(self, registry):
+        rt = ContainerRuntime(registry)
+        c = rt.run("gourmetgram/food-classifier:v1")
+        with pytest.raises(ConflictError):
+            rt.remove(c.id)
+        rt.stop(c.id, exit_code=137)
+        rt.remove(c.id)
+        with pytest.raises(NotFoundError):
+            rt.logs(c.id)
+
+    def test_double_stop_rejected(self, registry):
+        rt = ContainerRuntime(registry)
+        c = rt.run("gourmetgram/food-classifier:v1")
+        rt.stop(c.id)
+        with pytest.raises(InvalidStateError):
+            rt.stop(c.id)
+
+    def test_exit_code_recorded(self, registry):
+        rt = ContainerRuntime(registry)
+        c = rt.run("gourmetgram/food-classifier:v1")
+        rt.stop(c.id, exit_code=1)
+        assert c.exit_code == 1
+        assert "exited with code 1" in rt.logs(c.id)[-1]
+
+    def test_running_listing(self, registry):
+        rt = ContainerRuntime(registry)
+        a = rt.run("gourmetgram/food-classifier:v1")
+        b = rt.run("gourmetgram/food-classifier:v2")
+        rt.stop(a.id)
+        assert [c.id for c in rt.running()] == [b.id]

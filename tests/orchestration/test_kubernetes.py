@@ -1,0 +1,236 @@
+"""Tests for the Kubernetes-like orchestrator."""
+
+import pytest
+
+from repro.common import ConflictError, SchedulingError, ValidationError
+from repro.orchestration.kubernetes import (
+    Cluster,
+    Deployment,
+    KubeNode,
+    PodPhase,
+    PodTemplate,
+    Service,
+)
+from repro.orchestration.scaling import HorizontalPodAutoscaler
+
+
+def three_node_cluster() -> Cluster:
+    """The Unit 2 cluster: three m1.medium-sized nodes (2 vCPU / 4 GB)."""
+    c = Cluster()
+    for i in range(3):
+        c.add_node(KubeNode(f"node{i}", cpu=2.0, mem_gib=4.0))
+    return c
+
+
+def gg_template(version: str = "v1") -> PodTemplate:
+    return PodTemplate(
+        image=f"gourmetgram/food-classifier:{version}",
+        cpu_request=0.5,
+        mem_request_gib=0.5,
+        labels=(("app", "gourmetgram"),),
+    )
+
+
+class TestScheduling:
+    def test_replicas_created_and_scheduled(self):
+        c = three_node_cluster()
+        c.apply_deployment(Deployment("gg", gg_template(), replicas=3))
+        c.reconcile_to_convergence()
+        pods = c.ready_pods("gg")
+        assert len(pods) == 3
+        assert all(p.node is not None for p in pods)
+
+    def test_pods_spread_across_nodes(self):
+        c = three_node_cluster()
+        c.apply_deployment(Deployment("gg", gg_template(), replicas=3))
+        c.reconcile_to_convergence()
+        nodes = {p.node for p in c.ready_pods("gg")}
+        assert len(nodes) == 3  # least-allocated placement spreads
+
+    def test_node_capacity_respected(self):
+        c = Cluster()
+        c.add_node(KubeNode("only", cpu=1.0, mem_gib=10.0))
+        c.apply_deployment(Deployment("gg", gg_template(), replicas=4))  # 4*0.5 cpu > 1.0
+        c.reconcile_to_convergence()
+        running = [p for p in c.pods.values() if p.phase is PodPhase.RUNNING]
+        pending = [p for p in c.pods.values() if p.phase is PodPhase.PENDING]
+        assert len(running) == 2
+        assert len(pending) == 2
+        cpu, _ = c.node_allocated("only")
+        assert cpu <= 1.0 + 1e-9
+
+    def test_pending_pods_schedule_when_node_added(self):
+        c = Cluster()
+        c.add_node(KubeNode("a", cpu=1.0, mem_gib=4.0))
+        c.apply_deployment(Deployment("gg", gg_template(), replicas=4))
+        c.reconcile_to_convergence()
+        c.add_node(KubeNode("b", cpu=1.0, mem_gib=4.0))
+        c.reconcile_to_convergence()
+        assert len(c.ready_pods("gg")) == 4
+
+    def test_drain_reschedules(self):
+        c = three_node_cluster()
+        c.apply_deployment(Deployment("gg", gg_template(), replicas=3))
+        c.reconcile_to_convergence()
+        victim = c.ready_pods("gg")[0].node
+        c.drain_node(victim)
+        c.reconcile_to_convergence()
+        pods = c.ready_pods("gg")
+        assert len(pods) == 3
+        assert all(p.node != victim for p in pods)
+
+    def test_duplicate_node_rejected(self):
+        c = three_node_cluster()
+        with pytest.raises(ConflictError):
+            c.add_node(KubeNode("node0", cpu=1, mem_gib=1))
+
+
+class TestScalingAndServices:
+    def test_scale_up_and_down(self):
+        c = three_node_cluster()
+        c.apply_deployment(Deployment("gg", gg_template(), replicas=2))
+        c.reconcile_to_convergence()
+        c.scale("gg", 5)
+        c.reconcile_to_convergence()
+        assert len(c.ready_pods("gg")) == 5
+        c.scale("gg", 1)
+        c.reconcile_to_convergence()
+        assert len(c.ready_pods("gg")) == 1
+
+    def test_service_round_robin(self):
+        c = three_node_cluster()
+        c.apply_deployment(Deployment("gg", gg_template(), replicas=3))
+        c.apply_service(Service("gg-svc", selector={"app": "gourmetgram"}))
+        c.reconcile_to_convergence()
+        hits = [c.route("gg-svc").name for _ in range(6)]
+        # perfectly balanced: each pod hit exactly twice
+        from collections import Counter
+
+        assert set(Counter(hits).values()) == {2}
+
+    def test_service_no_endpoints_raises(self):
+        c = three_node_cluster()
+        c.apply_service(Service("empty", selector={"app": "ghost"}))
+        with pytest.raises(SchedulingError):
+            c.route("empty")
+
+    def test_service_selector_matching(self):
+        c = three_node_cluster()
+        c.apply_deployment(Deployment("gg", gg_template(), replicas=1))
+        c.apply_deployment(
+            Deployment(
+                "other",
+                PodTemplate(image="other:v1", labels=(("app", "other"),)),
+                replicas=1,
+            )
+        )
+        c.apply_service(Service("gg-svc", selector={"app": "gourmetgram"}))
+        c.reconcile_to_convergence()
+        for _ in range(4):
+            assert c.route("gg-svc").labels["app"] == "gourmetgram"
+
+    def test_delete_deployment_removes_pods(self):
+        c = three_node_cluster()
+        c.apply_deployment(Deployment("gg", gg_template(), replicas=3))
+        c.reconcile_to_convergence()
+        c.delete_deployment("gg")
+        c.reconcile_to_convergence()
+        assert not c.pods
+
+
+class TestRollingUpdate:
+    def test_template_change_replaces_pods(self):
+        c = three_node_cluster()
+        c.apply_deployment(Deployment("gg", gg_template("v1"), replicas=3))
+        c.reconcile_to_convergence()
+        c.apply_deployment(Deployment("gg", gg_template("v2"), replicas=3))
+        c.reconcile_to_convergence()
+        pods = c.ready_pods("gg")
+        assert len(pods) == 3
+        assert all(p.template.image.endswith(":v2") for p in pods)
+
+    def test_revision_bumped_on_template_change(self):
+        c = three_node_cluster()
+        c.apply_deployment(Deployment("gg", gg_template("v1"), replicas=1))
+        dep = c.apply_deployment(Deployment("gg", gg_template("v2"), replicas=1))
+        assert dep.revision == 2
+
+    def test_apply_same_template_keeps_revision(self):
+        c = three_node_cluster()
+        c.apply_deployment(Deployment("gg", gg_template("v1"), replicas=1))
+        dep = c.apply_deployment(Deployment("gg", gg_template("v1"), replicas=3))
+        assert dep.revision == 1
+
+    def test_availability_maintained_during_rollout(self):
+        """With max_unavailable=0 the service never drops below `replicas` ready pods."""
+        c = three_node_cluster()
+        c.apply_deployment(
+            Deployment("gg", gg_template("v1"), replicas=3, max_surge=1, max_unavailable=0)
+        )
+        c.reconcile_to_convergence()
+        c.apply_deployment(
+            Deployment("gg", gg_template("v2"), replicas=3, max_surge=1, max_unavailable=0)
+        )
+        for _ in range(30):
+            changed = c.reconcile()
+            ready = len(c.ready_pods("gg"))
+            assert ready >= 3, f"availability dipped to {ready} during rollout"
+            if not changed:
+                break
+        assert all(p.template.image.endswith(":v2") for p in c.ready_pods("gg"))
+
+    def test_zero_surge_zero_unavailable_rejected(self):
+        with pytest.raises(ValidationError):
+            Deployment("gg", gg_template(), replicas=1, max_surge=0, max_unavailable=0)
+
+    def test_old_replicaset_garbage_collected(self):
+        c = three_node_cluster()
+        c.apply_deployment(Deployment("gg", gg_template("v1"), replicas=2))
+        c.reconcile_to_convergence()
+        c.apply_deployment(Deployment("gg", gg_template("v2"), replicas=2))
+        c.reconcile_to_convergence()
+        live_rs = [rs for rs in c.replicasets.values() if rs.deployment == "gg"]
+        assert len(live_rs) == 1
+        assert live_rs[0].template.image.endswith(":v2")
+
+
+class TestHPA:
+    def test_scales_up_under_load(self):
+        c = three_node_cluster()
+        c.apply_deployment(Deployment("gg", gg_template(), replicas=2))
+        c.reconcile_to_convergence()
+        hpa = HorizontalPodAutoscaler("gg", min_replicas=1, max_replicas=8, target=0.7)
+        n = hpa.evaluate(c, metrics=[0.95, 0.9])
+        assert n == 3  # ceil(2 * 0.925/0.7) = 3
+        c.reconcile_to_convergence()
+        assert len(c.ready_pods("gg")) == 3
+
+    def test_dead_band_prevents_flapping(self):
+        hpa = HorizontalPodAutoscaler("gg", target=0.7, tolerance=0.1)
+        assert hpa.desired_replicas(4, [0.72, 0.71]) == 4
+
+    def test_scale_down_requires_streak(self):
+        c = three_node_cluster()
+        c.apply_deployment(Deployment("gg", gg_template(), replicas=4))
+        c.reconcile_to_convergence()
+        hpa = HorizontalPodAutoscaler("gg", target=0.7, scale_down_delay=3)
+        assert hpa.evaluate(c, [0.1] * 4) == 4  # streak 1
+        assert hpa.evaluate(c, [0.1] * 4) == 4  # streak 2
+        assert hpa.evaluate(c, [0.1] * 4) == 1  # streak 3 -> scale down
+
+    def test_burst_resets_scale_down_streak(self):
+        c = three_node_cluster()
+        c.apply_deployment(Deployment("gg", gg_template(), replicas=4))
+        c.reconcile_to_convergence()
+        hpa = HorizontalPodAutoscaler("gg", target=0.7, scale_down_delay=2)
+        hpa.evaluate(c, [0.1] * 4)
+        hpa.evaluate(c, [0.7] * 4)  # back to target: streak resets
+        assert hpa.evaluate(c, [0.1] * 4) == 4  # streak only 1 again
+
+    def test_clamped_to_max(self):
+        hpa = HorizontalPodAutoscaler("gg", min_replicas=1, max_replicas=5, target=0.5)
+        assert hpa.desired_replicas(4, [2.0] * 4) == 5
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            HorizontalPodAutoscaler("gg", min_replicas=5, max_replicas=2)

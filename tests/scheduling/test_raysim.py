@@ -1,0 +1,92 @@
+"""Tests for the Ray-like task pool and hyperparameter tuner."""
+
+import pytest
+
+from repro.common import ValidationError
+from repro.scheduling import RayCluster, RayTask, Tuner
+from repro.training import TrainingSimulator
+
+
+class TestRayCluster:
+    def test_parallel_tasks_overlap(self):
+        cluster = RayCluster(num_cpus=4, num_gpus=0)
+        tasks = [RayTask(f"t{i}", lambda: 1, num_cpus=1, duration_hours=1.0) for i in range(4)]
+        assert cluster.makespan(tasks) == pytest.approx(1.0)
+
+    def test_gpu_limit_serialises(self):
+        cluster = RayCluster(num_cpus=8, num_gpus=1)
+        tasks = [RayTask(f"t{i}", lambda: 1, num_gpus=1, duration_hours=1.0) for i in range(3)]
+        assert cluster.makespan(tasks) == pytest.approx(3.0)
+
+    def test_results_captured(self):
+        cluster = RayCluster()
+        records = cluster.run([RayTask("t", lambda: 42, duration_hours=0.1)])
+        assert records[0].result == 42
+
+    def test_oversized_task_rejected(self):
+        with pytest.raises(ValidationError):
+            RayCluster(num_gpus=1).run([RayTask("t", lambda: 1, num_gpus=4)])
+
+    def test_mixed_resources_schedule(self):
+        cluster = RayCluster(num_cpus=2, num_gpus=1)
+        tasks = [
+            RayTask("gpu-a", lambda: 1, num_cpus=1, num_gpus=1, duration_hours=2.0),
+            RayTask("cpu-a", lambda: 1, num_cpus=1, duration_hours=1.0),
+            RayTask("gpu-b", lambda: 1, num_cpus=1, num_gpus=1, duration_hours=1.0),
+        ]
+        records = {r.name: r for r in cluster.run(tasks)}
+        assert records["cpu-a"].start == 0.0  # runs alongside gpu-a
+        assert records["gpu-b"].start == pytest.approx(2.0)  # waits for the GPU
+
+
+class TestTuner:
+    def setup_method(self):
+        self.sim = TrainingSimulator(seed=0, noise=0.0)
+        self.tuner = Tuner(self.sim, max_steps=200, seed=0)
+
+    def test_grid_generates_cartesian_product(self):
+        grid = Tuner.grid({"lr": [1e-4, 3e-4], "batch": [8, 16, 32]})
+        assert len(grid) == 6
+        assert {g["lr"] for g in grid} == {1e-4, 3e-4}
+
+    def test_random_log_sampling_in_bounds(self):
+        configs = self.tuner.random({"lr": (1e-5, 1e-2)}, 20)
+        assert all(1e-5 <= c["lr"] <= 1e-2 for c in configs)
+
+    def test_random_log_requires_positive(self):
+        with pytest.raises(ValidationError):
+            self.tuner.random({"lr": (0.0, 1.0)}, 3)
+
+    def test_fit_finds_near_optimal_lr(self):
+        configs = Tuner.grid({"lr": [1e-6, 1e-5, 1e-4, 3e-4, 1e-3, 1e-2, 1e-1]})
+        result = self.tuner.fit(configs)
+        assert result.best.config["lr"] == pytest.approx(3e-4)
+
+    def test_asha_matches_full_search_winner(self):
+        configs = Tuner.grid({"lr": [1e-6, 1e-5, 1e-4, 3e-4, 1e-3, 1e-2, 1e-1]})
+        full = self.tuner.fit(configs)
+        asha = self.tuner.fit_asha(configs, reduction_factor=3, min_steps=10)
+        assert asha.best.config == full.best.config
+
+    def test_asha_spends_fewer_steps(self):
+        configs = Tuner.grid({"lr": [1e-6, 1e-5, 1e-4, 3e-4, 1e-3, 1e-2, 1e-1, 0.5, 1.0]})
+        full = self.tuner.fit(configs)
+        asha = self.tuner.fit_asha(configs)
+        assert asha.total_steps < 0.6 * full.total_steps
+
+    def test_asha_marks_early_stops(self):
+        configs = Tuner.grid({"lr": [1e-6, 3e-4, 1e-1]})
+        result = self.tuner.fit_asha(configs, reduction_factor=3, min_steps=10)
+        stopped = [t for t in result.trials if t.stopped_early]
+        assert stopped  # losers were cut
+        assert all(t.steps_trained < 200 for t in stopped)
+
+    def test_empty_configs_rejected(self):
+        with pytest.raises(ValidationError):
+            self.tuner.fit([])
+        with pytest.raises(ValidationError):
+            self.tuner.fit_asha([])
+
+    def test_bad_reduction_factor(self):
+        with pytest.raises(ValidationError):
+            self.tuner.fit_asha([{"lr": 1e-4}], reduction_factor=1)

@@ -1,0 +1,188 @@
+"""Tests for jobs, the cluster, policies, and the scheduling simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ConflictError, ValidationError
+from repro.scheduling import (
+    BackfillPolicy,
+    FairSharePolicy,
+    FifoPolicy,
+    Job,
+    SchedCluster,
+    Scheduler,
+    ml_workload,
+)
+
+
+def job(id, submit, runtime, *, tasks=1, gpus=1, user="u0", estimate=None):
+    return Job(
+        id=id,
+        user=user,
+        submit_time=submit,
+        runtime_hours=runtime,
+        estimate_hours=estimate if estimate is not None else runtime,
+        tasks=tasks,
+        gpus_per_task=gpus,
+    )
+
+
+class TestJobsAndCluster:
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValidationError):
+            job("j", 0, 0)
+        with pytest.raises(ValidationError):
+            job("j", -1, 1)
+        with pytest.raises(ValidationError):
+            Job("j", "u", 0, 1, 1, tasks=0)
+
+    def test_gang_property(self):
+        assert job("j", 0, 1, tasks=4).gang
+        assert not job("j", 0, 1).gang
+
+    def test_walltime_kill_at_estimate(self):
+        j = Job("j", "u", 0, runtime_hours=10, estimate_hours=2)
+        assert j.actual_end == 2
+
+    def test_placement_all_or_nothing(self):
+        cluster = SchedCluster.homogeneous(2, gpus_per_node=2)
+        wide = job("wide", 0, 1, tasks=5, gpus=1)  # 5 tasks > 4 GPUs
+        assert cluster.find_placement(wide) is None
+        fits = job("fits", 0, 1, tasks=4, gpus=1)
+        placement = cluster.find_placement(fits)
+        assert placement is not None and len(placement) == 4
+
+    def test_allocate_release_restores_capacity(self):
+        cluster = SchedCluster.homogeneous(1, gpus_per_node=4)
+        j = job("j", 0, 1, tasks=2, gpus=2)
+        cluster.allocate(j, cluster.find_placement(j))
+        assert cluster.free_gpus == 0
+        cluster.release(j)
+        assert cluster.free_gpus == 4
+
+    def test_double_allocate_rejected(self):
+        cluster = SchedCluster.homogeneous(1)
+        j = job("j", 0, 1)
+        cluster.allocate(j, cluster.find_placement(j))
+        with pytest.raises(ConflictError):
+            cluster.allocate(j, (0,))
+
+    def test_workload_generator_shape(self):
+        jobs = ml_workload(200, seed=7)
+        assert len(jobs) == 200
+        large = [j for j in jobs if j.gang]
+        assert 0.05 < len(large) / len(jobs) < 0.30
+        assert all(j.estimate_hours >= j.runtime_hours for j in jobs)
+        # deterministic under seed
+        again = ml_workload(200, seed=7)
+        assert [j.runtime_hours for j in again] == [j.runtime_hours for j in jobs]
+
+
+class TestPolicies:
+    def test_fifo_head_of_line_blocking(self):
+        """A wide gang job at the head blocks small jobs behind it."""
+        cluster = SchedCluster.homogeneous(1, gpus_per_node=4)
+        trace = [
+            job("running", 0.0, 10.0, tasks=1, gpus=2),
+            job("wide", 0.1, 1.0, tasks=4, gpus=1),  # needs all 4 GPUs
+            job("small", 0.2, 0.5, tasks=1, gpus=1),  # would fit now
+        ]
+        result = Scheduler(SchedCluster.homogeneous(1, gpus_per_node=4), FifoPolicy()).run(
+            [Job(**{**j.__dict__}) for j in trace]  # fresh copies
+        )
+        small = next(j for j in result.jobs if j.id == "small")
+        assert small.start_time >= 10.0  # blocked behind the wide head job
+
+    def test_backfill_lets_small_job_jump(self):
+        trace = [
+            job("running", 0.0, 10.0, tasks=1, gpus=2),
+            job("wide", 0.1, 1.0, tasks=4, gpus=1),
+            job("small", 0.2, 0.5, tasks=1, gpus=1),  # finishes before reservation
+        ]
+        result = Scheduler(SchedCluster.homogeneous(1, gpus_per_node=4), BackfillPolicy()).run(trace)
+        small = next(j for j in result.jobs if j.id == "small")
+        wide = next(j for j in result.jobs if j.id == "wide")
+        assert small.start_time == pytest.approx(0.2)  # backfilled immediately
+        assert wide.start_time == pytest.approx(10.0)  # still gets its reservation
+
+    def test_backfill_does_not_delay_head(self):
+        """A long backfill candidate that would push past the reservation must wait."""
+        trace = [
+            job("running", 0.0, 10.0, tasks=1, gpus=2),
+            job("wide", 0.1, 1.0, tasks=4, gpus=1),
+            job("long", 0.2, 20.0, tasks=1, gpus=1),  # would overrun reservation
+        ]
+        result = Scheduler(SchedCluster.homogeneous(1, gpus_per_node=4), BackfillPolicy()).run(trace)
+        long_j = next(j for j in result.jobs if j.id == "long")
+        wide = next(j for j in result.jobs if j.id == "wide")
+        assert wide.start_time == pytest.approx(10.0)
+        assert long_j.start_time >= wide.start_time  # did not jump ahead
+
+    def test_backfill_improves_utilization_on_ml_trace(self):
+        fifo = Scheduler(SchedCluster.homogeneous(2, gpus_per_node=4), FifoPolicy()).run(
+            ml_workload(150, seed=3)
+        )
+        backfill = Scheduler(SchedCluster.homogeneous(2, gpus_per_node=4), BackfillPolicy()).run(
+            ml_workload(150, seed=3)
+        )
+        assert backfill.mean_wait_hours <= fifo.mean_wait_hours
+        assert backfill.makespan_hours <= fifo.makespan_hours + 1e-9
+
+    def test_fair_share_prefers_light_user(self):
+        policy = FairSharePolicy()
+        policy.record_usage("heavy", 100.0)
+        trace = [
+            job("blocker", 0.0, 5.0, tasks=1, gpus=1, user="other"),
+            job("heavy1", 0.1, 1.0, tasks=1, gpus=1, user="heavy"),
+            job("light1", 0.2, 1.0, tasks=1, gpus=1, user="light"),
+        ]
+        result = Scheduler(SchedCluster.homogeneous(1, gpus_per_node=1), policy).run(trace)
+        heavy = next(j for j in result.jobs if j.id == "heavy1")
+        light = next(j for j in result.jobs if j.id == "light1")
+        assert light.start_time < heavy.start_time
+
+    def test_fair_share_usage_accumulates(self):
+        policy = FairSharePolicy()
+        trace = [
+            job("a", 0.0, 2.0, user="alice", gpus=2),
+            job("b", 0.0, 1.0, user="bob"),
+        ]
+        Scheduler(SchedCluster.homogeneous(2, gpus_per_node=2), policy).run(trace)
+        assert policy.usage["alice"] == pytest.approx(4.0)  # 2 GPUs * 2 h
+        assert policy.usage["bob"] == pytest.approx(1.0)
+
+
+class TestSchedulerStats:
+    def test_all_jobs_finish(self):
+        result = Scheduler(SchedCluster.homogeneous(2, gpus_per_node=4), BackfillPolicy()).run(
+            ml_workload(100, seed=1)
+        )
+        assert all(j.end_time is not None for j in result.jobs)
+        assert 0 < result.gpu_utilization <= 1.0
+
+    def test_impossible_job_raises(self):
+        trace = [job("huge", 0, 1, tasks=10, gpus=4)]  # 40 GPUs on an 8-GPU cluster
+        with pytest.raises(ValidationError):
+            Scheduler(SchedCluster.homogeneous(2, gpus_per_node=4), FifoPolicy()).run(trace)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValidationError):
+            Scheduler(SchedCluster.homogeneous(1), FifoPolicy()).run([])
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100), n=st.integers(5, 60))
+    def test_capacity_never_exceeded_property(self, seed, n):
+        """At every start instant, concurrently running GPUs <= capacity."""
+        cluster = SchedCluster.homogeneous(2, gpus_per_node=4)
+        result = Scheduler(cluster, BackfillPolicy()).run(ml_workload(n, seed=seed))
+        events = []
+        for j in result.jobs:
+            events.append((j.start_time, j.total_gpus))
+            events.append((j.end_time, -j.total_gpus))
+        in_use = 0
+        # at equal times, completions (negative delta) release before starts
+        for _, delta in sorted(events, key=lambda e: (e[0], e[1])):
+            in_use += delta
+            assert in_use <= cluster.total_gpus + 1e-9
+        assert in_use == 0

@@ -1,0 +1,140 @@
+"""Tests for servable models, optimizations, and the inference engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import InvalidStateError, NotFoundError, ValidationError
+from repro.serving import (
+    DEVICE_CATALOG,
+    InferenceEngine,
+    Precision,
+    food11_classifier,
+)
+
+A100 = DEVICE_CATALOG["a100"]
+PI = DEVICE_CATALOG["raspberrypi5"]
+
+
+class TestOptimizations:
+    def setup_method(self):
+        self.model = food11_classifier()
+
+    def test_graph_optimization_cuts_flops_not_accuracy(self):
+        opt = self.model.graph_optimized()
+        assert opt.gflops_per_inference < self.model.gflops_per_inference
+        assert opt.accuracy == self.model.accuracy
+        assert opt.size_mb == self.model.size_mb
+
+    def test_double_graph_optimization_rejected(self):
+        with pytest.raises(InvalidStateError):
+            self.model.graph_optimized().graph_optimized()
+
+    def test_int8_quantization_quarters_size(self):
+        q = self.model.quantized()
+        assert q.size_mb == pytest.approx(self.model.size_mb / 4)
+        assert q.precision is Precision.INT8
+        assert q.accuracy < self.model.accuracy
+        assert q.accuracy > self.model.accuracy - 0.01  # small drop
+
+    def test_double_quantization_rejected(self):
+        with pytest.raises(InvalidStateError):
+            self.model.quantized().quantized()
+
+    def test_quantize_to_fp32_rejected(self):
+        with pytest.raises(ValidationError):
+            self.model.quantized(Precision.FP32)
+
+    @given(st.floats(min_value=0.05, max_value=0.95))
+    def test_pruning_scales_size_and_flops(self, s):
+        p = self.model.pruned(s)
+        assert p.params_million == pytest.approx(self.model.params_million * (1 - s))
+        assert p.gflops_per_inference == pytest.approx(self.model.gflops_per_inference * (1 - s))
+        assert p.accuracy <= self.model.accuracy
+
+    def test_heavy_pruning_hurts_more(self):
+        light = self.model.pruned(0.2)
+        heavy = self.model.pruned(0.8)
+        assert heavy.accuracy < light.accuracy
+
+    def test_invalid_sparsity_rejected(self):
+        with pytest.raises(ValidationError):
+            self.model.pruned(0.0)
+        with pytest.raises(ValidationError):
+            self.model.pruned(0.99)
+
+    def test_distillation_shrinks_with_accuracy_cost(self):
+        d = self.model.distilled(4)
+        assert d.params_million == pytest.approx(self.model.params_million / 4)
+        assert d.accuracy < self.model.accuracy
+
+    def test_distill_factor_must_exceed_one(self):
+        with pytest.raises(ValidationError):
+            self.model.distilled(1.0)
+
+    def test_provenance_chain_recorded(self):
+        m = self.model.graph_optimized().quantized().pruned(0.5)
+        assert m.optimizations == ("graph", "quant:int8", "prune:0.5")
+
+    def test_optimizations_compose(self):
+        m = self.model.graph_optimized().quantized()
+        assert m.size_mb == pytest.approx(self.model.size_mb / 4)
+        assert m.gflops_per_inference == pytest.approx(self.model.gflops_per_inference * 0.85)
+
+
+class TestInferenceEngine:
+    def setup_method(self):
+        self.model = food11_classifier()
+
+    def test_latency_monotone_in_batch(self):
+        eng = InferenceEngine(self.model, A100)
+        lats = [eng.latency_ms(b) for b in (1, 2, 4, 8, 16)]
+        assert all(b > a for a, b in zip(lats, lats[1:]))
+
+    def test_throughput_rises_with_batch(self):
+        """The dynamic-batching payoff: batch amortises fixed costs."""
+        eng = InferenceEngine(self.model, A100)
+        assert eng.throughput_rps(32) > 2 * eng.throughput_rps(1)
+
+    def test_edge_device_much_slower(self):
+        """Unit 6 part 2: the Pi is orders of magnitude behind an A100."""
+        gpu = InferenceEngine(self.model, A100).latency_ms(1)
+        pi = InferenceEngine(self.model, PI).latency_ms(1)
+        assert pi > 50 * gpu
+
+    def test_quantization_speeds_up_edge_most(self):
+        fp32_pi = InferenceEngine(self.model, PI).latency_ms(1)
+        int8_pi = InferenceEngine(self.model.quantized(), PI).latency_ms(1)
+        assert int8_pi < 0.5 * fp32_pi  # compute-bound: ~3.7x int8 speedup
+
+    def test_batching_barely_helps_edge(self):
+        """Edge is compute-bound at batch 1; GPUs gain far more from batching."""
+        pi = InferenceEngine(self.model, PI)
+        gpu = InferenceEngine(self.model, A100)
+        pi_gain = pi.throughput_rps(16) / pi.throughput_rps(1)
+        gpu_gain = gpu.throughput_rps(16) / gpu.throughput_rps(1)
+        assert gpu_gain > 2 * pi_gain
+
+    def test_missing_execution_provider(self):
+        with pytest.raises(NotFoundError):
+            InferenceEngine(self.model.quantized(), DEVICE_CATALOG["p100"])  # no int8 on P100
+
+    def test_best_batch_under_slo(self):
+        eng = InferenceEngine(self.model, A100)
+        b = eng.best_batch_under_slo(5.0)
+        assert b >= 1
+        assert eng.latency_ms(b) <= 5.0
+        assert eng.latency_ms(b + 1) > 5.0 or b == 256
+
+    def test_slo_impossible_returns_zero(self):
+        eng = InferenceEngine(self.model, PI)
+        assert eng.best_batch_under_slo(0.001) == 0
+
+    def test_cost_per_million_requests(self):
+        cheap = InferenceEngine(self.model.quantized(), DEVICE_CATALOG["t4"])
+        pricey = InferenceEngine(self.model, A100)
+        assert cheap.cost_per_million_requests() < pricey.cost_per_million_requests() * 5
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValidationError):
+            InferenceEngine(self.model, A100).latency_ms(0)

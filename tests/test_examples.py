@@ -1,0 +1,23 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the deliverable requires at least three examples"
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names

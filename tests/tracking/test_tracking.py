@@ -1,0 +1,240 @@
+"""Tests for the tracking store, artifacts, registry, and client."""
+
+import pytest
+
+from repro.common import (
+    ConflictError,
+    InvalidStateError,
+    NotFoundError,
+    SimClock,
+    ValidationError,
+)
+from repro.tracking import (
+    ArtifactStore,
+    ModelRegistry,
+    ModelStage,
+    RunStatus,
+    TrackingClient,
+    TrackingStore,
+)
+
+
+class TestTrackingStore:
+    def setup_method(self):
+        self.clock = SimClock()
+        self.store = TrackingStore(self.clock)
+        self.exp = self.store.create_experiment("gourmetgram-finetune")
+
+    def test_duplicate_experiment_rejected(self):
+        with pytest.raises(ConflictError):
+            self.store.create_experiment("gourmetgram-finetune")
+
+    def test_get_experiment_by_name(self):
+        assert self.store.get_experiment_by_name("gourmetgram-finetune").id == self.exp.id
+
+    def test_run_lifecycle(self):
+        run = self.store.create_run(self.exp.id, "run-a")
+        assert run.status is RunStatus.RUNNING
+        self.clock.advance(2.0)
+        self.store.finish_run(run.id)
+        assert run.status is RunStatus.FINISHED
+        assert run.end_time == 2.0
+
+    def test_finish_twice_rejected(self):
+        run = self.store.create_run(self.exp.id)
+        self.store.finish_run(run.id)
+        with pytest.raises(InvalidStateError):
+            self.store.finish_run(run.id)
+
+    def test_params_write_once(self):
+        run = self.store.create_run(self.exp.id)
+        self.store.log_param(run.id, "lr", 3e-4)
+        self.store.log_param(run.id, "lr", 3e-4)  # idempotent same value
+        with pytest.raises(ConflictError):
+            self.store.log_param(run.id, "lr", 1e-3)
+
+    def test_metric_series_with_steps_and_time(self):
+        run = self.store.create_run(self.exp.id)
+        for i, v in enumerate([2.0, 1.5, 1.2]):
+            self.clock.advance(0.5)
+            self.store.log_metric(run.id, "loss", v, step=i)
+        points = run.metrics["loss"]
+        assert [p.value for p in points] == [2.0, 1.5, 1.2]
+        assert [p.step for p in points] == [0, 1, 2]
+        assert points[-1].timestamp == pytest.approx(1.5)
+        assert run.latest_metric("loss") == 1.2
+        assert run.best_metric("loss") == 1.2
+
+    def test_auto_step_numbering(self):
+        run = self.store.create_run(self.exp.id)
+        self.store.log_metric(run.id, "loss", 1.0)
+        self.store.log_metric(run.id, "loss", 0.9)
+        assert [p.step for p in run.metrics["loss"]] == [0, 1]
+
+    def test_cannot_log_to_finished_run(self):
+        run = self.store.create_run(self.exp.id)
+        self.store.finish_run(run.id)
+        with pytest.raises(InvalidStateError):
+            self.store.log_metric(run.id, "loss", 1.0)
+
+    def test_non_numeric_metric_rejected(self):
+        run = self.store.create_run(self.exp.id)
+        with pytest.raises(ValidationError):
+            self.store.log_metric(run.id, "loss", "low")
+
+    def test_search_orders_by_metric(self):
+        for i, loss in enumerate([0.5, 0.2, 0.9]):
+            run = self.store.create_run(self.exp.id, f"r{i}")
+            self.store.log_metric(run.id, "val_loss", loss)
+        runs = self.store.search_runs(self.exp.id, order_by_metric="val_loss")
+        assert [r.latest_metric("val_loss") for r in runs] == [0.2, 0.5, 0.9]
+
+    def test_best_run(self):
+        for loss in [0.5, 0.2, 0.9]:
+            run = self.store.create_run(self.exp.id)
+            self.store.log_metric(run.id, "val_loss", loss)
+        assert self.store.best_run(self.exp.id, "val_loss").latest_metric("val_loss") == 0.2
+
+    def test_search_with_predicate(self):
+        a = self.store.create_run(self.exp.id)
+        self.store.set_tag(a.id, "gpu", "a100")
+        b = self.store.create_run(self.exp.id)
+        self.store.set_tag(b.id, "gpu", "v100")
+        runs = self.store.search_runs(self.exp.id, predicate=lambda r: r.tags.get("gpu") == "a100")
+        assert [r.id for r in runs] == [a.id]
+
+    def test_missing_lookups_raise(self):
+        with pytest.raises(NotFoundError):
+            self.store.get_experiment_by_name("ghost")
+        with pytest.raises(NotFoundError):
+            self.store.log_metric("run-999999", "x", 1.0)
+
+
+class TestArtifactStore:
+    def test_round_trip_and_integrity(self):
+        store = ArtifactStore()
+        store.log_artifact("run-1", "models/weights.bin", b"\x00" * 100)
+        assert store.get_artifact("run-1", "models/weights.bin") == b"\x00" * 100
+        assert store.verify("run-1", "models/weights.bin")
+
+    def test_dedup_identical_payloads(self):
+        store = ArtifactStore()
+        store.log_artifact("run-1", "a.bin", b"same")
+        store.log_artifact("run-2", "b.bin", b"same")
+        assert store.total_bytes() == 4
+
+    def test_list_with_prefix(self):
+        store = ArtifactStore()
+        store.log_artifact("r", "models/w.bin", b"1")
+        store.log_artifact("r", "plots/loss.png", b"2")
+        assert [a.path for a in store.list_artifacts("r", prefix="models/")] == ["models/w.bin"]
+
+    def test_absolute_path_rejected(self):
+        with pytest.raises(ValidationError):
+            ArtifactStore().log_artifact("r", "/etc/passwd", b"x")
+
+    def test_missing_artifact_raises(self):
+        with pytest.raises(NotFoundError):
+            ArtifactStore().get_artifact("r", "ghost")
+
+    def test_object_store_backing(self):
+        from repro.cloud.metering import UsageMeter
+        from repro.cloud.quota import Quota, QuotaManager
+        from repro.cloud.storage import ObjectStorageService
+        from repro.common.ids import IdGenerator
+
+        clock = SimClock()
+        backend = ObjectStorageService(clock, IdGenerator(), QuotaManager(Quota.unlimited()), UsageMeter(clock))
+        store = ArtifactStore(backend)
+        store.log_artifact("run-1", "w.bin", b"payload")
+        assert backend.get_object("mlflow-artifacts", "run-1/w.bin").data == b"payload"
+
+
+class TestModelRegistry:
+    def test_versions_increment(self):
+        reg = ModelRegistry()
+        assert reg.register("food-classifier", "run-1").version == 1
+        assert reg.register("food-classifier", "run-2").version == 2
+
+    def test_promotion_archives_previous_production(self):
+        reg = ModelRegistry()
+        reg.register("m", "r1")
+        reg.register("m", "r2")
+        reg.transition("m", 1, ModelStage.PRODUCTION)
+        reg.transition("m", 2, ModelStage.STAGING)
+        reg.transition("m", 2, ModelStage.PRODUCTION)
+        assert reg.production("m").version == 2
+        assert reg.get("m", 1).stage is ModelStage.ARCHIVED
+
+    def test_latest_by_stage(self):
+        reg = ModelRegistry()
+        reg.register("m", "r1")
+        reg.register("m", "r2")
+        reg.transition("m", 1, ModelStage.STAGING)
+        assert reg.latest("m").version == 2
+        assert reg.latest("m", stage=ModelStage.STAGING).version == 1
+
+    def test_same_stage_transition_conflicts(self):
+        reg = ModelRegistry()
+        reg.register("m", "r1")
+        reg.transition("m", 1, ModelStage.STAGING)
+        with pytest.raises(ConflictError):
+            reg.transition("m", 1, ModelStage.STAGING)
+
+    def test_illegal_transition_rejected(self):
+        reg = ModelRegistry()
+        reg.register("m", "r1")
+        reg.transition("m", 1, ModelStage.PRODUCTION)
+        with pytest.raises(ValidationError):
+            reg.transition("m", 1, ModelStage.NONE)
+
+    def test_no_production_raises(self):
+        reg = ModelRegistry()
+        reg.register("m", "r1")
+        with pytest.raises(NotFoundError):
+            reg.production("m")
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(NotFoundError):
+            ModelRegistry().versions("ghost")
+
+
+class TestTrackingClient:
+    def test_full_training_script_flow(self):
+        """The Unit 5 lab flow: params, metrics, artifacts, model, registry."""
+        client = TrackingClient()
+        with client.start_run("finetune", "bf16-lora") as run:
+            client.log_params({"lr": 3e-4, "rank": 16})
+            for step, loss in enumerate([2.0, 1.4, 1.1]):
+                client.log_metric("loss", loss, step=step)
+            client.set_tag("precision", "bf16")
+            mv = client.log_model("food-classifier", b"weights", metrics={"val_acc": 0.91})
+        assert client.store.runs[run.id].status is RunStatus.FINISHED
+        assert mv.version == 1
+        assert client.artifacts.get_artifact(run.id, "models/food-classifier/weights.bin") == b"weights"
+        client.promote("food-classifier", 1, ModelStage.STAGING)
+        assert client.registry.latest("food-classifier", stage=ModelStage.STAGING).version == 1
+
+    def test_exception_marks_run_failed(self):
+        client = TrackingClient()
+        with pytest.raises(RuntimeError):
+            with client.start_run("exp") as run:
+                raise RuntimeError("OOM")
+        assert client.store.runs[run.id].status is RunStatus.FAILED
+
+    def test_nested_runs_rejected(self):
+        client = TrackingClient()
+        with client.start_run("exp"):
+            with pytest.raises(InvalidStateError):
+                with client.start_run("exp"):
+                    pass
+
+    def test_logging_without_run_rejected(self):
+        with pytest.raises(InvalidStateError):
+            TrackingClient().log_metric("loss", 1.0)
+
+    def test_set_experiment_idempotent(self):
+        client = TrackingClient()
+        a = client.set_experiment("e")
+        b = client.set_experiment("e")
+        assert a == b

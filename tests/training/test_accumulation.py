@@ -1,0 +1,105 @@
+"""Tests for gradient-accumulation planning."""
+
+import pytest
+
+from repro.common import SchedulingError, ValidationError
+from repro.training import (
+    GPU_CATALOG,
+    MemoryEstimator,
+    MixedPrecisionPlan,
+    TrainingMode,
+    llm,
+)
+from repro.training.accumulation import (
+    AccumulationPlan,
+    plan_accumulation,
+    step_time_with_accumulation,
+)
+
+A100_80 = GPU_CATALOG["A100-80GB"]
+A100_40 = GPU_CATALOG["A100-40GB"]
+
+
+def qlora_estimator(model):
+    return MemoryEstimator(
+        model,
+        mode=TrainingMode.qlora(16),
+        precision=MixedPrecisionPlan.bf16_mixed(),
+        grad_checkpointing=True,
+    )
+
+
+class TestPlanning:
+    def test_plan_hits_target_effective_batch(self):
+        est = qlora_estimator(llm(13))
+        plan = plan_accumulation(est, A100_80, target_effective_batch=64)
+        assert plan.effective_batch >= 64
+        assert plan.micro_batch * plan.accum_steps >= 64
+
+    def test_planned_micro_batch_fits(self):
+        est = qlora_estimator(llm(13))
+        plan = plan_accumulation(est, A100_80, target_effective_batch=64)
+        fitted = MemoryEstimator(
+            est.model, mode=est.mode, precision=est.precision,
+            micro_batch=plan.micro_batch, grad_checkpointing=True,
+        )
+        assert fitted.fits(A100_80)
+
+    def test_smaller_gpu_needs_deeper_accumulation(self):
+        est = qlora_estimator(llm(13))
+        big = plan_accumulation(est, A100_80, target_effective_batch=64)
+        small = plan_accumulation(est, A100_40, target_effective_batch=64)
+        assert small.micro_batch <= big.micro_batch
+        assert small.accum_steps >= big.accum_steps
+
+    def test_world_size_divides_the_work(self):
+        est = qlora_estimator(llm(13))
+        solo = plan_accumulation(est, A100_80, target_effective_batch=64)
+        ddp4 = plan_accumulation(est, A100_80, target_effective_batch=64, world_size=4)
+        assert ddp4.accum_steps <= solo.accum_steps
+        assert ddp4.effective_batch >= 64
+
+    def test_impossible_model_raises_scheduling_error(self):
+        # full fp32 fine-tune of 13B: micro-batch 1 cannot fit
+        est = MemoryEstimator(llm(13), precision=MixedPrecisionPlan.fp32())
+        with pytest.raises(SchedulingError, match="does not fit"):
+            plan_accumulation(est, A100_80, target_effective_batch=8)
+
+    def test_target_below_world_size_rejected(self):
+        est = qlora_estimator(llm(1))
+        with pytest.raises(ValidationError):
+            plan_accumulation(est, A100_80, target_effective_batch=2, world_size=4)
+
+    def test_invalid_plan_rejected(self):
+        with pytest.raises(ValidationError):
+            AccumulationPlan(micro_batch=0, accum_steps=1, world_size=1,
+                             target_effective_batch=1)
+
+
+class TestStepTime:
+    def test_accumulation_overhead_costs_throughput(self):
+        """Deep accumulation is slower than the same tokens in one batch."""
+        est = qlora_estimator(llm(1))
+        shallow = AccumulationPlan(micro_batch=16, accum_steps=1, world_size=1,
+                                   target_effective_batch=16)
+        deep = AccumulationPlan(micro_batch=1, accum_steps=16, world_size=1,
+                                target_effective_batch=16)
+        t_shallow = step_time_with_accumulation(shallow, est, A100_80)
+        t_deep = step_time_with_accumulation(deep, est, A100_80)
+        assert t_deep > t_shallow  # same compute, 16x the overhead
+
+    def test_compute_scales_with_tokens(self):
+        est = qlora_estimator(llm(1))
+        small = AccumulationPlan(micro_batch=4, accum_steps=1, world_size=1,
+                                 target_effective_batch=4)
+        double = AccumulationPlan(micro_batch=8, accum_steps=1, world_size=1,
+                                  target_effective_batch=8)
+        t1 = step_time_with_accumulation(small, est, A100_80, per_micro_overhead_ms=0)
+        t2 = step_time_with_accumulation(double, est, A100_80, per_micro_overhead_ms=0)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_invalid_mfu(self):
+        est = qlora_estimator(llm(1))
+        plan = AccumulationPlan(1, 1, 1, 1)
+        with pytest.raises(ValidationError):
+            step_time_with_accumulation(plan, est, A100_80, mfu=0)

@@ -1,0 +1,113 @@
+"""Tests for the additional executable collectives (reduce-scatter,
+all-gather, tree all-reduce) and their mutual consistency."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import ValidationError
+from repro.training.collectives import (
+    all_gather,
+    reduce_scatter,
+    ring_allreduce,
+    tree_allreduce,
+)
+
+
+class TestReduceScatter:
+    def test_each_rank_owns_its_reduced_chunk(self):
+        rng = np.random.default_rng(0)
+        bufs = [rng.standard_normal(23) for _ in range(5)]
+        out, sched = reduce_scatter(bufs)
+        total = np.sum(bufs, axis=0)
+        bounds = np.linspace(0, 23, 6).astype(int)
+        for r in range(5):
+            np.testing.assert_allclose(out[r], total[bounds[r]: bounds[r + 1]])
+        assert len(sched) == 4
+
+    def test_single_rank(self):
+        out, sched = reduce_scatter([np.arange(4.0)])
+        np.testing.assert_array_equal(out[0], np.arange(4.0))
+        assert sched == []
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            reduce_scatter([np.ones(3), np.ones(4)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            reduce_scatter([])
+
+
+class TestAllGather:
+    def test_every_rank_gets_concatenation(self):
+        shards = [np.arange(r * 3, r * 3 + 3, dtype=float) for r in range(4)]
+        results, sched = all_gather(shards)
+        expected = np.arange(12, dtype=float)
+        for r in results:
+            np.testing.assert_array_equal(r, expected)
+        assert len(sched) == 3
+
+    def test_uneven_shards(self):
+        shards = [np.array([1.0]), np.array([2.0, 3.0]), np.array([4.0, 5.0, 6.0])]
+        results, _ = all_gather(shards)
+        for r in results:
+            np.testing.assert_array_equal(r, np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]))
+
+    def test_single_rank(self):
+        results, sched = all_gather([np.ones(3)])
+        np.testing.assert_array_equal(results[0], np.ones(3))
+        assert sched == []
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValidationError):
+            all_gather([np.ones((2, 2))])
+
+
+class TestTreeAllreduce:
+    def test_matches_sum(self):
+        rng = np.random.default_rng(1)
+        bufs = [rng.standard_normal((4, 5)) for _ in range(7)]  # non power of two
+        results, sched = tree_allreduce(bufs)
+        expected = np.sum(bufs, axis=0)
+        for r in results:
+            np.testing.assert_allclose(r, expected)
+        # ceil(log2 7) = 3 reduce rounds + 3 broadcast rounds
+        assert len(sched) == 6
+
+    def test_round_count_log2(self):
+        for p, rounds in ((2, 2), (4, 4), (8, 6), (16, 8)):
+            bufs = [np.ones(4) for _ in range(p)]
+            _, sched = tree_allreduce(bufs)
+            assert len(sched) == rounds, p
+
+    def test_tree_moves_whole_buffers(self):
+        bufs = [np.ones(100) for _ in range(4)]
+        _, sched = tree_allreduce(bufs)
+        assert all(s.bytes_per_rank == 800 for s in sched)  # n bytes, not n/p
+
+
+class TestConsistency:
+    @settings(max_examples=25, deadline=None)
+    @given(p=st.integers(1, 6), n=st.integers(1, 40), seed=st.integers(0, 99))
+    def test_ring_equals_tree_equals_numpy(self, p, n, seed):
+        rng = np.random.default_rng(seed)
+        bufs = [rng.integers(-50, 50, size=n).astype(float) for _ in range(p)]
+        ring, _ = ring_allreduce(bufs)
+        tree, _ = tree_allreduce(bufs)
+        expected = np.sum(bufs, axis=0)
+        np.testing.assert_allclose(ring[0], expected)
+        np.testing.assert_allclose(tree[0], expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(p=st.integers(1, 6), n=st.integers(6, 40), seed=st.integers(0, 99))
+    def test_reduce_scatter_then_all_gather_is_allreduce(self, p, n, seed):
+        """The classic identity the ring algorithm is built from."""
+        rng = np.random.default_rng(seed)
+        bufs = [rng.standard_normal(n) for _ in range(p)]
+        shards, _ = reduce_scatter(bufs)
+        gathered, _ = all_gather(shards)
+        expected = np.sum(bufs, axis=0)
+        for g in gathered:
+            np.testing.assert_allclose(g, expected)

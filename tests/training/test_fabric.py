@@ -1,0 +1,133 @@
+"""Tests for the SPMD message-passing fabric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import SchedulingError, ValidationError
+from repro.training.fabric import Comm, Fabric
+
+
+class TestPointToPoint:
+    def test_send_recv_pair(self):
+        def program(comm: Comm):
+            if comm.rank == 0:
+                yield from comm.send(1, {"a": 7, "b": 3.14})
+                return "sent"
+            data = yield from comm.recv(0)
+            return data
+
+        results = Fabric(2).execute(program)
+        assert results == ["sent", {"a": 7, "b": 3.14}]
+
+    def test_fifo_ordering_per_link(self):
+        def program(comm: Comm):
+            if comm.rank == 0:
+                for i in range(3):
+                    yield from comm.send(1, i)
+                return None
+            got = []
+            for _ in range(3):
+                got.append((yield from comm.recv(0)))
+            return got
+
+        assert Fabric(2).execute(program)[1] == [0, 1, 2]
+
+    def test_send_before_recv_is_buffered(self):
+        def program(comm: Comm):
+            if comm.rank == 0:
+                yield from comm.send(1, "early")
+                return None
+            # rank 1 does other work first; the message waits
+            data = yield from comm.recv(0)
+            return data
+
+        assert Fabric(2).execute(program)[1] == "early"
+
+    def test_deadlock_detected(self):
+        def program(comm: Comm):
+            # both ranks recv first: classic deadlock
+            other = 1 - comm.rank
+            data = yield from comm.recv(other)
+            yield from comm.send(other, data)
+            return data
+
+        with pytest.raises(SchedulingError, match="deadlock"):
+            Fabric(2).execute(program)
+
+    def test_self_send_rejected(self):
+        def program(comm: Comm):
+            yield from comm.send(comm.rank, 1)
+
+        with pytest.raises(ValidationError):
+            Fabric(2).execute(program)
+
+    def test_non_generator_rejected(self):
+        with pytest.raises(ValidationError):
+            Fabric(2).execute(lambda comm: 42)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValidationError):
+            Fabric(0)
+
+
+class TestRingPatterns:
+    def test_ring_exchange_rotates(self):
+        def program(comm: Comm):
+            received = yield from comm.ring_exchange(comm.rank)
+            return received
+
+        results = Fabric(4).execute(program)
+        assert results == [3, 0, 1, 2]  # each rank got its predecessor's value
+
+    def test_allreduce_sum_scalar(self):
+        def program(comm: Comm):
+            total = yield from comm.allreduce_sum(float(comm.rank + 1))
+            return total
+
+        results = Fabric(5).execute(program)
+        assert all(r == pytest.approx(15.0) for r in results)
+
+    def test_allreduce_single_rank(self):
+        def program(comm: Comm):
+            total = yield from comm.allreduce_sum(7.0)
+            return total
+
+        assert Fabric(1).execute(program) == [7.0]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        size=st.integers(1, 6),
+        values=st.lists(st.floats(-100, 100), min_size=6, max_size=6),
+    )
+    def test_allreduce_property(self, size, values):
+        contributions = values[:size]
+
+        def program(comm: Comm):
+            total = yield from comm.allreduce_sum(contributions[comm.rank])
+            return total
+
+        results = Fabric(size).execute(program)
+        for r in results:
+            assert r == pytest.approx(sum(contributions))
+
+
+class TestGradientAggregation:
+    def test_spmd_gradient_averaging(self):
+        """The DDP pattern written as a rank program: average gradients."""
+        rng = np.random.default_rng(0)
+        grads = [rng.standard_normal(8) for _ in range(4)]
+
+        def program(comm: Comm):
+            token = grads[comm.rank].copy()
+            total = token.copy()
+            for _ in range(comm.size - 1):
+                token = yield from comm.ring_exchange(token)
+                total += token
+            return total / comm.size
+
+        results = Fabric(4).execute(program)
+        expected = np.mean(grads, axis=0)
+        for r in results:
+            np.testing.assert_allclose(r, expected)

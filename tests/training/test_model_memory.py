@@ -1,0 +1,168 @@
+"""Tests for model specs, precision plans, and the memory estimator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import ValidationError
+from repro.training import (
+    GPU_CATALOG,
+    DType,
+    MemoryEstimator,
+    MixedPrecisionPlan,
+    ModelSpec,
+    TrainingMode,
+    llm,
+)
+
+
+class TestModelSpec:
+    def test_param_count_matches_formula(self):
+        m = ModelSpec("toy", n_layers=2, hidden_dim=256, vocab_size=1000)
+        expected = 2 * (12 * 256**2 + 13 * 256) + 1000 * 256
+        assert m.n_params == expected
+
+    def test_llm_hits_target_size(self):
+        m = llm(13)  # the Unit 4 lab model
+        assert 10 <= m.n_params_billion <= 16
+
+    @given(st.floats(min_value=0.1, max_value=200))
+    def test_llm_within_factor_of_target(self, billions):
+        m = llm(billions)
+        assert 0.4 * billions <= m.n_params_billion <= 2.5 * billions
+
+    def test_llm_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            llm(0)
+
+    def test_flops_per_token(self):
+        m = llm(1)
+        assert m.flops_per_token() == pytest.approx(6 * m.n_params)
+        assert m.flops_per_token(backward=False) == pytest.approx(2 * m.n_params)
+
+    def test_lora_params_tiny_fraction(self):
+        m = llm(13)
+        assert m.lora_params(16) < 0.01 * m.n_params
+
+    def test_lora_params_scale_with_rank(self):
+        m = llm(1)
+        assert m.lora_params(32) == 2 * m.lora_params(16)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValidationError):
+            ModelSpec("bad", n_layers=0, hidden_dim=64)
+        with pytest.raises(ValidationError):
+            ModelSpec("bad", n_layers=1, hidden_dim=100, n_heads=3)
+
+
+class TestPrecision:
+    def test_dtype_widths(self):
+        assert DType.FP32.bytes == 4
+        assert DType.BF16.bytes == 2
+        assert DType.NF4.bytes == 0.5
+
+    def test_bf16_requires_cc80(self):
+        plan = MixedPrecisionPlan.bf16_mixed()
+        plan.validate_on(GPU_CATALOG["A100-80GB"])  # fine
+        with pytest.raises(ValidationError):
+            plan.validate_on(GPU_CATALOG["V100-32GB"])  # cc 7.0
+
+    def test_master_weights_need_reduced_compute(self):
+        with pytest.raises(ValidationError):
+            MixedPrecisionPlan(DType.FP32, master_weights=True)
+
+    def test_grad_dtype_defaults_to_compute(self):
+        plan = MixedPrecisionPlan(DType.BF16, master_weights=True)
+        assert plan.effective_grad_dtype is DType.BF16
+
+
+class TestMemoryEstimator:
+    """The Unit 4 storyline: a 13B model does not fit in fp32 full fine-tune
+    on an A100-80GB, and progressively fits with bf16, LoRA, and QLoRA."""
+
+    def setup_method(self):
+        self.model = llm(13)
+        self.a100 = GPU_CATALOG["A100-80GB"]
+
+    def test_full_fp32_does_not_fit_a100(self):
+        est = MemoryEstimator(self.model, precision=MixedPrecisionPlan.fp32())
+        assert not est.fits(self.a100)
+        # weights alone ~ 13e9*4 B ~ 48 GiB; +grads+Adam pushes past 190 GiB
+        assert est.breakdown().total_gib > 150
+
+    def test_lora_bf16_fits_a100(self):
+        est = MemoryEstimator(
+            self.model,
+            mode=TrainingMode.lora(16),
+            precision=MixedPrecisionPlan.bf16_mixed(),
+            grad_checkpointing=True,
+        )
+        assert est.fits(self.a100)
+
+    def test_qlora_smaller_than_lora(self):
+        lora = MemoryEstimator(
+            self.model, mode=TrainingMode.lora(16), precision=MixedPrecisionPlan.bf16_mixed()
+        )
+        qlora = MemoryEstimator(
+            self.model, mode=TrainingMode.qlora(16), precision=MixedPrecisionPlan.bf16_mixed()
+        )
+        assert qlora.breakdown().total_gib < lora.breakdown().total_gib
+        # the 4-bit base is ~4x smaller than the bf16 base
+        assert qlora.weights_bytes() < 0.3 * lora.weights_bytes()
+
+    def test_memory_ordering_full_gt_lora_gt_qlora(self):
+        plans = {}
+        for name, mode in [
+            ("full", TrainingMode.full()),
+            ("lora", TrainingMode.lora(16)),
+            ("qlora", TrainingMode.qlora(16)),
+        ]:
+            plans[name] = MemoryEstimator(
+                self.model, mode=mode, precision=MixedPrecisionPlan.bf16_mixed()
+            ).breakdown().total_gib
+        assert plans["full"] > plans["lora"] > plans["qlora"]
+
+    def test_optimizer_state_dominates_full_finetune(self):
+        est = MemoryEstimator(self.model, precision=MixedPrecisionPlan.bf16_mixed())
+        b = est.breakdown()
+        assert b.optimizer_gib > b.weights_gib  # 8 B/param vs 2 B/param
+
+    def test_lora_optimizer_state_negligible(self):
+        est = MemoryEstimator(
+            self.model, mode=TrainingMode.lora(16), precision=MixedPrecisionPlan.bf16_mixed()
+        )
+        b = est.breakdown()
+        assert b.optimizer_gib < 0.05 * b.weights_gib
+
+    def test_grad_checkpointing_cuts_activations(self):
+        full = MemoryEstimator(self.model, micro_batch=4)
+        ckpt = MemoryEstimator(self.model, micro_batch=4, grad_checkpointing=True)
+        assert ckpt.activations_bytes() < 0.1 * full.activations_bytes()
+
+    def test_activations_linear_in_micro_batch(self):
+        e1 = MemoryEstimator(self.model, micro_batch=1)
+        e4 = MemoryEstimator(self.model, micro_batch=4)
+        assert e4.activations_bytes() == pytest.approx(4 * e1.activations_bytes())
+
+    def test_max_micro_batch_monotone_in_gpu_memory(self):
+        est = MemoryEstimator(
+            self.model,
+            mode=TrainingMode.qlora(16),
+            precision=MixedPrecisionPlan.bf16_mixed(),
+            grad_checkpointing=True,
+        )
+        big = est.max_micro_batch(GPU_CATALOG["A100-80GB"])
+        small = est.max_micro_batch(GPU_CATALOG["A100-40GB"])
+        assert big >= small
+
+    def test_invalid_micro_batch(self):
+        with pytest.raises(ValidationError):
+            MemoryEstimator(self.model, micro_batch=0)
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_breakdown_total_is_sum(self, mb):
+        b = MemoryEstimator(self.model, micro_batch=mb).breakdown()
+        assert b.total_gib == pytest.approx(
+            b.weights_gib + b.master_weights_gib + b.gradients_gib
+            + b.optimizer_gib + b.activations_gib
+        )

@@ -1,0 +1,161 @@
+"""Tests for DDP/FSDP/pipeline simulators and the training-loop simulator."""
+
+import pytest
+
+from repro.common import ValidationError
+from repro.training import (
+    GPU_CATALOG,
+    DDPSimulator,
+    FSDPSimulator,
+    MixedPrecisionPlan,
+    PipelineSimulator,
+    TrainingSimulator,
+    llm,
+)
+
+A100 = GPU_CATALOG["A100-80GB"]
+MODEL = llm(13)
+
+
+class TestDDP:
+    def test_memory_flat_in_world_size(self):
+        m1 = DDPSimulator(MODEL, A100, 1).memory_per_rank(1)
+        m4 = DDPSimulator(MODEL, A100, 4).memory_per_rank(1)
+        assert m1.total_gib == pytest.approx(m4.total_gib)
+
+    def test_step_time_decreases_with_ranks(self):
+        t1 = DDPSimulator(MODEL, A100, 1).step_time(16).total_s
+        t4 = DDPSimulator(MODEL, A100, 4).step_time(16).total_s
+        assert t4 < t1
+
+    def test_scaling_efficiency_below_one_above_half(self):
+        eff = DDPSimulator(MODEL, A100, 4).scaling_efficiency(16)
+        assert 0.5 < eff <= 1.0
+
+    def test_single_rank_no_comm(self):
+        st = DDPSimulator(MODEL, A100, 1).step_time(8)
+        assert st.comm_s == 0.0
+
+    def test_overlap_hides_comm(self):
+        hidden = DDPSimulator(MODEL, A100, 4, overlap_fraction=1.0).step_time(64)
+        exposed = DDPSimulator(MODEL, A100, 4, overlap_fraction=0.0).step_time(64)
+        assert hidden.exposed_comm_s <= exposed.exposed_comm_s
+        assert exposed.exposed_comm_s == pytest.approx(exposed.comm_s)
+
+    def test_bf16_on_v100_rejected(self):
+        with pytest.raises(ValidationError):
+            DDPSimulator(MODEL, GPU_CATALOG["V100-32GB"], 4,
+                         precision=MixedPrecisionPlan.bf16_mixed())
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValidationError):
+            DDPSimulator(MODEL, A100, 0)
+
+
+class TestFSDP:
+    def test_state_shards_with_p(self):
+        m1 = FSDPSimulator(MODEL, A100, 1).memory_per_rank(1)
+        m4 = FSDPSimulator(MODEL, A100, 4).memory_per_rank(1)
+        assert m4.weights_gib == pytest.approx(m1.weights_gib / 4)
+        assert m4.optimizer_gib == pytest.approx(m1.optimizer_gib / 4)
+        # activations do not shard
+        assert m4.activations_gib == pytest.approx(m1.activations_gib)
+
+    def test_fsdp_fits_13b_where_ddp_does_not(self):
+        """The Unit 4 punchline: full 13B fine-tune fits on 4 A100s only sharded."""
+        ddp = DDPSimulator(MODEL, A100, 4).memory_per_rank(1, grad_checkpointing=True)
+        fsdp = FSDPSimulator(MODEL, A100, 4).memory_per_rank(1, grad_checkpointing=True)
+        assert ddp.total_gib > A100.mem_gib
+        assert fsdp.total_gib < A100.mem_gib
+
+    def test_fsdp_comm_is_1_5x_ddp(self):
+        ddp = DDPSimulator(MODEL, A100, 4).step_time(16)
+        fsdp = FSDPSimulator(MODEL, A100, 4).step_time(16)
+        assert fsdp.comm_s == pytest.approx(1.5 * ddp.comm_s)
+
+    def test_fsdp_slower_but_close(self):
+        ddp = DDPSimulator(MODEL, A100, 4).step_time(16)
+        fsdp = FSDPSimulator(MODEL, A100, 4).step_time(16)
+        assert fsdp.total_s >= ddp.total_s
+
+
+class TestPipeline:
+    def test_bubble_fraction_formula(self):
+        assert PipelineSimulator.bubble_fraction(4, 4) == pytest.approx(3 / 7)
+        assert PipelineSimulator.bubble_fraction(1, 8) == 0.0
+
+    def test_bubble_shrinks_with_micro_batches(self):
+        sim = PipelineSimulator(MODEL, A100, 4)
+        few = sim.step_time(16, micro_batches=2)
+        many = sim.step_time(16, micro_batches=32)
+        assert many.bubble_s < few.bubble_s
+
+    def test_weights_shard_per_stage(self):
+        m1 = PipelineSimulator(MODEL, A100, 1).memory_per_rank(1)
+        m4 = PipelineSimulator(MODEL, A100, 4).memory_per_rank(1)
+        assert m4.weights_gib == pytest.approx(m1.weights_gib / 4)
+
+    def test_invalid_micro_batches(self):
+        with pytest.raises(ValidationError):
+            PipelineSimulator(MODEL, A100, 2).step_time(4, micro_batches=0)
+
+    def test_bubble_fraction_validation(self):
+        with pytest.raises(ValidationError):
+            PipelineSimulator.bubble_fraction(0, 4)
+
+
+class TestTrainingSimulator:
+    def test_loss_decreases(self):
+        run = TrainingSimulator(seed=0).run(steps=200)
+        assert run.losses[-1] < run.losses[0]
+        assert run.completed
+
+    def test_deterministic_under_seed(self):
+        r1 = TrainingSimulator(seed=42).run(steps=50)
+        r2 = TrainingSimulator(seed=42).run(steps=50)
+        assert r1.losses == r2.losses
+
+    def test_optimal_lr_beats_extremes(self):
+        sim = TrainingSimulator(seed=0, noise=0.0)
+        good = sim.run(steps=300, lr=3e-4).final_loss
+        low = sim.run(steps=300, lr=1e-6).final_loss
+        high = sim.run(steps=300, lr=0.3).final_loss
+        assert good < low and good < high
+
+    def test_failure_stops_run(self):
+        run = TrainingSimulator(seed=0).run(steps=100, fail_at_step=30)
+        assert not run.completed
+        assert run.failed_at_step == 30
+        assert len(run.steps) == 30
+
+    def test_checkpoints_written_on_interval(self):
+        run = TrainingSimulator(seed=0, checkpoint_every=25).run(steps=100)
+        assert [c.step for c in run.checkpoints] == [24, 49, 74, 99]
+
+    def test_recovery_loses_at_most_one_interval(self):
+        sim = TrainingSimulator(seed=0, checkpoint_every=20)
+        failed, recovered = sim.run_with_recovery(steps=100, fail_at_step=55)
+        assert failed.failed_at_step == 55
+        # resumed from step 39 checkpoint: recovery re-runs 40..99
+        assert recovered.steps[0] == 40
+        assert recovered.steps[-1] == 99
+        assert recovered.completed
+
+    def test_metric_callback_invoked(self):
+        seen = []
+        sim = TrainingSimulator(seed=0, metric_callback=lambda s, m: seen.append((s, m["loss"])))
+        sim.run(steps=10)
+        assert len(seen) == 10
+
+    def test_step_time_from_parallelism_sim(self):
+        dist = DDPSimulator(MODEL, A100, 4)
+        run = TrainingSimulator(seed=0, sim=dist).run(steps=5, global_batch=16)
+        assert run.wall_time_s == pytest.approx(5 * dist.step_time(16).total_s)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            TrainingSimulator(initial_loss=0.5, floor_loss=0.8)
+        with pytest.raises(ValidationError):
+            TrainingSimulator().run(steps=0)
+        with pytest.raises(ValidationError):
+            TrainingSimulator(noise=0.0).run(steps=5, lr=-1)
