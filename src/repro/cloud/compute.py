@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Callable
 
 from repro.common.clock import SimClock
 from repro.common.errors import (
@@ -40,6 +41,7 @@ class ServerStatus(str, Enum):
     ACTIVE = "ACTIVE"
     SHUTOFF = "SHUTOFF"
     DELETED = "DELETED"
+    PREEMPTED = "PREEMPTED"
 
 
 @dataclass
@@ -62,6 +64,10 @@ class Server:
     lease_id: str | None = None
     created_at: float = 0.0
     security_group_ids: list[str] = field(default_factory=list)
+    # preemptible-capacity ("spot") support: interruptible servers may be
+    # reclaimed by the provider after a short notice window
+    interruptible: bool = False
+    preemption_notice_at: float | None = None
 
 
 class ComputeService:
@@ -71,6 +77,11 @@ class ComputeService:
     # nonzero so "reuse the instance to save creation time" (paper §5,
     # Unit 4/5 note) is a real trade-off in the simulation.
     BUILD_TIME = 2.0 / 60.0
+
+    # Warning window between a preemption notice and the actual reclaim —
+    # 120 simulated seconds, matching the two-minute notice commercial
+    # clouds give interruptible instances.
+    PREEMPTION_NOTICE_HOURS = 120.0 / 3600.0
 
     def __init__(
         self,
@@ -98,8 +109,22 @@ class ComputeService:
         self.images = dict(images or {})
         self.leases = leases
         self.servers: dict[str, Server] = {}
+        self._interruptible_watchers: list[Callable[[Server], None]] = []
+        self._preemption_watchers: list[Callable[[Server], None]] = []
         if leases is not None:
             leases.on_expire(self._on_lease_end)
+
+    # -- preemptible-capacity hooks ----------------------------------------
+
+    def on_interruptible_create(self, callback: Callable[[Server], None]) -> None:
+        """Register a callback fired whenever an interruptible VM boots
+        (the spot market uses this to start tracking the instance)."""
+        self._interruptible_watchers.append(callback)
+
+    def on_preemption_notice(self, callback: Callable[[Server], None]) -> None:
+        """Register a callback fired when a server receives its preemption
+        notice, :data:`PREEMPTION_NOTICE_HOURS` before the reclaim."""
+        self._preemption_watchers.append(callback)
 
     # -- VM instances -----------------------------------------------------
 
@@ -114,8 +139,16 @@ class ComputeService:
         user: str | None = None,
         lab: str | None = None,
         security_groups: list[str] | None = None,
+        interruptible: bool = False,
     ) -> Server:
-        """Boot an on-demand VM.  Persists until :meth:`delete_server`."""
+        """Boot an on-demand VM.  Persists until :meth:`delete_server`.
+
+        With ``interruptible=True`` the VM runs on preemptible ("spot")
+        capacity: it behaves identically until the provider reclaims it via
+        :meth:`preempt_server`, at which point it receives a
+        :data:`PREEMPTION_NOTICE_HOURS` warning and is then terminated with
+        status :attr:`ServerStatus.PREEMPTED`.
+        """
         flv = self._flavor(flavor)
         img = self._image(image)
         self._quota.reserve(instances=1, cores=flv.vcpus, ram_gib=flv.ram_gib)
@@ -130,9 +163,14 @@ class ComputeService:
             lab=lab,
             created_at=self._clock.now,
             security_group_ids=list(security_groups or []),
+            interruptible=interruptible,
         )
         if network_id is not None:
-            self.attach_network(server, network_id)
+            try:
+                self.attach_network(server, network_id)
+            except Exception:
+                self._quota.release(instances=1, cores=flv.vcpus, ram_gib=flv.ram_gib)
+                raise
         self.servers[server.id] = server
         self._meter.open_span(
             server.id,
@@ -145,6 +183,9 @@ class ComputeService:
         self._loop.schedule_in(
             self.BUILD_TIME, lambda: self._finish_build(server.id), label=f"{server.id}:build"
         )
+        if interruptible:
+            for cb in self._interruptible_watchers:
+                cb(server)
         return server
 
     # -- bare metal ---------------------------------------------------------
@@ -280,7 +321,41 @@ class ComputeService:
 
     def delete_server(self, server_id: str) -> None:
         """Terminate and stop metering.  Detaches volumes and floating IPs."""
+        self._terminate(self._server(server_id), ServerStatus.DELETED)
+
+    def preempt_server(self, server_id: str) -> None:
+        """Provider-side capacity reclaim of an interruptible VM.
+
+        Issues the preemption notice immediately (firing
+        :meth:`on_preemption_notice` callbacks so checkpoint/drain handlers
+        can run), then terminates the server
+        :data:`PREEMPTION_NOTICE_HOURS` later with status ``PREEMPTED``.
+        Idempotent while the notice is pending; a server deleted during the
+        notice window is simply not reclaimed (its span already closed).
+        """
         server = self._server(server_id)
+        if server.kind != "server" or not server.interruptible:
+            raise InvalidStateError(f"server {server_id} is not interruptible")
+        if server.preemption_notice_at is not None:
+            return  # notice already issued; reclaim is scheduled
+        server.preemption_notice_at = self._clock.now
+        for cb in self._preemption_watchers:
+            cb(server)
+        self._loop.schedule_in(
+            self.PREEMPTION_NOTICE_HOURS,
+            lambda: self._finish_preemption(server_id),
+            label=f"{server_id}:preempt",
+        )
+
+    def _finish_preemption(self, server_id: str) -> None:
+        server = self.servers.get(server_id)
+        if server is None:
+            return  # deleted during the notice window; span closed exactly once
+        self._terminate(server, ServerStatus.PREEMPTED)
+
+    def _terminate(self, server: Server, status: ServerStatus) -> None:
+        """The single terminal path: every way a server dies goes through
+        here, so quota release and span close happen exactly once."""
         if server.floating_ip_id is not None:
             self._network.disassociate_floating_ip(server.floating_ip_id)
             server.floating_ip_id = None
@@ -289,9 +364,9 @@ class ComputeService:
             self._quota.release(instances=1, cores=flv.vcpus, ram_gib=flv.ram_gib)
         elif server.lease_id is not None and self.leases is not None:
             self.leases.unbind_instance(server.lease_id, server.id)
-        server.status = ServerStatus.DELETED
-        del self.servers[server_id]
-        self._meter.close_span(server_id)
+        server.status = status
+        del self.servers[server.id]
+        self._meter.close_span(server.id)
 
     def can_reach(self, server_id: str, protocol: str, port: int) -> bool:
         """Would a packet to (protocol, port) pass the server's security groups?

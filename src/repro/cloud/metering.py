@@ -161,6 +161,15 @@ class UsageMeter:
     def is_open(self, resource_id: str) -> bool:
         return resource_id in self._open
 
+    @property
+    def open_count(self) -> int:
+        """Number of currently open spans (0 after a full teardown)."""
+        return len(self._open)
+
+    def open_ids(self) -> list[str]:
+        """Resource ids with an open span (for leak-audit assertions)."""
+        return sorted(self._open)
+
     # -- queries -------------------------------------------------------------
 
     def records(

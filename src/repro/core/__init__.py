@@ -21,7 +21,7 @@ cost per lab assignment), Fig 1 (expected vs actual duration), Fig 2
 
 from repro.core.catalog import AWS_CATALOG, GCP_CATALOG, CloudInstance, PricingCatalog
 from repro.core.cohort import CohortConfig, CohortSimulation
-from repro.core.costmodel import CostModel, LabCostRow
+from repro.core.costmodel import CostModel, LabCostRow, SpotLabCostRow, SpotScenario
 from repro.core.course import (
     COURSE,
     CourseDefinition,
@@ -34,6 +34,8 @@ from repro.core.report import (
     fig1_duration_data,
     fig2_cost_distribution,
     fig3_project_usage,
+    spot_headline_summary,
+    spot_whatif,
     table1,
 )
 from repro.core.usage import AssignmentUsage, aggregate_by_assignment
@@ -55,8 +57,12 @@ __all__ = [
     "aggregate_by_assignment",
     "CostModel",
     "LabCostRow",
+    "SpotLabCostRow",
+    "SpotScenario",
     "table1",
     "fig1_duration_data",
     "fig2_cost_distribution",
     "fig3_project_usage",
+    "spot_whatif",
+    "spot_headline_summary",
 ]

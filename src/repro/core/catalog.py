@@ -28,6 +28,9 @@ class CloudInstance:
     ``shared_core`` marks burstable/shared-core shapes (GCP e2-micro/
     small/medium) that cannot satisfy a dedicated-cores requirement.
     ``compute_capability`` is None for non-NVIDIA or CPU-only shapes.
+    ``spot_hourly_usd`` is the preemptible (spot) rate snapshot, or None
+    where the shape has no spot offering; it never affects matching,
+    which stays strictly on-demand like the paper's §5.
     """
 
     name: str
@@ -40,12 +43,24 @@ class CloudInstance:
     gpu_mem_gib: float = 0.0
     compute_capability: float | None = None
     shared_core: bool = False
+    spot_hourly_usd: float | None = None
 
     def __post_init__(self) -> None:
         if self.vcpus <= 0 or self.ram_gib <= 0 or self.hourly_usd <= 0:
             raise ValidationError(f"invalid instance: {self!r}")
         if self.gpus < 0 or (self.gpus > 0 and self.gpu_mem_gib <= 0):
             raise ValidationError(f"invalid GPU spec: {self!r}")
+        if self.spot_hourly_usd is not None and not (
+            0 < self.spot_hourly_usd < self.hourly_usd
+        ):
+            raise ValidationError(f"spot rate must be in (0, on-demand): {self!r}")
+
+    @property
+    def spot_fraction(self) -> float | None:
+        """Spot rate as a fraction of on-demand (None without a spot rate)."""
+        if self.spot_hourly_usd is None:
+            return None
+        return self.spot_hourly_usd / self.hourly_usd
 
 
 class PricingCatalog:
@@ -86,34 +101,35 @@ AWS_CATALOG = PricingCatalog(
     "aws",
     [
         # -- CPU (us-east-1 on-demand; t3 rates recoverable from Table 1) --
-        CloudInstance("t3.micro", "aws", 2, 1, 0.0104, shared_core=False),
-        CloudInstance("t3.medium", "aws", 2, 4, 0.0416),
-        CloudInstance("t3.xlarge", "aws", 4, 16, 0.1664),
-        CloudInstance("m5.2xlarge", "aws", 8, 32, 0.384),
-        CloudInstance("c5.12xlarge", "aws", 48, 96, 2.04),
+        CloudInstance("t3.micro", "aws", 2, 1, 0.0104, shared_core=False,
+                      spot_hourly_usd=0.0031),
+        CloudInstance("t3.medium", "aws", 2, 4, 0.0416, spot_hourly_usd=0.0125),
+        CloudInstance("t3.xlarge", "aws", 4, 16, 0.1664, spot_hourly_usd=0.0499),
+        CloudInstance("m5.2xlarge", "aws", 8, 32, 0.384, spot_hourly_usd=0.1152),
+        CloudInstance("c5.12xlarge", "aws", 48, 96, 2.04, spot_hourly_usd=0.6528),
         # -- GPU ------------------------------------------------------------
         CloudInstance("g4dn.xlarge", "aws", 4, 16, 0.526, gpus=1, gpu_model="T4",
-                      gpu_mem_gib=16, compute_capability=7.5),
+                      gpu_mem_gib=16, compute_capability=7.5, spot_hourly_usd=0.1578),
         CloudInstance("g4dn.2xlarge", "aws", 8, 32, 0.752, gpus=1, gpu_model="T4",
-                      gpu_mem_gib=16, compute_capability=7.5),
+                      gpu_mem_gib=16, compute_capability=7.5, spot_hourly_usd=0.2256),
         CloudInstance("g4dn.4xlarge", "aws", 16, 64, 1.204, gpus=1, gpu_model="T4",
-                      gpu_mem_gib=16, compute_capability=7.5),
+                      gpu_mem_gib=16, compute_capability=7.5, spot_hourly_usd=0.3612),
         CloudInstance("g5.xlarge", "aws", 4, 16, 1.006, gpus=1, gpu_model="A10G",
-                      gpu_mem_gib=24, compute_capability=8.6),
+                      gpu_mem_gib=24, compute_capability=8.6, spot_hourly_usd=0.3521),
         CloudInstance("g5.2xlarge", "aws", 8, 32, 1.212, gpus=1, gpu_model="A10G",
-                      gpu_mem_gib=24, compute_capability=8.6),
+                      gpu_mem_gib=24, compute_capability=8.6, spot_hourly_usd=0.4242),
         CloudInstance("g5.12xlarge", "aws", 48, 192, 5.672, gpus=4, gpu_model="A10G",
-                      gpu_mem_gib=24, compute_capability=8.6),
+                      gpu_mem_gib=24, compute_capability=8.6, spot_hourly_usd=1.9852),
         CloudInstance("g6e.2xlarge", "aws", 8, 64, 2.242, gpus=1, gpu_model="L40S",
-                      gpu_mem_gib=48, compute_capability=8.9),
+                      gpu_mem_gib=48, compute_capability=8.9, spot_hourly_usd=0.7847),
         CloudInstance("g6e.12xlarge", "aws", 48, 384, 10.493, gpus=4, gpu_model="L40S",
-                      gpu_mem_gib=48, compute_capability=8.9),
+                      gpu_mem_gib=48, compute_capability=8.9, spot_hourly_usd=3.6726),
         CloudInstance("p3.8xlarge", "aws", 32, 244, 12.24, gpus=4, gpu_model="V100",
-                      gpu_mem_gib=16, compute_capability=7.0),
+                      gpu_mem_gib=16, compute_capability=7.0, spot_hourly_usd=3.672),
         CloudInstance("p4d.24xlarge", "aws", 96, 1152, 32.77, gpus=8, gpu_model="A100-40",
-                      gpu_mem_gib=40, compute_capability=8.0),
+                      gpu_mem_gib=40, compute_capability=8.0, spot_hourly_usd=11.4695),
         CloudInstance("p4de.24xlarge", "aws", 96, 1152, 40.97, gpus=8, gpu_model="A100-80",
-                      gpu_mem_gib=80, compute_capability=8.0),
+                      gpu_mem_gib=80, compute_capability=8.0, spot_hourly_usd=14.3395),
     ],
     ip_hourly_usd=0.005,  # public IPv4 charge (recovered from Table 1 rows 2/3/7)
     block_gb_month_usd=0.08,  # EBS gp3
@@ -124,33 +140,36 @@ GCP_CATALOG = PricingCatalog(
     "gcp",
     [
         # -- CPU (us-central1; e2/n2 rates consistent with Table 1 rows) ----
-        CloudInstance("e2-small", "gcp", 2, 2, 0.01675, shared_core=True),
-        CloudInstance("e2-medium", "gcp", 2, 4, 0.03351, shared_core=True),
+        CloudInstance("e2-small", "gcp", 2, 2, 0.01675, shared_core=True,
+                      spot_hourly_usd=0.00503),
+        CloudInstance("e2-medium", "gcp", 2, 4, 0.03351, shared_core=True,
+                      spot_hourly_usd=0.01005),
         # E2 machines run on shared CPU platforms with dynamic resource
         # management, so they cannot satisfy a dedicated-cores requirement
         # (this reproduces Table 1's choice of n2 for the Kubernetes labs
         # but e2 for the single-VM labs).
-        CloudInstance("e2-standard-2", "gcp", 2, 8, 0.06701, shared_core=True),
-        CloudInstance("n2-standard-2", "gcp", 2, 8, 0.0971),
-        CloudInstance("n2-standard-8", "gcp", 8, 32, 0.3885),
-        CloudInstance("c2-standard-30", "gcp", 30, 120, 1.5668),
+        CloudInstance("e2-standard-2", "gcp", 2, 8, 0.06701, shared_core=True,
+                      spot_hourly_usd=0.02010),
+        CloudInstance("n2-standard-2", "gcp", 2, 8, 0.0971, spot_hourly_usd=0.02913),
+        CloudInstance("n2-standard-8", "gcp", 8, 32, 0.3885, spot_hourly_usd=0.11655),
+        CloudInstance("c2-standard-30", "gcp", 30, 120, 1.5668, spot_hourly_usd=0.47),
         # -- GPU -------------------------------------------------------------
         CloudInstance("g2-standard-4", "gcp", 4, 16, 0.705, gpus=1, gpu_model="L4",
-                      gpu_mem_gib=24, compute_capability=8.9),
+                      gpu_mem_gib=24, compute_capability=8.9, spot_hourly_usd=0.2326),
         CloudInstance("g2-standard-16", "gcp", 16, 64, 1.119, gpus=1, gpu_model="L4",
-                      gpu_mem_gib=24, compute_capability=8.9),
+                      gpu_mem_gib=24, compute_capability=8.9, spot_hourly_usd=0.3693),
         CloudInstance("g2-standard-24", "gcp", 24, 96, 1.998, gpus=2, gpu_model="L4",
-                      gpu_mem_gib=24, compute_capability=8.9),
+                      gpu_mem_gib=24, compute_capability=8.9, spot_hourly_usd=0.6593),
         CloudInstance("n1-standard-8-t4", "gcp", 8, 30, 0.730, gpus=1, gpu_model="T4",
-                      gpu_mem_gib=16, compute_capability=7.5),
+                      gpu_mem_gib=16, compute_capability=7.5, spot_hourly_usd=0.219),
         CloudInstance("n1-standard-8-4xv100", "gcp", 8, 30, 10.31, gpus=4, gpu_model="V100",
-                      gpu_mem_gib=16, compute_capability=7.0),
+                      gpu_mem_gib=16, compute_capability=7.0, spot_hourly_usd=3.093),
         CloudInstance("a2-highgpu-1g", "gcp", 12, 85, 3.673, gpus=1, gpu_model="A100-40",
-                      gpu_mem_gib=40, compute_capability=8.0),
+                      gpu_mem_gib=40, compute_capability=8.0, spot_hourly_usd=1.1019),
         CloudInstance("a2-highgpu-4g", "gcp", 48, 340, 14.694, gpus=4, gpu_model="A100-40",
-                      gpu_mem_gib=40, compute_capability=8.0),
+                      gpu_mem_gib=40, compute_capability=8.0, spot_hourly_usd=4.4082),
         CloudInstance("a2-ultragpu-1g", "gcp", 12, 170, 5.069, gpus=1, gpu_model="A100-80",
-                      gpu_mem_gib=80, compute_capability=8.0),
+                      gpu_mem_gib=80, compute_capability=8.0, spot_hourly_usd=1.5207),
     ],
     ip_hourly_usd=0.004,  # external IPv4 address in use
     block_gb_month_usd=0.04,  # pd-standard

@@ -72,6 +72,63 @@ class LabCostRow:
 
 
 @dataclass(frozen=True)
+class SpotScenario:
+    """Assumptions for the "VM labs on spot" what-if (§5 extension).
+
+    Preemptions arrive at ``preempt_rate_per_hour``; workloads checkpoint
+    every ``checkpoint_interval_hours`` (None = the Young/Daly optimum)
+    at ``checkpoint_overhead_hours`` per write and pay
+    ``restart_overhead_hours`` per preemption.  The re-work this implies
+    inflates billable hours via
+    :func:`repro.spot.advisor.expected_time_inflation`.
+    ``default_spot_fraction`` prices instances whose catalog entry has no
+    spot rate.
+    """
+
+    preempt_rate_per_hour: float = 0.05
+    checkpoint_interval_hours: float | None = None
+    checkpoint_overhead_hours: float = 30.0 / 3600.0
+    restart_overhead_hours: float = 3.0 / 60.0
+    default_spot_fraction: float = 0.32
+
+    def __post_init__(self) -> None:
+        if self.preempt_rate_per_hour < 0:
+            raise ValidationError(f"negative preemption rate: {self!r}")
+        if self.checkpoint_interval_hours is not None and self.checkpoint_interval_hours <= 0:
+            raise ValidationError(f"checkpoint interval must be positive: {self!r}")
+        if self.checkpoint_overhead_hours <= 0 or self.restart_overhead_hours < 0:
+            raise ValidationError(f"invalid overheads: {self!r}")
+        if not (0 < self.default_spot_fraction <= 1):
+            raise ValidationError(f"invalid default spot fraction: {self!r}")
+
+    @property
+    def time_inflation(self) -> float:
+        """Expected wall-clock per useful hour under these assumptions."""
+        from repro.spot.advisor import expected_time_inflation
+
+        return expected_time_inflation(
+            self.preempt_rate_per_hour,
+            checkpoint_interval_hours=self.checkpoint_interval_hours,
+            checkpoint_overhead_hours=self.checkpoint_overhead_hours,
+            restart_overhead_hours=self.restart_overhead_hours,
+        )
+
+
+@dataclass(frozen=True)
+class SpotLabCostRow:
+    """A Table-1 row re-priced on preemptible capacity (None = NA)."""
+
+    lab_id: str
+    title: str
+    resource_type: str
+    instance_hours: float
+    billed_instance_hours: float  # instance_hours × scenario inflation
+    floating_ip_hours: float
+    aws_spot_cost: float | None
+    gcp_spot_cost: float | None
+
+
+@dataclass(frozen=True)
 class ProjectCost:
     provider: str
     instance_usd: float
@@ -164,6 +221,66 @@ class CostModel:
             gcp_cost=out["gcp"][1],
         )
 
+    # -- spot what-if (§5 extension) ---------------------------------------------------
+
+    def spot_hourly_rate(
+        self, lab_id: str, provider: str, scenario: SpotScenario | None = None
+    ) -> float | None:
+        """The matched instance's spot rate (None for edge labs)."""
+        scenario = scenario if scenario is not None else SpotScenario()
+        inst = self.lab_equivalent(lab_id, provider)
+        if inst is None:
+            return None
+        if inst.spot_hourly_usd is not None:
+            return inst.spot_hourly_usd
+        return inst.hourly_usd * scenario.default_spot_fraction
+
+    def spot_lab_rows(
+        self, records: list[UsageRecord], scenario: SpotScenario | None = None
+    ) -> list[SpotLabCostRow]:
+        """Table 1 re-priced as if every VM lab ran on spot capacity.
+
+        Billable hours are the metered hours times the scenario's expected
+        time inflation (preemption re-work, checkpoint writes); floating-IP
+        hours inflate identically because the address is held for the whole
+        — longer — run.
+        """
+        scenario = scenario if scenario is not None else SpotScenario()
+        inflation = scenario.time_inflation
+        out: list[SpotLabCostRow] = []
+        for row in self.lab_rows(records):
+            billed = row.instance_hours * inflation
+            billed_fip = row.floating_ip_hours * inflation
+            costs: dict[str, float | None] = {}
+            for provider in ("aws", "gcp"):
+                rate = self.spot_hourly_rate(row.lab_id, provider, scenario)
+                if rate is None:
+                    costs[provider] = None
+                    continue
+                catalog = self._catalog(provider)
+                costs[provider] = billed * rate + billed_fip * catalog.ip_hourly_usd
+            out.append(SpotLabCostRow(
+                lab_id=row.lab_id,
+                title=row.title,
+                resource_type=row.resource_type,
+                instance_hours=row.instance_hours,
+                billed_instance_hours=billed,
+                floating_ip_hours=row.floating_ip_hours,
+                aws_spot_cost=costs["aws"],
+                gcp_spot_cost=costs["gcp"],
+            ))
+        return out
+
+    def spot_lab_totals(self, rows: list[SpotLabCostRow]) -> dict[str, float]:
+        """Totals of the spot what-if table."""
+        return {
+            "instance_hours": sum(r.instance_hours for r in rows),
+            "billed_instance_hours": sum(r.billed_instance_hours for r in rows),
+            "floating_ip_hours": sum(r.floating_ip_hours for r in rows),
+            "aws_cost": sum(r.aws_spot_cost or 0.0 for r in rows),
+            "gcp_cost": sum(r.gcp_spot_cost or 0.0 for r in rows),
+        }
+
     # -- per-student distribution (Fig 2) --------------------------------------------
 
     def per_student_costs(self, records: list[UsageRecord], provider: str) -> dict[str, float]:
@@ -249,9 +366,27 @@ class CostModel:
 
 
 def distribution_stats(costs: dict[str, float], expected: float) -> dict[str, float]:
-    """The Fig-2 statistics over a per-student cost mapping."""
+    """The Fig-2 statistics over a per-student cost mapping.
+
+    An empty cohort (nobody incurred cost — e.g. a filtered sub-cohort or
+    an all-edge course) yields all-zero statistics rather than an error,
+    and a zero/negative ``expected`` is rejected up front so the
+    "% exceeding expected" column can never silently divide a bad
+    baseline.
+    """
+    if expected <= 0:
+        raise ValidationError(f"expected cost must be positive: {expected!r}")
     if not costs:
-        raise ValidationError("no per-student costs")
+        return {
+            "n": 0.0,
+            "mean": 0.0,
+            "median": 0.0,
+            "p75": 0.0,
+            "p95": 0.0,
+            "max": 0.0,
+            "expected": float(expected),
+            "pct_exceeding_expected": 0.0,
+        }
     arr = np.array(sorted(costs.values()))
     return {
         "n": float(arr.size),

@@ -15,7 +15,13 @@ import numpy as np
 
 from repro.cloud.metering import UsageRecord
 from repro.common.tables import format_table
-from repro.core.costmodel import CostModel, LabCostRow, distribution_stats
+from repro.core.costmodel import (
+    CostModel,
+    LabCostRow,
+    SpotLabCostRow,
+    SpotScenario,
+    distribution_stats,
+)
 from repro.core.course import COURSE, CourseDefinition, LabKind
 from repro.core.usage import aggregate_by_assignment
 
@@ -262,6 +268,121 @@ def fig3_project_usage(
         gcp_total_usd=model.project_cost(records, "gcp").total_usd,
         enrollment=course.enrollment,
     )
+
+
+# -- Spot what-if (§5 extension) ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpotWhatIf:
+    """Table 1 re-priced under "VM labs on preemptible capacity".
+
+    ``rows``/``totals`` are the spot what-if numbers; ``on_demand_totals``
+    are the matching Table-1 totals so the rendering can show the saving
+    directly.  Edge rows stay NA, exactly as in Table 1.
+    """
+
+    rows: list[SpotLabCostRow]
+    totals: dict[str, float]
+    on_demand_totals: dict[str, float]
+    scenario: SpotScenario
+    enrollment: int
+
+    def savings(self, provider: str) -> float:
+        """$ saved vs on-demand over the whole course's labs."""
+        key = f"{provider}_cost"
+        return self.on_demand_totals[key] - self.totals[key]
+
+    def render(self) -> str:
+        body = []
+        for r in self.rows:
+            body.append([
+                r.title,
+                r.resource_type,
+                round(r.instance_hours),
+                round(r.billed_instance_hours),
+                None if r.aws_spot_cost is None else
+                f"${r.aws_spot_cost:,.0f} (${r.aws_spot_cost / self.enrollment:,.2f})",
+                None if r.gcp_spot_cost is None else
+                f"${r.gcp_spot_cost:,.0f} (${r.gcp_spot_cost / self.enrollment:,.2f})",
+            ])
+        t = self.totals
+        body.append([
+            "Total", "",
+            round(t["instance_hours"]),
+            round(t["billed_instance_hours"]),
+            f"${t['aws_cost']:,.0f} (${t['aws_cost'] / self.enrollment:,.2f})",
+            f"${t['gcp_cost']:,.0f} (${t['gcp_cost'] / self.enrollment:,.2f})",
+        ])
+        inflation = self.scenario.time_inflation
+        return format_table(
+            ["Assignment", "Instance Type", "Metered Hours", "Billed Hours (spot)",
+             "AWS Spot Cost", "GCP Spot Cost"],
+            body,
+            title=(
+                "Spot what-if: lab costs on preemptible capacity "
+                f"(preemption rate {self.scenario.preempt_rate_per_hour:.3g}/h, "
+                f"time inflation ×{inflation:.3f}; "
+                f"saves ${self.savings('aws'):,.0f} AWS / "
+                f"${self.savings('gcp'):,.0f} GCP vs Table 1)."
+            ),
+        )
+
+
+def spot_whatif(
+    records: list[UsageRecord],
+    *,
+    course: CourseDefinition = COURSE,
+    model: CostModel | None = None,
+    scenario: SpotScenario | None = None,
+) -> SpotWhatIf:
+    """The "VM labs on spot + guardrails" §5 extension table."""
+    model = model if model is not None else CostModel(course)
+    scenario = scenario if scenario is not None else SpotScenario()
+    rows = model.spot_lab_rows(records, scenario)
+    on_demand = model.lab_rows(records)
+    return SpotWhatIf(
+        rows=rows,
+        totals=model.spot_lab_totals(rows),
+        on_demand_totals=model.lab_totals(on_demand),
+        scenario=scenario,
+        enrollment=course.enrollment,
+    )
+
+
+def spot_headline_summary(
+    records: list[UsageRecord],
+    *,
+    course: CourseDefinition = COURSE,
+    scenario: SpotScenario | None = None,
+) -> dict[str, float]:
+    """§5 totals recomputed with VM labs on spot, projects on-demand.
+
+    Projects stay on-demand: they include bare-metal GPU nodes and
+    long-lived serving endpoints that a semester-long course cannot
+    reasonably run preemptibly.
+    """
+    scenario = scenario if scenario is not None else SpotScenario()
+    model = CostModel(course)
+    what_if = spot_whatif(records, course=course, model=model, scenario=scenario)
+    f3 = fig3_project_usage(records, course=course, model=model)
+    n = course.enrollment
+    base = headline_summary(records, course=course)
+    return {
+        "aws_lab_per_student": what_if.totals["aws_cost"] / n,
+        "gcp_lab_per_student": what_if.totals["gcp_cost"] / n,
+        "aws_total_per_student": (what_if.totals["aws_cost"] + f3.aws_total_usd) / n,
+        "gcp_total_per_student": (what_if.totals["gcp_cost"] + f3.gcp_total_usd) / n,
+        "aws_course_total": what_if.totals["aws_cost"] + f3.aws_total_usd,
+        "gcp_course_total": what_if.totals["gcp_cost"] + f3.gcp_total_usd,
+        "aws_lab_savings": what_if.savings("aws"),
+        "gcp_lab_savings": what_if.savings("gcp"),
+        "aws_course_savings": base["aws_course_total"]
+        - (what_if.totals["aws_cost"] + f3.aws_total_usd),
+        "gcp_course_savings": base["gcp_course_total"]
+        - (what_if.totals["gcp_cost"] + f3.gcp_total_usd),
+        "time_inflation": scenario.time_inflation,
+    }
 
 
 # -- §5/§6 headline numbers --------------------------------------------------------------

@@ -1,0 +1,63 @@
+"""repro.spot — preemptible-capacity market, budget guardrails, advice.
+
+The §5 cost levers the paper stops at (advance reservation, auto-
+termination) extended with the standard industry one: transient
+capacity.  Four pieces:
+
+* :mod:`~repro.spot.market` — seeded spot price process + capacity reclaim
+* :mod:`~repro.spot.instances` — interruptible fleets and a preemptible
+  cluster scheduler
+* :mod:`~repro.spot.guardrails` — budget monitor attacking the Fig-2 tail
+* :mod:`~repro.spot.advisor` — Young/Daly checkpoint + cost advice
+
+Nothing here runs unless explicitly attached: the default reproduction
+pipeline is bit-identical with the package unused.
+"""
+
+from repro.spot.advisor import (
+    PreemptibleTrainingReport,
+    SpotAdvice,
+    SpotAdvisor,
+    expected_completion_hours,
+    expected_time_inflation,
+    simulate_preemptible_training,
+    young_daly_interval,
+)
+from repro.spot.guardrails import (
+    BudgetGuard,
+    BudgetPolicy,
+    GuardrailEvent,
+    commercial_rate_fn,
+)
+from repro.spot.instances import (
+    PreemptibleScheduler,
+    SpotFleet,
+    SpotScheduleResult,
+)
+from repro.spot.market import (
+    PreemptionNotice,
+    SpotMarket,
+    SpotTypeSpec,
+    simulated_price_path,
+)
+
+__all__ = [
+    "BudgetGuard",
+    "BudgetPolicy",
+    "GuardrailEvent",
+    "PreemptibleScheduler",
+    "PreemptibleTrainingReport",
+    "PreemptionNotice",
+    "SpotAdvice",
+    "SpotAdvisor",
+    "SpotFleet",
+    "SpotMarket",
+    "SpotScheduleResult",
+    "SpotTypeSpec",
+    "commercial_rate_fn",
+    "expected_completion_hours",
+    "expected_time_inflation",
+    "simulate_preemptible_training",
+    "simulated_price_path",
+    "young_daly_interval",
+]

@@ -1,0 +1,278 @@
+"""Checkpoint-aware cost / completion-time advice for preemptible capacity.
+
+Whether spot capacity is worth its discount depends on how much work each
+preemption destroys, which is a checkpointing question.  This module
+answers it two ways:
+
+* **Analytically** — the classic Young/Daly model: with preemptions
+  arriving at rate λ and work checkpointed every τ hours (overhead C per
+  checkpoint, restart R), the expected wall-clock for a segment is
+  ``(1/λ + R)(e^{λ(τ+C)} − 1)`` and the optimum interval is
+  ``τ* = sqrt(2C/λ)``.  The ratio of expected wall-clock to useful work is
+  the *time inflation* the cost model multiplies into spot what-ifs.
+* **Empirically** — :func:`simulate_preemptible_training` drives the Unit-5
+  :class:`~repro.training.trainer.TrainingSimulator` through seeded
+  preemption draws, resuming from its last checkpoint each time exactly as
+  ``run_with_recovery`` does for a single fault.  The measured re-work
+  converges on the analytic model, which is the advisor's validation story.
+
+:class:`SpotAdvisor` packages both into a recommendation: the checkpoint
+interval to use, the expected completion time, and whether the discount
+survives the re-work for a given workload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.spot.market import SpotMarket, SpotTypeSpec
+from repro.training.trainer import TrainingSimulator
+
+#: Default checkpoint write overhead (30 simulated seconds).
+DEFAULT_CHECKPOINT_OVERHEAD_HOURS = 30.0 / 3600.0
+#: Default restart overhead (3 simulated minutes: reschedule + reload).
+DEFAULT_RESTART_OVERHEAD_HOURS = 3.0 / 60.0
+
+
+def young_daly_interval(
+    checkpoint_overhead_hours: float, preempt_rate_per_hour: float
+) -> float:
+    """The Young/Daly optimum τ* = sqrt(2C/λ) (inf when λ = 0)."""
+    if checkpoint_overhead_hours <= 0:
+        raise ValidationError("checkpoint overhead must be positive")
+    if preempt_rate_per_hour < 0:
+        raise ValidationError("preemption rate cannot be negative")
+    if preempt_rate_per_hour == 0:
+        return math.inf
+    return math.sqrt(2.0 * checkpoint_overhead_hours / preempt_rate_per_hour)
+
+
+def expected_completion_hours(
+    work_hours: float,
+    *,
+    preempt_rate_per_hour: float,
+    checkpoint_interval_hours: float,
+    checkpoint_overhead_hours: float = DEFAULT_CHECKPOINT_OVERHEAD_HOURS,
+    restart_overhead_hours: float = DEFAULT_RESTART_OVERHEAD_HOURS,
+) -> float:
+    """Expected wall-clock to finish ``work_hours`` of useful work.
+
+    The work is split into segments of ``checkpoint_interval_hours``; each
+    segment (plus its checkpoint write) must complete between preemptions.
+    With exponential inter-preemption times the expected time to get a
+    window of length ``t`` is ``(1/λ + R)(e^{λt} − 1)`` (Daly's first-order
+    model); summed over the ``W/τ`` segments.  λ = 0 degenerates to work
+    plus checkpoint overheads.
+    """
+    if work_hours <= 0:
+        raise ValidationError("work_hours must be positive")
+    if checkpoint_interval_hours <= 0:
+        raise ValidationError("checkpoint interval must be positive")
+    if checkpoint_overhead_hours < 0 or restart_overhead_hours < 0:
+        raise ValidationError("overheads cannot be negative")
+    if preempt_rate_per_hour < 0:
+        raise ValidationError("preemption rate cannot be negative")
+    tau = min(checkpoint_interval_hours, work_hours)
+    n_segments = work_hours / tau
+    lam = preempt_rate_per_hour
+    window = tau + checkpoint_overhead_hours
+    if lam == 0:
+        return n_segments * window
+    per_segment = (1.0 / lam + restart_overhead_hours) * math.expm1(lam * window)
+    return n_segments * per_segment
+
+
+def expected_time_inflation(
+    preempt_rate_per_hour: float,
+    *,
+    checkpoint_interval_hours: float | None = None,
+    checkpoint_overhead_hours: float = DEFAULT_CHECKPOINT_OVERHEAD_HOURS,
+    restart_overhead_hours: float = DEFAULT_RESTART_OVERHEAD_HOURS,
+) -> float:
+    """Expected wall-clock per hour of useful work (≥ 1).
+
+    With ``checkpoint_interval_hours=None`` the Young/Daly optimum is
+    assumed — the inflation a well-run preemptible workload pays.
+    """
+    if preempt_rate_per_hour == 0 and checkpoint_interval_hours is None:
+        return 1.0
+    tau = (
+        checkpoint_interval_hours
+        if checkpoint_interval_hours is not None
+        else young_daly_interval(checkpoint_overhead_hours, preempt_rate_per_hour)
+    )
+    # inflation is per-hour-of-work, so evaluate at unit work ≥ one segment
+    work = max(1.0, tau)
+    return expected_completion_hours(
+        work,
+        preempt_rate_per_hour=preempt_rate_per_hour,
+        checkpoint_interval_hours=tau,
+        checkpoint_overhead_hours=checkpoint_overhead_hours,
+        restart_overhead_hours=restart_overhead_hours,
+    ) / work
+
+
+@dataclass(frozen=True)
+class PreemptibleTrainingReport:
+    """One simulated preemptible training campaign."""
+
+    target_steps: int
+    steps_executed: int
+    wasted_steps: int
+    n_preemptions: int
+    wall_time_s: float
+    useful_time_s: float
+    completed: bool
+
+    @property
+    def time_inflation(self) -> float:
+        return self.wall_time_s / self.useful_time_s if self.useful_time_s else math.inf
+
+
+def simulate_preemptible_training(
+    trainer: TrainingSimulator,
+    *,
+    steps: int,
+    lr: float = 3e-4,
+    global_batch: int = 8,
+    preempt_rate_per_hour: float = 0.05,
+    restart_overhead_s: float = DEFAULT_RESTART_OVERHEAD_HOURS * 3600.0,
+    seed: int = 0,
+    max_attempts: int = 500,
+) -> PreemptibleTrainingReport:
+    """Train to ``steps`` under seeded exponential preemptions.
+
+    Each attempt runs until a preemption draw (or completion), then
+    resumes from the latest checkpoint with ``restart_overhead_s`` added
+    to the wall clock — the loop generalisation of
+    :meth:`TrainingSimulator.run_with_recovery`.  Work since the last
+    checkpoint is re-executed, which is exactly the waste the Young/Daly
+    model prices.
+    """
+    if steps <= 0:
+        raise ValidationError("steps must be positive")
+    if preempt_rate_per_hour < 0 or restart_overhead_s < 0:
+        raise ValidationError("invalid preemption parameters")
+    rng = np.random.default_rng(seed)
+    step_time_s = (
+        trainer.sim.step_time(global_batch).total_s if trainer.sim is not None else 1.0
+    )
+    resume = None
+    executed = 0
+    preemptions = 0
+    wall = 0.0
+    completed = False
+    for _attempt in range(max_attempts):
+        start = resume.step + 1 if resume is not None else 0
+        fail_at: int | None = None
+        if preempt_rate_per_hour > 0:
+            draw_h = float(rng.exponential(1.0 / preempt_rate_per_hour))
+            draw_steps = max(1, int(draw_h * 3600.0 / step_time_s))
+            if start + draw_steps < steps:
+                fail_at = start + draw_steps
+        run = trainer.run(
+            steps=steps, lr=lr, global_batch=global_batch,
+            fail_at_step=fail_at, resume_from=resume,
+        )
+        executed += len(run.steps)
+        wall += run.wall_time_s
+        if run.completed:
+            completed = True
+            break
+        preemptions += 1
+        wall += restart_overhead_s
+        resume = run.checkpoints[-1] if run.checkpoints else None
+    return PreemptibleTrainingReport(
+        target_steps=steps,
+        steps_executed=executed,
+        wasted_steps=max(0, executed - steps),
+        n_preemptions=preemptions,
+        wall_time_s=wall,
+        useful_time_s=steps * step_time_s,
+        completed=completed,
+    )
+
+
+@dataclass(frozen=True)
+class SpotAdvice:
+    """The advisor's verdict for one workload."""
+
+    work_hours: float
+    preempt_rate_per_hour: float
+    checkpoint_interval_hours: float
+    expected_completion_hours: float
+    time_inflation: float
+    on_demand_cost_usd: float
+    spot_cost_usd: float
+    savings_usd: float
+    use_spot: bool
+
+
+class SpotAdvisor:
+    """Couples the market's hazard model to the checkpoint analytics.
+
+    Given a workload (hours of useful work at an on-demand rate) and the
+    market's spec for its instance type, recommends the Young/Daly
+    checkpoint interval and decides whether the discounted rate beats
+    on-demand once re-work inflation is priced in.
+    """
+
+    def __init__(self, market: SpotMarket | None = None) -> None:
+        self.market = market
+
+    def spec_for(self, resource_type: str) -> SpotTypeSpec:
+        return self.market.spec(resource_type) if self.market is not None else SpotTypeSpec()
+
+    def advise(
+        self,
+        *,
+        work_hours: float,
+        on_demand_hourly_usd: float,
+        resource_type: str = "",
+        spot_fraction: float | None = None,
+        preempt_rate_per_hour: float | None = None,
+        checkpoint_interval_hours: float | None = None,
+        checkpoint_overhead_hours: float = DEFAULT_CHECKPOINT_OVERHEAD_HOURS,
+        restart_overhead_hours: float = DEFAULT_RESTART_OVERHEAD_HOURS,
+    ) -> SpotAdvice:
+        if work_hours <= 0 or on_demand_hourly_usd <= 0:
+            raise ValidationError("work_hours and rate must be positive")
+        spec = self.spec_for(resource_type)
+        lam = (
+            preempt_rate_per_hour
+            if preempt_rate_per_hour is not None
+            else spec.preempt_rate_per_hour
+        )
+        frac = spot_fraction if spot_fraction is not None else spec.mean_discount
+        if not (0 < frac <= 1):
+            raise ValidationError(f"spot fraction must be in (0, 1]: {frac!r}")
+        tau = (
+            checkpoint_interval_hours
+            if checkpoint_interval_hours is not None
+            else young_daly_interval(checkpoint_overhead_hours, lam)
+        )
+        tau = min(tau, work_hours)
+        expected = expected_completion_hours(
+            work_hours,
+            preempt_rate_per_hour=lam,
+            checkpoint_interval_hours=tau,
+            checkpoint_overhead_hours=checkpoint_overhead_hours,
+            restart_overhead_hours=restart_overhead_hours,
+        )
+        on_demand = work_hours * on_demand_hourly_usd
+        spot = expected * on_demand_hourly_usd * frac
+        return SpotAdvice(
+            work_hours=work_hours,
+            preempt_rate_per_hour=lam,
+            checkpoint_interval_hours=tau,
+            expected_completion_hours=expected,
+            time_inflation=expected / work_hours,
+            on_demand_cost_usd=on_demand,
+            spot_cost_usd=spot,
+            savings_usd=on_demand - spot,
+            use_spot=spot < on_demand,
+        )

@@ -1,0 +1,267 @@
+"""Interruptible-instance execution: fleets that relaunch after reclaim,
+and a cluster scheduler whose running jobs can be preempted and re-queued.
+
+Two consumers of the market's preemption events:
+
+* :class:`SpotFleet` — the Scavenger-style recovery loop for long-lived
+  services: launch interruptible VMs, listen for preemption notices, and
+  relaunch a replacement after the reclaim (checkpoint/restore is the
+  workload's job; the fleet restores *capacity*).
+* :class:`PreemptibleScheduler` — the Unit-5 scheduling simulation under
+  transient capacity: running jobs face a Poisson preemption hazard, lose
+  the work since their last checkpoint, and re-queue with the remaining
+  work plus a restart overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.compute import ComputeService, Server
+from repro.common.errors import ValidationError
+from repro.common.events import EventLoop
+from repro.scheduling.cluster import SchedCluster
+from repro.scheduling.jobs import Job, JobState
+from repro.scheduling.policies import FairSharePolicy, SchedulingPolicy
+from repro.spot.market import SpotMarket
+
+
+@dataclass
+class FleetEntry:
+    """One logical slot of a fleet: the chain of servers that carried it."""
+
+    name: str
+    flavor: str
+    server_ids: list[str] = field(default_factory=list)
+    preemptions: int = 0
+    active_server_id: str | None = None
+
+
+class SpotFleet:
+    """Keep N interruptible VMs alive across preemptions.
+
+    The fleet launches ``interruptible=True`` servers through the site's
+    compute service, subscribes to preemption notices, and relaunches a
+    replacement ``relaunch_delay_hours`` after each reclaim (until
+    :meth:`stop` or the optional ``until`` horizon).  Metering spans close
+    at each preemption and reopen at each relaunch, so the usage record
+    stream stays consistent with what a real spot consumer would be
+    billed.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        compute: ComputeService,
+        market: SpotMarket,
+        *,
+        project: str,
+        relaunch_delay_hours: float = 0.1,
+        until: float | None = None,
+    ) -> None:
+        if relaunch_delay_hours < 0:
+            raise ValidationError("relaunch delay cannot be negative")
+        self._loop = loop
+        self._compute = compute
+        self.market = market
+        self.project = project
+        self.relaunch_delay_hours = relaunch_delay_hours
+        self.until = until
+        self.entries: dict[str, FleetEntry] = {}  # name -> entry
+        self._by_server: dict[str, str] = {}  # server_id -> name
+        self._stopped = False
+        compute.on_preemption_notice(self._on_notice)
+
+    def launch(self, name: str, flavor: str, *, user: str | None = None,
+               lab: str | None = None) -> Server:
+        """Launch (or relaunch) one interruptible VM under this fleet."""
+        entry = self.entries.setdefault(name, FleetEntry(name=name, flavor=flavor))
+        server = self._compute.create_server(
+            self.project, name, flavor, user=user, lab=lab, interruptible=True
+        )
+        entry.server_ids.append(server.id)
+        entry.active_server_id = server.id
+        self._by_server[server.id] = name
+        return server
+
+    def stop(self) -> None:
+        """Stop relaunching; currently-running servers are left to their fate."""
+        self._stopped = True
+
+    @property
+    def preemption_count(self) -> int:
+        return sum(e.preemptions for e in self.entries.values())
+
+    def _on_notice(self, server: Server) -> None:
+        name = self._by_server.get(server.id)
+        if name is None:
+            return  # another fleet's (or an unmanaged) instance
+        entry = self.entries[name]
+        entry.preemptions += 1
+        entry.active_server_id = None
+        if self._stopped:
+            return
+        relaunch_at = (
+            self._loop.clock.now
+            + ComputeService.PREEMPTION_NOTICE_HOURS
+            + self.relaunch_delay_hours
+        )
+        if self.until is not None and relaunch_at >= self.until:
+            return
+        self._loop.schedule(
+            relaunch_at,
+            lambda: self._relaunch(name, server.user, server.lab),
+            priority=5,  # after the reclaim event frees quota
+            label=f"fleet:{name}:relaunch",
+        )
+
+    def _relaunch(self, name: str, user: str | None, lab: str | None) -> None:
+        if self._stopped:
+            return
+        entry = self.entries[name]
+        if entry.active_server_id is not None:
+            return  # already running again
+        self.launch(name, entry.flavor, user=user, lab=lab)
+
+
+@dataclass(frozen=True)
+class SpotScheduleResult:
+    """Statistics of one preemptible-capacity schedule."""
+
+    policy: str
+    jobs: tuple[Job, ...]
+    n_preemptions: int
+    wasted_gpu_hours: float
+    makespan_hours: float
+    mean_wait_hours: float
+    mean_turnaround_hours: float
+    gpu_utilization: float
+
+
+class PreemptibleScheduler:
+    """Run a job trace on transient capacity: jobs may be preempted.
+
+    While a job runs, preemptions arrive as a Poisson process with rate
+    ``preempt_rate_per_hour``.  A preempted job keeps the work completed
+    up to its last checkpoint (every ``checkpoint_interval_hours``), pays
+    ``restart_overhead_hours``, and re-queues; the policy decides when it
+    runs again.  With ``preempt_rate_per_hour == 0`` this reduces to the
+    deterministic :class:`~repro.scheduling.scheduler.Scheduler` semantics.
+    """
+
+    MAX_PREEMPTIONS_PER_JOB = 200  # progress backstop under absurd rates
+
+    def __init__(
+        self,
+        cluster: SchedCluster,
+        policy: SchedulingPolicy,
+        *,
+        preempt_rate_per_hour: float = 0.05,
+        checkpoint_interval_hours: float = 0.5,
+        restart_overhead_hours: float = 2.0 / 60.0,
+        seed: int = 0,
+    ) -> None:
+        if preempt_rate_per_hour < 0:
+            raise ValidationError("preemption rate cannot be negative")
+        if checkpoint_interval_hours <= 0 or restart_overhead_hours < 0:
+            raise ValidationError("invalid checkpoint/restart parameters")
+        self.cluster = cluster
+        self.policy = policy
+        self.preempt_rate = preempt_rate_per_hour
+        self.checkpoint_interval = checkpoint_interval_hours
+        self.restart_overhead = restart_overhead_hours
+        self._rng = np.random.default_rng(seed)
+        self.queue: list[Job] = []
+
+    def run(self, jobs: list[Job]) -> SpotScheduleResult:
+        if not jobs:
+            raise ValidationError("empty trace")
+        loop = EventLoop()
+        jobs = sorted(jobs, key=lambda j: (j.submit_time, j.id))
+        remaining = {j.id: j.actual_end for j in jobs}
+        preempt_counts = {j.id: 0 for j in jobs}
+        first_start: dict[str, float] = {}
+        n_preemptions = 0
+        wasted_gpu_hours = 0.0
+        busy_gpu_hours = 0.0
+
+        def submit(job: Job) -> None:
+            self.queue.append(job)
+            job.state = JobState.QUEUED
+            dispatch()
+
+        def finish(job: Job, elapsed: float, preempted: bool) -> None:
+            nonlocal n_preemptions, wasted_gpu_hours, busy_gpu_hours
+            now = loop.clock.now
+            self.cluster.release(job)
+            busy_gpu_hours += job.total_gpus * elapsed
+            if isinstance(self.policy, FairSharePolicy):
+                self.policy.record_usage(job.user, job.total_gpus * elapsed)
+            if preempted:
+                n_preemptions += 1
+                preempt_counts[job.id] += 1
+                # work since the last checkpoint is lost
+                retained = math.floor(elapsed / self.checkpoint_interval) * self.checkpoint_interval
+                wasted_gpu_hours += job.total_gpus * (elapsed - retained)
+                remaining[job.id] = remaining[job.id] - retained + self.restart_overhead
+                submit(job)
+            else:
+                remaining[job.id] = 0.0
+                job.state = JobState.DONE
+                job.end_time = now
+                dispatch()
+
+        def dispatch() -> None:
+            now = loop.clock.now
+            for job in self.policy.select(now, list(self.queue), self.cluster):
+                placement = self.cluster.find_placement(job)
+                if placement is None:
+                    continue
+                self.cluster.allocate(job, placement)
+                self.queue.remove(job)
+                job.state = JobState.RUNNING
+                if job.id not in first_start:
+                    first_start[job.id] = now
+                job.start_time = first_start[job.id]  # wait = time to FIRST start
+                run_for = remaining[job.id]
+                preempted = False
+                if (
+                    self.preempt_rate > 0
+                    and preempt_counts[job.id] < self.MAX_PREEMPTIONS_PER_JOB
+                ):
+                    ttp = float(self._rng.exponential(1.0 / self.preempt_rate))
+                    if ttp < run_for:
+                        run_for, preempted = ttp, True
+                loop.schedule(
+                    now + run_for,
+                    lambda j=job, e=run_for, p=preempted: finish(j, e, p),
+                    label=f"{job.id}:{'preempt' if preempted else 'done'}",
+                )
+            self.cluster.check_invariants()
+
+        for job in jobs:
+            loop.schedule(job.submit_time, lambda j=job: submit(j), label=f"{job.id}:submit")
+        loop.run()
+
+        unfinished = [j for j in jobs if j.state is not JobState.DONE]
+        if unfinished:
+            raise ValidationError(
+                f"{len(unfinished)} jobs never finished (first: {unfinished[0].id})"
+            )
+        waits = np.array([first_start[j.id] - j.submit_time for j in jobs])
+        turnarounds = np.array([j.end_time - j.submit_time for j in jobs])
+        makespan = max(j.end_time for j in jobs) - min(j.submit_time for j in jobs)
+        capacity = self.cluster.total_gpus * makespan
+        return SpotScheduleResult(
+            policy=getattr(self.policy, "name", type(self.policy).__name__),
+            jobs=tuple(jobs),
+            n_preemptions=n_preemptions,
+            wasted_gpu_hours=float(wasted_gpu_hours),
+            makespan_hours=float(makespan),
+            mean_wait_hours=float(waits.mean()),
+            mean_turnaround_hours=float(turnarounds.mean()),
+            gpu_utilization=float(busy_gpu_hours / capacity) if capacity > 0 else 0.0,
+        )

@@ -1,0 +1,234 @@
+"""A preemptible-capacity ("spot") market for the testbed.
+
+The paper's §5 cost levers stop at advance reservation and
+auto-termination; the standard industry lever it leaves on the table is
+transient capacity — instances sold at a deep discount that the provider
+may reclaim on short notice (Scavenger, PAPERS.md).  This module models
+that market mechanistically, in the spirit of MLSYSIM's first-principles
+infrastructure modelling:
+
+* **Price process** — per instance type, the spot price (as a fraction of
+  the on-demand rate) follows a seeded mean-reverting log random walk with
+  occasional demand spikes.  Mean reversion keeps the long-run discount at
+  the calibrated level while spikes create the correlated reclaim bursts
+  real spot users see.
+* **Capacity reclaim** — every interruptible instance faces a preemption
+  hazard that rises with the current price (price is the market's capacity
+  signal: scarce capacity → higher price → more reclaims).  Reclaims are
+  delivered through the shared discrete-event loop as preemption notices
+  on :class:`~repro.cloud.compute.ComputeService`, so the usual metering /
+  quota lifecycle applies.
+
+Everything is seeded and driven by the simulation clock; a market that is
+never attached (or never tracks an instance) schedules no events, so the
+default reproduction pipeline is bit-identical with or without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.compute import ComputeService, Server
+from repro.common.errors import InvalidStateError, ValidationError
+from repro.common.events import EventLoop
+
+
+@dataclass(frozen=True)
+class SpotTypeSpec:
+    """Market parameters for one instance type.
+
+    Attributes
+    ----------
+    mean_discount: Long-run spot price as a fraction of on-demand.
+    volatility: Per-tick shock sigma of the log price.
+    reversion: Mean-reversion pull per tick (0 = random walk, 1 = snap).
+    spike_prob: Per-tick probability of a demand spike.
+    spike_mult: Multiplicative price jump of a spike.
+    preempt_rate_per_hour: Preemption hazard when price sits at the mean.
+    price_elasticity: Hazard exponent in (price / mean_discount).
+    """
+
+    mean_discount: float = 0.32
+    volatility: float = 0.12
+    reversion: float = 0.2
+    spike_prob: float = 0.015
+    spike_mult: float = 2.2
+    preempt_rate_per_hour: float = 0.05
+    price_elasticity: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.mean_discount <= 1):
+            raise ValidationError(f"mean_discount must be in (0, 1]: {self!r}")
+        if self.volatility < 0 or not (0 <= self.reversion <= 1):
+            raise ValidationError(f"invalid price dynamics: {self!r}")
+        if not (0 <= self.spike_prob <= 1) or self.spike_mult < 1:
+            raise ValidationError(f"invalid spike model: {self!r}")
+        if self.preempt_rate_per_hour < 0 or self.price_elasticity < 0:
+            raise ValidationError(f"invalid hazard model: {self!r}")
+
+
+@dataclass(frozen=True)
+class PreemptionNotice:
+    """The market's record of one capacity reclaim."""
+
+    server_id: str
+    resource_type: str
+    time: float
+    price: float  # fraction of on-demand at reclaim time
+
+
+def _step_price(spec: SpotTypeSpec, price: float, rng: np.random.Generator,
+                floor: float, cap: float) -> float:
+    """One tick of the mean-reverting-with-spikes log price process."""
+    x = np.log(price)
+    mu = np.log(spec.mean_discount)
+    x += spec.reversion * (mu - x) + spec.volatility * float(rng.normal())
+    if float(rng.random()) < spec.spike_prob:
+        x += np.log(spec.spike_mult)
+    return float(np.clip(np.exp(x), floor, cap))
+
+
+def simulated_price_path(
+    spec: SpotTypeSpec,
+    hours: float,
+    *,
+    seed: int = 0,
+    tick_hours: float = 1.0,
+    price_floor: float = 0.05,
+    price_cap: float = 1.0,
+) -> np.ndarray:
+    """A standalone seeded price path (fractions of on-demand), one entry
+    per tick — used by the advisor and benches to study the process
+    without driving an event loop."""
+    if hours <= 0 or tick_hours <= 0:
+        raise ValidationError("path needs positive hours and tick")
+    rng = np.random.default_rng(seed)
+    n = max(1, int(round(hours / tick_hours)))
+    out = np.empty(n)
+    price = spec.mean_discount
+    for i in range(n):
+        price = _step_price(spec, price, rng, price_floor, price_cap)
+        out[i] = price
+    return out
+
+
+class SpotMarket:
+    """The per-site spot market: price paths plus capacity reclaim.
+
+    Attach to a site's compute service with :meth:`attach`; every VM
+    created with ``interruptible=True`` is then tracked and subject to
+    preemption.  The market only schedules events while it tracks at
+    least one instance, so an attached-but-unused market leaves the
+    simulation's event sequence untouched.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        *,
+        seed: int = 0,
+        specs: dict[str, SpotTypeSpec] | None = None,
+        default_spec: SpotTypeSpec | None = None,
+        tick_hours: float = 1.0,
+        price_floor: float = 0.05,
+        price_cap: float = 1.0,
+    ) -> None:
+        if tick_hours <= 0:
+            raise ValidationError(f"tick_hours must be positive: {tick_hours!r}")
+        if not (0 < price_floor < price_cap):
+            raise ValidationError("need 0 < price_floor < price_cap")
+        self._loop = loop
+        self._rng = np.random.default_rng(seed)
+        self._specs = dict(specs or {})
+        self._default = default_spec if default_spec is not None else SpotTypeSpec()
+        self.tick_hours = tick_hours
+        self.price_floor = price_floor
+        self.price_cap = price_cap
+        self._prices: dict[str, float] = {}
+        self._history: dict[str, list[tuple[float, float]]] = {}
+        self._tracked: dict[str, str] = {}  # server_id -> resource_type
+        self._compute: ComputeService | None = None
+        self._ticking = False
+        self.notices: list[PreemptionNotice] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, compute: ComputeService) -> None:
+        """Bind to a compute service; interruptible VMs are auto-tracked."""
+        if self._compute is not None:
+            raise InvalidStateError("market already attached to a compute service")
+        self._compute = compute
+        compute.on_interruptible_create(self.track)
+
+    def track(self, server: Server) -> None:
+        """Start tracking an interruptible server for reclaim."""
+        if not server.interruptible:
+            raise InvalidStateError(f"server {server.id} is not interruptible")
+        self._tracked[server.id] = server.resource_type
+        self._ensure_price(server.resource_type)
+        if not self._ticking:
+            self._ticking = True
+            self._loop.schedule_in(self.tick_hours, self._tick, label="spot:tick")
+
+    # -- queries -----------------------------------------------------------
+
+    def spec(self, resource_type: str) -> SpotTypeSpec:
+        return self._specs.get(resource_type, self._default)
+
+    def price(self, resource_type: str) -> float:
+        """Current spot price as a fraction of the on-demand rate."""
+        self._ensure_price(resource_type)
+        return self._prices[resource_type]
+
+    def price_history(self, resource_type: str) -> list[tuple[float, float]]:
+        """(time, price) samples recorded at each market tick."""
+        return list(self._history.get(resource_type, []))
+
+    def expected_discount(self, resource_type: str) -> float:
+        """The long-run fraction-of-on-demand for this type."""
+        return self.spec(resource_type).mean_discount
+
+    @property
+    def tracked_count(self) -> int:
+        return len(self._tracked)
+
+    # -- internals ---------------------------------------------------------
+
+    def _ensure_price(self, resource_type: str) -> None:
+        if resource_type not in self._prices:
+            self._prices[resource_type] = self.spec(resource_type).mean_discount
+            self._history[resource_type] = [
+                (self._loop.clock.now, self._prices[resource_type])
+            ]
+
+    def _tick(self) -> None:
+        now = self._loop.clock.now
+        for rtype in self._prices:
+            self._prices[rtype] = _step_price(
+                self.spec(rtype), self._prices[rtype], self._rng,
+                self.price_floor, self.price_cap,
+            )
+            self._history[rtype].append((now, self._prices[rtype]))
+        compute = self._compute
+        for sid, rtype in list(self._tracked.items()):
+            if compute is None or sid not in compute.servers:
+                del self._tracked[sid]  # terminated through another path
+                continue
+            spec = self.spec(rtype)
+            price = self._prices[rtype]
+            hazard = spec.preempt_rate_per_hour * (
+                (price / spec.mean_discount) ** spec.price_elasticity
+            )
+            p_reclaim = 1.0 - float(np.exp(-hazard * self.tick_hours))
+            if float(self._rng.random()) < p_reclaim:
+                del self._tracked[sid]
+                self.notices.append(
+                    PreemptionNotice(server_id=sid, resource_type=rtype, time=now, price=price)
+                )
+                compute.preempt_server(sid)
+        if self._tracked:
+            self._loop.schedule_in(self.tick_hours, self._tick, label="spot:tick")
+        else:
+            self._ticking = False  # go quiet; next track() restarts the clock

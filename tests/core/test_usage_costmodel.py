@@ -156,6 +156,16 @@ class TestDistributionStats:
         assert stats["max"] == 100.0
         assert stats["pct_exceeding_expected"] == pytest.approx(75.0)
 
-    def test_empty_rejected(self):
+    def test_empty_cohort_zero_stats(self):
+        stats = distribution_stats({}, expected=1.0)
+        assert stats["n"] == 0.0
+        assert stats["mean"] == 0.0
+        assert stats["max"] == 0.0
+        assert stats["pct_exceeding_expected"] == 0.0
+        assert stats["expected"] == 1.0
+
+    def test_bad_expected_rejected(self):
         with pytest.raises(ValidationError):
-            distribution_stats({}, expected=1.0)
+            distribution_stats({"s1": 5.0}, expected=0.0)
+        with pytest.raises(ValidationError):
+            distribution_stats({}, expected=-1.0)

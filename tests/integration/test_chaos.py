@@ -6,8 +6,19 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.cloud.inventory import CHAMELEON_FLAVORS
+from repro.cloud.quota import Quota
+from repro.cloud.site import Site, SiteKind
 from repro.cloud.testbed import chameleon
-from repro.common import ConflictError, QuotaExceededError, ValidationError
+from repro.common import (
+    ConflictError,
+    EventLoop,
+    InvalidStateError,
+    NotFoundError,
+    QuotaExceededError,
+    ValidationError,
+)
+from repro.spot import BudgetGuard, BudgetPolicy
 from repro.orchestration.kubernetes import Cluster, Deployment, KubeNode, PodPhase, PodTemplate
 from repro.scheduling import BackfillPolicy, SchedCluster, Scheduler, ml_workload
 from repro.tracking import TrackingStore
@@ -128,6 +139,81 @@ class TestQuotaStorm:
             kvm.compute.delete_server(server.id)
         assert kvm.quota.usage("instances") == 0
         assert kvm.quota.usage("cores") == 0
+
+
+class TestPreemptionBudgetChaos:
+    """Interleaved create/stop/delete/preempt plus a budget guard killing
+    servers on its own schedule: whatever the order, every span closes
+    exactly once, metered hours never exceed the wall clock, and quota
+    returns to zero."""
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(0, 1000),
+        ops=st.lists(
+            st.tuples(st.integers(0, 4), st.floats(0.25, 4.0)),
+            min_size=5, max_size=30,
+        ),
+    )
+    def test_interleavings_keep_metering_and_quota_exact(self, seed, ops):
+        rng = np.random.default_rng(seed)
+        loop = EventLoop()
+        site = Site(
+            "kvm", SiteKind.KVM, loop,
+            quota=Quota(instances=6, cores=48, ram_gib=192),
+            flavors=CHAMELEON_FLAVORS,
+        )
+        guard = BudgetGuard(
+            loop, site.compute, site.meter,
+            BudgetPolicy(budget_usd=30.0, check_every_hours=3.0),
+            rate_fn=lambda rec: 1.0,
+        )
+        horizon = sum(dt for _, dt in ops) + 1.0
+        guard.start(until=horizon)
+
+        created = 0
+        for i, (op, dt) in enumerate(ops):
+            loop.run_until(min(loop.clock.now + dt, horizon))
+            live = list(site.compute.servers.values())
+            try:
+                if op == 0:
+                    site.compute.create_server("p", f"od{i}", "m1.small", user="u1")
+                    created += 1
+                elif op == 1:
+                    site.compute.create_server(
+                        "p", f"spot{i}", "m1.small", user="u2", interruptible=True
+                    )
+                    created += 1
+                elif op == 2 and live:
+                    site.compute.stop_server(live[int(rng.integers(len(live)))].id)
+                elif op == 3 and live:
+                    site.compute.delete_server(live[int(rng.integers(len(live)))].id)
+                elif op == 4:
+                    spots = [s for s in live if s.interruptible]
+                    if spots:
+                        site.compute.preempt_server(
+                            spots[int(rng.integers(len(spots)))].id
+                        )
+            except (QuotaExceededError, InvalidStateError, NotFoundError):
+                pass  # rejected ops are part of the chaos
+            # mid-flight: SHUTOFF and notice-period servers still meter,
+            # so open spans track live servers exactly
+            assert site.meter.open_count == len(site.compute.servers)
+
+        loop.run_until(horizon)
+        for server in list(site.compute.servers.values()):
+            site.compute.delete_server(server.id)
+
+        now = loop.clock.now
+        assert site.meter.open_count == 0
+        assert site.quota.usage("instances") == 0
+        assert site.quota.usage("cores") == 0
+        assert site.quota.usage("ram_gib") == 0
+        server_records = [r for r in site.meter.records() if r.kind == "server"]
+        assert len(server_records) == created  # one span per create, closed once
+        for rec in server_records:
+            assert 0.0 <= rec.start <= rec.end <= now + 1e-9
+            assert rec.hours <= now + 1e-9  # metered hours never exceed wall clock
 
 
 class TestTrackingStoreFuzz:

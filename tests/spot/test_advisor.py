@@ -1,0 +1,171 @@
+"""Young/Daly analytics, the preemptible training loop, and the advisor."""
+
+import math
+
+import pytest
+
+from repro.common import ValidationError
+from repro.scheduling.cluster import SchedCluster
+from repro.scheduling.jobs import ml_workload
+from repro.scheduling.policies import BackfillPolicy
+from repro.spot import (
+    PreemptibleScheduler,
+    SpotAdvisor,
+    expected_completion_hours,
+    expected_time_inflation,
+    simulate_preemptible_training,
+    young_daly_interval,
+)
+from repro.training.trainer import TrainingSimulator
+
+
+class TestYoungDaly:
+    def test_optimum_formula(self):
+        assert young_daly_interval(0.5, 1.0) == pytest.approx(1.0)
+        assert young_daly_interval(30 / 3600, 0.05) == pytest.approx(math.sqrt(2 * (30 / 3600) / 0.05))
+
+    def test_zero_rate_means_never_checkpoint(self):
+        assert young_daly_interval(0.01, 0.0) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            young_daly_interval(0.0, 1.0)
+        with pytest.raises(ValidationError):
+            young_daly_interval(0.1, -1.0)
+        with pytest.raises(ValidationError):
+            expected_completion_hours(0.0, preempt_rate_per_hour=0.1,
+                                      checkpoint_interval_hours=1.0)
+
+    def test_no_preemption_is_work_plus_checkpoints(self):
+        t = expected_completion_hours(
+            10.0, preempt_rate_per_hour=0.0, checkpoint_interval_hours=1.0,
+            checkpoint_overhead_hours=0.01,
+        )
+        assert t == pytest.approx(10.0 + 10 * 0.01)
+
+    def test_completion_increases_with_rate(self):
+        times = [
+            expected_completion_hours(40.0, preempt_rate_per_hour=lam,
+                                      checkpoint_interval_hours=0.5)
+            for lam in (0.0, 0.05, 0.2, 1.0)
+        ]
+        assert times == sorted(times)
+        assert times[0] < times[-1]
+
+    def test_optimum_beats_neighbours(self):
+        lam, c = 0.1, 30 / 3600
+        tau_star = young_daly_interval(c, lam)
+
+        def t(tau):
+            return expected_completion_hours(
+                100.0, preempt_rate_per_hour=lam, checkpoint_interval_hours=tau,
+                checkpoint_overhead_hours=c,
+            )
+
+        assert t(tau_star) <= t(tau_star * 4) + 1e-9
+        assert t(tau_star) <= t(tau_star / 4) + 1e-9
+
+    def test_inflation_at_least_one(self):
+        assert expected_time_inflation(0.0) == 1.0
+        assert expected_time_inflation(0.05) > 1.0
+        assert expected_time_inflation(0.5) > expected_time_inflation(0.05)
+
+
+class TestPreemptibleTraining:
+    def test_no_preemptions_without_rate(self):
+        r = simulate_preemptible_training(
+            TrainingSimulator(seed=0), steps=500, preempt_rate_per_hour=0.0
+        )
+        assert r.completed
+        assert r.n_preemptions == 0
+        assert r.wasted_steps == 0
+        assert r.time_inflation == pytest.approx(1.0)
+
+    def test_preempted_run_completes_with_rework(self):
+        r = simulate_preemptible_training(
+            TrainingSimulator(seed=1), steps=3000, preempt_rate_per_hour=15.0, seed=2
+        )
+        assert r.completed
+        assert r.n_preemptions > 0
+        assert r.wasted_steps > 0
+        assert r.steps_executed == r.target_steps + r.wasted_steps
+        assert r.time_inflation > 1.0
+
+    def test_seeded_determinism(self):
+        kw = dict(steps=2000, preempt_rate_per_hour=10.0, seed=7)
+        a = simulate_preemptible_training(TrainingSimulator(seed=3), **kw)
+        b = simulate_preemptible_training(TrainingSimulator(seed=3), **kw)
+        assert a == b
+
+    def test_tracks_analytic_model(self):
+        """Measured inflation sits in the same regime as Young/Daly's."""
+        trainer = TrainingSimulator(seed=5, checkpoint_every=100)
+        lam = 20.0  # per hour; steps are 1 s, so tau = 100 s
+        r = simulate_preemptible_training(
+            trainer, steps=20_000, preempt_rate_per_hour=lam,
+            restart_overhead_s=30.0, seed=11,
+        )
+        analytic = expected_completion_hours(
+            20_000 / 3600.0, preempt_rate_per_hour=lam,
+            checkpoint_interval_hours=100 / 3600.0,
+            checkpoint_overhead_hours=1e-9,  # the simulator's writes are free
+            restart_overhead_hours=30 / 3600.0,
+        )
+        measured_h = r.wall_time_s / 3600.0
+        assert analytic * 0.5 < measured_h < analytic * 2.0
+
+
+class TestSpotAdvisor:
+    def test_baseline_recommends_spot(self):
+        advice = SpotAdvisor().advise(work_hours=20.0, on_demand_hourly_usd=1.0)
+        assert advice.use_spot
+        assert advice.savings_usd > 0
+        assert advice.spot_cost_usd < advice.on_demand_cost_usd
+        assert advice.time_inflation > 1.0
+
+    def test_extreme_hazard_kills_the_deal(self):
+        calm = SpotAdvisor().advise(work_hours=20.0, on_demand_hourly_usd=1.0,
+                                    preempt_rate_per_hour=0.05)
+        stormy = SpotAdvisor().advise(work_hours=20.0, on_demand_hourly_usd=1.0,
+                                      preempt_rate_per_hour=60.0)
+        assert calm.savings_usd > stormy.savings_usd
+        assert not stormy.use_spot  # re-work inflation eats the whole discount
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SpotAdvisor().advise(work_hours=0.0, on_demand_hourly_usd=1.0)
+        with pytest.raises(ValidationError):
+            SpotAdvisor().advise(work_hours=1.0, on_demand_hourly_usd=1.0,
+                                 spot_fraction=1.5)
+
+
+class TestPreemptibleScheduler:
+    def test_zero_rate_matches_deterministic_behaviour(self):
+        res = PreemptibleScheduler(
+            SchedCluster.homogeneous(4), BackfillPolicy(), preempt_rate_per_hour=0.0
+        ).run(ml_workload(40, seed=1))
+        assert res.n_preemptions == 0
+        assert res.wasted_gpu_hours == 0.0
+
+    def test_all_jobs_complete_under_preemption(self):
+        res = PreemptibleScheduler(
+            SchedCluster.homogeneous(4), BackfillPolicy(),
+            preempt_rate_per_hour=0.3, seed=4,
+        ).run(ml_workload(40, seed=1))
+        assert res.n_preemptions > 0
+        assert res.wasted_gpu_hours > 0
+        assert all(j.end_time is not None for j in res.jobs)
+
+    def test_makespan_grows_with_hazard(self):
+        spans = []
+        for rate in (0.0, 1.0):
+            res = PreemptibleScheduler(
+                SchedCluster.homogeneous(4), BackfillPolicy(),
+                preempt_rate_per_hour=rate, seed=4,
+            ).run(ml_workload(40, seed=1))
+            spans.append(res.makespan_hours)
+        assert spans[1] > spans[0]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValidationError):
+            PreemptibleScheduler(SchedCluster.homogeneous(1), BackfillPolicy()).run([])

@@ -1,0 +1,166 @@
+"""Budget-guard behaviour on a synthetic site."""
+
+import pytest
+
+from repro.cloud.inventory import CHAMELEON_FLAVORS
+from repro.cloud.quota import Quota
+from repro.cloud.site import Site, SiteKind
+from repro.common import EventLoop, ValidationError
+from repro.core import CostModel
+from repro.spot import BudgetGuard, BudgetPolicy, commercial_rate_fn
+
+
+def kvm_site(loop):
+    return Site("kvm", SiteKind.KVM, loop, quota=Quota.unlimited(), flavors=CHAMELEON_FLAVORS)
+
+
+def flat_rate(rec):
+    return 1.0  # $1 per instance-hour keeps the arithmetic readable
+
+
+class TestBudgetPolicy:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            BudgetPolicy(budget_usd=0.0)
+        with pytest.raises(ValidationError):
+            BudgetPolicy(budget_usd=10, warn_fraction=1.5)
+        with pytest.raises(ValidationError):
+            BudgetPolicy(budget_usd=10, check_every_hours=0)
+        with pytest.raises(ValidationError):
+            BudgetPolicy(budget_usd=10, scope="team")
+        with pytest.raises(ValidationError):
+            BudgetPolicy(budget_usd=10, max_vm_age_hours=-1)
+
+
+class TestBudgetGuard:
+    def test_warn_fires_once(self):
+        loop = EventLoop()
+        site = kvm_site(loop)
+        guard = BudgetGuard(
+            loop, site.compute, site.meter,
+            BudgetPolicy(budget_usd=100.0, warn_fraction=0.5, check_every_hours=10.0,
+                         stop=False),
+            rate_fn=flat_rate,
+        )
+        site.compute.create_server("proj", "vm", "m1.small")
+        guard.start(until=500.0)
+        loop.run_until(500.0)
+        warns = [e for e in guard.events if e.action == "warn"]
+        assert len(warns) == 1
+        assert warns[0].scope_key == "proj"
+        assert warns[0].spent_usd >= 50.0
+        # stop disabled: the VM survives the whole horizon
+        assert len(site.compute.servers) == 1
+
+    def test_stop_kills_over_budget_scope(self):
+        loop = EventLoop()
+        site = kvm_site(loop)
+        guard = BudgetGuard(
+            loop, site.compute, site.meter,
+            BudgetPolicy(budget_usd=24.0, check_every_hours=6.0),
+            rate_fn=flat_rate,
+        )
+        site.compute.create_server("proj", "vm", "m1.small")
+        guard.start(until=100.0)
+        loop.run_until(100.0)
+        stops = [e for e in guard.events if e.action == "stop"]
+        assert stops and stops[0].time == pytest.approx(24.0)
+        assert len(site.compute.servers) == 0
+        assert site.meter.open_count == 0
+        # spend is frozen at the stop (≈ $24), not the full horizon
+        assert guard.spend()["proj"] == pytest.approx(24.0)
+
+    def test_stop_fires_again_for_new_servers(self):
+        loop = EventLoop()
+        site = kvm_site(loop)
+        guard = BudgetGuard(
+            loop, site.compute, site.meter,
+            BudgetPolicy(budget_usd=10.0, check_every_hours=5.0),
+            rate_fn=flat_rate,
+        )
+        site.compute.create_server("proj", "vm1", "m1.small")
+        guard.start(until=100.0)
+        loop.schedule(50.0, lambda: site.compute.create_server("proj", "vm2", "m1.small"))
+        loop.run_until(100.0)
+        stops = [e for e in guard.events if e.action == "stop" and "terminated 1" in e.detail]
+        assert len(stops) == 2  # the relaunched VM was killed too
+        assert len(site.compute.servers) == 0
+
+    def test_user_scope_isolates_students(self):
+        loop = EventLoop()
+        site = kvm_site(loop)
+        guard = BudgetGuard(
+            loop, site.compute, site.meter,
+            BudgetPolicy(budget_usd=20.0, check_every_hours=6.0, scope="user"),
+            rate_fn=flat_rate,
+        )
+        site.compute.create_server("proj", "a", "m1.small", user="spender")
+        frugal = site.compute.create_server("proj", "b", "m1.small", user="frugal")
+        loop.schedule(12.0, lambda: site.compute.delete_server(frugal.id))
+        guard.start(until=100.0)
+        loop.run_until(100.0)
+        assert guard.stopped_keys() == ["spender"]
+        assert len(site.compute.servers) == 0  # spender killed, frugal self-deleted
+        spend = guard.spend()
+        assert spend["frugal"] == pytest.approx(12.0)
+
+    def test_reaper_terminates_forgotten_vms(self):
+        loop = EventLoop()
+        site = kvm_site(loop)
+        guard = BudgetGuard(
+            loop, site.compute, site.meter,
+            BudgetPolicy(budget_usd=1e9, check_every_hours=6.0, max_vm_age_hours=48.0),
+            rate_fn=flat_rate,
+        )
+        site.compute.create_server("proj", "forgotten", "m1.small", user="alice")
+        guard.start(until=500.0)
+        loop.run_until(500.0)
+        reaps = [e for e in guard.events if e.action == "reap"]
+        assert len(reaps) == 1
+        assert reaps[0].time == pytest.approx(54.0)  # first check after 48 h
+        [rec] = [r for r in site.meter.records() if r.kind == "server"]
+        assert rec.hours == pytest.approx(54.0)
+
+    def test_unstarted_guard_schedules_nothing(self):
+        loop = EventLoop()
+        site = kvm_site(loop)
+        BudgetGuard(
+            loop, site.compute, site.meter,
+            BudgetPolicy(budget_usd=1.0), rate_fn=flat_rate,
+        )
+        assert loop.pending == 0
+
+
+class TestCommercialRateFn:
+    def test_lab_record_uses_matched_rate(self):
+        from repro.cloud.metering import UsageRecord
+
+        model = CostModel()
+        rate = commercial_rate_fn(model, "aws")
+        rec = UsageRecord(resource_id="vm-1", kind="server", resource_type="m1.medium",
+                          project="course", start=0, end=1, lab="lab2")
+        assert rate(rec) == pytest.approx(model.hourly_rate("lab2", "aws"))
+
+    def test_edge_records_priced_zero(self):
+        from repro.cloud.metering import UsageRecord
+
+        rate = commercial_rate_fn()
+        rec = UsageRecord(resource_id="e-1", kind="edge", resource_type="raspberrypi5",
+                          project="course", start=0, end=1, lab="project")
+        assert rate(rec) == 0.0
+
+    def test_storage_and_fip_rates(self):
+        from repro.cloud.metering import UsageRecord
+        from repro.core import AWS_CATALOG
+
+        rate = commercial_rate_fn()
+        fip = UsageRecord(resource_id="f", kind="floating_ip", resource_type="fip",
+                          project="c", start=0, end=1)
+        vol = UsageRecord(resource_id="v", kind="volume", resource_type="vol",
+                          project="c", start=0, end=1, quantity=100.0)
+        assert rate(fip) == pytest.approx(AWS_CATALOG.ip_hourly_usd)
+        assert rate(vol) == pytest.approx(AWS_CATALOG.block_gb_month_usd / 730.0)
+
+    def test_unknown_provider_rejected(self):
+        with pytest.raises(ValidationError):
+            commercial_rate_fn(provider="azure")

@@ -1,0 +1,200 @@
+"""Interruptible-server lifecycle and the span-close-exactly-once audit.
+
+Every terminal path a server can take — delete, stop→delete, lease end,
+early lease delete, preemption reclaim, delete-during-notice — must
+close its metering span exactly once and return quota to zero.  These
+are the regression tests for the metering audit of the spot PR.
+"""
+
+import pytest
+
+from repro.cloud.compute import ComputeService, ServerStatus
+from repro.cloud.inventory import (
+    CHAMELEON_FLAVORS,
+    CHAMELEON_NODE_TYPES,
+    EDGE_DEVICE_TYPES,
+)
+from repro.cloud.quota import Quota
+from repro.cloud.site import Site, SiteKind
+from repro.common import EventLoop, InvalidStateError, NotFoundError
+from repro.spot import SpotFleet, SpotMarket, SpotTypeSpec
+
+NOTICE = ComputeService.PREEMPTION_NOTICE_HOURS
+
+
+@pytest.fixture()
+def kvm():
+    loop = EventLoop()
+    return loop, Site(
+        "kvm", SiteKind.KVM, loop, quota=Quota.unlimited(), flavors=CHAMELEON_FLAVORS
+    )
+
+
+class TestPreemptionLifecycle:
+    def test_notice_then_reclaim_after_120s(self, kvm):
+        loop, site = kvm
+        s = site.compute.create_server("p", "spot", "m1.medium", interruptible=True)
+        loop.run_until(10.0)
+        noticed = []
+        site.compute.on_preemption_notice(lambda srv: noticed.append(srv.id))
+        site.compute.preempt_server(s.id)
+        assert noticed == [s.id]
+        assert s.preemption_notice_at == 10.0
+        assert s.id in site.compute.servers  # still running during the notice
+        loop.run_until(10.0 + NOTICE)
+        assert s.status is ServerStatus.PREEMPTED
+        assert s.id not in site.compute.servers
+
+    def test_span_closes_at_reclaim_not_notice(self, kvm):
+        loop, site = kvm
+        s = site.compute.create_server("p", "spot", "m1.medium", interruptible=True)
+        loop.run_until(5.0)
+        site.compute.preempt_server(s.id)
+        loop.run_until(5.0 + NOTICE)
+        [rec] = [r for r in site.meter.records() if r.kind == "server"]
+        assert rec.hours == pytest.approx(5.0 + NOTICE)  # billed through the notice
+        assert site.meter.open_count == 0
+
+    def test_preemption_releases_quota(self):
+        loop = EventLoop()
+        site = Site(
+            "kvm", SiteKind.KVM, loop,
+            quota=Quota(instances=1, cores=100, ram_gib=100),
+            flavors=CHAMELEON_FLAVORS,
+        )
+        s = site.compute.create_server("p", "spot", "m1.medium", interruptible=True)
+        site.compute.preempt_server(s.id)
+        loop.run_until(1.0)
+        site.compute.create_server("p", "next", "m1.medium")  # quota is free again
+        assert site.quota.usage("instances") == 1
+
+    def test_preempt_is_idempotent_during_notice(self, kvm):
+        loop, site = kvm
+        s = site.compute.create_server("p", "spot", "m1.small", interruptible=True)
+        loop.run_until(1.0)
+        site.compute.preempt_server(s.id)
+        site.compute.preempt_server(s.id)  # second notice is a no-op
+        loop.run_until(2.0)
+        assert len([r for r in site.meter.records() if r.kind == "server"]) == 1
+        assert site.meter.open_count == 0
+
+    def test_delete_during_notice_window_safe(self, kvm):
+        """A student beats the reaper: delete after the notice, before reclaim."""
+        loop, site = kvm
+        s = site.compute.create_server("p", "spot", "m1.small", interruptible=True)
+        loop.run_until(1.0)
+        site.compute.preempt_server(s.id)
+        site.compute.delete_server(s.id)
+        assert s.status is ServerStatus.DELETED
+        loop.run_until(2.0)  # the pending reclaim event must be a no-op
+        [rec] = [r for r in site.meter.records() if r.kind == "server"]
+        assert rec.hours == pytest.approx(1.0)
+        assert site.meter.open_count == 0
+        assert site.quota.usage("instances") == 0
+
+    def test_on_demand_server_not_preemptible(self, kvm):
+        _, site = kvm
+        s = site.compute.create_server("p", "vm", "m1.small")
+        with pytest.raises(InvalidStateError):
+            site.compute.preempt_server(s.id)
+
+    def test_preempt_unknown_server_raises(self, kvm):
+        _, site = kvm
+        with pytest.raises(NotFoundError):
+            site.compute.preempt_server("vm-nope")
+
+    def test_preemption_detaches_floating_ip(self, kvm):
+        loop, site = kvm
+        s = site.compute.create_server("p", "spot", "m1.small", interruptible=True)
+        fip = site.network.allocate_floating_ip("p")
+        site.compute.associate_floating_ip(s.id, fip.id)
+        site.compute.preempt_server(s.id)
+        loop.run_until(1.0)
+        assert not site.network.floating_ips[fip.id].associated
+
+
+class TestSpanCloseExactlyOnce:
+    """The audit: every terminal path closes one span, leaks none."""
+
+    def assert_clean(self, site, expected_records):
+        assert site.meter.open_count == 0, site.meter.open_ids()
+        server_recs = [
+            r for r in site.meter.records() if r.kind in ("server", "baremetal", "edge")
+        ]
+        assert len(server_recs) == expected_records
+        assert site.quota.usage("instances") == 0
+
+    def test_create_delete(self, kvm):
+        loop, site = kvm
+        s = site.compute.create_server("p", "a", "m1.small")
+        loop.run_until(3.0)
+        site.compute.delete_server(s.id)
+        self.assert_clean(site, 1)
+
+    def test_stop_then_delete(self, kvm):
+        loop, site = kvm
+        s = site.compute.create_server("p", "a", "m1.small")
+        loop.run_until(1.0)
+        site.compute.stop_server(s.id)
+        loop.run_until(2.0)
+        site.compute.delete_server(s.id)
+        self.assert_clean(site, 1)
+        # SHUTOFF still meters (the Chameleon semantics Fig 1(a) relies on)
+        [rec] = [r for r in site.meter.records() if r.kind == "server"]
+        assert rec.hours == pytest.approx(2.0)
+
+    def test_lease_end_auto_terminates(self):
+        loop = EventLoop()
+        site = Site(
+            "chi", SiteKind.BARE_METAL, loop,
+            quota=Quota.unlimited(), node_types=CHAMELEON_NODE_TYPES,
+        )
+        lease = site.leases.create_lease("p", "compute_cascadelake", start=0.0, end=10.0)
+        site.compute.create_baremetal("p", "node", "compute_cascadelake", lease.id)
+        loop.run_until(20.0)
+        assert site.meter.open_count == 0
+        [rec] = [r for r in site.meter.records() if r.kind == "baremetal"]
+        assert rec.hours == pytest.approx(10.0)
+
+    def test_lease_deleted_early_terminates(self):
+        loop = EventLoop()
+        site = Site(
+            "edge", SiteKind.EDGE, loop,
+            quota=Quota.unlimited(), edge_types=EDGE_DEVICE_TYPES,
+        )
+        lease = site.leases.create_lease("p", "raspberrypi5", start=0.0, end=10.0)
+        site.compute.create_edge_session("p", "cam", "raspberrypi5", lease.id)
+        loop.run_until(4.0)
+        site.leases.delete_lease(lease.id)
+        loop.run_until(20.0)
+        assert site.meter.open_count == 0
+        [rec] = [r for r in site.meter.records() if r.kind == "edge"]
+        assert rec.hours == pytest.approx(4.0)
+
+    def test_preempt_reclaim(self, kvm):
+        loop, site = kvm
+        s = site.compute.create_server("p", "spot", "m1.small", interruptible=True)
+        loop.run_until(1.0)
+        site.compute.preempt_server(s.id)
+        loop.run_until(2.0)
+        self.assert_clean(site, 1)
+
+    def test_fleet_long_run_leaks_nothing(self, kvm):
+        """Hundreds of preempt/relaunch cycles: spans and quota stay exact."""
+        loop, site = kvm
+        market = SpotMarket(
+            loop, seed=11, default_spec=SpotTypeSpec(preempt_rate_per_hour=1.0)
+        )
+        market.attach(site.compute)
+        fleet = SpotFleet(loop, site.compute, market, project="p", until=300.0)
+        fleet.launch("w0", "m1.small", user="alice")
+        fleet.launch("w1", "m1.small", user="bob")
+        loop.run_until(300.0)
+        assert fleet.preemption_count > 50
+        live = len(site.compute.servers)
+        assert site.meter.open_count == live
+        assert site.quota.usage("instances") == live
+        closed = [r for r in site.meter.records(include_open=False)]
+        assert len(closed) == fleet.preemption_count
+        for rec in site.meter.records(include_open=True):
+            assert 0.0 <= rec.start <= rec.end <= 300.0

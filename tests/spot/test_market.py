@@ -1,0 +1,116 @@
+"""Market process: determinism, bounds, and reclaim behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.inventory import CHAMELEON_FLAVORS
+from repro.cloud.quota import Quota
+from repro.cloud.site import Site, SiteKind
+from repro.common.errors import InvalidStateError, ValidationError
+from repro.common.events import EventLoop
+from repro.spot import SpotMarket, SpotTypeSpec, simulated_price_path
+
+
+def kvm_site(loop):
+    return Site("kvm", SiteKind.KVM, loop, quota=Quota.unlimited(), flavors=CHAMELEON_FLAVORS)
+
+
+class TestPricePath:
+    def test_seeded_determinism(self):
+        a = simulated_price_path(SpotTypeSpec(), 500, seed=4)
+        b = simulated_price_path(SpotTypeSpec(), 500, seed=4)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_path(self):
+        a = simulated_price_path(SpotTypeSpec(), 500, seed=4)
+        b = simulated_price_path(SpotTypeSpec(), 500, seed=5)
+        assert not np.array_equal(a, b)
+
+    def test_bounds_respected(self):
+        p = simulated_price_path(SpotTypeSpec(volatility=0.5, spike_prob=0.2), 2000, seed=0)
+        assert p.min() >= 0.05 - 1e-12
+        assert p.max() <= 1.0 + 1e-12
+
+    def test_mean_reversion_holds_long_run_discount(self):
+        spec = SpotTypeSpec(mean_discount=0.32, spike_prob=0.0)
+        p = simulated_price_path(spec, 20_000, seed=1)
+        # log-OU stationary mean sits near log(0.32); allow a generous band
+        assert 0.2 < float(np.exp(np.log(p).mean())) < 0.45
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValidationError):
+            SpotTypeSpec(mean_discount=0.0)
+        with pytest.raises(ValidationError):
+            SpotTypeSpec(mean_discount=1.5)
+        with pytest.raises(ValidationError):
+            SpotTypeSpec(reversion=2.0)
+        with pytest.raises(ValidationError):
+            SpotTypeSpec(spike_mult=0.5)
+        with pytest.raises(ValidationError):
+            SpotTypeSpec(preempt_rate_per_hour=-1.0)
+        with pytest.raises(ValidationError):
+            simulated_price_path(SpotTypeSpec(), 0)
+
+
+class TestSpotMarket:
+    def test_idle_market_schedules_nothing(self):
+        loop = EventLoop()
+        market = SpotMarket(loop, seed=0)
+        market.attach(kvm_site(loop).compute)
+        assert loop.pending == 0
+        loop.run_until(100.0)
+        assert loop.fired == 0
+
+    def test_attach_twice_rejected(self):
+        loop = EventLoop()
+        market = SpotMarket(loop, seed=0)
+        market.attach(kvm_site(loop).compute)
+        with pytest.raises(InvalidStateError):
+            market.attach(kvm_site(loop).compute)
+
+    def test_tracks_interruptible_creates_only(self):
+        loop = EventLoop()
+        site = kvm_site(loop)
+        market = SpotMarket(loop, seed=0)
+        market.attach(site.compute)
+        site.compute.create_server("p", "ondemand", "m1.small")
+        assert market.tracked_count == 0
+        site.compute.create_server("p", "spot", "m1.small", interruptible=True)
+        assert market.tracked_count == 1
+
+    def test_reclaims_eventually_and_goes_quiet(self):
+        loop = EventLoop()
+        site = kvm_site(loop)
+        market = SpotMarket(
+            loop, seed=3, default_spec=SpotTypeSpec(preempt_rate_per_hour=2.0)
+        )
+        market.attach(site.compute)
+        server = site.compute.create_server("p", "spot", "m1.small", interruptible=True)
+        loop.run_until(500.0)
+        assert len(market.notices) == 1
+        assert market.notices[0].server_id == server.id
+        assert market.tracked_count == 0
+        assert server.id not in site.compute.servers
+        # once nothing is tracked the market stops ticking
+        fired = loop.fired
+        loop.run_until(600.0)
+        assert loop.fired == fired
+
+    def test_non_interruptible_track_rejected(self):
+        loop = EventLoop()
+        site = kvm_site(loop)
+        market = SpotMarket(loop, seed=0)
+        server = site.compute.create_server("p", "vm", "m1.small")
+        with pytest.raises(InvalidStateError):
+            market.track(server)
+
+    def test_price_history_recorded_while_tracking(self):
+        loop = EventLoop()
+        site = kvm_site(loop)
+        market = SpotMarket(loop, seed=0, default_spec=SpotTypeSpec(preempt_rate_per_hour=0.0))
+        market.attach(site.compute)
+        site.compute.create_server("p", "spot", "m1.small", interruptible=True)
+        loop.run_until(24.0)
+        hist = market.price_history("m1.small")
+        assert len(hist) >= 24
+        assert all(0.05 <= price <= 1.0 for _, price in hist)
