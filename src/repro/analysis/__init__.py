@@ -1,0 +1,38 @@
+"""repro.analysis — AST-based determinism & resource-hygiene linter.
+
+DESIGN §5 promises "deterministic under a seed; no wall-clock, no
+network", and the cost pipeline promises every metering span and quota
+reservation is paired with a terminal path.  This package machine-checks
+those contracts over the Python ``ast``:
+
+* **DET001** wall-clock / entropy calls outside :mod:`repro.common.clock`
+* **DET002** unseeded or legacy global-state NumPy randomness
+* **DET003** iteration over sets without an enclosing ``sorted(...)``
+* **ERR001** broad ``except`` handlers that silently discard the error
+* **RES001** ``UsageMeter.open_span`` without a terminal path in scope
+* **RES002** quota ``reserve`` without a matching ``release`` in scope
+
+Run it with ``python -m repro.analysis src benchmarks examples``.
+Findings can be suppressed inline (``# repro: noqa RULE (reason)`` — the
+reason is mandatory) or carried in a committed baseline file for
+incremental adoption.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import AnalysisResult, analyze_paths, analyze_source
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import RULES, Rule, rule
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "Finding",
+    "RULES",
+    "Rule",
+    "Severity",
+    "analyze_paths",
+    "analyze_source",
+    "rule",
+]

@@ -1,0 +1,106 @@
+"""Committed baseline for incremental adoption.
+
+The baseline file records findings that predate the linter (or a new rule)
+so CI can gate on **new** findings while the old ones are burned down.  An
+entry matches a finding on ``(file, rule_id, snippet)`` — the stripped
+source line, not the line *number* — so unrelated edits above a baselined
+finding do not resurrect it.  Matching consumes entries: two identical
+hazards need two entries, and fixing one shrinks the baseline on the next
+``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    file: str
+    rule_id: str
+    snippet: str
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.file, self.rule_id, self.snippet)
+
+
+@dataclass
+class Baseline:
+    """A multiset of accepted findings."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        try:
+            raw = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict) or not isinstance(raw.get("findings"), list):
+            raise ValidationError(f"baseline {path} must be {{'findings': [...]}}")
+        entries = []
+        for item in raw["findings"]:
+            try:
+                entries.append(
+                    BaselineEntry(
+                        file=item["file"], rule_id=item["rule_id"], snippet=item["snippet"]
+                    )
+                )
+            except (TypeError, KeyError) as exc:
+                raise ValidationError(f"malformed baseline entry {item!r}") from exc
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "findings": [
+                {"file": e.file, "rule_id": e.rule_id, "snippet": e.snippet}
+                for e in sorted(self.entries, key=BaselineEntry.key)
+            ]
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding], sources: dict[str, str]) -> "Baseline":
+        """Build the baseline that would accept exactly ``findings``."""
+        entries = []
+        for f in findings:
+            entries.append(
+                BaselineEntry(file=f.file, rule_id=f.rule_id, snippet=_snippet(sources, f))
+            )
+        return cls(entries=entries)
+
+    def partition(
+        self, findings: list[Finding], sources: dict[str, str]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split ``findings`` into (new, baselined), consuming entries."""
+        budget: dict[tuple[str, str, str], int] = {}
+        for e in self.entries:
+            budget[e.key()] = budget.get(e.key(), 0) + 1
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for f in findings:
+            key = (f.file, f.rule_id, _snippet(sources, f))
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                old.append(f)
+            else:
+                new.append(f)
+        return new, old
+
+
+def _snippet(sources: dict[str, str], finding: Finding) -> str:
+    lines = sources.get(finding.file, "").splitlines()
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1].strip()
+    return ""

@@ -1,0 +1,95 @@
+"""Command-line interface: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 clean (or everything waived), 1 new findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import analyze_paths, iter_python_files
+from repro.analysis.registry import RULES, load_builtin_rules
+from repro.analysis.reporters import render_json, render_text
+from repro.common.errors import ReproError
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based determinism & resource-hygiene linter for the repro tree.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE}; missing file = empty)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept every current finding into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule new/suppressed/baselined counts",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    load_builtin_rules()
+
+    rules: list[str] | None = None
+    if args.select is not None:
+        rules = [r.strip() for r in args.select.split(",") if r.strip()]
+        unknown = [r for r in rules if r not in RULES]
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    try:
+        baseline = Baseline.load(baseline_path)
+        result = analyze_paths(paths, baseline=baseline, rules=rules)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        sources = {str(f): f.read_text() for f in iter_python_files(paths)}
+        merged = result.findings + result.baselined
+        merged.sort()
+        Baseline.from_findings(merged, sources).save(baseline_path)
+        print(f"wrote {len(merged)} finding(s) to {baseline_path}")
+        return 0
+
+    render = render_json if args.format == "json" else render_text
+    print(render(result, stats=args.stats))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Rule registry.
+
+A rule is a callable taking a :class:`~repro.analysis.engine.ModuleContext`
+and returning an iterable of :class:`~repro.analysis.findings.Finding`.
+Rules self-register via the :func:`rule` decorator; the engine runs every
+registered rule over every module it analyzes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.common.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.engine import ModuleContext
+    from repro.analysis.findings import Finding
+
+RuleFn = Callable[["ModuleContext"], Iterable["Finding"]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: id, one-line description, and the check itself."""
+
+    rule_id: str
+    description: str
+    check: RuleFn
+
+
+#: rule_id -> Rule, in registration order (dicts preserve it).
+RULES: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, description: str) -> Callable[[RuleFn], RuleFn]:
+    """Register ``fn`` as the implementation of ``rule_id``."""
+
+    def decorate(fn: RuleFn) -> RuleFn:
+        if rule_id in RULES:
+            raise ValidationError(f"rule {rule_id!r} registered twice")
+        RULES[rule_id] = Rule(rule_id=rule_id, description=description, check=fn)
+        return fn
+
+    return decorate
+
+
+def load_builtin_rules() -> None:
+    """Import the built-in rule pack (idempotent)."""
+    from repro.analysis.rules import determinism, errors, resources  # noqa: F401

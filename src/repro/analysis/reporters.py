@@ -1,0 +1,67 @@
+"""Text and JSON reporters over an :class:`AnalysisResult`."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisResult
+from repro.analysis.registry import RULES
+
+
+def render_text(result: AnalysisResult, *, stats: bool = False) -> str:
+    lines: list[str] = []
+    for f in result.findings:
+        lines.append(f.render())
+    if stats:
+        lines.extend(_render_stats(result))
+    n, s, b = len(result.findings), len(result.suppressed), len(result.baselined)
+    lines.append(
+        f"{result.files_checked} files checked: {n} new finding{'s' if n != 1 else ''}, "
+        f"{s} suppressed inline, {b} baselined"
+    )
+    return "\n".join(lines)
+
+
+def _render_stats(result: AnalysisResult) -> list[str]:
+    per_rule = result.stats()
+    lines = ["", "per-rule counts (new / suppressed / baselined):"]
+    for rule_id in sorted(set(per_rule) | set(RULES)):
+        counts = per_rule.get(rule_id, {"new": 0, "suppressed": 0, "baselined": 0})
+        desc = RULES[rule_id].description if rule_id in RULES else ""
+        lines.append(
+            f"  {rule_id:<8} {counts['new']:>4} / {counts['suppressed']:>4} / "
+            f"{counts['baselined']:>4}  {desc}"
+        )
+    lines.append("")
+    return lines
+
+
+def render_json(result: AnalysisResult, *, stats: bool = False) -> str:
+    payload: dict = {
+        "files_checked": result.files_checked,
+        "findings": [
+            {
+                "file": f.file,
+                "line": f.line,
+                "rule_id": f.rule_id,
+                "severity": f.severity.value,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+        "suppressed": [
+            {
+                "file": s.finding.file,
+                "line": s.finding.line,
+                "rule_id": s.finding.rule_id,
+                "reason": s.reason,
+            }
+            for s in result.suppressed
+        ],
+        "baselined": [
+            {"file": f.file, "line": f.line, "rule_id": f.rule_id} for f in result.baselined
+        ],
+    }
+    if stats:
+        payload["stats"] = result.stats()
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,3 @@
+"""Built-in rule pack: determinism, error hygiene, resource pairing."""
+
+from repro.analysis.rules import determinism, errors, resources  # noqa: F401

@@ -1,0 +1,152 @@
+"""Determinism rules: the "no wall-clock, no entropy, no set-order" pack.
+
+Every table and figure this repo regenerates is asserted bit-identical
+across runs under the same seed, so simulated time must come from
+:class:`repro.common.clock.SimClock`, randomness from an explicitly seeded
+``np.random.Generator``, and anything iterated must have a total order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+
+#: Call targets that read the wall clock or the OS entropy pool.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.choice",
+        "random.SystemRandom",
+    }
+)
+
+#: The one module allowed to touch time primitives (it is the clock).
+CLOCK_MODULE = "repro.common.clock"
+
+
+@rule("DET001", "wall-clock/entropy call outside repro.common.clock")
+def det001_wall_clock(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.module == CLOCK_MODULE:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qname = ctx.qualified_name(node.func)
+        if qname is None:
+            continue
+        banned = qname in WALL_CLOCK_CALLS or (
+            # module-level random.* uses the hidden global Mersenne state
+            qname.startswith("random.")
+            and qname != "random.Random"
+        )
+        if banned:
+            yield ctx.finding(
+                node,
+                "DET001",
+                Severity.ERROR,
+                f"call to {qname}() is nondeterministic; simulated time comes from "
+                f"repro.common.clock.SimClock and randomness from a seeded Generator",
+            )
+
+
+#: numpy.random constructors that take explicit state and are fine to call.
+_NP_CONSTRUCTORS = frozenset(
+    {"Generator", "SeedSequence", "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+)
+
+
+@rule("DET002", "unseeded default_rng() or legacy numpy.random global-state API")
+def det002_numpy_random(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qname = ctx.qualified_name(node.func)
+        if qname is None or not qname.startswith("numpy.random."):
+            continue
+        tail = qname.removeprefix("numpy.random.")
+        if tail == "default_rng":
+            unseeded = not node.args or (
+                isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+            )
+            if unseeded:
+                yield ctx.finding(
+                    node,
+                    "DET002",
+                    Severity.ERROR,
+                    "np.random.default_rng() without a seed draws OS entropy; "
+                    "pass an explicit seed",
+                )
+        elif tail not in _NP_CONSTRUCTORS:
+            yield ctx.finding(
+                node,
+                "DET002",
+                Severity.ERROR,
+                f"np.random.{tail}() uses the legacy global RNG state; "
+                f"use a seeded np.random.default_rng(seed) generator instead",
+            )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Syntactically-recognisable set-valued expressions."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        ):
+            return _is_set_expr(node.func.value)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+def _iteration_sites(tree: ast.Module) -> Iterator[tuple[ast.AST, ast.expr]]:
+    """(anchor node, iterable expression) for every iteration construct."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node, node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                yield node, gen.iter
+
+
+@rule("DET003", "iteration over a set without an enclosing sorted(...)")
+def det003_set_iteration(ctx: ModuleContext) -> Iterator[Finding]:
+    for anchor, iterable in _iteration_sites(ctx.tree):
+        if _is_set_expr(iterable):
+            yield ctx.finding(
+                iterable,
+                "DET003",
+                Severity.WARNING,
+                "iterating a set: order is hash-dependent and varies across "
+                "processes; wrap the set in sorted(...) at the source",
+            )

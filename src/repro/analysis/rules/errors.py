@@ -1,0 +1,79 @@
+"""Error-hygiene rules.
+
+ERR001 hunts the failure mode PR 1's metering bug came from: a broad
+``except`` that swallows the error, leaving the system in a half-mutated
+state with no trace.  A broad handler is fine when it re-raises, when it
+actually *uses* the caught exception (logging it, routing it to a
+dead-letter queue, keeping it for a retry loop's final error), or when it
+calls something that records the failure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+
+_BROAD = ("Exception", "BaseException")
+
+#: Substrings of call names that count as "the error was recorded".
+_RECORDING_HINTS = ("log", "warn", "error", "exception", "fail", "dead_letter", "dlq")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    t = handler.type
+    if t is None:  # bare `except:`
+        return True
+    exprs = t.elts if isinstance(t, ast.Tuple) else [t]
+    for e in exprs:
+        if isinstance(e, ast.Name) and e.id in _BROAD:
+            return True
+        if isinstance(e, ast.Attribute) and e.attr in _BROAD:
+            return True
+    return False
+
+
+def _call_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _handles_error(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            handler.name is not None
+            and isinstance(node, ast.Name)
+            and node.id == handler.name
+            and isinstance(node.ctx, ast.Load)
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            name = _call_name(node.func).lower()
+            if any(hint in name for hint in _RECORDING_HINTS):
+                return True
+    return False
+
+
+@rule("ERR001", "broad except handler silently discards the error")
+def err001_silent_broad_except(ctx: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if _is_broad(node) and not _handles_error(node):
+            what = "bare except" if node.type is None else "except Exception"
+            yield ctx.finding(
+                node,
+                "ERR001",
+                Severity.WARNING,
+                f"{what} swallows the error without re-raise, logging, or DLQ "
+                f"routing; catch the specific error class, or record why it is "
+                f"safe to drop",
+            )

@@ -1,0 +1,104 @@
+"""Resource-pairing rules for the cloud substrate.
+
+Every billable span (:meth:`UsageMeter.open_span`) and every quota charge
+(:meth:`QuotaManager.reserve`) must have a terminal path in the same class
+(or module, for free functions): ``close_span``/``release``, or the
+class's unified ``_terminate`` path — the invariant PR 1 introduced after
+a real double-close bug.  The check is intra-procedural and scope-paired:
+it does not prove every control-flow path closes the span, but it catches
+the class that opens spans and has *no* way to close them, which is how
+the leak class actually shows up.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+
+#: These rules are scoped to the cloud substrate (and its spot extension),
+#: where the metering/quota contracts live.
+_SCOPES = ("repro.cloud", "repro.spot")
+
+
+def _in_scope(module: str) -> bool:
+    return any(module == s or module.startswith(s + ".") for s in _SCOPES)
+
+
+def _method_calls(root: ast.AST, attr_names: frozenset[str]) -> list[ast.Call]:
+    out = []
+    for node in ast.walk(root):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in attr_names
+        ):
+            out.append(node)
+    return out
+
+
+def _pairing_scopes(tree: ast.Module) -> Iterator[tuple[str, ast.AST]]:
+    """Each class is a pairing scope; top-level code (minus classes) is one more."""
+    rest = ast.Module(body=[], type_ignores=[])
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            yield stmt.name, stmt
+        else:
+            rest.body.append(stmt)
+    yield "<module>", rest
+
+
+def _check_pairing(
+    ctx: ModuleContext,
+    rule_id: str,
+    opens: frozenset[str],
+    closes: frozenset[str],
+    contract: str,
+) -> Iterator[Finding]:
+    if not _in_scope(ctx.module):
+        return
+    for scope_name, scope in _pairing_scopes(ctx.tree):
+        open_calls = _method_calls(scope, opens)
+        if not open_calls:
+            continue
+        # a definition of a terminal method counts: the scope owns the
+        # terminal path even if this rule can't see every caller
+        has_terminal = bool(_method_calls(scope, closes)) or any(
+            isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef)) and n.name in closes
+            for n in ast.walk(scope)
+        )
+        if has_terminal:
+            continue
+        for call in open_calls:
+            yield ctx.finding(
+                call,
+                rule_id,
+                Severity.ERROR,
+                f"{scope_name} calls {'/'.join(sorted(opens))} but has no "
+                f"terminal path ({'/'.join(sorted(closes))}); {contract}",
+            )
+
+
+@rule("RES001", "UsageMeter.open_span without a terminal path in scope")
+def res001_span_pairing(ctx: ModuleContext) -> Iterator[Finding]:
+    yield from _check_pairing(
+        ctx,
+        "RES001",
+        opens=frozenset({"open_span"}),
+        closes=frozenset({"close_span", "_terminate"}),
+        contract="every span must close exactly once or it meters forever",
+    )
+
+
+@rule("RES002", "quota reserve without a matching release in scope")
+def res002_quota_pairing(ctx: ModuleContext) -> Iterator[Finding]:
+    yield from _check_pairing(
+        ctx,
+        "RES002",
+        opens=frozenset({"reserve"}),
+        closes=frozenset({"release", "_terminate"}),
+        contract="quota charged at create must be returned on the delete path",
+    )

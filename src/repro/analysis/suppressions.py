@@ -1,0 +1,48 @@
+"""Inline suppression comments.
+
+A finding is suppressed by a trailing comment on its line::
+
+    except Exception:  # repro: noqa ERR001 (swallowing is the DLQ contract)
+
+The reason in parentheses is **mandatory** — a bare ``# repro: noqa RULE``
+does not suppress anything, so every accepted hazard carries its
+justification in the diff.  Several rules can share one comment:
+``# repro: noqa DET001, DET003 (reason)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa\s+"
+    r"(?P<rules>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)"
+    r"\s*\((?P<reason>[^)]+)\)"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro: noqa`` comment: which rules it waives, and why."""
+
+    line: int
+    rule_ids: frozenset[str]
+    reason: str
+
+    def covers(self, rule_id: str) -> bool:
+        return rule_id in self.rule_ids
+
+
+def parse_suppressions(source: str) -> dict[int, Suppression]:
+    """Extract every well-formed suppression comment, keyed by line number."""
+    out: dict[int, Suppression] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _NOQA.search(text)
+        if m is None:
+            continue
+        rule_ids = frozenset(r.strip() for r in m.group("rules").split(","))
+        out[lineno] = Suppression(
+            line=lineno, rule_ids=rule_ids, reason=m.group("reason").strip()
+        )
+    return out

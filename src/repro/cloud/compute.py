@@ -169,6 +169,8 @@ class ComputeService:
             try:
                 self.attach_network(server, network_id)
             except Exception:
+                # deliberately broad: any attach failure must undo the quota
+                # charge before the error propagates (ERR001-clean: re-raises)
                 self._quota.release(instances=1, cores=flv.vcpus, ram_gib=flv.ram_gib)
                 raise
         self.servers[server.id] = server

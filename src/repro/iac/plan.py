@@ -98,12 +98,12 @@ def plan(config: Config, state: State) -> Plan:
         entry = state.get(address)
         if entry.applied_args == resource.args:
             continue
-        changed = {
+        changed = tuple(
             k
-            for k in set(entry.applied_args) | set(resource.args)
+            for k in sorted(set(entry.applied_args) | set(resource.args))
             if entry.applied_args.get(k) != resource.args.get(k)
-        }
-        steps.append(PlanStep(Action.UPDATE, address, resource, tuple(sorted(changed))))
+        )
+        steps.append(PlanStep(Action.UPDATE, address, resource, changed))
     return Plan(steps)
 
 

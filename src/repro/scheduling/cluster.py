@@ -76,7 +76,7 @@ class SchedCluster:
         if len(placement) != job.tasks:
             raise ValidationError(f"placement size {len(placement)} != tasks {job.tasks}")
         # verify then commit (all-or-nothing)
-        trial = {i: (self.nodes[i].free_gpus, self.nodes[i].free_cpus) for i in set(placement)}
+        trial = {i: (self.nodes[i].free_gpus, self.nodes[i].free_cpus) for i in sorted(set(placement))}
         for idx in placement:
             fg, fc = trial[idx]
             if fg < job.gpus_per_task or fc < job.cpus_per_task:

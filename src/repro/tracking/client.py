@@ -10,7 +10,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator
 
-from repro.common.errors import InvalidStateError
+from repro.common.errors import InvalidStateError, NotFoundError
 from repro.tracking.artifacts import ArtifactStore
 from repro.tracking.registry import ModelRegistry, ModelStage, ModelVersion
 from repro.tracking.store import Run, RunStatus, TrackingStore
@@ -34,7 +34,7 @@ class TrackingClient:
         """Create-or-get an experiment; returns its id."""
         try:
             return self.store.get_experiment_by_name(name).id
-        except Exception:
+        except NotFoundError:
             return self.store.create_experiment(name).id
 
     @contextmanager

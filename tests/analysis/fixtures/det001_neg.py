@@ -1,0 +1,13 @@
+"""Seeded negatives for DET001: explicit-state randomness and simulated time."""
+
+import random
+
+
+def ok(clock):
+    rng = random.Random(7)  # an explicit, seedable instance is fine
+    t = clock.now  # SimClock reads, not wall clock
+
+    def time():  # a local name that shadows the module is not an import
+        return 0.0
+
+    return rng.random(), t, time()

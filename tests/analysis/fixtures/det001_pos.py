@@ -1,0 +1,18 @@
+"""Seeded positives for DET001: every statement below reads wall-clock or entropy."""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+from time import time as now
+
+
+def stamp():
+    t = time.time()
+    u = uuid.uuid4()
+    e = os.urandom(8)
+    d = datetime.now()
+    r = random.random()
+    n = now()
+    return t, u, e, d, r, n

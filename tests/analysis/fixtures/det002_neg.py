@@ -1,0 +1,10 @@
+"""Seeded negatives for DET002: seeded generators and explicit bit-generator state."""
+
+import numpy as np
+
+
+def good(seed):
+    rng = np.random.default_rng(seed)
+    gen = np.random.Generator(np.random.PCG64(seed))
+    seq = np.random.SeedSequence(seed)
+    return rng.normal(), gen.random(), seq.spawn(2)

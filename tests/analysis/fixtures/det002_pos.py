@@ -1,0 +1,13 @@
+"""Seeded positives for DET002: unseeded or legacy-global numpy randomness."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def bad():
+    a = np.random.default_rng()
+    b = np.random.default_rng(None)
+    c = np.random.rand(3)
+    np.random.seed(0)
+    d = default_rng()
+    return a, b, c, d

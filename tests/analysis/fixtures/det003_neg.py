@@ -1,0 +1,13 @@
+"""Seeded negatives for DET003: sorted-at-source, order-free uses, list iteration."""
+
+
+def good(items, other):
+    for x in sorted(set(items)):
+        print(x)
+    keys = sorted(set(items) | set(other))
+    total = len(set(items))  # aggregation, not iteration
+    if "a" in set(items):  # membership test, not iteration
+        total += 1
+    for y in [1, 2, 3]:
+        print(y)
+    return keys, total

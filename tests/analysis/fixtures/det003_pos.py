@@ -1,0 +1,10 @@
+"""Seeded positives for DET003: hash-ordered iteration in four contexts."""
+
+
+def bad(items, other):
+    for x in set(items):
+        print(x)
+    listed = [y for y in {1, 2, 3}]
+    built = {k: 1 for k in set(items) | set(other)}
+    merged = list(z for z in set(items).union(other))
+    return listed, built, merged

@@ -1,0 +1,24 @@
+"""Seeded negatives for ERR001: re-raise, DLQ routing, logging, narrow catch."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def good(fn, dead_letters):
+    try:
+        fn()
+    except Exception:
+        raise
+    try:
+        fn()
+    except Exception as exc:
+        dead_letters.append(str(exc))
+    try:
+        fn()
+    except Exception:
+        log.warning("fn failed; falling back")
+    try:
+        fn()
+    except ValueError:
+        pass  # narrow catches may legitimately drop

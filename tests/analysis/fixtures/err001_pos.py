@@ -1,0 +1,17 @@
+"""Seeded positives for ERR001: broad handlers that drop the error on the floor."""
+
+
+def bad(fn):
+    try:
+        fn()
+    except Exception:
+        pass
+    try:
+        fn()
+    except:
+        return None
+    try:
+        fn()
+    except (ValueError, Exception) as exc:
+        return 0
+    return 1

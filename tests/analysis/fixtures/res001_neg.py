@@ -1,0 +1,31 @@
+"""Seeded negatives for RES001: close_span in scope, a _terminate path, module-level pairing."""
+
+
+class CleanService:
+    def __init__(self, meter):
+        self._meter = meter
+
+    def create(self, rid):
+        self._meter.open_span(rid, kind="server", resource_type="m1.medium", project="p")
+
+    def delete(self, rid):
+        self._meter.close_span(rid)
+
+
+class TerminatingService:
+    def __init__(self, meter):
+        self._meter = meter
+
+    def create(self, rid):
+        self._meter.open_span(rid, kind="server", resource_type="m1.medium", project="p")
+
+    def _terminate(self, rid):
+        pass  # the unified terminal path owns the close
+
+
+def open_at_module_level(meter, rid):
+    meter.open_span(rid, kind="volume", resource_type="ssd", project="p")
+
+
+def close_at_module_level(meter, rid):
+    meter.close_span(rid)

@@ -1,0 +1,9 @@
+"""Seeded positive for RES001: a cloud service that opens spans it can never close."""
+
+
+class LeakyService:
+    def __init__(self, meter):
+        self._meter = meter
+
+    def create(self, rid):
+        self._meter.open_span(rid, kind="server", resource_type="m1.medium", project="p")

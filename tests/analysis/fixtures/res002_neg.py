@@ -1,0 +1,12 @@
+"""Seeded negative for RES002: reserve paired with release in the same scope."""
+
+
+class FairService:
+    def __init__(self, quota):
+        self._quota = quota
+
+    def create(self):
+        self._quota.reserve(instances=1, cores=4)
+
+    def delete(self):
+        self._quota.release(instances=1, cores=4)

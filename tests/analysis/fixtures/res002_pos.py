@@ -1,0 +1,9 @@
+"""Seeded positive for RES002: quota charged with no release path in scope."""
+
+
+class GreedyService:
+    def __init__(self, quota):
+        self._quota = quota
+
+    def create(self):
+        self._quota.reserve(instances=1, cores=4)

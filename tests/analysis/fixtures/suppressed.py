@@ -1,0 +1,11 @@
+"""Suppression fixture: one waived finding (with reason), one not (reason missing)."""
+
+import time
+
+
+def waived():
+    return time.time()  # repro: noqa DET001 (fixture exercises the suppression parser)
+
+
+def not_waived():
+    return time.time()  # repro: noqa DET001

@@ -1,0 +1,76 @@
+"""CLI behaviour: exit codes, formats, baseline workflow, --stats."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+
+BAD = "import time\nt = time.time()\n"
+CLEAN = "x = 1\n"
+
+
+@pytest.fixture()
+def tree(tmp_path, monkeypatch):
+    """A scratch tree with one violation, cwd-pinned so default baseline paths resolve."""
+    src = tmp_path / "code"
+    src.mkdir()
+    (src / "bad.py").write_text(BAD)
+    (src / "clean.py").write_text(CLEAN)
+    monkeypatch.chdir(tmp_path)
+    return src
+
+
+def test_clean_tree_exits_zero(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "ok.py").write_text(CLEAN)
+    assert main(["ok.py"]) == 0
+    assert "0 new findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_text_report(tree, capsys):
+    assert main(["code"]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
+    assert "bad.py:2" in out
+
+
+def test_json_format(tree, capsys):
+    assert main(["code", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 2
+    assert payload["findings"][0]["rule_id"] == "DET001"
+    assert payload["findings"][0]["line"] == 2
+
+
+def test_write_baseline_then_gate_passes(tree, capsys):
+    assert main(["code", "--write-baseline", "--baseline", "base.json"]) == 0
+    assert main(["code", "--baseline", "base.json"]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+
+
+def test_new_finding_on_top_of_baseline_fails(tree, capsys):
+    assert main(["code", "--write-baseline", "--baseline", "base.json"]) == 0
+    (tree / "worse.py").write_text(BAD)
+    assert main(["code", "--baseline", "base.json"]) == 1
+
+
+def test_stats_mode(tree, capsys):
+    assert main(["code", "--stats"]) == 1
+    out = capsys.readouterr().out
+    assert "per-rule counts" in out
+    assert "DET001" in out and "RES002" in out
+
+
+def test_select_subset(tree, capsys):
+    assert main(["code", "--select", "DET003"]) == 0
+
+
+def test_unknown_rule_is_usage_error(tree, capsys):
+    assert main(["code", "--select", "NOPE999"]) == 2
+
+
+def test_missing_path_is_usage_error(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["does-not-exist"]) == 2

@@ -1,0 +1,63 @@
+"""Baseline semantics: snippet matching, entry consumption, line-drift resilience."""
+
+import pytest
+
+from repro.analysis import Baseline, Finding, Severity
+from repro.common.errors import ValidationError
+
+
+def finding(file="a.py", line=3, rule_id="DET001", message="m"):
+    return Finding(file=file, line=line, rule_id=rule_id, severity=Severity.ERROR, message=message)
+
+
+SOURCE = "import time\n\nt = time.time()\n"
+
+
+def test_roundtrip(tmp_path):
+    base = Baseline.from_findings([finding()], {"a.py": SOURCE})
+    path = tmp_path / "baseline.json"
+    base.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries == base.entries
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+
+def test_malformed_baseline_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("not json")
+    with pytest.raises(ValidationError):
+        Baseline.load(path)
+    path.write_text('{"findings": [{"file": "a.py"}]}')
+    with pytest.raises(ValidationError):
+        Baseline.load(path)
+
+
+def test_partition_matches_on_snippet_not_line_number():
+    base = Baseline.from_findings([finding(line=3)], {"a.py": SOURCE})
+    # two comment lines added above: the finding moved to line 5
+    drifted_source = "# one\n# two\nimport time\n\nt = time.time()\n"
+    moved = finding(line=5)
+    new, old = base.partition([moved], {"a.py": drifted_source})
+    assert new == []
+    assert old == [moved]
+
+
+def test_partition_consumes_entries():
+    """One baseline entry cannot absolve two identical findings."""
+    src = "import time\nt = time.time()\nt = time.time()\n"
+    first, second = finding(line=2, message="x"), finding(line=3, message="x")
+    base = Baseline.from_findings([first], {"a.py": src})
+    new, old = base.partition([first, second], {"a.py": src})
+    assert old == [first]
+    assert new == [second]
+
+
+def test_different_rule_same_line_not_matched():
+    base = Baseline.from_findings([finding(rule_id="DET001")], {"a.py": SOURCE})
+    other = finding(rule_id="DET003")
+    new, old = base.partition([other], {"a.py": SOURCE})
+    assert new == [other]
+    assert old == []

@@ -1,0 +1,83 @@
+"""The analyzer's own correctness: every seeded positive is caught, every
+seeded negative is clean.
+
+Each fixture file under ``fixtures/`` seeds known violations (``*_pos``) or
+known-legitimate look-alikes (``*_neg``) for one rule.  The positives table
+pins the exact line numbers, so a rule that drifts to a different node
+anchor fails loudly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+# fixture -> (module name to analyze under, rule id, expected finding lines)
+POSITIVES = {
+    "det001_pos.py": ("fixture", "DET001", [12, 13, 14, 15, 16, 17]),
+    "det002_pos.py": ("fixture", "DET002", [8, 9, 10, 11, 12]),
+    "det003_pos.py": ("fixture", "DET003", [5, 7, 8, 9]),
+    "err001_pos.py": ("fixture", "ERR001", [7, 11, 15]),
+    "res001_pos.py": ("repro.cloud.fake", "RES001", [9]),
+    "res002_pos.py": ("repro.cloud.fake", "RES002", [9]),
+}
+
+NEGATIVES = {
+    "det001_neg.py": "fixture",
+    "det002_neg.py": "fixture",
+    "det003_neg.py": "fixture",
+    "err001_neg.py": "fixture",
+    "res001_neg.py": "repro.cloud.fake",
+    "res002_neg.py": "repro.cloud.fake",
+}
+
+
+def run_fixture(name: str, module: str):
+    source = (FIXTURES / name).read_text()
+    return analyze_source(source, path=name, module=module)
+
+
+@pytest.mark.parametrize("name", sorted(POSITIVES))
+def test_positives_all_caught(name):
+    module, rule_id, lines = POSITIVES[name]
+    findings, suppressed = run_fixture(name, module)
+    assert [f.rule_id for f in findings] == [rule_id] * len(lines)
+    assert [f.line for f in findings] == lines
+    assert suppressed == []
+
+
+@pytest.mark.parametrize("name", sorted(NEGATIVES))
+def test_negatives_all_clean(name):
+    findings, suppressed = run_fixture(name, NEGATIVES[name])
+    assert findings == []
+    assert suppressed == []
+
+
+def test_res_rules_scoped_to_cloud_and_spot():
+    """The same leaky source is clean outside the repro.cloud/spot scope."""
+    source = (FIXTURES / "res001_pos.py").read_text()
+    findings, _ = analyze_source(source, path="res001_pos.py", module="repro.serving.engine")
+    assert findings == []
+
+
+def test_det001_allowed_inside_clock_module():
+    source = "import time\n\nWALL = time.time()\n"
+    findings, _ = analyze_source(source, module="repro.common.clock")
+    assert findings == []
+    findings, _ = analyze_source(source, module="repro.common.ids")
+    assert [f.rule_id for f in findings] == ["DET001"]
+
+
+def test_rule_selection_runs_subset():
+    source = (FIXTURES / "det001_pos.py").read_text()
+    findings, _ = analyze_source(source, module="fixture", rules=["DET003"])
+    assert findings == []
+
+
+def test_syntax_error_becomes_finding():
+    findings, _ = analyze_source("def broken(:\n", path="broken.py")
+    assert len(findings) == 1
+    assert findings[0].rule_id == "SYNTAX"

@@ -1,0 +1,45 @@
+"""Inline ``# repro: noqa`` parsing and enforcement of the mandatory reason."""
+
+from pathlib import Path
+
+from repro.analysis import analyze_source
+from repro.analysis.suppressions import parse_suppressions
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_parse_single_rule():
+    sups = parse_suppressions("x = 1  # repro: noqa DET001 (calibration uses wall time)\n")
+    assert sups[1].rule_ids == frozenset({"DET001"})
+    assert sups[1].reason == "calibration uses wall time"
+
+
+def test_parse_multiple_rules_one_comment():
+    sups = parse_suppressions("y = 2  # repro: noqa DET001, DET003 (both accepted here)\n")
+    assert sups[1].rule_ids == frozenset({"DET001", "DET003"})
+
+
+def test_reason_is_mandatory():
+    assert parse_suppressions("z = 3  # repro: noqa DET001\n") == {}
+    assert parse_suppressions("z = 3  # repro: noqa DET001 ()\n") == {}
+
+
+def test_plain_ruff_noqa_is_not_ours():
+    assert parse_suppressions("w = 4  # noqa: E501\n") == {}
+
+
+def test_suppression_only_covers_named_rule():
+    source = "import time\nt = time.time()  # repro: noqa DET003 (wrong rule named)\n"
+    findings, suppressed = analyze_source(source, module="m")
+    assert [f.rule_id for f in findings] == ["DET001"]
+    assert suppressed == []
+
+
+def test_fixture_waived_and_unwaived():
+    source = (FIXTURES / "suppressed.py").read_text()
+    findings, suppressed = analyze_source(source, path="suppressed.py", module="fixture")
+    # the reasoned noqa waives its line; the reason-less one does not
+    assert len(suppressed) == 1
+    assert suppressed[0].finding.rule_id == "DET001"
+    assert suppressed[0].reason == "fixture exercises the suppression parser"
+    assert [f.rule_id for f in findings] == ["DET001"]

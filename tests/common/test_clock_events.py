@@ -73,6 +73,56 @@ class TestEventLoop:
         loop.run()
         assert order == ["first", "second", "low-prio"]
 
+    def test_many_equal_timestamp_events_pop_in_insertion_order(self):
+        """The seq tie-break is a total order: 50 events at the same instant
+        (same priority) fire exactly in the order they were scheduled."""
+        loop = EventLoop()
+        order = []
+        for i in range(50):
+            loop.schedule(1.0, lambda i=i: order.append(i))
+        loop.run()
+        assert order == list(range(50))
+
+    def test_equal_time_events_from_callbacks_fire_after_earlier_peers(self):
+        """An event scheduled *at the current time from inside a callback*
+        gets a later seq, so it fires after the same-time events that were
+        already queued — replay order never depends on heap internals."""
+        loop = EventLoop()
+        order = []
+
+        def first():
+            order.append("first")
+            loop.schedule(1.0, lambda: order.append("nested"))
+
+        loop.schedule(1.0, first)
+        loop.schedule(1.0, lambda: order.append("second"))
+        loop.run()
+        assert order == ["first", "second", "nested"]
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0, max_value=10), st.integers(-3, 3)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_firing_order_is_stable_sort_of_schedule_order(self, schedules):
+        """Across arbitrary (time, priority) mixes, firing order equals a
+        *stable* sort of insertion order — i.e. equal (time, priority) keys
+        preserve insertion order."""
+        loop = EventLoop()
+        fired = []
+        for idx, (t, prio) in enumerate(schedules):
+            loop.schedule(t, lambda idx=idx: fired.append(idx), priority=prio)
+        loop.run()
+        expected = [
+            idx
+            for idx, _ in sorted(
+                enumerate(schedules), key=lambda pair: (pair[1][0], pair[1][1], pair[0])
+            )
+        ]
+        assert fired == expected
+
     def test_clock_advances_to_event_time(self):
         loop = EventLoop()
         seen = []
