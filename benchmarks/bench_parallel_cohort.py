@@ -1,0 +1,69 @@
+"""Serial vs parallel cohort execution: wall time, speedup, and the digest.
+
+The parallel engine's pitch is "same bytes, less time": plan once, execute
+shards on a process pool, merge canonically.  This bench runs both paths
+end-to-end — *including* the serial planning step in both timings, so the
+speedup number is honest about Amdahl — on a 4x cohort (764 students),
+asserts digest equality, and records serial/parallel seconds + speedup in
+the benchmark JSON via ``extra_info``.
+
+``--quick`` (CI smoke) shrinks the cohort and skips the speedup floor:
+tiny cohorts don't amortize pool startup, and the digest check is the part
+that must never regress.
+"""
+
+import time
+
+from repro.core import CohortSimulation, records_digest, scaled_course
+from repro.core.cohort import CohortConfig
+from repro.parallel import run_parallel
+
+#: The acceptance floor: parallel must beat serial by this factor at 4x.
+SPEEDUP_FLOOR = 1.5
+WORKERS = 4
+
+
+def test_parallel_speedup_vs_serial(benchmark, quick):
+    scale = 0.5 if quick else 4.0
+    course = scaled_course(scale)
+    config = CohortConfig(seed=42)
+
+    t0 = time.perf_counter()  # repro: noqa DET001 (bench harness wall-clock, not simulation state)
+    serial = CohortSimulation(course, config).run()
+    serial_s = time.perf_counter() - t0  # repro: noqa DET001 (bench harness wall-clock, not simulation state)
+
+    t0 = time.perf_counter()  # repro: noqa DET001 (bench harness wall-clock, not simulation state)
+    parallel = benchmark.pedantic(
+        run_parallel,
+        args=(course, config),
+        kwargs={"workers": WORKERS},
+        rounds=1,
+        iterations=1,
+    )
+    parallel_s = time.perf_counter() - t0  # repro: noqa DET001 (bench harness wall-clock, not simulation state)
+
+    assert records_digest(parallel) == records_digest(serial)
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    benchmark.extra_info.update(
+        {
+            "students": course.enrollment,
+            "workers": WORKERS,
+            "records": len(parallel),
+            "serial_s": round(serial_s, 3),
+            "parallel_s": round(parallel_s, 3),
+            "speedup": round(speedup, 3),
+            "quick": quick,
+        }
+    )
+    print()
+    print(
+        f"cohort of {course.enrollment} students: serial {serial_s:.2f}s, "
+        f"parallel (workers={WORKERS}) {parallel_s:.2f}s -> {speedup:.2f}x"
+    )
+
+    if not quick:
+        assert speedup > SPEEDUP_FLOOR, (
+            f"parallel path only {speedup:.2f}x vs serial "
+            f"(floor {SPEEDUP_FLOOR}x at scale {scale})"
+        )

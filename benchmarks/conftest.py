@@ -5,6 +5,21 @@ import pytest
 from repro.core import CohortSimulation
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="shrink bench workloads to smoke-test size (CI uses this)",
+    )
+
+
+@pytest.fixture
+def quick(request):
+    """True when the bench run should finish in seconds, not minutes."""
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture(scope="session")
 def semester_records():
     """The default-seed semester (labs + project) used by every bench."""

@@ -47,4 +47,4 @@ def rule(rule_id: str, description: str) -> Callable[[RuleFn], RuleFn]:
 
 def load_builtin_rules() -> None:
     """Import the built-in rule pack (idempotent)."""
-    from repro.analysis.rules import determinism, errors, resources  # noqa: F401
+    from repro.analysis.rules import determinism, errors, parallelism, resources  # noqa: F401

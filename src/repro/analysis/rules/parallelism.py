@@ -1,0 +1,82 @@
+"""Parallelism-hygiene rules.
+
+``repro.parallel`` owes its headline guarantee — ``run_parallel`` is
+digest-identical to the serial run — to a narrow discipline: all process
+fan-out happens in one engine that executes *pre-planned, RNG-free*
+shards and merges them under a canonical order.  Ad-hoc pools elsewhere
+would reintroduce exactly the nondeterminism (scheduling-dependent
+interleavings, per-process RNG state, unordered reduces) that engine
+exists to contain, so PAR001 flags the primitives at the import site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+
+#: The only package allowed to touch process-pool primitives directly.
+_ALLOWED_PREFIX = "repro.parallel"
+
+#: Module roots whose import signals ad-hoc fan-out.
+_BANNED_MODULES = ("multiprocessing", "concurrent.futures")
+
+#: Direct process-creation calls caught by qualified name.
+_BANNED_CALLS = {
+    "os.fork": "os.fork() clones simulator state into an unmanaged process",
+}
+
+_MESSAGE = (
+    "{what} outside repro.parallel; fan-out must go through "
+    "repro.parallel.run_parallel so shards stay seed-split, RNG-free and "
+    "canonically merged (digest-identical to the serial run)"
+)
+
+
+def _is_banned_module(name: str) -> bool:
+    return any(name == root or name.startswith(root + ".") for root in _BANNED_MODULES)
+
+
+def _allowed(module: str) -> bool:
+    return module == _ALLOWED_PREFIX or module.startswith(_ALLOWED_PREFIX + ".")
+
+
+@rule("PAR001", "process fan-out primitives used outside repro.parallel")
+def par001_adhoc_fanout(ctx: ModuleContext) -> Iterator[Finding]:
+    if _allowed(ctx.module):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_banned_module(alias.name):
+                    yield ctx.finding(
+                        node,
+                        "PAR001",
+                        Severity.ERROR,
+                        _MESSAGE.format(what=f"import of {alias.name}"),
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            full = node.module
+            names = {alias.name for alias in node.names}
+            # `from concurrent import futures` is the same door
+            if full == "concurrent" and "futures" in names:
+                full = "concurrent.futures"
+            if _is_banned_module(full):
+                yield ctx.finding(
+                    node,
+                    "PAR001",
+                    Severity.ERROR,
+                    _MESSAGE.format(what=f"import from {full}"),
+                )
+        elif isinstance(node, ast.Call):
+            qualified = ctx.qualified_name(node.func)
+            if qualified is not None and qualified in _BANNED_CALLS:
+                yield ctx.finding(
+                    node,
+                    "PAR001",
+                    Severity.ERROR,
+                    _MESSAGE.format(what=f"call to {qualified}(): {_BANNED_CALLS[qualified]}"),
+                )

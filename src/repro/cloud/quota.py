@@ -44,6 +44,21 @@ class Quota:
     def unlimited(cls) -> "Quota":
         return cls(**{f.name: UNLIMITED for f in fields(cls)})
 
+    def scaled(self, factor: float) -> "Quota":
+        """This quota with every finite ceiling multiplied by ``factor``.
+
+        Used when simulating cohorts larger than the one the paper's
+        quota increase was sized for; values round up so integral limits
+        stay integral.  Unlimited dimensions stay unlimited.
+        """
+        if factor <= 0:
+            raise ValidationError(f"scale factor must be positive: {factor!r}")
+        scaled_values = {}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            scaled_values[f.name] = v if math.isinf(v) else float(math.ceil(v * factor))
+        return Quota(**scaled_values)
+
     @classmethod
     def course_quota(cls) -> "Quota":
         """The KVM@TACC quota increase granted to the course (paper §4)."""

@@ -25,7 +25,7 @@ from repro.common.clock import SimClock
 from repro.common.errors import ValidationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -68,6 +68,8 @@ class EventLoop:
         self._seq = 0
         self._fired = 0
         self._cancelled: set[int] = set()
+        self._cancelled_total = 0
+        self._peak_pending = 0
 
     @property
     def pending(self) -> int:
@@ -78,6 +80,27 @@ class EventLoop:
     def fired(self) -> int:
         """Number of events executed so far."""
         return self._fired
+
+    @property
+    def scheduled(self) -> int:
+        """Number of events scheduled over the loop's lifetime."""
+        return self._seq
+
+    def telemetry(self) -> dict[str, float]:
+        """Cheap lifetime counters (all in simulation domain — no wall clock).
+
+        Keys: ``scheduled`` / ``fired`` / ``cancelled`` / ``pending`` are
+        event counts, ``peak_pending`` is the queue's high-water mark, and
+        ``sim_time`` is the clock's current simulated hour.
+        """
+        return {
+            "scheduled": float(self._seq),
+            "fired": float(self._fired),
+            "cancelled": float(self._cancelled_total),
+            "pending": float(self.pending),
+            "peak_pending": float(self._peak_pending),
+            "sim_time": self.clock.now,
+        }
 
     def schedule(
         self,
@@ -95,6 +118,9 @@ class EventLoop:
         self._seq += 1
         ev = Event(time=float(time), priority=priority, seq=self._seq, callback=callback, label=label)
         heapq.heappush(self._heap, (ev.sort_key(), ev))
+        pending = len(self._heap) - len(self._cancelled)
+        if pending > self._peak_pending:
+            self._peak_pending = pending
         return ev
 
     def schedule_in(
@@ -112,7 +138,9 @@ class EventLoop:
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event (no-op if already fired)."""
-        self._cancelled.add(event.seq)
+        if event.seq not in self._cancelled:
+            self._cancelled.add(event.seq)
+            self._cancelled_total += 1
 
     def step(self) -> Event | None:
         """Fire the single earliest pending event; return it (or ``None``)."""
@@ -132,16 +160,32 @@ class EventLoop:
 
         The clock ends at exactly ``timestamp`` even if the last event fired
         earlier (so meters integrating "time since last event" stay exact).
+
+        This is the simulator's hottest loop (every cohort event funnels
+        through it), so it inlines :meth:`step` with the heap, tombstone
+        set, and clock held in locals; semantics are identical.
         """
         fired = 0
-        while self._heap:
-            key, ev = self._heap[0]
-            if key[0] > timestamp:
-                break
-            if self.step() is not None:
+        heap = self._heap
+        cancelled = self._cancelled
+        clock = self.clock
+        heappop = heapq.heappop
+        try:
+            while heap:
+                key, ev = heap[0]
+                if key[0] > timestamp:
+                    break
+                heappop(heap)
+                if cancelled and ev.seq in cancelled:
+                    cancelled.discard(ev.seq)
+                    continue
+                clock.advance_to(ev.time)
                 fired += 1
-        if timestamp > self.clock.now:
-            self.clock.advance_to(timestamp)
+                ev.callback()
+        finally:
+            self._fired += fired
+        if timestamp > clock.now:
+            clock.advance_to(timestamp)
         return fired
 
     def run(self, max_events: int | None = None) -> int:

@@ -20,7 +20,14 @@ cost per lab assignment), Fig 1 (expected vs actual duration), Fig 2
 """
 
 from repro.core.catalog import AWS_CATALOG, GCP_CATALOG, CloudInstance, PricingCatalog
-from repro.core.cohort import CohortConfig, CohortSimulation
+from repro.core.cohort import (
+    CohortConfig,
+    CohortPlan,
+    CohortSimulation,
+    ShardPlan,
+    execute_shard,
+    plan_cohort,
+)
 from repro.core.costmodel import CostModel, LabCostRow, SpotLabCostRow, SpotScenario
 from repro.core.course import (
     COURSE,
@@ -28,17 +35,24 @@ from repro.core.course import (
     LabAssignment,
     LabKind,
     RequirementSpec,
+    scaled_course,
 )
 from repro.core.matching import cheapest_match
 from repro.core.report import (
     fig1_duration_data,
     fig2_cost_distribution,
     fig3_project_usage,
+    records_digest,
     spot_headline_summary,
     spot_whatif,
     table1,
 )
-from repro.core.usage import AssignmentUsage, aggregate_by_assignment
+from repro.core.usage import (
+    AssignmentUsage,
+    aggregate_by_assignment,
+    canonical_sort_key,
+    canonicalize_records,
+)
 
 __all__ = [
     "CloudInstance",
@@ -51,10 +65,18 @@ __all__ = [
     "LabAssignment",
     "CourseDefinition",
     "COURSE",
+    "scaled_course",
     "CohortConfig",
     "CohortSimulation",
+    "CohortPlan",
+    "ShardPlan",
+    "plan_cohort",
+    "execute_shard",
     "AssignmentUsage",
     "aggregate_by_assignment",
+    "canonical_sort_key",
+    "canonicalize_records",
+    "records_digest",
     "CostModel",
     "LabCostRow",
     "SpotLabCostRow",

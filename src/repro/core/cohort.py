@@ -9,8 +9,7 @@ observations:
   heavy-tailed lognormal whose mean is calibrated from Table 1 —
   "sometimes intentionally (to avoid repeating lengthy setup), other
   times due to neglect" (§5).  Durations are capped at semester end
-  (staff clean-up), and provisioning retries later when the shared
-  project quota is momentarily exhausted.
+  (staff clean-up).
 * **Reserved labs** (Units 4-6): students book 2-3-hour slots on
   bare-metal/edge nodes through the lease system; auto-termination makes
   actual usage equal booked usage (Fig 1(b)).  Re-run counts are Poisson
@@ -19,6 +18,20 @@ observations:
   slots, big-data bare-metal jobs, edge deployments, and storage for the
   final ~6.5 weeks (§5's project usage).
 
+Architecture: **plan → execute → merge.**  All randomness and all
+cross-student coupling (the stratified duration pools, the shared slot
+calendar, quota admission) are resolved up front by :func:`plan_cohort`
+into per-student / per-group :class:`ShardPlan`\\ s whose activities carry
+fully resolved absolute times.  Seeds derive from one
+``numpy.random.SeedSequence`` tree (cohort stream, one stream per
+student, one per group), so any subset of shards can be planned and
+executed independently of the rest.  Executing a shard
+(:func:`execute_shard`) is RNG-free and touches only its own activities,
+which is what lets :func:`repro.parallel.run_parallel` fan shards out to
+worker processes and still merge back a record stream digest-identical
+to the serial :meth:`CohortSimulation.run` (see
+:func:`repro.core.usage.canonicalize_records`).
+
 Everything is seeded; totals land within a few percent of Table 1
 (asserted in tests with tolerant bands), while the *distribution* of
 per-student cost (Fig 2) emerges from the behaviour model.
@@ -26,16 +39,28 @@ per-student cost (Fig 2) emerges from the behaviour model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 from scipy import stats
 
+from repro.cloud.inventory import CHAMELEON_FLAVORS, CHAMELEON_NODE_TYPES, EDGE_DEVICE_TYPES
 from repro.cloud.metering import UsageRecord
+from repro.cloud.quota import Quota
 from repro.cloud.site import Site
 from repro.cloud.testbed import Testbed, chameleon
-from repro.common.errors import QuotaExceededError, ValidationError
+from repro.common.errors import ConflictError, QuotaExceededError, ValidationError
 from repro.core.course import COURSE, CourseDefinition, LabAssignment, LabKind
+from repro.core.usage import canonicalize_records
+
+KVM_SITE = "kvm@tacc"
+METAL_SITE = "chi@tacc"
+EDGE_SITE = "chi@edge"
+
+#: The enrollment the paper's KVM quota increase (§4) was granted for;
+#: larger cohorts get the quota scaled up proportionally.
+QUOTA_BASELINE_ENROLLMENT = 191
 
 
 @dataclass(frozen=True)
@@ -108,347 +133,913 @@ def capped_mean_compensation(target_mean: float, sigma: float, cap: float) -> fl
     return 0.5 * (lo + hi)
 
 
+# -- shardable plan units ---------------------------------------------------------
+#
+# Every activity carries fully resolved absolute times and scalar Python
+# values (no numpy scalars), so shards pickle cheaply and execute without
+# any RNG or cross-shard state.
+
+
+@dataclass(frozen=True)
+class VmLabActivity:
+    """One student's on-demand VM set for one lab."""
+
+    lab_id: str
+    user: str
+    start: float
+    duration: float
+    flavor: str
+    vm_count: int
+    block_gb: int = 0
+    object_gb: float = 0.0
+
+
+@dataclass(frozen=True)
+class SlotActivity:
+    """One booked reservation slot (bare-metal or edge lab)."""
+
+    lab_id: str
+    user: str
+    site: str
+    node_type: str
+    start: float
+    slot_hours: float
+    edge: bool
+
+
+@dataclass(frozen=True)
+class ProjectVmActivity:
+    """One long-lived project service VM."""
+
+    user: str
+    flavor: str
+    start: float
+    hours: float
+    with_fip: bool
+
+
+@dataclass(frozen=True)
+class ProjectLeaseActivity:
+    """One project lease (GPU training slot, big-data job, edge deploy)."""
+
+    user: str
+    site: str
+    node_type: str
+    start: float
+    hours: float
+    edge_session: bool
+
+
+@dataclass(frozen=True)
+class ProjectStorageActivity:
+    """One group's block volume + object-store footprint."""
+
+    user: str
+    start: float
+    block_gb: int
+    object_gb: float
+    hours: float
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """All activities of one independent execution unit (student or group).
+
+    ``spawn_key`` records the shard's position in the SeedSequence spawn
+    tree (provenance; execution itself is RNG-free).
+    """
+
+    shard_id: str
+    spawn_key: tuple[int, ...]
+    vm_labs: tuple[VmLabActivity, ...] = ()
+    slots: tuple[SlotActivity, ...] = ()
+    project_vms: tuple[ProjectVmActivity, ...] = ()
+    project_leases: tuple[ProjectLeaseActivity, ...] = ()
+    project_storage: tuple[ProjectStorageActivity, ...] = ()
+
+    @property
+    def activity_count(self) -> int:
+        return (
+            len(self.vm_labs)
+            + len(self.slots)
+            + len(self.project_vms)
+            + len(self.project_leases)
+            + len(self.project_storage)
+        )
+
+
+@dataclass(frozen=True)
+class CohortPlan:
+    """The fully resolved semester: every shard, ready to execute anywhere."""
+
+    seed: int
+    semester_hours: float
+    quota: Quota
+    student_shards: tuple[ShardPlan, ...]
+    group_shards: tuple[ShardPlan, ...]
+
+    def shards(self, *, include_project: bool = True) -> tuple[ShardPlan, ...]:
+        if include_project:
+            return self.student_shards + self.group_shards
+        return self.student_shards
+
+    @property
+    def activity_count(self) -> int:
+        return sum(s.activity_count for s in self.shards())
+
+
+def quota_for(course: CourseDefinition) -> Quota:
+    """The KVM@TACC quota for ``course``: the paper's grant, scaled up
+    proportionally for cohorts larger than the 191 it was sized for."""
+    scale = course.enrollment / QUOTA_BASELINE_ENROLLMENT
+    base = Quota.course_quota()
+    if scale <= 1.0:
+        return base
+    return base.scaled(scale)
+
+
+# -- planning ----------------------------------------------------------------------
+
+
+@dataclass
+class _StudentDraws:
+    """Raw per-student randomness, drawn from the student's own stream."""
+
+    participates: dict[str, bool] = field(default_factory=dict)  # VM lab -> bool
+    start_jitter: dict[str, float] = field(default_factory=dict)  # VM lab -> U(0,96)
+    score_jitter: dict[str, float] = field(default_factory=dict)  # VM lab -> LN(0,0.5)
+    slot_types: dict[str, list[str]] = field(default_factory=dict)  # reserved lab -> types
+
+
+class _CohortPlanner:
+    """Resolves the whole semester deterministically from the seed tree.
+
+    The seed hierarchy is ``SeedSequence(seed).spawn(3)`` →
+    (cohort stream, student root, group root); the student/group roots
+    spawn one child stream per student/group.  Cohort-level coupling
+    (negligence propensity, the stratified per-lab duration pools whose
+    *sample mean* is exact across the cohort) comes from the cohort
+    stream; everything a single student/group does alone comes from its
+    own stream.  Shared resources are then resolved serially in one
+    canonical order — the slot calendar cursor walk and the conservative
+    quota/lease admission sweeps — so shard execution never needs to
+    observe another shard.
+    """
+
+    def __init__(self, course: CourseDefinition, config: CohortConfig) -> None:
+        self.course = course
+        self.config = config
+        root = np.random.SeedSequence(config.seed)
+        cohort_ss, student_root, group_root = root.spawn(3)
+        self._cohort_rng = np.random.default_rng(cohort_ss)
+        self._student_seqs = student_root.spawn(course.enrollment)
+        self._group_seqs = group_root.spawn(course.project.groups)
+        self._slot_cursors: dict[str, int] = {}  # node_type -> next slot index
+        self._slot_capacity: dict[str, int] = {
+            **{n.name: n.count_available for n in CHAMELEON_NODE_TYPES.values()},
+            **{d.name: d.count_available for d in EDGE_DEVICE_TYPES.values()},
+        }
+
+    # -- randomness ------------------------------------------------------------
+
+    def _draw_cohort_level(self) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Propensity + per-VM-lab stratified duration pools (cohort stream)."""
+        n = self.course.enrollment
+        propensity = stratified_lognormal(1.0, self.config.propensity_sigma, n, self._cohort_rng)
+        pools: dict[str, np.ndarray] = {}
+        semester_end = self.course.semester_hours
+        for lab in self.course.labs:
+            if lab.kind is not LabKind.VM:
+                continue
+            # calibrated mean, corrected for participation and semester-end capping
+            target = (lab.mean_actual_hours or 1.0) / self.config.participation
+            cap = semester_end - (lab.week * 168.0 + 48.0)
+            raw_mean = capped_mean_compensation(target, lab.sigma, cap)
+            pools[lab.id] = np.sort(stratified_lognormal(raw_mean, lab.sigma, n, self._cohort_rng))
+        return propensity, pools
+
+    def _draw_student(self, index: int, propensity: float) -> _StudentDraws:
+        """All of one student's randomness, in a fixed per-lab order."""
+        rng = np.random.default_rng(self._student_seqs[index])
+        draws = _StudentDraws()
+        for lab in self.course.labs:
+            if lab.kind is LabKind.VM:
+                draws.participates[lab.id] = bool(rng.random() < self.config.participation)
+                draws.start_jitter[lab.id] = float(rng.uniform(0.0, 96.0))
+                draws.score_jitter[lab.id] = float(rng.lognormal(0.0, 0.5))
+            else:
+                count = int(rng.poisson(lab.mean_slots * propensity))
+                names = [o.node_type for o in lab.options]
+                weights = np.array([o.weight for o in lab.options])
+                draws.slot_types[lab.id] = [str(rng.choice(names, p=weights)) for _ in range(count)]
+        return draws
+
+    # -- shared-resource resolution --------------------------------------------
+
+    def _next_slot_start(self, node_type: str, week_start: float, slot_hours: float) -> float:
+        """Serial, conflict-free slot calendar per node type."""
+        capacity = self._slot_capacity[node_type]
+        cursor = self._slot_cursors.get(node_type, 0)
+        self._slot_cursors[node_type] = cursor + 1
+        round_idx = cursor // capacity
+        return week_start + round_idx * slot_hours
+
+    def plan(self) -> CohortPlan:
+        course, config = self.course, self.config
+        n = course.enrollment
+        propensity, pools = self._draw_cohort_level()
+        draws = [self._draw_student(i, float(propensity[i])) for i in range(n)]
+
+        # assign the longest durations in each lab's pool to the most
+        # negligence-prone students, so the per-student tail of Fig 2 is
+        # correlated across labs
+        durations: dict[str, np.ndarray] = {}
+        for lab in course.labs:
+            if lab.kind is not LabKind.VM:
+                continue
+            scores = propensity * np.array([d.score_jitter[lab.id] for d in draws])
+            assigned = np.empty(n)
+            assigned[np.argsort(scores)] = pools[lab.id]
+            dur = np.maximum(assigned, lab.expected_hours * 0.5)  # nobody quits instantly
+            if config.vm_reaper:
+                dur = np.minimum(dur, lab.expected_hours + config.vm_reaper_grace)
+            durations[lab.id] = dur
+
+        vm_labs: list[list[VmLabActivity]] = [[] for _ in range(n)]
+        slots: list[list[SlotActivity]] = [[] for _ in range(n)]
+        for lab in course.labs:
+            if lab.kind is LabKind.VM:
+                for i in range(n):
+                    if not draws[i].participates[lab.id]:
+                        continue
+                    vm_labs[i].append(
+                        VmLabActivity(
+                            lab_id=lab.id,
+                            user=f"student{i:03d}",
+                            start=lab.week * 168.0 + draws[i].start_jitter[lab.id],
+                            duration=float(durations[lab.id][i]),
+                            flavor=lab.flavor or "",
+                            vm_count=lab.vm_count,
+                            block_gb=lab.block_gb,
+                            object_gb=lab.object_gb,
+                        )
+                    )
+            else:
+                site = EDGE_SITE if lab.kind is LabKind.EDGE else METAL_SITE
+                week_start = lab.week * 168.0
+                # the calendar cursor walks lab-major / student-minor — the
+                # same canonical order for every worker count
+                for i in range(n):
+                    for node_type in draws[i].slot_types[lab.id]:
+                        slots[i].append(
+                            SlotActivity(
+                                lab_id=lab.id,
+                                user=f"student{i:03d}",
+                                site=site,
+                                node_type=node_type,
+                                start=self._next_slot_start(
+                                    node_type, week_start, lab.slot_hours
+                                ),
+                                slot_hours=lab.slot_hours,
+                                edge=lab.kind is LabKind.EDGE,
+                            )
+                        )
+
+        group_shards = self._plan_project()
+        student_shards = tuple(
+            ShardPlan(
+                shard_id=f"student{i:03d}",
+                spawn_key=(1, i),
+                vm_labs=tuple(vm_labs[i]),
+                slots=tuple(slots[i]),
+            )
+            for i in range(n)
+        )
+
+        student_shards, group_shards = _admission_sweeps(
+            student_shards,
+            group_shards,
+            quota=quota_for(course),
+            slot_capacity=self._slot_capacity,
+            semester_hours=course.semester_hours,
+            config=config,
+        )
+        return CohortPlan(
+            seed=config.seed,
+            semester_hours=course.semester_hours,
+            quota=quota_for(course),
+            student_shards=student_shards,
+            group_shards=group_shards,
+        )
+
+    def _plan_project(self) -> tuple[ShardPlan, ...]:
+        project = self.course.project
+        start = (self.course.semester_weeks - project.weeks) * 168.0
+        duration = project.weeks * 168.0
+        g = project.groups
+
+        shards: list[ShardPlan] = []
+        for group in range(g):
+            rng = np.random.default_rng(self._group_seqs[group])
+            user = f"group{group:02d}"
+            jitter = float(rng.uniform(0.0, 48.0))
+            g_start = start + jitter
+
+            # long-lived service VMs per flavor; one floating IP per group
+            vms: list[ProjectVmActivity] = []
+            for idx, (flavor, share) in enumerate(project.vm_flavor_shares):
+                hours = project.vm_hours_total * share / g
+                hours *= float(rng.lognormal(-0.02, 0.2))  # mild group-to-group spread
+                hours = min(hours, duration - jitter)
+                vms.append(
+                    ProjectVmActivity(
+                        user=user, flavor=flavor, start=g_start, hours=hours,
+                        with_fip=(idx == 0),
+                    )
+                )
+
+            leases: list[ProjectLeaseActivity] = []
+            # GPU training slots (4-hour blocks); shared slot calendar base
+            for node_type, share in project.gpu_type_shares:
+                hours = project.gpu_hours_total * share / g
+                n_slots = max(1, int(round(hours / 4.0)))
+                for _ in range(n_slots):
+                    s = self._next_slot_start(node_type, start, 4.0)
+                    leases.append(
+                        ProjectLeaseActivity(
+                            user=user, site=METAL_SITE, node_type=node_type,
+                            start=s, hours=4.0, edge_session=False,
+                        )
+                    )
+            # big-data bare-metal (CPU) job
+            bm_hours = project.baremetal_cpu_hours / g
+            s = self._next_slot_start(project.baremetal_cpu_type, start, bm_hours)
+            leases.append(
+                ProjectLeaseActivity(
+                    user=user, site=METAL_SITE, node_type=project.baremetal_cpu_type,
+                    start=s, hours=bm_hours, edge_session=False,
+                )
+            )
+            # edge deployment slots
+            edge_hours = project.edge_hours / g
+            s = self._next_slot_start(project.edge_type, start, edge_hours)
+            leases.append(
+                ProjectLeaseActivity(
+                    user=user, site=EDGE_SITE, node_type=project.edge_type,
+                    start=s, hours=edge_hours, edge_session=True,
+                )
+            )
+
+            storage = ProjectStorageActivity(
+                user=user,
+                start=g_start,
+                block_gb=int(round(project.block_storage_gb / g)),
+                object_gb=project.object_storage_gb / g,
+                hours=duration - jitter,
+            )
+            shards.append(
+                ShardPlan(
+                    shard_id=user,
+                    spawn_key=(2, group),
+                    project_vms=tuple(vms),
+                    project_leases=tuple(leases),
+                    project_storage=(storage,),
+                )
+            )
+        return tuple(shards)
+
+
+def plan_cohort(course: CourseDefinition = COURSE, config: CohortConfig | None = None) -> CohortPlan:
+    """Resolve one semester into independently executable shards."""
+    return _CohortPlanner(course, config if config is not None else CohortConfig()).plan()
+
+
+# -- plan-time admission sweeps ----------------------------------------------------
+#
+# The serial simulation resolved quota exhaustion and lease-calendar
+# conflicts *reactively* (retry events, next-slot fallbacks).  For shards
+# to be order-independent those outcomes must be fixed at plan time, so
+# two conservative chronological sweeps pre-admit every activity:
+#
+# * KVM quota: a bundle (FIP + instances + cores + RAM + volume) is
+#   admitted at time t only if it fits alongside every admitted bundle
+#   whose hold interval contains t — where releases happening *exactly*
+#   at t are NOT yet counted as free.  That strictness makes admission a
+#   pure prefix-sum test, independent of same-instant event ordering, so
+#   a plan-admitted bundle can never hit QuotaExceededError at runtime
+#   (the runtime holds a subset of what the sweep assumed held).
+#   Rejected bundles retry after the same backoff the reactive path used.
+# * Lease calendars: leases are half-open intervals [start, start+len);
+#   the sweep replays create_lease's capacity check in event order and
+#   bumps conflicting bookings to the next slot, exactly as the runtime
+#   ConflictError handler would.  (The cursor calendar is designed to be
+#   conflict-free, so bumps are a determinism backstop, not a hot path.)
+
+
+@dataclass
+class _Arrival:
+    shard: int  # index into the combined shard list
+    slot: int  # index into the shard's activity tuple
+    time: float
+    retries: int = 0
+
+
+def _vm_bundle(act: VmLabActivity) -> dict[str, float]:
+    flavor = CHAMELEON_FLAVORS[act.flavor]
+    bundle = {
+        "floating_ips": 1.0,
+        "instances": float(act.vm_count),
+        "cores": float(act.vm_count * flavor.vcpus),
+        "ram_gib": float(act.vm_count * flavor.ram_gib),
+    }
+    if act.block_gb:
+        bundle["volumes"] = 1.0
+        bundle["volume_storage_gb"] = float(act.block_gb)
+    return bundle
+
+
+def _project_vm_bundle(act: ProjectVmActivity) -> dict[str, float]:
+    flavor = CHAMELEON_FLAVORS[act.flavor]
+    bundle = {
+        "instances": 1.0,
+        "cores": float(flavor.vcpus),
+        "ram_gib": float(flavor.ram_gib),
+    }
+    if act.with_fip:
+        bundle["floating_ips"] = 1.0
+    return bundle
+
+
+def _storage_bundle(act: ProjectStorageActivity) -> dict[str, float]:
+    return {"volumes": 1.0, "volume_storage_gb": float(max(1, act.block_gb))}
+
+
+def _admission_sweeps(
+    student_shards: tuple[ShardPlan, ...],
+    group_shards: tuple[ShardPlan, ...],
+    *,
+    quota: Quota,
+    slot_capacity: dict[str, int],
+    semester_hours: float,
+    config: CohortConfig,
+) -> tuple[tuple[ShardPlan, ...], tuple[ShardPlan, ...]]:
+    """Run both sweeps; returns shards with admitted start times baked in."""
+    shards = list(student_shards) + list(group_shards)
+    shards = _sweep_kvm_quota(shards, quota, semester_hours, config)
+    shards = _sweep_lease_calendar(shards, slot_capacity, semester_hours)
+    n = len(student_shards)
+    return tuple(shards[:n]), tuple(shards[n:])
+
+
+def _sweep_kvm_quota(
+    shards: list[ShardPlan], quota: Quota, semester_hours: float, config: CohortConfig
+) -> list[ShardPlan]:
+    limits = {
+        dim: getattr(quota, dim)
+        for dim in ("instances", "cores", "ram_gib", "floating_ips", "volumes", "volume_storage_gb")
+    }
+    in_use = dict.fromkeys(limits, 0.0)
+    releases: list[tuple[float, int, dict[str, float]]] = []  # (time, tiebreak, bundle)
+
+    # arrivals in serial event-scheduling order: shard-major, stored order
+    heap: list[tuple[float, int, str, _Arrival]] = []
+    rank = 0
+    for si, shard in enumerate(shards):
+        for ai, act in enumerate(shard.vm_labs):
+            heapq.heappush(heap, (act.start, rank, "vm_labs", _Arrival(si, ai, act.start)))
+            rank += 1
+        for ai, act in enumerate(shard.project_vms):
+            heapq.heappush(heap, (act.start, rank, "project_vms", _Arrival(si, ai, act.start)))
+            rank += 1
+        for ai, act in enumerate(shard.project_storage):
+            heapq.heappush(heap, (act.start, rank, "project_storage", _Arrival(si, ai, act.start)))
+            rank += 1
+
+    admitted: dict[tuple[int, str, int], float | None] = {}  # -> start (None = dropped)
+    release_seq = 0
+
+    def _free_until(t: float) -> None:
+        # releases strictly before t only — see the conservatism note above
+        while releases and releases[0][0] < t:
+            _, _, bundle = heapq.heappop(releases)
+            for dim, amount in bundle.items():
+                in_use[dim] -= amount
+
+    def _fits(bundle: dict[str, float]) -> bool:
+        return all(in_use[dim] + amount <= limits[dim] for dim, amount in bundle.items())
+
+    def _hold(bundle: dict[str, float], end: float) -> None:
+        nonlocal release_seq
+        for dim, amount in bundle.items():
+            in_use[dim] += amount
+        release_seq += 1
+        heapq.heappush(releases, (end, release_seq, bundle))
+
+    while heap:
+        t, arrival_rank, field_name, arr = heapq.heappop(heap)
+        _free_until(t)
+        shard = shards[arr.shard]
+        act = getattr(shard, field_name)[arr.slot]
+        key = (arr.shard, field_name, arr.slot)
+        if field_name == "vm_labs":
+            end = min(t + act.duration, semester_hours - 1e-6)
+            if end <= t:
+                admitted[key] = None  # starts after staff clean-up: never runs
+                continue
+            bundle = _vm_bundle(act)
+            if _fits(bundle):
+                _hold(bundle, end)
+                admitted[key] = t
+            elif arr.retries >= config.max_quota_retries or t + config.quota_retry_hours > semester_hours:
+                admitted[key] = None  # the student gives up this week
+            else:
+                rank += 1
+                arr.retries += 1
+                heapq.heappush(heap, (t + config.quota_retry_hours, rank, field_name, arr))
+        elif field_name == "project_vms":
+            end = min(t + act.hours, semester_hours - 1e-6)
+            bundle = _project_vm_bundle(act)
+            if end > t and _fits(bundle):
+                _hold(bundle, end)
+                admitted[key] = t
+            elif t + 12.0 > semester_hours or end <= t:
+                admitted[key] = None
+            else:
+                rank += 1
+                heapq.heappush(heap, (t + 12.0, rank, field_name, arr))
+        else:  # project_storage: created unconditionally at runtime; count the hold
+            end = min(t + act.hours, semester_hours - 1e-6)
+            _hold(_storage_bundle(act), max(end, t))
+            admitted[key] = t
+
+    return _apply_admissions(shards, admitted, ("vm_labs", "project_vms", "project_storage"))
+
+
+def _sweep_lease_calendar(
+    shards: list[ShardPlan], slot_capacity: dict[str, int], semester_hours: float
+) -> list[ShardPlan]:
+    # active[(site, node_type)] -> list of [start, end) intervals still live
+    active: dict[tuple[str, str], list[tuple[float, float]]] = {}
+
+    heap: list[tuple[float, int, str, _Arrival]] = []
+    rank = 0
+    for si, shard in enumerate(shards):
+        for ai, act in enumerate(shard.slots):
+            heapq.heappush(heap, (act.start, rank, "slots", _Arrival(si, ai, act.start)))
+            rank += 1
+        for ai, act in enumerate(shard.project_leases):
+            heapq.heappush(heap, (act.start, rank, "project_leases", _Arrival(si, ai, act.start)))
+            rank += 1
+
+    admitted: dict[tuple[int, str, int], float | None] = {}
+    while heap:
+        t, arrival_rank, field_name, arr = heapq.heappop(heap)
+        shard = shards[arr.shard]
+        act = getattr(shard, field_name)[arr.slot]
+        key = (arr.shard, field_name, arr.slot)
+        if field_name == "slots":
+            end = t + act.slot_hours
+            step = act.slot_hours
+            max_retries = None  # _book_slot re-books indefinitely
+        else:
+            end = min(t + act.hours, semester_hours - 1e-6)
+            step = act.hours
+            max_retries = 200
+            if end <= t:
+                admitted[key] = None
+                continue
+        cal_key = (act.site, act.node_type)
+        live = [iv for iv in active.get(cal_key, ()) if iv[1] > t]
+        if len(live) + 1 <= slot_capacity[act.node_type]:
+            live.append((t, end))
+            active[cal_key] = live
+            admitted[key] = t
+        elif (max_retries is not None and arr.retries >= max_retries) or t + step > semester_hours:
+            active[cal_key] = live
+            admitted[key] = None
+        else:
+            active[cal_key] = live
+            rank += 1
+            arr.retries += 1
+            heapq.heappush(heap, (t + step, rank, field_name, arr))
+
+    return _apply_admissions(shards, admitted, ("slots", "project_leases"))
+
+
+def _apply_admissions(
+    shards: list[ShardPlan],
+    admitted: dict[tuple[int, str, int], float | None],
+    fields_swept: tuple[str, ...],
+) -> list[ShardPlan]:
+    out: list[ShardPlan] = []
+    for si, shard in enumerate(shards):
+        updates: dict[str, tuple] = {}
+        for field_name in fields_swept:
+            acts = getattr(shard, field_name)
+            new_acts = []
+            changed = False
+            for ai, act in enumerate(acts):
+                start = admitted.get((si, field_name, ai), act.start)
+                if start is None:
+                    changed = True
+                    continue  # dropped: quota never freed up / calendar full
+                if start != act.start:
+                    act = replace(act, start=start)
+                    changed = True
+                new_acts.append(act)
+            if changed:
+                updates[field_name] = tuple(new_acts)
+        out.append(replace(shard, **updates) if updates else shard)
+    return out
+
+
+# -- execution ---------------------------------------------------------------------
+#
+# Executing a shard schedules its activities onto whatever testbed it is
+# handed: the serial path hands every shard the one shared testbed, the
+# parallel path hands each worker a fresh one.  The callbacks below are
+# the same provisioning flows the reactive simulator used; the retry /
+# conflict branches are kept as a defensive mirror but are dead code for
+# plan-admitted activities (see the sweep notes above).
+
+
+def execute_shard(
+    shard: ShardPlan, testbed: Testbed, *, semester_hours: float, config: CohortConfig
+) -> None:
+    """Schedule every activity of ``shard`` onto ``testbed``."""
+    for act in shard.vm_labs:
+        _schedule_vm_set(testbed, act, semester_hours, config)
+    for slot_act in shard.slots:
+        _schedule_slot(testbed, slot_act)
+    for vm_act in shard.project_vms:
+        _schedule_project_vm(testbed, vm_act, semester_hours)
+    for lease_act in shard.project_leases:
+        _schedule_project_lease(testbed, lease_act, semester_hours)
+    for storage_act in shard.project_storage:
+        _schedule_project_storage(testbed, storage_act, semester_hours)
+
+
+def _schedule_vm_set(
+    testbed: Testbed, act: VmLabActivity, semester_hours: float, config: CohortConfig
+) -> None:
+    site = testbed.site(KVM_SITE)
+    testbed.loop.schedule(
+        act.start,
+        lambda: _provision_vm_set(testbed, site, act, semester_hours, config, retries=0),
+        label=f"{act.lab_id}:{act.user}:provision",
+    )
+
+
+def _provision_vm_set(
+    testbed: Testbed,
+    site: Site,
+    act: VmLabActivity,
+    semester_hours: float,
+    config: CohortConfig,
+    *,
+    retries: int,
+) -> None:
+    now = testbed.clock.now
+    end = min(now + act.duration, semester_hours - 1e-6)
+    if end <= now:
+        return
+    try:
+        fip = site.network.allocate_floating_ip("course", lab=act.lab_id, user=act.user)
+        servers = []
+        try:
+            for k in range(act.vm_count):
+                servers.append(
+                    site.compute.create_server(
+                        "course", f"{act.user}-{act.lab_id}-node{k}", act.flavor,
+                        user=act.user, lab=act.lab_id,
+                    )
+                )
+        except QuotaExceededError:
+            for s in servers:
+                site.compute.delete_server(s.id)
+            site.network.release_floating_ip(fip.id)
+            raise
+    except QuotaExceededError:
+        if retries >= config.max_quota_retries:
+            return  # the student gives up this week
+        testbed.loop.schedule(
+            now + config.quota_retry_hours,
+            lambda: _provision_vm_set(
+                testbed, site, act, semester_hours, config, retries=retries + 1
+            ),
+            label=f"{act.lab_id}:{act.user}:retry",
+        )
+        return
+
+    site.compute.associate_floating_ip(servers[0].id, fip.id)
+    volume = None
+    if act.block_gb:
+        volume = site.block_storage.create_volume(
+            "course", f"{act.user}-{act.lab_id}-vol", act.block_gb, user=act.user, lab=act.lab_id
+        )
+        site.block_storage.attach(volume.id, servers[0].id)
+
+    def teardown(servers=servers, fip=fip, volume=volume) -> None:
+        for s in servers:
+            if s.id in site.compute.servers:
+                site.compute.delete_server(s.id)
+        if fip.id in site.network.floating_ips:
+            site.network.release_floating_ip(fip.id)
+        if volume is not None and volume.id in site.block_storage.volumes:
+            site.block_storage.detach(volume.id)
+            site.block_storage.delete_volume(volume.id)
+
+    testbed.loop.schedule(max(now, end), teardown, label=f"{act.lab_id}:{act.user}:teardown")
+    if act.object_gb:
+        # object data persists as long as the lab instance
+        span_hours = max(0.0, end - now)
+        testbed.loop.schedule(
+            max(now, end),
+            lambda: site.object_storage.record_external_usage(
+                "course", gb=act.object_gb, hours=span_hours, user=act.user, lab=act.lab_id
+            ),
+            label=f"{act.lab_id}:{act.user}:objspan",
+        )
+
+
+def _schedule_slot(testbed: Testbed, act: SlotActivity) -> None:
+    site = testbed.site(act.site)
+
+    def provision() -> None:
+        now = testbed.clock.now
+        try:
+            lease = site.leases.create_lease(
+                "course", act.node_type,
+                start=now, end=now + act.slot_hours,
+                user=act.user, lab=act.lab_id,
+            )
+        except ConflictError:
+            # calendar contention: take the next slot
+            _schedule_slot(testbed, replace(act, start=now + act.slot_hours))
+            return
+        fip = site.network.allocate_floating_ip("course", lab=act.lab_id, user=act.user)
+        if act.edge:
+            site.compute.create_edge_session(
+                "course", f"{act.user}-{act.lab_id}", act.node_type, lease.id,
+                user=act.user, lab=act.lab_id,
+            )
+        else:
+            site.compute.create_baremetal(
+                "course", f"{act.user}-{act.lab_id}", act.node_type, lease.id,
+                user=act.user, lab=act.lab_id,
+            )
+        # the floating IP is released when the lease auto-terminates
+        testbed.loop.schedule(
+            lease.end,
+            lambda: site.network.release_floating_ip(fip.id)
+            if fip.id in site.network.floating_ips
+            else None,
+            priority=10,  # after the lease-expiry event
+            label=f"{act.lab_id}:{act.user}:fip-release",
+        )
+
+    testbed.loop.schedule(act.start, provision, label=f"{act.lab_id}:{act.user}:slot")
+
+
+def _schedule_project_vm(testbed: Testbed, act: ProjectVmActivity, semester_hours: float) -> None:
+    site = testbed.site(KVM_SITE)
+
+    def provision() -> None:
+        fip = None
+        try:
+            server = site.compute.create_server(
+                "course", f"{act.user}-{act.flavor}", act.flavor, user=act.user, lab="project"
+            )
+            if act.with_fip:
+                fip = site.network.allocate_floating_ip("course", lab="project", user=act.user)
+                site.compute.associate_floating_ip(server.id, fip.id)
+        except QuotaExceededError:
+            testbed.loop.schedule_in(12.0, provision, label=f"project:{act.user}:retry")
+            return
+        end = min(testbed.clock.now + act.hours, semester_hours - 1e-6)
+
+        def teardown() -> None:
+            if server.id in site.compute.servers:
+                site.compute.delete_server(server.id)
+            if fip is not None and fip.id in site.network.floating_ips:
+                site.network.release_floating_ip(fip.id)
+
+        testbed.loop.schedule(end, teardown, label=f"project:{act.user}:teardown")
+
+    testbed.loop.schedule(act.start, provision, label=f"project:{act.user}:{act.flavor}")
+
+
+def _schedule_project_lease(
+    testbed: Testbed, act: ProjectLeaseActivity, semester_hours: float, *, retries: int = 0
+) -> None:
+    site = testbed.site(act.site)
+
+    def provision() -> None:
+        now = testbed.clock.now
+        end = min(now + act.hours, semester_hours - 1e-6)
+        if end <= now:
+            return
+        try:
+            lease = site.leases.create_lease(
+                "course", act.node_type, start=now, end=end, user=act.user, lab="project"
+            )
+        except ConflictError:
+            if retries < 200:  # calendar contention: try the next slot
+                _schedule_project_lease(
+                    testbed, replace(act, start=now + act.hours), semester_hours,
+                    retries=retries + 1,
+                )
+            return
+        if act.edge_session:
+            site.compute.create_edge_session(
+                "course", f"{act.user}-{act.node_type}", act.node_type, lease.id,
+                user=act.user, lab="project",
+            )
+        else:
+            site.compute.create_baremetal(
+                "course", f"{act.user}-{act.node_type}", act.node_type, lease.id,
+                user=act.user, lab="project",
+            )
+
+    testbed.loop.schedule(act.start, provision, label=f"project:{act.user}:{act.node_type}")
+
+
+def _schedule_project_storage(
+    testbed: Testbed, act: ProjectStorageActivity, semester_hours: float
+) -> None:
+    site = testbed.site(KVM_SITE)
+
+    def provision() -> None:
+        vol = site.block_storage.create_volume(
+            "course", f"{act.user}-data", max(1, act.block_gb), user=act.user, lab="project"
+        )
+        end = min(testbed.clock.now + act.hours, semester_hours - 1e-6)
+        testbed.loop.schedule(
+            end,
+            lambda: site.block_storage.delete_volume(vol.id)
+            if vol.id in site.block_storage.volumes
+            else None,
+            label=f"project:{act.user}:vol-delete",
+        )
+        testbed.loop.schedule(
+            end,
+            lambda: site.object_storage.record_external_usage(
+                "course", gb=act.object_gb, hours=act.hours, user=act.user, lab="project"
+            ),
+            label=f"project:{act.user}:obj",
+        )
+
+    testbed.loop.schedule(act.start, provision, label=f"project:{act.user}:storage")
+
+
+def cleanup_leftovers(testbed: Testbed) -> None:
+    """Staff teardown at semester end: close any still-open spans."""
+    for site in testbed.sites.values():
+        for server_id in list(site.compute.servers):
+            site.compute.delete_server(server_id)
+        for fip_id in list(site.network.floating_ips):
+            site.network.release_floating_ip(fip_id)
+        for vol_id in list(site.block_storage.volumes):
+            vol = site.block_storage.volumes[vol_id]
+            if vol.attached_to is not None:
+                site.block_storage.detach(vol_id)
+            site.block_storage.delete_volume(vol_id)
+
+
+# -- the serial front-end ----------------------------------------------------------
+
+
 class CohortSimulation:
-    """One semester of simulated usage on a Chameleon-shaped testbed."""
+    """One semester of simulated usage on a Chameleon-shaped testbed.
+
+    ``run()`` is the serial reference execution: it plans the cohort,
+    schedules every shard onto the one shared testbed, and returns the
+    canonicalized record stream.  ``repro.parallel.run_parallel`` executes
+    the same plan across worker processes and merges to the identical
+    stream.
+    """
 
     def __init__(self, course: CourseDefinition = COURSE, config: CohortConfig | None = None) -> None:
         self.course = course
         self.config = config if config is not None else CohortConfig()
-        self.testbed: Testbed = chameleon()
-        self._rng = np.random.default_rng(self.config.seed)
-        self._slot_cursors: dict[str, int] = {}  # node_type -> next slot index
+        self.testbed: Testbed = chameleon(quota=quota_for(course))
         self._ran = False
-        # one negligence factor per student, shared across all labs
-        self._propensity = stratified_lognormal(
-            1.0, self.config.propensity_sigma, self.course.enrollment, self._rng
-        )
+        self._plan: CohortPlan | None = None
 
-    # -- public API --------------------------------------------------------------
+    def plan(self) -> CohortPlan:
+        """The resolved semester plan (computed once, cached)."""
+        if self._plan is None:
+            self._plan = plan_cohort(self.course, self.config)
+        return self._plan
 
     def run(self, *, include_project: bool = True) -> list[UsageRecord]:
         """Simulate the semester and return all usage records."""
         if self._ran:
             raise ValidationError("simulation already ran; build a fresh CohortSimulation")
         self._ran = True
-        for lab in self.course.labs:
-            if lab.kind is LabKind.VM:
-                self._schedule_vm_lab(lab)
-            else:
-                self._schedule_reserved_lab(lab)
-        if include_project:
-            self._schedule_project()
-        self.testbed.run_until(self.course.semester_hours)
-        self._cleanup_leftovers()
-        return self.testbed.usage_records()
-
-    # -- VM labs -------------------------------------------------------------------
-
-    def _schedule_vm_lab(self, lab: LabAssignment) -> None:
-        kvm = self.testbed.site("kvm@tacc")
-        semester_end = self.course.semester_hours
-        n = self.course.enrollment
-        doing = self._rng.random(n) < self.config.participation
-        starts = lab.week * 168.0 + self._rng.uniform(0.0, 96.0, size=n)
-        # calibrated mean, corrected for participation and semester-end capping
-        target = (lab.mean_actual_hours or 1.0) / self.config.participation
-        cap = semester_end - (lab.week * 168.0 + 48.0)
-        raw_mean = capped_mean_compensation(target, lab.sigma, cap)
-        # stratified draw (exact mean), then assign the longest durations to
-        # the most negligence-prone students so the per-student tail of
-        # Fig 2 is correlated across labs
-        durations = np.sort(stratified_lognormal(raw_mean, lab.sigma, n, self._rng))
-        scores = self._propensity * self._rng.lognormal(0.0, 0.5, size=n)
-        assigned = np.empty(n)
-        assigned[np.argsort(scores)] = durations
-        durations = np.maximum(assigned, lab.expected_hours * 0.5)  # nobody quits instantly
-        if self.config.vm_reaper:
-            durations = np.minimum(durations, lab.expected_hours + self.config.vm_reaper_grace)
-        for i in range(n):
-            if not doing[i]:
-                continue
-            start = float(starts[i])
-            duration = float(durations[i])
-            self.testbed.loop.schedule(
-                start,
-                lambda lab=lab, user=f"student{i:03d}", duration=duration, site=kvm: (
-                    self._provision_vm_set(site, lab, user, duration, retries=0)
-                ),
-                label=f"{lab.id}:{i}:provision",
-            )
-
-    def _provision_vm_set(
-        self, site: Site, lab: LabAssignment, user: str, duration: float, *, retries: int
-    ) -> None:
-        now = self.testbed.clock.now
-        end = min(now + duration, self.course.semester_hours - 1e-6)
-        if end <= now:
-            return
-        try:
-            fip = site.network.allocate_floating_ip("course", lab=lab.id, user=user)
-            servers = []
-            try:
-                for k in range(lab.vm_count):
-                    servers.append(
-                        site.compute.create_server(
-                            "course", f"{user}-{lab.id}-node{k}", lab.flavor,
-                            user=user, lab=lab.id,
-                        )
-                    )
-            except QuotaExceededError:
-                for s in servers:
-                    site.compute.delete_server(s.id)
-                site.network.release_floating_ip(fip.id)
-                raise
-        except QuotaExceededError:
-            if retries >= self.config.max_quota_retries:
-                return  # the student gives up this week
-            self.testbed.loop.schedule(
-                now + self.config.quota_retry_hours,
-                lambda: self._provision_vm_set(site, lab, user, duration, retries=retries + 1),
-                label=f"{lab.id}:{user}:retry",
-            )
-            return
-
-        site.compute.associate_floating_ip(servers[0].id, fip.id)
-        volume = None
-        if lab.block_gb:
-            volume = site.block_storage.create_volume(
-                "course", f"{user}-{lab.id}-vol", lab.block_gb, user=user, lab=lab.id
-            )
-            site.block_storage.attach(volume.id, servers[0].id)
-        def teardown(servers=servers, fip=fip, volume=volume) -> None:
-            for s in servers:
-                if s.id in site.compute.servers:
-                    site.compute.delete_server(s.id)
-            if fip.id in site.network.floating_ips:
-                site.network.release_floating_ip(fip.id)
-            if volume is not None and volume.id in site.block_storage.volumes:
-                site.block_storage.detach(volume.id)
-                site.block_storage.delete_volume(volume.id)
-
-        self.testbed.loop.schedule(max(now, end), teardown, label=f"{lab.id}:{user}:teardown")
-        if lab.object_gb:
-            # object data persists as long as the lab instance
-            duration = max(0.0, end - now)
-            self.testbed.loop.schedule(
-                max(now, end),
-                lambda: site.object_storage.record_external_usage(
-                    "course", gb=lab.object_gb, hours=duration, user=user, lab=lab.id
-                ),
-                label=f"{lab.id}:{user}:objspan",
-            )
-
-    # -- reserved labs --------------------------------------------------------------
-
-    def _schedule_reserved_lab(self, lab: LabAssignment) -> None:
-        n = self.course.enrollment
-        site_name = "chi@edge" if lab.kind is LabKind.EDGE else "chi@tacc"
-        site = self.testbed.site(site_name)
-        # re-run counts scale with the shared negligence propensity (students
-        # who forget VMs also redo GPU labs more), giving the Fig-2 tail its
-        # GPU component while preserving the calibrated mean
-        slot_counts = self._rng.poisson(lab.mean_slots * self._propensity, size=n)
-        option_names = [o.node_type for o in lab.options]
-        option_weights = np.array([o.weight for o in lab.options])
-        week_start = lab.week * 168.0
-        for i in range(n):
-            for _slot in range(int(slot_counts[i])):
-                node_type = str(self._rng.choice(option_names, p=option_weights))
-                start = self._next_slot_start(site, node_type, week_start, lab.slot_hours)
-                self._book_slot(site, lab, node_type, f"student{i:03d}", start)
-
-    def _next_slot_start(
-        self, site: Site, node_type: str, week_start: float, slot_hours: float
-    ) -> float:
-        """Serial, conflict-free slot calendar per node type."""
-        capacity = site.leases.capacity(node_type)
-        cursor = self._slot_cursors.get(node_type, 0)
-        self._slot_cursors[node_type] = cursor + 1
-        round_idx = cursor // capacity
-        return week_start + round_idx * slot_hours
-
-    def _book_slot(
-        self, site: Site, lab: LabAssignment, node_type: str, user: str, start: float
-    ) -> None:
-        def provision() -> None:
-            from repro.common.errors import ConflictError
-
-            try:
-                lease = site.leases.create_lease(
-                    "course", node_type,
-                    start=self.testbed.clock.now,
-                    end=self.testbed.clock.now + lab.slot_hours,
-                    user=user, lab=lab.id,
-                )
-            except ConflictError:
-                # calendar contention: take the next slot
-                self._book_slot(site, lab, node_type, user,
-                                self.testbed.clock.now + lab.slot_hours)
-                return
-            fip = site.network.allocate_floating_ip("course", lab=lab.id, user=user)
-            if lab.kind is LabKind.EDGE:
-                site.compute.create_edge_session(
-                    "course", f"{user}-{lab.id}", node_type, lease.id, user=user, lab=lab.id
-                )
-            else:
-                site.compute.create_baremetal(
-                    "course", f"{user}-{lab.id}", node_type, lease.id, user=user, lab=lab.id
-                )
-            # the floating IP is released when the lease auto-terminates
-            self.testbed.loop.schedule(
-                lease.end,
-                lambda: site.network.release_floating_ip(fip.id)
-                if fip.id in site.network.floating_ips
-                else None,
-                priority=10,  # after the lease-expiry event
-                label=f"{lab.id}:{user}:fip-release",
-            )
-
-        self.testbed.loop.schedule(start, provision, label=f"{lab.id}:{user}:slot")
-
-    # -- project phase -----------------------------------------------------------------
-
-    def _schedule_project(self) -> None:
-        project = self.course.project
-        start = (self.course.semester_weeks - project.weeks) * 168.0
-        duration = project.weeks * 168.0
-        kvm = self.testbed.site("kvm@tacc")
-        metal = self.testbed.site("chi@tacc")
-        edge = self.testbed.site("chi@edge")
-        g = project.groups
-
-        for group in range(g):
-            user = f"group{group:02d}"
-            jitter = float(self._rng.uniform(0.0, 48.0))
-            g_start = start + jitter
-
-            # long-lived service VMs per flavor; one floating IP per group
-            for idx, (flavor, share) in enumerate(project.vm_flavor_shares):
-                hours = project.vm_hours_total * share / g
-                hours *= float(self._rng.lognormal(-0.02, 0.2))  # mild group-to-group spread
-                hours = min(hours, duration - jitter)
-                self._project_vm(kvm, user, flavor, g_start, hours, with_fip=(idx == 0))
-
-            # GPU training slots (4-hour blocks); shared slot calendar base
-            for node_type, share in project.gpu_type_shares:
-                hours = project.gpu_hours_total * share / g
-                n_slots = max(1, int(round(hours / 4.0)))
-                for _ in range(n_slots):
-                    s = self._next_slot_start(metal, node_type, start, 4.0)
-                    self._project_lease(metal, user, node_type, s, 4.0)
-
-            # big-data bare-metal (CPU) job
-            bm_hours = project.baremetal_cpu_hours / g
-            s = self._next_slot_start(metal, project.baremetal_cpu_type, start, bm_hours)
-            self._project_lease(metal, user, project.baremetal_cpu_type, s, bm_hours)
-
-            # edge deployment slots
-            edge_hours = project.edge_hours / g
-            s = self._next_slot_start(edge, project.edge_type, start, edge_hours)
-            self._project_lease(edge, user, project.edge_type, s, edge_hours, edge_session=True)
-
-            # storage for the whole project window
-            block_gb = int(round(project.block_storage_gb / g))
-            object_gb = project.object_storage_gb / g
-            self.testbed.loop.schedule(
-                g_start,
-                lambda u=user, bg=block_gb, og=object_gb, d=duration - jitter: (
-                    self._project_storage(kvm, u, bg, og, d)
-                ),
-                label=f"project:{user}:storage",
-            )
-
-    def _project_vm(
-        self, site: Site, user: str, flavor: str, start: float, hours: float, *, with_fip: bool
-    ) -> None:
-        def provision() -> None:
-            fip = None
-            try:
-                server = site.compute.create_server(
-                    "course", f"{user}-{flavor}", flavor, user=user, lab="project"
-                )
-                if with_fip:
-                    fip = site.network.allocate_floating_ip("course", lab="project", user=user)
-                    site.compute.associate_floating_ip(server.id, fip.id)
-            except QuotaExceededError:
-                self.testbed.loop.schedule_in(12.0, provision, label=f"project:{user}:retry")
-                return
-            end = min(self.testbed.clock.now + hours, self.course.semester_hours - 1e-6)
-
-            def teardown() -> None:
-                if server.id in site.compute.servers:
-                    site.compute.delete_server(server.id)
-                if fip is not None and fip.id in site.network.floating_ips:
-                    site.network.release_floating_ip(fip.id)
-
-            self.testbed.loop.schedule(end, teardown, label=f"project:{user}:teardown")
-
-        self.testbed.loop.schedule(start, provision, label=f"project:{user}:{flavor}")
-
-    def _project_lease(
-        self, site: Site, user: str, node_type: str, start: float, hours: float,
-        *, edge_session: bool = False, retries: int = 0,
-    ) -> None:
-        def provision() -> None:
-            from repro.common.errors import ConflictError
-
-            now = self.testbed.clock.now
-            end = min(now + hours, self.course.semester_hours - 1e-6)
-            if end <= now:
-                return
-            try:
-                lease = site.leases.create_lease(
-                    "course", node_type, start=now, end=end, user=user, lab="project"
-                )
-            except ConflictError:
-                if retries < 200:  # calendar contention: try the next slot
-                    self._project_lease(
-                        site, user, node_type, now + hours, hours,
-                        edge_session=edge_session, retries=retries + 1,
-                    )
-                return
-            if edge_session:
-                site.compute.create_edge_session(
-                    "course", f"{user}-{node_type}", node_type, lease.id, user=user, lab="project"
-                )
-            else:
-                site.compute.create_baremetal(
-                    "course", f"{user}-{node_type}", node_type, lease.id, user=user, lab="project"
-                )
-
-        self.testbed.loop.schedule(start, provision, label=f"project:{user}:{node_type}")
-
-    def _project_storage(self, site: Site, user: str, block_gb: int, object_gb: float, hours: float) -> None:
-        vol = site.block_storage.create_volume(
-            "course", f"{user}-data", max(1, block_gb), user=user, lab="project"
-        )
-        end = min(self.testbed.clock.now + hours, self.course.semester_hours - 1e-6)
-        self.testbed.loop.schedule(
-            end,
-            lambda: site.block_storage.delete_volume(vol.id)
-            if vol.id in site.block_storage.volumes
-            else None,
-            label=f"project:{user}:vol-delete",
-        )
-        self.testbed.loop.schedule(
-            end,
-            lambda d=hours: site.object_storage.record_external_usage(
-                "course", gb=object_gb, hours=d, user=user, lab="project"
-            ),
-            label=f"project:{user}:obj",
-        )
-
-    # -- end of semester -------------------------------------------------------------
-
-    def _cleanup_leftovers(self) -> None:
-        """Staff teardown at semester end: close any still-open spans."""
-        for site in self.testbed.sites.values():
-            for server_id in list(site.compute.servers):
-                site.compute.delete_server(server_id)
-            for fip_id in list(site.network.floating_ips):
-                site.network.release_floating_ip(fip_id)
-            for vol_id in list(site.block_storage.volumes):
-                vol = site.block_storage.volumes[vol_id]
-                if vol.attached_to is not None:
-                    site.block_storage.detach(vol_id)
-                site.block_storage.delete_volume(vol_id)
+        plan = self.plan()
+        for shard in plan.shards(include_project=include_project):
+            execute_shard(shard, self.testbed, semester_hours=plan.semester_hours, config=self.config)
+        self.testbed.run_until(plan.semester_hours)
+        cleanup_leftovers(self.testbed)
+        return canonicalize_records([self.testbed.usage_records()])

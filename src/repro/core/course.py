@@ -15,7 +15,7 @@ multi-GPU) to the same cloud equivalent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
 
 from repro.common.errors import ValidationError
@@ -271,6 +271,33 @@ def _build_course() -> CourseDefinition:
 
 #: The Spring-2025 *ML Systems Engineering and Operations* offering.
 COURSE: CourseDefinition = _build_course()
+
+
+def scaled_course(factor: float, *, course: CourseDefinition = COURSE) -> CourseDefinition:
+    """A what-if offering with ``factor``× the cohort.
+
+    Enrollment and project group count scale (and round) together, and the
+    cohort-level project totals (VM/GPU/bare-metal/edge hours, storage GB)
+    scale by the *achieved* enrollment ratio, so per-student and per-group
+    intensities stay at the paper's calibration.  The lab definitions and
+    semester length are untouched.
+    """
+    if factor <= 0:
+        raise ValidationError(f"cohort scale factor must be positive: {factor!r}")
+    enrollment = max(1, round(course.enrollment * factor))
+    achieved = enrollment / course.enrollment
+    groups = max(1, round(course.project.groups * achieved))
+    project = replace(
+        course.project,
+        groups=groups,
+        vm_hours_total=course.project.vm_hours_total * achieved,
+        gpu_hours_total=course.project.gpu_hours_total * achieved,
+        baremetal_cpu_hours=course.project.baremetal_cpu_hours * achieved,
+        edge_hours=course.project.edge_hours * achieved,
+        block_storage_gb=course.project.block_storage_gb * achieved,
+        object_storage_gb=course.project.object_storage_gb * achieved,
+    )
+    return replace(course, enrollment=enrollment, project=project)
 
 #: Table-1 row order: (lab id, Chameleon resource type) pairs.
 TABLE1_ROWS: tuple[tuple[str, str], ...] = (

@@ -8,8 +8,10 @@ numbers.
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import astuple, dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -24,6 +26,19 @@ from repro.core.costmodel import (
 )
 from repro.core.course import COURSE, CourseDefinition, LabKind
 from repro.core.usage import aggregate_by_assignment
+
+
+def records_digest(records: Iterable[UsageRecord]) -> str:
+    """SHA-256 over the exact field tuples of a record stream.
+
+    The equivalence contract of `repro.parallel`: serial and parallel
+    executions of the same plan must agree on this digest (records are
+    compared *in order*, so canonicalization is part of the contract).
+    """
+    h = hashlib.sha256()
+    for rec in records:
+        h.update(repr(astuple(rec)).encode())
+    return h.hexdigest()
 
 
 # -- Table 1 ---------------------------------------------------------------------

@@ -12,11 +12,74 @@ reserved labs FIP hours equal instance hours by construction).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
 
 from repro.cloud.metering import UsageRecord
 
 _INSTANCE_KINDS = ("server", "baremetal", "edge")
+
+
+# -- canonical ordering & shard merge ---------------------------------------------
+#
+# `repro.parallel` executes cohort shards on independent testbeds, so the
+# raw record streams differ from the serial run in two sharding artifacts:
+# ordering (per-shard event loops interleave differently) and resource ids
+# (every shard's IdGenerator starts from 1).  Canonicalization erases both:
+# records are sorted under a total key over every *content* field, then ids
+# are re-minted per (site, prefix) in first-appearance order of the sorted
+# stream.  Two streams that agree record-by-record on content therefore
+# canonicalize to the same list — regardless of how they were sharded or
+# in which order the shards arrive.  (Records that tie on the full key are
+# content-identical and thus interchangeable, so ties cannot break this.)
+
+
+def canonical_sort_key(rec: UsageRecord) -> tuple:
+    """Total order over record *content* — every field except resource_id."""
+    return (
+        rec.start,
+        rec.end,
+        rec.site,
+        rec.kind,
+        rec.resource_type,
+        rec.project,
+        rec.user or "",
+        rec.lab or "",
+        rec.quantity,
+    )
+
+
+def canonicalize_records(shard_lists: Iterable[Sequence[UsageRecord]]) -> list[UsageRecord]:
+    """Merge per-shard record lists into one canonical stream.
+
+    Sorts all records under :func:`canonical_sort_key` (order-insensitive
+    to shard boundaries and shard order), then rewrites ``resource_id``
+    with fresh per-(site, prefix) counters in first-appearance order, so
+    ids look exactly like one shared IdGenerator minted them.  Records
+    that share an id within one shard (one resource, several spans) keep
+    sharing the re-minted id.
+    """
+    tagged: list[tuple[int, UsageRecord]] = []
+    for shard_idx, records in enumerate(shard_lists):
+        for rec in records:
+            tagged.append((shard_idx, rec))
+    tagged.sort(key=lambda t: canonical_sort_key(t[1]))
+
+    counters: dict[tuple[str, str], int] = {}
+    minted: dict[tuple[int, str, str], str] = {}  # (shard, site, old id) -> new id
+    out: list[UsageRecord] = []
+    for shard_idx, rec in tagged:
+        identity = (shard_idx, rec.site, rec.resource_id)
+        new_id = minted.get(identity)
+        if new_id is None:
+            prefix = rec.resource_id.rsplit("-", 1)[0]
+            counter_key = (rec.site, prefix)
+            serial = counters.get(counter_key, 0) + 1
+            counters[counter_key] = serial
+            new_id = f"{prefix}-{serial:06d}"
+            minted[identity] = new_id
+        out.append(rec if rec.resource_id == new_id else replace(rec, resource_id=new_id))
+    return out
 
 
 @dataclass

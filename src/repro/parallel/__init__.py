@@ -1,0 +1,40 @@
+"""Deterministic process-pool execution of the cohort simulation.
+
+The classic shape of a data-parallel training-stack runner, applied to
+the semester: the cohort **plan** (already resolved into independent
+per-student / per-group shards by :func:`repro.core.cohort.plan_cohort`,
+with every seed derived from one ``numpy.random.SeedSequence`` tree) is
+fanned out to worker processes, each shard executes on a private
+testbed, and the resulting :class:`~repro.cloud.metering.UsageRecord`
+shards are reduced under a canonical total order.  The contract — tested
+in ``tests/parallel`` and gated in CI — is that
+
+    ``run_parallel(course, config, workers=N)``
+
+is **digest-identical** to the serial ``CohortSimulation(course,
+config).run()`` for every seed and every ``N``.
+
+Why that holds (the short version; EXPERIMENTS.md has the long one):
+
+* planning is serial and deterministic, and resolves *all* randomness
+  and all cross-shard coupling (duration pools, the slot calendar, quota
+  admission) before any shard executes;
+* shard execution is RNG-free and touches only its own testbed, so
+  record *content* cannot depend on which process ran it;
+* :func:`~repro.core.usage.canonicalize_records` erases the two
+  sharding artifacts — record order and IdGenerator numbering — the
+  same way for any shard partition, including the serial "one shard
+  list" case.
+"""
+
+from repro.parallel.engine import ShardResult, run_parallel
+from repro.parallel.merge import merge_shard_records, total_unit_hours
+from repro.parallel.planner import batch_shards
+
+__all__ = [
+    "run_parallel",
+    "ShardResult",
+    "batch_shards",
+    "merge_shard_records",
+    "total_unit_hours",
+]

@@ -1,0 +1,114 @@
+"""CLI: run the cohort through the parallel engine and report.
+
+Examples
+--------
+Run the paper's cohort on 4 workers and print a summary::
+
+    python -m repro.parallel --workers 4
+
+Prove the determinism contract on a 2x cohort (serial vs parallel)::
+
+    python -m repro.parallel --workers 4 --scale 2 --verify
+
+Machine-readable output for sweep harnesses::
+
+    python -m repro.parallel --workers 2 --verify --json -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.cohort import CohortConfig, CohortSimulation, plan_cohort
+from repro.core.course import COURSE, scaled_course
+from repro.core.report import records_digest
+from repro.parallel.engine import execute_plan, run_parallel
+from repro.parallel.merge import merge_shard_records, total_unit_hours
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel",
+        description="Deterministic parallel cohort simulation (plan -> shards -> merge).",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="cohort seed (default 42)")
+    parser.add_argument("--workers", type=int, default=2, help="worker processes (default 2)")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="cohort scale factor vs the paper's 191 students (default 1.0)",
+    )
+    parser.add_argument(
+        "--labs-only", action="store_true", help="skip the project phase shards"
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="also run serially and require digest equality (exit 1 on mismatch)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the summary as JSON to PATH ('-' for stdout)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    course = COURSE if args.scale == 1.0 else scaled_course(args.scale)
+    config = CohortConfig(seed=args.seed)
+    include_project = not args.labs_only
+
+    plan = plan_cohort(course, config)
+    t0 = time.perf_counter()  # repro: noqa DET001 (CLI wall-clock reporting, not simulation state)
+    results = execute_plan(plan, config, workers=args.workers, include_project=include_project)
+    records = merge_shard_records([r.records for r in results])
+    parallel_s = time.perf_counter() - t0  # repro: noqa DET001 (CLI wall-clock reporting, not simulation state)
+
+    digest = records_digest(records)
+    summary: dict[str, object] = {
+        "seed": args.seed,
+        "workers": args.workers,
+        "students": course.enrollment,
+        "shards": len(plan.shards(include_project=include_project)),
+        "activities": plan.activity_count,
+        "records": len(records),
+        "unit_hours": round(total_unit_hours(records), 3),
+        "events_fired": sum(r.events_fired for r in results),
+        "digest": digest,
+        "parallel_seconds": round(parallel_s, 3),
+    }
+
+    ok = True
+    if args.verify:
+        t0 = time.perf_counter()  # repro: noqa DET001 (CLI wall-clock reporting, not simulation state)
+        serial = CohortSimulation(course, config).run(include_project=include_project)
+        serial_s = time.perf_counter() - t0  # repro: noqa DET001 (CLI wall-clock reporting, not simulation state)
+        serial_digest = records_digest(serial)
+        ok = serial_digest == digest
+        summary["serial_seconds"] = round(serial_s, 3)
+        summary["serial_digest"] = serial_digest
+        summary["digest_match"] = ok
+        if parallel_s > 0:
+            summary["speedup"] = round(serial_s / parallel_s, 3)
+
+    if args.json == "-":
+        json.dump(summary, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for key, value in summary.items():
+            print(f"{key:>18}: {value}")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(summary, fh, indent=2)
+            print(f"{'json':>18}: {args.json}")
+
+    if not ok:
+        print("DIGEST MISMATCH: parallel output differs from serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

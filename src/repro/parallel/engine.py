@@ -1,0 +1,149 @@
+"""The process-pool executor for cohort shards.
+
+``run_parallel`` = plan (serial, deterministic) → execute shards on
+worker processes (each on a private testbed) → merge under the canonical
+order.  Workers receive fully resolved :class:`ShardPlan`\\ s — plain
+frozen dataclasses of floats and strings — so the only thing crossing
+process boundaries is data, never simulator state or RNGs.
+
+This module is the one sanctioned home for process fan-out: the
+``repro.analysis`` rule PAR001 flags ``multiprocessing`` /
+``concurrent.futures`` imports anywhere outside ``repro.parallel`` so
+that every fan-out inherits this determinism contract.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.cloud.metering import UsageRecord
+from repro.cloud.quota import Quota
+from repro.cloud.testbed import chameleon
+from repro.core.cohort import (
+    CohortConfig,
+    CohortPlan,
+    ShardPlan,
+    cleanup_leftovers,
+    execute_shard,
+    plan_cohort,
+    quota_for,
+)
+from repro.core.course import COURSE, CourseDefinition
+from repro.parallel.merge import merge_shard_records
+from repro.parallel.planner import batch_shards
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One shard's execution outcome (records + loop telemetry)."""
+
+    shard_id: str
+    records: tuple[UsageRecord, ...]
+    events_fired: int
+
+
+@dataclass(frozen=True)
+class _ShardBatch:
+    """The self-contained work order shipped to one worker."""
+
+    shards: tuple[ShardPlan, ...]
+    semester_hours: float
+    quota: Quota
+    config: CohortConfig
+
+
+def _execute_batch(batch: _ShardBatch) -> list[ShardResult]:
+    """Worker entry point: run each shard on a fresh private testbed.
+
+    Every shard gets the full course quota and lease inventory — safe
+    because plan-time admission already guaranteed the *whole cohort*
+    fits, so any subset fits a fortiori and no retry/conflict path can
+    fire here that would not also fire serially (namely: none).
+    """
+    results: list[ShardResult] = []
+    for shard in batch.shards:
+        testbed = chameleon(quota=batch.quota)
+        execute_shard(
+            shard, testbed, semester_hours=batch.semester_hours, config=batch.config
+        )
+        fired = testbed.run_until(batch.semester_hours)
+        cleanup_leftovers(testbed)
+        results.append(
+            ShardResult(
+                shard_id=shard.shard_id,
+                records=tuple(testbed.usage_records()),
+                events_fired=fired,
+            )
+        )
+    return results
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork skips re-importing numpy/scipy in every worker; fall back to
+    # the platform default where fork is unavailable (the engine's output
+    # is start-method independent either way).
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def execute_plan(
+    plan: CohortPlan,
+    config: CohortConfig,
+    *,
+    workers: int = 2,
+    include_project: bool = True,
+) -> list[ShardResult]:
+    """Execute an already-computed plan across ``workers`` processes.
+
+    ``workers=1`` runs the same per-shard isolation in-process (no pool),
+    which is the cheapest way to exercise shard independence + merge.
+    """
+    shards = plan.shards(include_project=include_project)
+    batches = [
+        _ShardBatch(
+            shards=batch,
+            semester_hours=plan.semester_hours,
+            quota=plan.quota,
+            config=config,
+        )
+        for batch in batch_shards(shards, workers)
+    ]
+    if workers <= 1 or len(batches) <= 1:
+        batch_results = [_execute_batch(b) for b in batches]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=len(batches), mp_context=_pool_context()
+        ) as pool:
+            # executor.map preserves submission order, so results arrive
+            # shard-ordered no matter which worker finishes first
+            batch_results = list(pool.map(_execute_batch, batches))
+    return [result for batch in batch_results for result in batch]
+
+
+def run_parallel(
+    course: CourseDefinition = COURSE,
+    config: CohortConfig | None = None,
+    *,
+    workers: int = 2,
+    include_project: bool = True,
+) -> list[UsageRecord]:
+    """Plan, execute across ``workers`` processes, and canonically merge.
+
+    Digest-identical to ``CohortSimulation(course, config).run()`` for
+    every seed and worker count — the equivalence pack in
+    ``tests/parallel`` holds this to sha256 equality.
+    """
+    cfg = config if config is not None else CohortConfig()
+    plan = plan_cohort(course, cfg)
+    results = execute_plan(plan, cfg, workers=workers, include_project=include_project)
+    return merge_shard_records([r.records for r in results])
+
+
+__all__ = [
+    "ShardResult",
+    "execute_plan",
+    "run_parallel",
+    "quota_for",
+]

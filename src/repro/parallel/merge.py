@@ -1,0 +1,34 @@
+"""Order-canonical reduction of shard record streams.
+
+The actual canonicalization lives in :mod:`repro.core.usage` (it is also
+what the serial path applies to its single shard list); this module is
+the parallel engine's reduce step plus the conservation helper the
+property tests assert with.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.cloud.metering import UsageRecord
+from repro.core.usage import canonicalize_records
+
+
+def merge_shard_records(shard_lists: Iterable[Sequence[UsageRecord]]) -> list[UsageRecord]:
+    """Merge per-shard record lists into one canonical stream.
+
+    Invariant to shard order, shard boundaries, and empty shards: any
+    partition of the same records reduces to the same list (see
+    :func:`repro.core.usage.canonicalize_records` for why ids are
+    rewritten and how ties stay safe).
+    """
+    return canonicalize_records(shard_lists)
+
+
+def total_unit_hours(records: Iterable[UsageRecord]) -> float:
+    """Sum of ``quantity × hours`` — the metered billing integral.
+
+    The merge must conserve this exactly (it only reorders records and
+    re-mints ids); the Hypothesis pack checks shard-sum == merged-total.
+    """
+    return sum(rec.unit_hours for rec in records)

@@ -1,0 +1,52 @@
+"""Shard batching for the process pool.
+
+Shards are already independent (the cohort planner resolved every
+cross-shard dependency), so batching is purely a throughput concern:
+ship each worker a contiguous run of shards big enough to amortize the
+process round-trip.  Batches are balanced by *activity count* rather
+than shard count, because project-group shards carry an order of
+magnitude more activities than student shards.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import ValidationError
+from repro.core.cohort import ShardPlan
+
+
+def batch_shards(shards: Sequence[ShardPlan], workers: int) -> list[tuple[ShardPlan, ...]]:
+    """Split ``shards`` into at most ``workers`` contiguous batches.
+
+    Contiguity keeps the batching irrelevant to the output (the merge is
+    shard-order canonical anyway) while making the partition easy to
+    reason about in traces.  The split is a greedy walk that closes a
+    batch once it holds its fair share of the remaining activity weight.
+    """
+    if workers <= 0:
+        raise ValidationError(f"workers must be positive: {workers!r}")
+    shards = list(shards)
+    if not shards:
+        return []
+    batch_count = min(workers, len(shards))
+    weights = [max(1, s.activity_count) for s in shards]
+    remaining_weight = sum(weights)
+    batches: list[tuple[ShardPlan, ...]] = []
+    start = 0
+    for b in range(batch_count):
+        remaining_batches = batch_count - b
+        if remaining_batches == 1:
+            batches.append(tuple(shards[start:]))
+            break
+        target = remaining_weight / remaining_batches
+        taken = 0.0
+        end = start
+        # leave enough shards for every later batch to get at least one
+        while end < len(shards) - (remaining_batches - 1) and (taken == 0 or taken + weights[end] / 2 <= target):
+            taken += weights[end]
+            end += 1
+        batches.append(tuple(shards[start:end]))
+        remaining_weight -= taken
+        start = end
+    return [b for b in batches if b]

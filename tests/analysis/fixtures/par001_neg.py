@@ -1,0 +1,15 @@
+"""Seeded negatives for PAR001: look-alikes that are not process fan-out."""
+
+import threading  # threads share the event loop; a different rule's problem
+from concurrent import walk  # not concurrent.futures
+
+from repro.parallel import run_parallel  # the sanctioned door is fine to use
+
+
+def multiprocessing():  # a local name shadowing the module is not an import
+    return None
+
+
+def ok(records):
+    fork = getattr(records, "fork", None)  # attribute named fork, not os.fork
+    return run_parallel, threading.Lock(), walk, multiprocessing(), fork

@@ -1,0 +1,15 @@
+"""Seeded positives for PAR001: ad-hoc process fan-out outside repro.parallel."""
+
+import multiprocessing
+import multiprocessing.pool
+from concurrent import futures
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Pool
+
+import os
+
+
+def fan_out(tasks):
+    child = os.fork()
+    with Pool() as pool:
+        return child, pool.map(len, tasks), futures, multiprocessing, ProcessPoolExecutor
