@@ -1,0 +1,84 @@
+"""Fault-sweep overhead and the digest contract under chaos.
+
+Resolving a fault calendar into the plan is pure bookkeeping — the pitch
+is that resilience costs a planning pass, not an execution model.  This
+bench times the full faulted path (plan + sweep + parallel execute +
+merge) on a nonzero calendar, asserts the serial digest still matches at
+``workers=4``, and records the ledger's damage report in the benchmark
+JSON via ``extra_info``.
+
+``--quick`` (CI smoke) shrinks the cohort; the digest check is the part
+that must never regress.
+"""
+
+from repro.core import records_digest, scaled_course
+from repro.core.cohort import CohortConfig, CohortSimulation
+from repro.faults.plan import FaultPlanConfig, plan_faulted_cohort
+from repro.parallel.engine import execute_plan
+from repro.parallel.merge import merge_shard_records
+
+WORKERS = 4
+
+CHAOS = FaultPlanConfig(
+    seed=11,
+    outage_rate_per_week=0.3,
+    hazard_rate_per_khour=2.0,
+    burst_rate_per_week=1.0,
+)
+
+
+def test_faulted_cohort_end_to_end(benchmark, quick):
+    course = scaled_course(0.25 if quick else 1.0)
+    config = CohortConfig(seed=42)
+
+    def faulted_run():
+        plan, ledger = plan_faulted_cohort(course, config, CHAOS)
+        results = execute_plan(plan, config, workers=WORKERS)
+        return plan, ledger, merge_shard_records([r.records for r in results])
+
+    plan, ledger, merged = benchmark.pedantic(faulted_run, rounds=1, iterations=1)
+
+    serial = CohortSimulation(course, config, plan=plan).run()
+    assert records_digest(merged) == records_digest(serial)
+    assert ledger.events  # the chaos config must actually bite
+
+    benchmark.extra_info.update(
+        {
+            "students": course.enrollment,
+            "workers": WORKERS,
+            "records": len(merged),
+            "fault_events": len(ledger.events),
+            "outage_kills": ledger.outage_kills,
+            "hardware_kills": ledger.hardware_kills,
+            "delayed_starts": ledger.delayed_starts,
+            "abandoned": ledger.abandoned,
+            "lost_instance_hours": round(ledger.lost_instance_hours, 1),
+            "redo_instance_hours": round(ledger.redo_instance_hours, 1),
+            "quick": quick,
+        }
+    )
+    print()
+    print(
+        f"faulted cohort of {course.enrollment} students: "
+        f"{len(ledger.events)} fault events, "
+        f"{ledger.redo_instance_hours:.0f} redo instance-hours, "
+        f"digest stable at workers={WORKERS}"
+    )
+
+
+def test_fault_sweep_overhead(benchmark, quick):
+    """The sweep itself, isolated: planning with faults vs the ~free null
+    plan — how much bookkeeping a semester of chaos costs."""
+    course = scaled_course(0.25 if quick else 1.0)
+    config = CohortConfig(seed=42)
+
+    _, ledger = benchmark.pedantic(
+        plan_faulted_cohort,
+        args=(course, config, CHAOS),
+        rounds=1 if quick else 3,
+        iterations=1,
+    )
+    assert ledger.events
+    benchmark.extra_info.update(
+        {"students": course.enrollment, "fault_events": len(ledger.events)}
+    )

@@ -6,6 +6,13 @@ state with no trace.  A broad handler is fine when it re-raises, when it
 actually *uses* the caught exception (logging it, routing it to a
 dead-letter queue, keeping it for a retry loop's final error), or when it
 calls something that records the failure.
+
+ERR002 hunts unbounded retry loops: ``while True`` wrapped around an
+``except ... continue`` (or a trailing ``except: pass``) with no attempt
+bound and no backoff.  Against a down service that loop spins forever —
+the exact failure the shared :class:`~repro.common.retry.RetryPolicy`
+exists to prevent, so that module is the one sanctioned home for retry
+plumbing and is exempt.
 """
 
 from __future__ import annotations
@@ -77,3 +84,55 @@ def err001_silent_broad_except(ctx: ModuleContext) -> Iterator[Finding]:
                 f"routing; catch the specific error class, or record why it is "
                 f"safe to drop",
             )
+
+
+#: The one module allowed to implement raw retry loops (it is the policy).
+RETRY_MODULE = "repro.common.retry"
+
+#: Call-name substrings that signal the loop waits between attempts.
+_BACKOFF_HINTS = ("backoff", "sleep", "wait", "schedule", "delay")
+
+
+def _constant_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _handler_retries(handler: ast.ExceptHandler) -> bool:
+    """True when the handler sends control back around the loop: it
+    contains ``continue``, or its body is nothing but ``pass`` at the
+    bottom of the iteration — and nothing escapes (raise/break/return)."""
+    nodes = list(ast.walk(ast.Module(body=handler.body, type_ignores=[])))
+    if any(isinstance(n, (ast.Raise, ast.Break, ast.Return)) for n in nodes):
+        return False
+    if any(isinstance(n, ast.Continue) for n in nodes):
+        return True
+    return all(isinstance(s, ast.Pass) for s in handler.body)
+
+
+@rule("ERR002", "unbounded retry loop: while-True except-continue without bound or backoff")
+def err002_unbounded_retry(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.module == RETRY_MODULE:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.While) or not _constant_true(node.test):
+            continue
+        subtree = list(ast.walk(node))
+        if not any(
+            isinstance(h, ast.ExceptHandler) and _handler_retries(h) for h in subtree
+        ):
+            continue
+        waits = any(
+            isinstance(n, ast.Call)
+            and any(hint in _call_name(n.func).lower() for hint in _BACKOFF_HINTS)
+            for n in subtree
+        )
+        if waits:
+            continue
+        yield ctx.finding(
+            node,
+            "ERR002",
+            Severity.WARNING,
+            "while True retries on exception with no attempt bound and no "
+            "backoff — against a persistent failure this loop spins forever; "
+            "drive it from repro.common.retry.RetryPolicy instead",
+        )

@@ -42,6 +42,7 @@ class ServerStatus(str, Enum):
     SHUTOFF = "SHUTOFF"
     DELETED = "DELETED"
     PREEMPTED = "PREEMPTED"
+    ERROR = "ERROR"
 
 
 @dataclass
@@ -111,6 +112,8 @@ class ComputeService:
         self.servers: dict[str, Server] = {}
         self._interruptible_watchers: list[Callable[[Server], None]] = []
         self._preemption_watchers: list[Callable[[Server], None]] = []
+        self._create_watchers: list[Callable[[Server], None]] = []
+        self._admission_gates: list[Callable[[str], None]] = []
         if leases is not None:
             leases.on_expire(self._on_lease_end)
 
@@ -125,6 +128,29 @@ class ComputeService:
         """Register a callback fired when a server receives its preemption
         notice, :data:`PREEMPTION_NOTICE_HOURS` before the reclaim."""
         self._preemption_watchers.append(callback)
+
+    # -- fault-injection hooks ---------------------------------------------
+
+    def on_create(self, callback: Callable[[Server], None]) -> None:
+        """Register a callback fired for *every* server that boots (the
+        fault injector uses this to arm per-instance hazard timers)."""
+        self._create_watchers.append(callback)
+
+    def on_admission(self, gate: Callable[[str], None]) -> None:
+        """Register an admission gate consulted before any create call.
+
+        Gates receive the instance kind (``"server"`` / ``"baremetal"`` /
+        ``"edge"``) and signal refusal by raising — a fault injector
+        raises :class:`~repro.common.errors.ServiceUnavailableError`
+        during site outages and
+        :class:`~repro.common.errors.TransientError` during API-error
+        bursts, *before* any quota or lease state is touched.
+        """
+        self._admission_gates.append(gate)
+
+    def _admit(self, kind: str) -> None:
+        for gate in self._admission_gates:
+            gate(kind)
 
     # -- VM instances -----------------------------------------------------
 
@@ -149,6 +175,7 @@ class ComputeService:
         :data:`PREEMPTION_NOTICE_HOURS` warning and is then terminated with
         status :attr:`ServerStatus.PREEMPTED`.
         """
+        self._admit("server")
         flv = self._flavor(flavor)
         img = self._image(image)
         self._quota.reserve(instances=1, cores=flv.vcpus, ram_gib=flv.ram_gib)
@@ -188,6 +215,8 @@ class ComputeService:
         if interruptible:
             for cb in self._interruptible_watchers:
                 cb(server)
+        for cb in self._create_watchers:
+            cb(server)
         return server
 
     # -- bare metal ---------------------------------------------------------
@@ -204,6 +233,7 @@ class ComputeService:
         lab: str | None = None,
     ) -> Server:
         """Deploy a bare-metal node under an active lease."""
+        self._admit("baremetal")
         if self.leases is None:
             raise InvalidStateError("this site has no reservable resources")
         nt = self._node_type(node_type)
@@ -238,6 +268,8 @@ class ComputeService:
             user=user,
             lab=lab,
         )
+        for cb in self._create_watchers:
+            cb(server)
         return server
 
     # -- edge devices -------------------------------------------------------
@@ -254,6 +286,7 @@ class ComputeService:
         lab: str | None = None,
     ) -> Server:
         """Launch a container on a reserved edge device."""
+        self._admit("edge")
         if self.leases is None:
             raise InvalidStateError("this site has no reservable resources")
         dt = self._edge_type(device_type)
@@ -285,6 +318,8 @@ class ComputeService:
             user=user,
             lab=lab,
         )
+        for cb in self._create_watchers:
+            cb(server)
         return server
 
     # -- shared lifecycle ---------------------------------------------------
@@ -348,6 +383,20 @@ class ComputeService:
             lambda: self._finish_preemption(server_id),
             label=f"{server_id}:preempt",
         )
+
+    def fail_server(self, server_id: str) -> None:
+        """Infrastructure-side forced termination (hardware failure or a
+        site outage taking the host down).
+
+        Same unified terminal path as delete/preempt — quota release and
+        span close happen exactly once — but the server dies with status
+        :attr:`ServerStatus.ERROR`.  Idempotent from the injector's side:
+        a server already gone is a no-op (its span already closed).
+        """
+        server = self.servers.get(server_id)
+        if server is None:
+            return
+        self._terminate(server, ServerStatus.ERROR)
 
     def _finish_preemption(self, server_id: str) -> None:
         server = self.servers.get(server_id)

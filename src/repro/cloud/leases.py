@@ -72,10 +72,22 @@ class LeaseManager:
         self._inventory = dict(inventory)
         self.leases: dict[str, Lease] = {}
         self._expiry_callbacks: list[Callable[[Lease], None]] = []
+        self._admission_gates: list[Callable[[str], None]] = []
 
     def on_expire(self, callback: Callable[[Lease], None]) -> None:
         """Register a callback invoked when any lease expires."""
         self._expiry_callbacks.append(callback)
+
+    def on_admission(self, gate: Callable[[str], None]) -> None:
+        """Register an admission gate consulted before any ``create_lease``.
+
+        Gates receive the resource-type name and refuse by raising — the
+        fault injector raises
+        :class:`~repro.common.errors.ServiceUnavailableError` during site
+        outages and :class:`~repro.common.errors.TransientError` during
+        API-error bursts, before any calendar state is touched.
+        """
+        self._admission_gates.append(gate)
 
     def capacity(self, resource_type: str) -> int:
         try:
@@ -119,6 +131,8 @@ class LeaseManager:
         lab: str | None = None,
     ) -> Lease:
         """Reserve ``count`` nodes over [start, end); conflicts raise 409."""
+        for gate in self._admission_gates:
+            gate(resource_type)
         if count <= 0:
             raise ValidationError(f"lease count must be positive, got {count!r}")
         if end <= start:

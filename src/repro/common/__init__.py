@@ -10,6 +10,9 @@ pieces every subsystem shares:
   with deterministic tie-breaking.
 * :mod:`~repro.common.ids` — deterministic, human-readable resource ids.
 * :mod:`~repro.common.errors` — the exception hierarchy.
+* :mod:`~repro.common.retry` — the shared retry/backoff policy
+  (:class:`~repro.common.retry.RetryPolicy`) used wherever a
+  :class:`~repro.common.errors.TransientError` is worth retrying.
 * :mod:`~repro.common.units` — byte/time unit helpers.
 * :mod:`~repro.common.tables` — fixed-width table rendering used by the
   benchmark harness to print paper-style tables.
@@ -18,15 +21,19 @@ pieces every subsystem shares:
 from repro.common.clock import SimClock
 from repro.common.errors import (
     ConflictError,
+    DeadlineExceededError,
     InvalidStateError,
     NotFoundError,
     QuotaExceededError,
     ReproError,
     SchedulingError,
+    ServiceUnavailableError,
+    TransientError,
     ValidationError,
 )
 from repro.common.events import Event, EventLoop
 from repro.common.ids import IdGenerator
+from repro.common.retry import RetryPolicy
 from repro.common.tables import format_table
 from repro.common.units import GB, GIB, HOURS, KB, KIB, MB, MIB, MINUTES, TB, TIB
 
@@ -43,6 +50,10 @@ __all__ = [
     "QuotaExceededError",
     "InvalidStateError",
     "SchedulingError",
+    "TransientError",
+    "ServiceUnavailableError",
+    "DeadlineExceededError",
+    "RetryPolicy",
     "KB",
     "MB",
     "GB",

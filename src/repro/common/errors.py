@@ -39,3 +39,35 @@ class InvalidStateError(ReproError):
 
 class SchedulingError(ReproError):
     """No placement satisfying the request's constraints exists."""
+
+
+class TransientError(ReproError):
+    """A temporary failure; the *same* request may succeed if retried
+    (HTTP-503/429 analogue).
+
+    This is the retryable branch of the taxonomy: everything above is a
+    *definitive* verdict on the request (not found, conflict, malformed,
+    over quota), so retrying verbatim is pointless.  A ``TransientError``
+    instead signals rate limiting, an API-error burst, or a service
+    hiccup — callers should back off per
+    :class:`repro.common.retry.RetryPolicy` and try again.
+    """
+
+
+class ServiceUnavailableError(TransientError):
+    """The whole service is down — a site outage or maintenance window.
+
+    Still retryable (hence a :class:`TransientError`), but on the
+    timescale of the outage, not of a rate-limit burst: callers should
+    expect consecutive failures until the window ends.
+    """
+
+
+class DeadlineExceededError(ReproError):
+    """An operation ran past its deadline (timeout analogue).
+
+    Raised when a retry loop exhausts its :class:`~repro.common.retry.RetryPolicy`
+    budget (attempts or deadline) without a success — the terminal outcome
+    of a sequence of :class:`TransientError`\\ s, and therefore *not* itself
+    retryable.
+    """

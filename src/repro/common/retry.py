@@ -1,0 +1,143 @@
+"""The shared resilience policy: bounded, deterministic retry with backoff.
+
+Every subsystem that reacts to a :class:`~repro.common.errors.TransientError`
+— the cohort behaviour model re-provisioning after quota exhaustion, a
+student relaunching a lab after a hardware failure, the ETL extractor
+retrying a flaky source — expresses its reaction as one
+:class:`RetryPolicy` value instead of ad-hoc ``max_retries`` /
+``retry_hours`` constant pairs.
+
+Determinism contract: a policy computes backoff as a *pure function* of
+the attempt number and an optional caller-supplied uniform draw.  Jitter
+is never drawn inside the policy — the caller passes ``u`` from its own
+seeded stream (plan-time in the cohort), so two evaluations of the same
+schedule are byte-identical and shard execution stays RNG-free.
+
+The analysis rule ERR002 flags hand-rolled unbounded retry loops
+(``while True`` around an except-continue) outside this module; bounded
+retries should go through a policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry, how long to wait, and when to give up.
+
+    * ``max_attempts`` — total tries including the first (1 = never retry).
+    * ``base_backoff_hours`` × ``multiplier``^(retry-1), capped at
+      ``max_backoff_hours`` — the deterministic exponential schedule.
+    * ``jitter`` — fraction of the backoff randomized symmetrically
+      (±jitter·backoff) by a caller-supplied uniform draw.
+    * ``deadline_hours`` — give up once the elapsed time since the first
+      attempt exceeds this (None = attempts are the only bound).
+    """
+
+    max_attempts: int = 5
+    base_backoff_hours: float = 0.5
+    multiplier: float = 2.0
+    max_backoff_hours: float = 24.0
+    jitter: float = 0.0
+    deadline_hours: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(f"max_attempts must be >= 1: {self.max_attempts!r}")
+        if self.base_backoff_hours < 0 or self.max_backoff_hours < 0:
+            raise ValidationError(f"backoff hours cannot be negative: {self!r}")
+        if self.multiplier < 1.0:
+            raise ValidationError(f"multiplier must be >= 1: {self.multiplier!r}")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValidationError(f"jitter must be in [0, 1]: {self.jitter!r}")
+        if self.deadline_hours is not None and self.deadline_hours <= 0:
+            raise ValidationError(f"deadline must be positive: {self.deadline_hours!r}")
+
+    # -- canonical policies -------------------------------------------------
+
+    @classmethod
+    def quota_default(cls) -> "RetryPolicy":
+        """The cohort's historical quota-retry behaviour: check again every
+        6 hours, give up after 60 retries (the student gives up this week).
+        Constant backoff, no jitter — byte-identical to the old
+        ``quota_retry_hours``/``max_quota_retries`` constants."""
+        return cls(
+            max_attempts=61,
+            base_backoff_hours=6.0,
+            multiplier=1.0,
+            max_backoff_hours=6.0,
+        )
+
+    @classmethod
+    def relaunch_default(cls) -> "RetryPolicy":
+        """How a student reacts to a killed lab: come back after a few
+        hours, with widening gaps, and abandon the lab after a handful of
+        relaunches (nobody restarts the same assignment six times)."""
+        return cls(
+            max_attempts=4,
+            base_backoff_hours=2.0,
+            multiplier=2.0,
+            max_backoff_hours=24.0,
+        )
+
+    @classmethod
+    def transient_default(cls) -> "RetryPolicy":
+        """Reaction to API-error bursts: short exponential backoff with a
+        tight attempt budget — the classic 503/429 client loop."""
+        return cls(
+            max_attempts=6,
+            base_backoff_hours=0.25,
+            multiplier=2.0,
+            max_backoff_hours=4.0,
+        )
+
+    # -- the schedule -------------------------------------------------------
+
+    @property
+    def max_retries(self) -> int:
+        """Retries after the first attempt (``max_attempts - 1``)."""
+        return self.max_attempts - 1
+
+    def allows_retry(self, retries_done: int, *, elapsed_hours: float = 0.0) -> bool:
+        """May retry number ``retries_done + 1`` be scheduled?"""
+        if retries_done >= self.max_retries:
+            return False
+        if self.deadline_hours is not None and elapsed_hours >= self.deadline_hours:
+            return False
+        return True
+
+    def backoff_hours(self, retry: int, *, u: float = 0.5) -> float:
+        """Wait before retry number ``retry`` (1-based).
+
+        ``u`` is a uniform draw in [0, 1) from the *caller's* seeded
+        stream; ``u=0.5`` is the jitter-free midpoint, so policies with
+        ``jitter=0`` ignore it entirely.
+        """
+        if retry < 1:
+            raise ValidationError(f"retry index is 1-based: {retry!r}")
+        if not (0.0 <= u < 1.0 or u == 0.5):
+            raise ValidationError(f"u must be a uniform draw in [0, 1): {u!r}")
+        backoff = min(
+            self.base_backoff_hours * self.multiplier ** (retry - 1),
+            self.max_backoff_hours,
+        )
+        if self.jitter:
+            backoff *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return backoff
+
+    def schedule(self, *, us: Iterator[float] | None = None) -> list[float]:
+        """The full backoff schedule (one entry per possible retry)."""
+        if us is None:
+            return [self.backoff_hours(r) for r in range(1, self.max_attempts)]
+        return [
+            self.backoff_hours(r, u=next(us)) for r in range(1, self.max_attempts)
+        ]
+
+    def total_backoff_hours(self) -> float:
+        """Jitter-free sum of the whole schedule (worst-case added delay)."""
+        return sum(self.schedule())

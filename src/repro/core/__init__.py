@@ -28,7 +28,14 @@ from repro.core.cohort import (
     execute_shard,
     plan_cohort,
 )
-from repro.core.costmodel import CostModel, LabCostRow, SpotLabCostRow, SpotScenario
+from repro.core.costmodel import (
+    CostModel,
+    LabCostRow,
+    OutageLabCostRow,
+    OutageScenario,
+    SpotLabCostRow,
+    SpotScenario,
+)
 from repro.core.course import (
     COURSE,
     CourseDefinition,
@@ -39,9 +46,13 @@ from repro.core.course import (
 )
 from repro.core.matching import cheapest_match
 from repro.core.report import (
+    FaultReport,
+    OutageWhatIf,
+    fault_accounting,
     fig1_duration_data,
     fig2_cost_distribution,
     fig3_project_usage,
+    outage_whatif,
     records_digest,
     spot_headline_summary,
     spot_whatif,
@@ -81,10 +92,16 @@ __all__ = [
     "LabCostRow",
     "SpotLabCostRow",
     "SpotScenario",
+    "OutageLabCostRow",
+    "OutageScenario",
+    "OutageWhatIf",
+    "FaultReport",
     "table1",
     "fig1_duration_data",
     "fig2_cost_distribution",
     "fig3_project_usage",
     "spot_whatif",
     "spot_headline_summary",
+    "outage_whatif",
+    "fault_accounting",
 ]

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field, replace
+from typing import Protocol
 
 import numpy as np
 from scipy import stats
@@ -51,6 +52,7 @@ from repro.cloud.quota import Quota
 from repro.cloud.site import Site
 from repro.cloud.testbed import Testbed, chameleon
 from repro.common.errors import ConflictError, QuotaExceededError, ValidationError
+from repro.common.retry import RetryPolicy
 from repro.core.course import COURSE, CourseDefinition, LabAssignment, LabKind
 from repro.core.usage import canonicalize_records
 
@@ -69,8 +71,10 @@ class CohortConfig:
 
     seed: int = 42
     participation: float = 1.0  # fraction of students attempting each lab
-    quota_retry_hours: float = 6.0
-    max_quota_retries: int = 60
+    # how a student reacts to quota exhaustion: check again every 6 hours,
+    # give up after 60 retries (the historical reactive behaviour, now one
+    # policy object shared with the fault layer's relaunch logic)
+    quota_retry: RetryPolicy = RetryPolicy.quota_default()
     vm_reaper: bool = False  # ablation: auto-terminate VM labs at expected+grace
     vm_reaper_grace: float = 2.0  # hours beyond expected before the reaper fires
     # per-student "negligence propensity": one lognormal factor applied to a
@@ -248,6 +252,27 @@ class CohortPlan:
         return sum(s.activity_count for s in self.shards())
 
 
+class FaultModel(Protocol):
+    """Anything that may rewrite *raw* shard plans before admission.
+
+    The canonical implementation is
+    :class:`repro.faults.plan.FaultSweep`, which resolves a seeded
+    :class:`~repro.faults.plan.FaultCalendar` into killed / relaunched /
+    delayed activities.  The planner only sees this protocol, so
+    :mod:`repro.core` never imports :mod:`repro.faults` (the dependency
+    points one way) and a ``None`` fault model leaves the plan
+    byte-identical to the fault-free planner.
+    """
+
+    def apply(
+        self,
+        student_shards: tuple[ShardPlan, ...],
+        group_shards: tuple[ShardPlan, ...],
+        *,
+        semester_hours: float,
+    ) -> tuple[tuple[ShardPlan, ...], tuple[ShardPlan, ...]]: ...
+
+
 def quota_for(course: CourseDefinition) -> Quota:
     """The KVM@TACC quota for ``course``: the paper's grant, scaled up
     proportionally for cohorts larger than the 191 it was sized for."""
@@ -286,9 +311,12 @@ class _CohortPlanner:
     observe another shard.
     """
 
-    def __init__(self, course: CourseDefinition, config: CohortConfig) -> None:
+    def __init__(
+        self, course: CourseDefinition, config: CohortConfig, *, faults: "FaultModel | None" = None
+    ) -> None:
         self.course = course
         self.config = config
+        self.faults = faults
         root = np.random.SeedSequence(config.seed)
         cohort_ss, student_root, group_root = root.spawn(3)
         self._cohort_rng = np.random.default_rng(cohort_ss)
@@ -416,6 +444,15 @@ class _CohortPlanner:
             for i in range(n)
         )
 
+        if self.faults is not None:
+            # the fault sweep rewrites activities (kills, relaunches,
+            # delayed starts) BEFORE admission, so the sweeps below
+            # re-validate the faulted plan and runtime execution stays
+            # exception-free and RNG-free under any fault plan
+            student_shards, group_shards = self.faults.apply(
+                student_shards, group_shards, semester_hours=course.semester_hours
+            )
+
         student_shards, group_shards = _admission_sweeps(
             student_shards,
             group_shards,
@@ -509,9 +546,22 @@ class _CohortPlanner:
         return tuple(shards)
 
 
-def plan_cohort(course: CourseDefinition = COURSE, config: CohortConfig | None = None) -> CohortPlan:
-    """Resolve one semester into independently executable shards."""
-    return _CohortPlanner(course, config if config is not None else CohortConfig()).plan()
+def plan_cohort(
+    course: CourseDefinition = COURSE,
+    config: CohortConfig | None = None,
+    *,
+    faults: FaultModel | None = None,
+) -> CohortPlan:
+    """Resolve one semester into independently executable shards.
+
+    ``faults`` (see :class:`FaultModel`) interposes a plan-time fault
+    sweep between raw planning and the admission sweeps; ``None`` (or a
+    sweep over an empty calendar) yields a plan byte-identical to the
+    fault-free planner.
+    """
+    return _CohortPlanner(
+        course, config if config is not None else CohortConfig(), faults=faults
+    ).plan()
 
 
 # -- plan-time admission sweeps ----------------------------------------------------
@@ -647,15 +697,21 @@ def _sweep_kvm_quota(
                 admitted[key] = None  # starts after staff clean-up: never runs
                 continue
             bundle = _vm_bundle(act)
+            policy = config.quota_retry
             if _fits(bundle):
                 _hold(bundle, end)
                 admitted[key] = t
-            elif arr.retries >= config.max_quota_retries or t + config.quota_retry_hours > semester_hours:
+            elif (
+                not policy.allows_retry(arr.retries, elapsed_hours=t - arr.time)
+                or t + policy.backoff_hours(arr.retries + 1) > semester_hours
+            ):
                 admitted[key] = None  # the student gives up this week
             else:
                 rank += 1
                 arr.retries += 1
-                heapq.heappush(heap, (t + config.quota_retry_hours, rank, field_name, arr))
+                heapq.heappush(
+                    heap, (t + policy.backoff_hours(arr.retries), rank, field_name, arr)
+                )
         elif field_name == "project_vms":
             end = min(t + act.hours, semester_hours - 1e-6)
             bundle = _project_vm_bundle(act)
@@ -820,10 +876,10 @@ def _provision_vm_set(
             site.network.release_floating_ip(fip.id)
             raise
     except QuotaExceededError:
-        if retries >= config.max_quota_retries:
+        if not config.quota_retry.allows_retry(retries, elapsed_hours=now - act.start):
             return  # the student gives up this week
         testbed.loop.schedule(
-            now + config.quota_retry_hours,
+            now + config.quota_retry.backoff_hours(retries + 1),
             lambda: _provision_vm_set(
                 testbed, site, act, semester_hours, config, retries=retries + 1
             ),
@@ -1019,17 +1075,27 @@ class CohortSimulation:
     stream.
     """
 
-    def __init__(self, course: CourseDefinition = COURSE, config: CohortConfig | None = None) -> None:
+    def __init__(
+        self,
+        course: CourseDefinition = COURSE,
+        config: CohortConfig | None = None,
+        *,
+        faults: FaultModel | None = None,
+        plan: CohortPlan | None = None,
+    ) -> None:
         self.course = course
         self.config = config if config is not None else CohortConfig()
+        self.faults = faults
         self.testbed: Testbed = chameleon(quota=quota_for(course))
         self._ran = False
-        self._plan: CohortPlan | None = None
+        # an injected plan (e.g. one already fault-swept) is reused as-is,
+        # so serial and parallel runs of the same plan share its bytes
+        self._plan: CohortPlan | None = plan
 
     def plan(self) -> CohortPlan:
         """The resolved semester plan (computed once, cached)."""
         if self._plan is None:
-            self._plan = plan_cohort(self.course, self.config)
+            self._plan = plan_cohort(self.course, self.config, faults=self.faults)
         return self._plan
 
     def run(self, *, include_project: bool = True) -> list[UsageRecord]:

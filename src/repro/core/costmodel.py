@@ -115,6 +115,79 @@ class SpotScenario:
 
 
 @dataclass(frozen=True)
+class OutageScenario:
+    """Assumptions for the "unreliable testbed" what-if.
+
+    Infrastructure interruptions (site outages taking the host down,
+    per-instance hardware failures) arrive at
+    ``interruption_rate_per_hour``; workloads checkpoint every
+    ``checkpoint_interval_hours`` (None = the Young/Daly optimum) and pay
+    ``restart_overhead_hours`` per interruption — by default slower than
+    a spot restart, since infrastructure failures come with no notice
+    window to drain into.  The implied re-work inflates billable hours
+    via :func:`repro.spot.advisor.expected_time_inflation`, exactly like
+    :class:`SpotScenario` — but at *on-demand* rates: unreliability is
+    pure overhead, never a discount.
+    """
+
+    interruption_rate_per_hour: float = 0.01
+    checkpoint_interval_hours: float | None = None
+    checkpoint_overhead_hours: float = 30.0 / 3600.0
+    restart_overhead_hours: float = 10.0 / 60.0
+
+    def __post_init__(self) -> None:
+        if self.interruption_rate_per_hour < 0:
+            raise ValidationError(f"negative interruption rate: {self!r}")
+        if self.checkpoint_interval_hours is not None and self.checkpoint_interval_hours <= 0:
+            raise ValidationError(f"checkpoint interval must be positive: {self!r}")
+        if self.checkpoint_overhead_hours <= 0 or self.restart_overhead_hours < 0:
+            raise ValidationError(f"invalid overheads: {self!r}")
+
+    @classmethod
+    def from_fault_plan(
+        cls,
+        *,
+        outage_rate_per_week: float,
+        hazard_rate_per_khour: float,
+        restart_overhead_hours: float = 10.0 / 60.0,
+    ) -> "OutageScenario":
+        """Derive the per-instance interruption rate from fault-plan knobs
+        (an instance sees its site's outages plus its own hazard)."""
+        return cls(
+            interruption_rate_per_hour=(
+                outage_rate_per_week / 168.0 + hazard_rate_per_khour / 1000.0
+            ),
+            restart_overhead_hours=restart_overhead_hours,
+        )
+
+    @property
+    def time_inflation(self) -> float:
+        """Expected wall-clock per useful hour under these assumptions."""
+        from repro.spot.advisor import expected_time_inflation
+
+        return expected_time_inflation(
+            self.interruption_rate_per_hour,
+            checkpoint_interval_hours=self.checkpoint_interval_hours,
+            checkpoint_overhead_hours=self.checkpoint_overhead_hours,
+            restart_overhead_hours=self.restart_overhead_hours,
+        )
+
+
+@dataclass(frozen=True)
+class OutageLabCostRow:
+    """A Table-1 row re-priced under infrastructure interruptions (None = NA)."""
+
+    lab_id: str
+    title: str
+    resource_type: str
+    instance_hours: float
+    billed_instance_hours: float  # instance_hours × scenario inflation
+    floating_ip_hours: float
+    aws_cost: float | None
+    gcp_cost: float | None
+
+
+@dataclass(frozen=True)
 class SpotLabCostRow:
     """A Table-1 row re-priced on preemptible capacity (None = NA)."""
 
@@ -279,6 +352,53 @@ class CostModel:
             "floating_ip_hours": sum(r.floating_ip_hours for r in rows),
             "aws_cost": sum(r.aws_spot_cost or 0.0 for r in rows),
             "gcp_cost": sum(r.gcp_spot_cost or 0.0 for r in rows),
+        }
+
+    # -- outage what-if ----------------------------------------------------------------
+
+    def outage_lab_rows(
+        self, records: list[UsageRecord], scenario: OutageScenario | None = None
+    ) -> list[OutageLabCostRow]:
+        """Table 1 re-priced as if the testbed suffered the scenario's
+        interruptions: the same on-demand rates, but every metered hour
+        inflates by the expected re-work (redo after kills, checkpoint
+        writes, restart overheads).  Floating-IP hours inflate identically
+        — the address is held for the whole, longer, run.
+        """
+        scenario = scenario if scenario is not None else OutageScenario()
+        inflation = scenario.time_inflation
+        out: list[OutageLabCostRow] = []
+        for row in self.lab_rows(records):
+            billed = row.instance_hours * inflation
+            billed_fip = row.floating_ip_hours * inflation
+            costs: dict[str, float | None] = {}
+            for provider in ("aws", "gcp"):
+                rate = self.hourly_rate(row.lab_id, provider)
+                if rate is None:
+                    costs[provider] = None
+                    continue
+                catalog = self._catalog(provider)
+                costs[provider] = billed * rate + billed_fip * catalog.ip_hourly_usd
+            out.append(OutageLabCostRow(
+                lab_id=row.lab_id,
+                title=row.title,
+                resource_type=row.resource_type,
+                instance_hours=row.instance_hours,
+                billed_instance_hours=billed,
+                floating_ip_hours=row.floating_ip_hours,
+                aws_cost=costs["aws"],
+                gcp_cost=costs["gcp"],
+            ))
+        return out
+
+    def outage_lab_totals(self, rows: list[OutageLabCostRow]) -> dict[str, float]:
+        """Totals of the outage what-if table."""
+        return {
+            "instance_hours": sum(r.instance_hours for r in rows),
+            "billed_instance_hours": sum(r.billed_instance_hours for r in rows),
+            "floating_ip_hours": sum(r.floating_ip_hours for r in rows),
+            "aws_cost": sum(r.aws_cost or 0.0 for r in rows),
+            "gcp_cost": sum(r.gcp_cost or 0.0 for r in rows),
         }
 
     # -- per-student distribution (Fig 2) --------------------------------------------

@@ -11,7 +11,7 @@ from __future__ import annotations
 import hashlib
 from collections import defaultdict
 from dataclasses import astuple, dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
@@ -20,12 +20,17 @@ from repro.common.tables import format_table
 from repro.core.costmodel import (
     CostModel,
     LabCostRow,
+    OutageLabCostRow,
+    OutageScenario,
     SpotLabCostRow,
     SpotScenario,
     distribution_stats,
 )
 from repro.core.course import COURSE, CourseDefinition, LabKind
 from repro.core.usage import aggregate_by_assignment
+
+if TYPE_CHECKING:  # imported lazily: repro.faults imports repro.core
+    from repro.faults.plan import FaultLedger
 
 
 def records_digest(records: Iterable[UsageRecord]) -> str:
@@ -398,6 +403,198 @@ def spot_headline_summary(
         - (what_if.totals["gcp_cost"] + f3.gcp_total_usd),
         "time_inflation": scenario.time_inflation,
     }
+
+
+# -- Outage what-if (robustness extension) -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class OutageWhatIf:
+    """Table 1 re-priced under "the testbed is unreliable".
+
+    The mirror image of :class:`SpotWhatIf`: spot trades interruptions
+    for a discount, outages add the same interruption re-work at full
+    on-demand rates, so the delta vs Table 1 is the pure cost of
+    infrastructure unreliability.
+    """
+
+    rows: list[OutageLabCostRow]
+    totals: dict[str, float]
+    on_demand_totals: dict[str, float]
+    scenario: OutageScenario
+    enrollment: int
+
+    def overhead(self, provider: str) -> float:
+        """$ added vs the reliable-testbed Table 1."""
+        key = f"{provider}_cost"
+        return self.totals[key] - self.on_demand_totals[key]
+
+    def render(self) -> str:
+        body = []
+        for r in self.rows:
+            body.append([
+                r.title,
+                r.resource_type,
+                round(r.instance_hours),
+                round(r.billed_instance_hours),
+                None if r.aws_cost is None else
+                f"${r.aws_cost:,.0f} (${r.aws_cost / self.enrollment:,.2f})",
+                None if r.gcp_cost is None else
+                f"${r.gcp_cost:,.0f} (${r.gcp_cost / self.enrollment:,.2f})",
+            ])
+        t = self.totals
+        body.append([
+            "Total", "",
+            round(t["instance_hours"]),
+            round(t["billed_instance_hours"]),
+            f"${t['aws_cost']:,.0f} (${t['aws_cost'] / self.enrollment:,.2f})",
+            f"${t['gcp_cost']:,.0f} (${t['gcp_cost'] / self.enrollment:,.2f})",
+        ])
+        return format_table(
+            ["Assignment", "Instance Type", "Metered Hours", "Billed Hours (w/ redo)",
+             "AWS Cost", "GCP Cost"],
+            body,
+            title=(
+                "Outage what-if: lab costs under infrastructure interruptions "
+                f"(rate {self.scenario.interruption_rate_per_hour:.3g}/h, "
+                f"time inflation ×{self.scenario.time_inflation:.3f}; "
+                f"adds ${self.overhead('aws'):,.0f} AWS / "
+                f"${self.overhead('gcp'):,.0f} GCP vs Table 1)."
+            ),
+        )
+
+
+def outage_whatif(
+    records: list[UsageRecord],
+    *,
+    course: CourseDefinition = COURSE,
+    model: CostModel | None = None,
+    scenario: OutageScenario | None = None,
+) -> OutageWhatIf:
+    """The "unreliable testbed" what-if table."""
+    model = model if model is not None else CostModel(course)
+    scenario = scenario if scenario is not None else OutageScenario()
+    rows = model.outage_lab_rows(records, scenario)
+    on_demand = model.lab_rows(records)
+    return OutageWhatIf(
+        rows=rows,
+        totals=model.outage_lab_totals(rows),
+        on_demand_totals=model.lab_totals(on_demand),
+        scenario=scenario,
+        enrollment=course.enrollment,
+    )
+
+
+# -- Failure accounting (fault-plan ledger -> dollars) -----------------------------------
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """What a fault plan actually cost the cohort.
+
+    Priced from a :class:`~repro.faults.plan.FaultLedger`: redo hours are
+    re-billed work (they appear in the metered records and in Table 1),
+    lost hours are work that never ran (abandoned labs — an educational
+    cost, not a billed one), delay hours shift work without billing it.
+    """
+
+    enrollment: int
+    events: int
+    hardware_kills: int
+    outage_kills: int
+    delayed_starts: int
+    abandoned: int
+    lost_instance_hours: float
+    redo_instance_hours: float
+    delay_hours: float
+    aws_redo_usd: float
+    gcp_redo_usd: float
+    aws_redo_by_user: dict[str, float]
+    gcp_redo_by_user: dict[str, float]
+
+    @property
+    def aws_redo_per_student(self) -> float:
+        return self.aws_redo_usd / self.enrollment
+
+    @property
+    def gcp_redo_per_student(self) -> float:
+        return self.gcp_redo_usd / self.enrollment
+
+    def worst_user_redo(self, provider: str) -> float:
+        by_user = self.aws_redo_by_user if provider == "aws" else self.gcp_redo_by_user
+        return max(by_user.values(), default=0.0)
+
+    def render(self) -> str:
+        body = [
+            ["Hardware kills (MTBF)", self.hardware_kills],
+            ["Outage kills", self.outage_kills],
+            ["Delayed starts", self.delayed_starts],
+            ["Abandoned activities", self.abandoned],
+            ["Redo instance-hours (re-billed)", round(self.redo_instance_hours)],
+            ["Lost instance-hours (never ran)", round(self.lost_instance_hours)],
+            ["Cumulative start delay (hours)", round(self.delay_hours)],
+            ["AWS redo cost", f"${self.aws_redo_usd:,.0f} "
+                              f"(${self.aws_redo_per_student:,.2f}/student, "
+                              f"worst ${self.worst_user_redo('aws'):,.2f})"],
+            ["GCP redo cost", f"${self.gcp_redo_usd:,.0f} "
+                              f"(${self.gcp_redo_per_student:,.2f}/student, "
+                              f"worst ${self.worst_user_redo('gcp'):,.2f})"],
+        ]
+        return format_table(
+            ["Failure accounting", "Value"],
+            body,
+            title="Failure accounting: what the fault plan cost the cohort.",
+        )
+
+
+def fault_accounting(
+    ledger: "FaultLedger",
+    *,
+    course: CourseDefinition = COURSE,
+    model: CostModel | None = None,
+) -> FaultReport:
+    """Price a fault ledger's redo hours at commercial rates.
+
+    Lab events are priced at the lab's matched-instance rate, project
+    events at the project spec for their resource type; events with no
+    commercial equivalent (edge devices) count hours but no dollars.
+    """
+    model = model if model is not None else CostModel(course)
+    redo_usd = {"aws": 0.0, "gcp": 0.0}
+    by_user: dict[str, dict[str, float]] = {"aws": {}, "gcp": {}}
+    rate_cache: dict[tuple[str, str, str], float | None] = {}
+    for event in ledger.events:
+        if not event.redo_hours:
+            continue
+        for provider in ("aws", "gcp"):
+            key = (provider, event.lab, event.resource_type)
+            if key not in rate_cache:
+                if event.lab == "project":
+                    inst = model.project_equivalent(event.resource_type, provider)
+                    rate_cache[key] = None if inst is None else inst.hourly_usd
+                else:
+                    rate_cache[key] = model.hourly_rate(event.lab, provider)
+            rate = rate_cache[key]
+            if rate is None:
+                continue
+            cost = event.redo_hours * rate
+            redo_usd[provider] += cost
+            by_user[provider][event.user] = by_user[provider].get(event.user, 0.0) + cost
+    return FaultReport(
+        enrollment=course.enrollment,
+        events=len(ledger.events),
+        hardware_kills=ledger.hardware_kills,
+        outage_kills=ledger.outage_kills,
+        delayed_starts=ledger.delayed_starts,
+        abandoned=ledger.abandoned,
+        lost_instance_hours=ledger.lost_instance_hours,
+        redo_instance_hours=ledger.redo_instance_hours,
+        delay_hours=ledger.delay_hours,
+        aws_redo_usd=redo_usd["aws"],
+        gcp_redo_usd=redo_usd["gcp"],
+        aws_redo_by_user=by_user["aws"],
+        gcp_redo_by_user=by_user["gcp"],
+    )
 
 
 # -- §5/§6 headline numbers --------------------------------------------------------------

@@ -4,8 +4,8 @@ The Unit 8 lecture covers "ETL (extract, transform, load) pipelines for
 batch data" (paper §3.8).  An :class:`EtlPipeline` chains an extractor, a
 list of transforms, and a loader; per-record failures are routed to a
 dead-letter queue rather than aborting the batch, and transient extractor
-failures retry — the operational behaviours that distinguish a pipeline
-from a script.
+failures retry under a shared :class:`~repro.common.retry.RetryPolicy` —
+the operational behaviours that distinguish a pipeline from a script.
 """
 
 from __future__ import annotations
@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
-from repro.common.errors import ValidationError
+from repro.common.errors import DeadlineExceededError, ValidationError
+from repro.common.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -32,6 +33,9 @@ class EtlReport:
     filtered: int = 0
     dead_letters: list[DeadLetter] = field(default_factory=list)
     extract_attempts: int = 0
+    #: Backoff a scheduler would have waited between extract attempts —
+    #: bookkeeping from the retry policy, never slept in-process.
+    backoff_hours: float = 0.0
 
     @property
     def failed(self) -> int:
@@ -54,14 +58,24 @@ class EtlPipeline:
         transforms: list[tuple[str, Callable[[Any], Any]]] | None = None,
         load: Callable[[Any], None],
         extract_retries: int = 2,
+        retry: RetryPolicy | None = None,
     ) -> None:
+        """``retry`` is the full policy; ``extract_retries`` is the legacy
+        shorthand (a transient-style policy with that many retries) kept
+        so existing pipelines keep their attempt counts."""
         if extract_retries < 0:
             raise ValidationError("extract retries cannot be negative")
         self.name = name
         self.extract = extract
         self.transforms = list(transforms or [])
         self.load = load
-        self.extract_retries = extract_retries
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=extract_retries + 1,
+            base_backoff_hours=0.25,
+            multiplier=2.0,
+            max_backoff_hours=4.0,
+        )
+        self.extract_retries = self.retry.max_retries
 
     def add_transform(self, name: str, fn: Callable[[Any], Any]) -> "EtlPipeline":
         self.transforms.append((name, fn))
@@ -101,13 +115,16 @@ class EtlPipeline:
 
     def _extract_with_retries(self, report: EtlReport) -> list[Any]:
         last: Exception | None = None
-        for _attempt in range(self.extract_retries + 1):
+        for attempt in range(1, self.retry.max_attempts + 1):
             report.extract_attempts += 1
             try:
                 return list(self.extract())
-            except Exception as exc:  # noqa: BLE001 - retried
+            except Exception as exc:  # noqa: BLE001 - retried under the policy
                 last = exc
-        raise ValidationError(
+                if attempt < self.retry.max_attempts:
+                    report.backoff_hours += self.retry.backoff_hours(attempt)
+        raise DeadlineExceededError(
             f"pipeline {self.name!r} extract failed after "
-            f"{self.extract_retries + 1} attempts: {last}"
+            f"{self.retry.max_attempts} attempts "
+            f"({report.backoff_hours:.2f} h of backoff): {last}"
         )

@@ -1,0 +1,641 @@
+"""Plan-time fault resolution: seeded calendars and the shard sweep.
+
+Mirrors the cohort's plan → execute → merge architecture (PR 3's
+admission sweeps): all fault randomness is drawn serially at plan time
+from one ``SeedSequence(fault_seed).spawn(3)`` tree — (outage stream,
+burst stream, hazard stream) — and resolved into rewritten shard
+activities with fully absolute times.  Execution stays RNG-free, so the
+parallel engine's digest contract survives any fault plan, and the
+*empty* calendar leaves every shard byte-identical to the fault-free
+planner (the null plan is a strict no-op).
+
+Three fault classes, matching what real testbeds throw at a course:
+
+* **Site outages / maintenance windows** — Poisson arrivals per site,
+  lognormal durations.  Starts inside a window are delayed (retry with
+  backoff); instances running into a window are force-terminated and
+  relaunched after it, redoing part of their work.
+* **Hardware failures** — per-instance exponential (MTBF-style) hazard
+  draws.  A failed lab segment ends early; the student relaunches under
+  the cohort's :class:`~repro.common.retry.RetryPolicy`, paying redo
+  hours, or abandons the lab when attempts run out.
+* **Transient API-error bursts** — short windows during which
+  provisioning calls fail with 503/429-style errors; starts retry on a
+  tight exponential-backoff policy.
+
+Every rewrite is recorded in a :class:`FaultLedger` so
+:func:`repro.core.report.fault_accounting` can price what the faults
+cost (lost instance-hours, redo hours, per-student deltas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.common.errors import InvalidStateError, ValidationError
+from repro.common.retry import RetryPolicy
+from repro.core.cohort import (
+    COURSE,
+    EDGE_SITE,
+    KVM_SITE,
+    METAL_SITE,
+    CohortConfig,
+    CohortPlan,
+    CourseDefinition,
+    ProjectLeaseActivity,
+    ProjectVmActivity,
+    ShardPlan,
+    SlotActivity,
+    VmLabActivity,
+    plan_cohort,
+)
+
+#: Segments shorter than this are dropped rather than scheduled (a VM set
+#: that would be torn down the instant it boots produces no usage).
+_MIN_SEGMENT_HOURS = 1e-6
+
+
+# -- configuration -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultPlanConfig:
+    """Knobs of the fault model.  All rates default to zero: the default
+    config IS the null plan, and a null plan is a byte-exact no-op.
+
+    ``seed`` is independent of the cohort seed — fault streams never
+    touch the cohort's ``SeedSequence`` tree, so enabling faults cannot
+    perturb behaviour draws (and disabling them restores the baseline
+    artifacts bit-for-bit).
+    """
+
+    seed: int = 7
+    #: Site outages: Poisson arrivals per site per week, lognormal length.
+    outage_rate_per_week: float = 0.0
+    outage_mean_hours: float = 6.0
+    outage_sigma: float = 0.6
+    #: Hardware failures: exponential hazard per instance, per 1000 hours.
+    hazard_rate_per_khour: float = 0.0
+    #: Transient API-error bursts: Poisson arrivals per site per week.
+    burst_rate_per_week: float = 0.0
+    burst_mean_hours: float = 0.5
+    burst_sigma: float = 0.5
+    #: Fraction of a killed segment's work the relaunch must redo (the
+    #: part since the last "save your work" point).
+    redo_fraction: float = 0.5
+    #: Sites the outage/burst generators cover.
+    sites: tuple[str, ...] = (KVM_SITE, METAL_SITE, EDGE_SITE)
+
+    def __post_init__(self) -> None:
+        for name in ("outage_rate_per_week", "hazard_rate_per_khour", "burst_rate_per_week"):
+            if getattr(self, name) < 0:
+                raise ValidationError(f"{name} cannot be negative: {getattr(self, name)!r}")
+        if self.outage_mean_hours <= 0 or self.burst_mean_hours <= 0:
+            raise ValidationError(f"window mean hours must be positive: {self!r}")
+        if self.outage_sigma < 0 or self.burst_sigma < 0:
+            raise ValidationError(f"window sigma cannot be negative: {self!r}")
+        if not (0.0 <= self.redo_fraction <= 1.0):
+            raise ValidationError(f"redo fraction must be in [0, 1]: {self.redo_fraction!r}")
+        if not self.sites:
+            raise ValidationError("fault plan needs at least one site")
+
+    @property
+    def is_null(self) -> bool:
+        """True when no fault class can ever fire."""
+        return (
+            self.outage_rate_per_week == 0
+            and self.hazard_rate_per_khour == 0
+            and self.burst_rate_per_week == 0
+        )
+
+
+# -- the calendar ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """One site-wide outage / maintenance window [start, end)."""
+
+    site: str
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class ApiErrorBurst:
+    """One transient API-error window [start, end) on a site."""
+
+    site: str
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class FaultCalendar:
+    """The fully resolved fault schedule for one semester.
+
+    Static data only — the calendar is what makes fault injection
+    deterministic: every consumer (the plan sweep, the runtime injector,
+    the report) reads the same windows.  The hazard stream is *not*
+    materialized here (failure times depend on instance lifetimes, which
+    the sweep resolves); :meth:`hazard_rng` re-derives its seeded
+    generator so every sweep over this calendar draws identically.
+    """
+
+    config: FaultPlanConfig
+    horizon_hours: float
+    outages: tuple[OutageWindow, ...]
+    bursts: tuple[ApiErrorBurst, ...]
+
+    @property
+    def empty(self) -> bool:
+        """No windows and no hazard: applying this calendar is a no-op."""
+        return (
+            not self.outages
+            and not self.bursts
+            and self.config.hazard_rate_per_khour == 0
+        )
+
+    def hazard_rng(self) -> np.random.Generator:
+        """The hazard stream (third spawn of the fault seed tree)."""
+        return np.random.default_rng(np.random.SeedSequence(self.config.seed).spawn(3)[2])
+
+    # -- lookups (linear scans; calendars hold dozens of windows, not thousands)
+
+    def outage_at(self, site: str, t: float) -> OutageWindow | None:
+        for w in self.outages:
+            if w.site == site and w.start <= t < w.end:
+                return w
+        return None
+
+    def burst_at(self, site: str, t: float) -> ApiErrorBurst | None:
+        for w in self.bursts:
+            if w.site == site and w.start <= t < w.end:
+                return w
+        return None
+
+    def outage_over(self, site: str, start: float, end: float) -> OutageWindow | None:
+        """Earliest outage overlapping [start, end), if any."""
+        best: OutageWindow | None = None
+        for w in self.outages:
+            if w.site == site and w.end > start and w.start < end:
+                if best is None or w.start < best.start:
+                    best = w
+        return best
+
+    def next_clear(self, site: str, t: float) -> float:
+        """First instant >= ``t`` outside every outage window on ``site``."""
+        moved = True
+        while moved:
+            moved = False
+            w = self.outage_at(site, t)
+            if w is not None:
+                t = w.end
+                moved = True
+        return t
+
+
+def _lognormal_hours(rng: np.random.Generator, mean: float, sigma: float) -> float:
+    """A lognormal draw whose *distribution mean* is exactly ``mean``."""
+    mu = np.log(mean) - sigma**2 / 2.0
+    return float(rng.lognormal(mu, sigma))
+
+
+def build_fault_calendar(
+    config: FaultPlanConfig, *, horizon_hours: float
+) -> FaultCalendar:
+    """Resolve the seeded generators into a static window calendar.
+
+    Streams: ``SeedSequence(config.seed).spawn(3)`` → (outages, bursts,
+    hazard).  Sites are walked in the config's fixed order, so the
+    calendar is a pure function of (config, horizon).
+    """
+    if horizon_hours <= 0:
+        raise ValidationError(f"horizon must be positive: {horizon_hours!r}")
+    outage_ss, burst_ss, _hazard_ss = np.random.SeedSequence(config.seed).spawn(3)
+    weeks = horizon_hours / 168.0
+
+    outages: list[OutageWindow] = []
+    rng = np.random.default_rng(outage_ss)
+    for site in config.sites:
+        for _ in range(int(rng.poisson(config.outage_rate_per_week * weeks))):
+            start = float(rng.uniform(0.0, horizon_hours))
+            length = _lognormal_hours(rng, config.outage_mean_hours, config.outage_sigma)
+            outages.append(
+                OutageWindow(site=site, start=start, end=min(start + length, horizon_hours))
+            )
+
+    bursts: list[ApiErrorBurst] = []
+    rng = np.random.default_rng(burst_ss)
+    for site in config.sites:
+        for _ in range(int(rng.poisson(config.burst_rate_per_week * weeks))):
+            start = float(rng.uniform(0.0, horizon_hours))
+            length = _lognormal_hours(rng, config.burst_mean_hours, config.burst_sigma)
+            bursts.append(
+                ApiErrorBurst(site=site, start=start, end=min(start + length, horizon_hours))
+            )
+
+    return FaultCalendar(
+        config=config,
+        horizon_hours=horizon_hours,
+        outages=tuple(sorted(outages, key=lambda w: (w.start, w.site, w.end))),
+        bursts=tuple(sorted(bursts, key=lambda w: (w.start, w.site, w.end))),
+    )
+
+
+# -- the ledger --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One resolved fault outcome, in instance-hours.
+
+    ``kind`` is one of ``hw_kill`` / ``outage_kill`` (forced
+    termination + relaunch), ``delayed_start`` (window pushed the start),
+    ``abandoned`` (retry budget exhausted; the remaining work never ran).
+    """
+
+    kind: str
+    site: str
+    user: str
+    lab: str
+    resource_type: str
+    at: float
+    lost_hours: float = 0.0  # planned instance-hours that never ran
+    redo_hours: float = 0.0  # extra instance-hours re-billed by the relaunch
+    delay_hours: float = 0.0  # start slip caused by retry backoff
+
+
+@dataclass(frozen=True)
+class HardwareFailure:
+    """One resolved per-instance hardware failure (an MTBF hazard draw)."""
+
+    site: str
+    user: str
+    lab: str
+    at: float
+
+
+@dataclass
+class FaultLedger:
+    """Accumulated fault accounting for one plan sweep."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def add(self, event: FaultEvent) -> None:
+        self.events.append(event)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    @property
+    def hardware_kills(self) -> int:
+        return self.count("hw_kill")
+
+    @property
+    def outage_kills(self) -> int:
+        return self.count("outage_kill")
+
+    @property
+    def delayed_starts(self) -> int:
+        return self.count("delayed_start")
+
+    @property
+    def abandoned(self) -> int:
+        return self.count("abandoned")
+
+    @property
+    def lost_instance_hours(self) -> float:
+        return sum(e.lost_hours for e in self.events)
+
+    @property
+    def redo_instance_hours(self) -> float:
+        return sum(e.redo_hours for e in self.events)
+
+    @property
+    def delay_hours(self) -> float:
+        return sum(e.delay_hours for e in self.events)
+
+    def hardware_failures(self) -> tuple[HardwareFailure, ...]:
+        """The resolved MTBF failures, as standalone records."""
+        return tuple(
+            HardwareFailure(site=e.site, user=e.user, lab=e.lab, at=e.at)
+            for e in self.events
+            if e.kind == "hw_kill"
+        )
+
+    def per_user_redo_hours(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for e in self.events:
+            if e.redo_hours:
+                out[e.user] = out.get(e.user, 0.0) + e.redo_hours
+        return out
+
+
+# -- the sweep ---------------------------------------------------------------------
+
+
+class FaultSweep:
+    """Applies a :class:`FaultCalendar` to raw shard plans (pre-admission).
+
+    Implements the planner's :class:`~repro.core.cohort.FaultModel`
+    protocol.  One sweep = one ledger: applying the same sweep twice
+    would double-count accounting, so a second ``apply`` raises — plan
+    once, then hand the *plan* to both serial and parallel executors.
+    """
+
+    def __init__(
+        self,
+        calendar: FaultCalendar,
+        *,
+        relaunch: RetryPolicy | None = None,
+        transient: RetryPolicy | None = None,
+    ) -> None:
+        self.calendar = calendar
+        self.relaunch = relaunch if relaunch is not None else RetryPolicy.relaunch_default()
+        self.transient = transient if transient is not None else RetryPolicy.transient_default()
+        self.ledger = FaultLedger()
+        self._applied = False
+
+    # -- FaultModel ---------------------------------------------------------
+
+    def apply(
+        self,
+        student_shards: tuple[ShardPlan, ...],
+        group_shards: tuple[ShardPlan, ...],
+        *,
+        semester_hours: float,
+    ) -> tuple[tuple[ShardPlan, ...], tuple[ShardPlan, ...]]:
+        if self._applied:
+            raise InvalidStateError(
+                "FaultSweep already applied; build a fresh sweep (or reuse the plan)"
+            )
+        self._applied = True
+        if self.calendar.empty:
+            return student_shards, group_shards  # strict no-op: same objects
+        rng = self.calendar.hazard_rng()
+        out = [
+            self._apply_shard(shard, rng, semester_hours)
+            for shard in (*student_shards, *group_shards)
+        ]
+        n = len(student_shards)
+        return tuple(out[:n]), tuple(out[n:])
+
+    # -- per-shard rewriting ------------------------------------------------
+
+    def _apply_shard(
+        self, shard: ShardPlan, rng: np.random.Generator, semester_hours: float
+    ) -> ShardPlan:
+        vm_labs: list[VmLabActivity] = []
+        for act in shard.vm_labs:
+            vm_labs.extend(
+                self._rewrite_instance_run(
+                    act, rng, semester_hours,
+                    site=KVM_SITE, lab=act.lab_id, hours=act.duration,
+                    instances=act.vm_count, resource=act.flavor,
+                    rebuild=lambda a, s, h, _act=act: replace(_act, start=s, duration=h),
+                )
+            )
+        slots = [
+            moved
+            for act in shard.slots
+            if (moved := self._rewrite_booking(
+                act, rng, semester_hours,
+                site=act.site, lab=act.lab_id, hours=act.slot_hours,
+                resource=act.node_type,
+            )) is not None
+        ]
+        project_vms: list[ProjectVmActivity] = []
+        for vm_act in shard.project_vms:
+            project_vms.extend(
+                self._rewrite_instance_run(
+                    vm_act, rng, semester_hours,
+                    site=KVM_SITE, lab="project", hours=vm_act.hours,
+                    instances=1, resource=vm_act.flavor,
+                    rebuild=lambda a, s, h, _act=vm_act: replace(_act, start=s, hours=h),
+                )
+            )
+        project_leases = [
+            moved
+            for lease_act in shard.project_leases
+            if (moved := self._rewrite_booking(
+                lease_act, rng, semester_hours,
+                site=lease_act.site, lab="project", hours=lease_act.hours,
+                resource=lease_act.node_type,
+            )) is not None
+        ]
+        return replace(
+            shard,
+            vm_labs=tuple(vm_labs),
+            slots=tuple(slots),
+            project_vms=tuple(project_vms),
+            project_leases=tuple(project_leases),
+        )
+
+    def _rewrite_instance_run(
+        self,
+        act: VmLabActivity | ProjectVmActivity,
+        rng: np.random.Generator,
+        semester_hours: float,
+        *,
+        site: str,
+        lab: str,
+        hours: float,
+        instances: int,
+        resource: str,
+        rebuild,
+    ) -> list:
+        """Fault-resolve one unattended instance run (VM lab / project VM).
+
+        Start delays, then a segment walk: each segment runs until the
+        earlier of its planned end, a hazard draw, or the next outage;
+        kills relaunch after policy backoff with redo hours, until the
+        retry budget or the semester runs out.
+        """
+        cal = self.calendar
+        cfg = cal.config
+        start = self._clear_start(site, act.start, rng, semester_hours)
+        if start is None:
+            self.ledger.add(FaultEvent(
+                kind="abandoned", site=site, user=act.user, lab=lab,
+                resource_type=resource, at=act.start,
+                lost_hours=hours * instances,
+            ))
+            return []
+        if start > act.start:
+            self.ledger.add(FaultEvent(
+                kind="delayed_start", site=site, user=act.user, lab=lab,
+                resource_type=resource, at=act.start,
+                delay_hours=start - act.start,
+            ))
+
+        out = []
+        remaining = hours
+        seg_start = start
+        relaunches = 0
+        hazard = cfg.hazard_rate_per_khour / 1000.0 * instances
+        while remaining > _MIN_SEGMENT_HOURS and seg_start < semester_hours:
+            kill_in = np.inf
+            if hazard > 0:
+                kill_in = float(rng.exponential(1.0 / hazard))
+            window = cal.outage_over(site, seg_start, min(seg_start + remaining, semester_hours))
+            outage_in = window.start - seg_start if window is not None else np.inf
+            cut = min(kill_in, outage_in)
+            if cut >= remaining:
+                out.append(rebuild(act, seg_start, remaining))
+                return out
+
+            executed = max(cut, 0.0)
+            kill_t = seg_start + executed
+            if executed > _MIN_SEGMENT_HOURS:
+                out.append(rebuild(act, seg_start, executed))
+            kind = "outage_kill" if outage_in <= kill_in else "hw_kill"
+            redo = cfg.redo_fraction * executed
+            left = remaining - executed
+
+            relaunches += 1
+            u = float(rng.random())  # one draw per relaunch, jitter or not
+            if not self.relaunch.allows_retry(
+                relaunches - 1, elapsed_hours=kill_t - act.start
+            ):
+                self.ledger.add(FaultEvent(
+                    kind="abandoned", site=site, user=act.user, lab=lab,
+                    resource_type=resource, at=kill_t,
+                    lost_hours=left * instances,
+                ))
+                return out
+            next_start = kill_t + self.relaunch.backoff_hours(relaunches, u=u)
+            if kind == "outage_kill" and window is not None:
+                next_start = max(next_start, window.end)
+            next_start = cal.next_clear(site, next_start)
+            if next_start >= semester_hours:
+                self.ledger.add(FaultEvent(
+                    kind="abandoned", site=site, user=act.user, lab=lab,
+                    resource_type=resource, at=kill_t,
+                    lost_hours=left * instances,
+                ))
+                return out
+            self.ledger.add(FaultEvent(
+                kind=kind, site=site, user=act.user, lab=lab,
+                resource_type=resource, at=kill_t,
+                redo_hours=redo * instances,
+                delay_hours=next_start - kill_t,
+            ))
+            remaining = left + redo
+            seg_start = next_start
+        return out
+
+    def _rewrite_booking(
+        self,
+        act: SlotActivity | ProjectLeaseActivity,
+        rng: np.random.Generator,
+        semester_hours: float,
+        *,
+        site: str,
+        lab: str,
+        hours: float,
+        resource: str,
+    ):
+        """Fault-resolve one reservation (lab slot / project lease).
+
+        Reserved instances are lease-bound and auto-terminated, so the
+        whole interval must clear every outage window; bursts only block
+        the booking call itself.  Returns the moved activity, or None
+        when the retry budget ran out (recorded as abandoned).
+        """
+        t = self._clear_interval(site, act.start, hours, rng, semester_hours)
+        if t is None:
+            self.ledger.add(FaultEvent(
+                kind="abandoned", site=site, user=act.user, lab=lab,
+                resource_type=resource, at=act.start, lost_hours=hours,
+            ))
+            return None
+        if t > act.start:
+            self.ledger.add(FaultEvent(
+                kind="delayed_start", site=site, user=act.user, lab=lab,
+                resource_type=resource, at=act.start, delay_hours=t - act.start,
+            ))
+            return replace(act, start=t)
+        return act
+
+    # -- window-clearing walks ----------------------------------------------
+
+    def _clear_start(
+        self, site: str, t: float, rng: np.random.Generator, semester_hours: float
+    ) -> float | None:
+        """Retry-walk a single provisioning call out of outage/burst windows."""
+        return self._clear_interval(site, t, 0.0, rng, semester_hours)
+
+    def _clear_interval(
+        self,
+        site: str,
+        t: float,
+        hours: float,
+        rng: np.random.Generator,
+        semester_hours: float,
+    ) -> float | None:
+        """First admissible start >= ``t`` for an interval of ``hours``.
+
+        Outage conflicts retry on the relaunch policy (site-down
+        timescale), burst conflicts on the transient policy (rate-limit
+        timescale); exhausting either budget abandons the attempt.
+        """
+        cal = self.calendar
+        outage_retries = 0
+        burst_retries = 0
+        t0 = t
+        while t < semester_hours:
+            window = (
+                cal.outage_over(site, t, t + hours)
+                if hours > 0
+                else cal.outage_at(site, t)
+            )
+            if window is not None:
+                outage_retries += 1
+                if not self.relaunch.allows_retry(
+                    outage_retries - 1, elapsed_hours=t - t0
+                ):
+                    return None
+                u = float(rng.random())
+                t = max(window.end, t + self.relaunch.backoff_hours(outage_retries, u=u))
+                continue
+            burst = cal.burst_at(site, t)
+            if burst is not None:
+                burst_retries += 1
+                if not self.transient.allows_retry(
+                    burst_retries - 1, elapsed_hours=t - t0
+                ):
+                    return None
+                u = float(rng.random())
+                t = t + self.transient.backoff_hours(burst_retries, u=u)
+                continue
+            return t
+        return None
+
+
+# -- the front door ----------------------------------------------------------------
+
+
+def plan_faulted_cohort(
+    course: CourseDefinition = COURSE,
+    config: CohortConfig | None = None,
+    fault_config: FaultPlanConfig | None = None,
+    *,
+    relaunch: RetryPolicy | None = None,
+    transient: RetryPolicy | None = None,
+) -> tuple[CohortPlan, FaultLedger]:
+    """Plan one semester under a fault plan; returns (plan, ledger).
+
+    The returned plan is an ordinary :class:`~repro.core.cohort.CohortPlan`
+    — hand it to ``CohortSimulation(plan=...)`` for the serial reference
+    or ``repro.parallel.execute_plan`` for the pool; both produce the
+    same record digest because all fault resolution happened here.
+    """
+    cfg = config if config is not None else CohortConfig()
+    fcfg = fault_config if fault_config is not None else FaultPlanConfig()
+    calendar = build_fault_calendar(fcfg, horizon_hours=course.semester_hours)
+    sweep = FaultSweep(calendar, relaunch=relaunch, transient=transient)
+    plan = plan_cohort(course, cfg, faults=sweep)
+    return plan, sweep.ledger

@@ -24,6 +24,7 @@ from repro.cloud.testbed import chameleon
 from repro.core.cohort import (
     CohortConfig,
     CohortPlan,
+    FaultModel,
     ShardPlan,
     cleanup_leftovers,
     execute_shard,
@@ -128,15 +129,20 @@ def run_parallel(
     *,
     workers: int = 2,
     include_project: bool = True,
+    faults: "FaultModel | None" = None,
 ) -> list[UsageRecord]:
     """Plan, execute across ``workers`` processes, and canonically merge.
 
     Digest-identical to ``CohortSimulation(course, config).run()`` for
     every seed and worker count — the equivalence pack in
-    ``tests/parallel`` holds this to sha256 equality.
+    ``tests/parallel`` holds this to sha256 equality.  ``faults`` applies
+    a plan-time fault sweep (see :class:`repro.core.cohort.FaultModel`);
+    because faults are resolved into the static plan before any shard
+    executes, the digest contract holds under any fault plan too
+    (``tests/faults`` holds that equality as well).
     """
     cfg = config if config is not None else CohortConfig()
-    plan = plan_cohort(course, cfg)
+    plan = plan_cohort(course, cfg, faults=faults)
     results = execute_plan(plan, cfg, workers=workers, include_project=include_project)
     return merge_shard_records([r.records for r in results])
 

@@ -1,0 +1,50 @@
+"""Seeded negatives for ERR002: retry shapes with a bound or a backoff."""
+
+
+def bounded_by_for(fetch, attempts):
+    for _ in range(attempts):
+        try:
+            return fetch()
+        except OSError:
+            continue
+    return None
+
+
+def bounded_by_raise(fetch, policy):
+    retries = 0
+    while True:
+        try:
+            return fetch()
+        except OSError:
+            retries += 1
+            if not policy.allows_retry(retries - 1):
+                raise
+            continue
+
+
+def waits_between_attempts(fetch, clock, policy):
+    retries = 0
+    while True:
+        try:
+            return fetch()
+        except OSError:
+            retries += 1
+            clock.sleep(policy.backoff_hours(retries))
+            continue
+
+
+def escapes_on_error(fetch):
+    while True:
+        try:
+            return fetch()
+        except OSError:
+            break
+    return None
+
+
+def event_pump(queue):
+    # while True without an except-continue is orchestration, not a retry
+    while True:
+        item = queue.pop()
+        if item is None:
+            return

@@ -1,0 +1,22 @@
+"""Seeded positives for ERR002: retry loops that never give up.
+
+Handlers catch *specific* exception classes and keep the error, so ERR001
+stays quiet — the problem here is the missing bound, not the breadth.
+"""
+
+
+def spin_on_continue(fetch):
+    while True:
+        try:
+            return fetch()
+        except OSError as exc:
+            last = exc  # noqa: F841 - kept, but the loop never ends
+            continue
+
+
+def spin_on_trailing_pass(fetch):
+    while 1:
+        try:
+            return fetch()
+        except ConnectionError:
+            pass

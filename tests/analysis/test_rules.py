@@ -21,6 +21,7 @@ POSITIVES = {
     "det002_pos.py": ("fixture", "DET002", [8, 9, 10, 11, 12]),
     "det003_pos.py": ("fixture", "DET003", [5, 7, 8, 9]),
     "err001_pos.py": ("fixture", "ERR001", [7, 11, 15]),
+    "err002_pos.py": ("fixture", "ERR002", [9, 18]),
     "par001_pos.py": ("fixture", "PAR001", [3, 4, 5, 6, 7, 13]),
     "res001_pos.py": ("repro.cloud.fake", "RES001", [9]),
     "res002_pos.py": ("repro.cloud.fake", "RES002", [9]),
@@ -31,6 +32,7 @@ NEGATIVES = {
     "det002_neg.py": "fixture",
     "det003_neg.py": "fixture",
     "err001_neg.py": "fixture",
+    "err002_neg.py": "fixture",
     "par001_neg.py": "fixture",
     "res001_neg.py": "repro.cloud.fake",
     "res002_neg.py": "repro.cloud.fake",
@@ -73,6 +75,15 @@ def test_par001_allowed_inside_repro_parallel():
         assert findings == []
     findings, _ = analyze_source(source, path="par001_pos.py", module="repro.parallelism")
     assert {f.rule_id for f in findings} == {"PAR001"}
+
+
+def test_err002_allowed_inside_retry_module():
+    """The same unbounded shape is clean inside the sanctioned policy module."""
+    source = (FIXTURES / "err002_pos.py").read_text()
+    findings, _ = analyze_source(source, path="err002_pos.py", module="repro.common.retry")
+    assert findings == []
+    findings, _ = analyze_source(source, path="err002_pos.py", module="repro.common.retrying")
+    assert {f.rule_id for f in findings} == {"ERR002"}
 
 
 def test_det001_allowed_inside_clock_module():

@@ -1,0 +1,122 @@
+"""The error taxonomy's retryable branch and the shared RetryPolicy."""
+
+import pytest
+
+from repro.common.errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceUnavailableError,
+    TransientError,
+    ValidationError,
+)
+from repro.common.retry import RetryPolicy
+
+
+class TestTaxonomy:
+    def test_transient_is_a_repro_error(self):
+        assert issubclass(TransientError, ReproError)
+
+    def test_service_unavailable_is_transient(self):
+        """An outage is catchable by any 'retry on transient' handler."""
+        assert issubclass(ServiceUnavailableError, TransientError)
+        with pytest.raises(TransientError):
+            raise ServiceUnavailableError("site down")
+
+    def test_deadline_exceeded_is_terminal_not_transient(self):
+        """Exhausting a retry budget must not itself look retryable."""
+        assert issubclass(DeadlineExceededError, ReproError)
+        assert not issubclass(DeadlineExceededError, TransientError)
+
+    def test_definitive_errors_are_not_transient(self):
+        assert not issubclass(ValidationError, TransientError)
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_valid(self):
+        RetryPolicy()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_backoff_hours": -1.0},
+        {"max_backoff_hours": -0.5},
+        {"multiplier": 0.5},
+        {"jitter": 1.5},
+        {"jitter": -0.1},
+        {"deadline_hours": 0.0},
+    ])
+    def test_bad_fields_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_retry_index_is_one_based(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy().backoff_hours(0)
+
+    def test_backoff_u_must_be_uniform_draw(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(jitter=0.5).backoff_hours(1, u=1.5)
+
+
+class TestRetrySchedule:
+    def test_exponential_schedule_with_cap(self):
+        policy = RetryPolicy(max_attempts=5, base_backoff_hours=1.0,
+                             multiplier=2.0, max_backoff_hours=5.0)
+        assert policy.schedule() == [1.0, 2.0, 4.0, 5.0]
+        assert policy.total_backoff_hours() == pytest.approx(12.0)
+
+    def test_max_retries_counts_after_first_attempt(self):
+        assert RetryPolicy(max_attempts=1).max_retries == 0
+        assert RetryPolicy(max_attempts=4).max_retries == 3
+
+    def test_allows_retry_attempt_bound(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows_retry(0)
+        assert policy.allows_retry(1)
+        assert not policy.allows_retry(2)
+
+    def test_allows_retry_deadline_bound(self):
+        policy = RetryPolicy(max_attempts=100, deadline_hours=10.0)
+        assert policy.allows_retry(50, elapsed_hours=9.9)
+        assert not policy.allows_retry(0, elapsed_hours=10.0)
+
+    def test_jitter_is_symmetric_and_caller_driven(self):
+        policy = RetryPolicy(base_backoff_hours=2.0, jitter=0.5)
+        assert policy.backoff_hours(1, u=0.5) == pytest.approx(2.0)  # midpoint
+        assert policy.backoff_hours(1, u=0.0) == pytest.approx(1.0)  # -50%
+        lo, hi = (policy.backoff_hours(1, u=u) for u in (0.0, 0.999))
+        assert lo < 2.0 < hi < 3.0  # u in [0, 1) never quite reaches +50%
+
+    def test_zero_jitter_ignores_u(self):
+        policy = RetryPolicy(base_backoff_hours=3.0)
+        assert policy.backoff_hours(1, u=0.0) == policy.backoff_hours(1, u=0.9)
+
+    def test_schedule_with_jitter_stream(self):
+        policy = RetryPolicy(max_attempts=3, base_backoff_hours=1.0,
+                             multiplier=1.0, max_backoff_hours=1.0, jitter=1.0)
+        assert policy.schedule(us=iter([0.0, 0.5])) == pytest.approx([0.0, 1.0])
+
+
+class TestCanonicalPolicies:
+    def test_quota_default_replicates_legacy_constants(self):
+        """Byte-compatibility anchor: 60 retries, 6 h apart, constant."""
+        policy = RetryPolicy.quota_default()
+        assert policy.max_retries == 60
+        assert policy.backoff_hours(1) == 6.0
+        assert policy.backoff_hours(60) == 6.0  # constant, not exponential
+        assert policy.jitter == 0.0
+
+    def test_relaunch_default_gives_up_after_a_handful(self):
+        policy = RetryPolicy.relaunch_default()
+        assert policy.max_attempts == 4
+        assert policy.schedule() == [2.0, 4.0, 8.0]
+
+    def test_transient_default_is_tight(self):
+        policy = RetryPolicy.transient_default()
+        assert policy.schedule()[0] == 0.25
+        assert policy.total_backoff_hours() < 24.0
+
+    def test_policies_are_frozen_values(self):
+        policy = RetryPolicy()
+        with pytest.raises(AttributeError):
+            policy.max_attempts = 10  # type: ignore[misc]
+        assert RetryPolicy.quota_default() == RetryPolicy.quota_default()

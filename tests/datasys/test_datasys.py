@@ -5,6 +5,8 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.common import ConflictError, NotFoundError, ValidationError
+from repro.common.errors import DeadlineExceededError
+from repro.common.retry import RetryPolicy
 from repro.datasys import (
     Broker,
     Consumer,
@@ -136,8 +138,68 @@ class TestEtl:
         def broken():
             raise IOError("gone")
 
-        with pytest.raises(ValidationError):
+        with pytest.raises(DeadlineExceededError):
             EtlPipeline("p", extract=broken, load=lambda r: None, extract_retries=1).run()
+
+
+class TestEtlRetryPolicy:
+    """The shared-RetryPolicy port of the extract retry path."""
+
+    def test_retry_then_succeed_accumulates_backoff(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff_hours=1.0, multiplier=2.0,
+                             max_backoff_hours=24.0)
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise IOError("transient")
+            return [1, 2]
+
+        report = EtlPipeline("p", extract=flaky, load=lambda r: None, retry=policy).run()
+        assert report.loaded == 2
+        assert report.extract_attempts == 3
+        # two retries waited 1 h then 2 h under the policy's schedule
+        assert report.backoff_hours == pytest.approx(3.0)
+
+    def test_retry_exhausted_raises_deadline_exceeded(self):
+        policy = RetryPolicy(max_attempts=2, base_backoff_hours=0.5)
+
+        def broken():
+            raise IOError("gone")
+
+        with pytest.raises(DeadlineExceededError, match="after 2 attempts"):
+            EtlPipeline("p", extract=broken, load=lambda r: None, retry=policy).run()
+
+    def test_explicit_policy_wins_over_legacy_count(self):
+        policy = RetryPolicy(max_attempts=1)
+        attempts = {"n": 0}
+
+        def broken():
+            attempts["n"] += 1
+            raise IOError("gone")
+
+        pipeline = EtlPipeline("p", extract=broken, load=lambda r: None,
+                               extract_retries=5, retry=policy)
+        assert pipeline.extract_retries == 0
+        with pytest.raises(DeadlineExceededError):
+            pipeline.run()
+        assert attempts["n"] == 1
+
+    def test_dead_letters_unaffected_by_retry_policy(self):
+        sink = []
+        pipeline = EtlPipeline(
+            "ingest",
+            extract=lambda: [1, 0, 3],
+            transforms=[("invert", lambda r: 1 / r)],
+            load=sink.append,
+            retry=RetryPolicy.transient_default(),
+        )
+        report = pipeline.run()
+        assert report.loaded == 2
+        assert report.failed == 1
+        assert report.dead_letters[0].stage == "invert"
+        assert report.backoff_hours == 0.0
 
 
 class TestStreaming:

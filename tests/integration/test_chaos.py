@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.cloud.inventory import CHAMELEON_FLAVORS
 from repro.cloud.quota import Quota
 from repro.cloud.site import Site, SiteKind
+from repro.cloud.testbed import Testbed as CloudTestbed
 from repro.cloud.testbed import chameleon
 from repro.common import (
     ConflictError,
@@ -16,8 +17,11 @@ from repro.common import (
     InvalidStateError,
     NotFoundError,
     QuotaExceededError,
+    TransientError,
     ValidationError,
 )
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlanConfig, build_fault_calendar
 from repro.spot import BudgetGuard, BudgetPolicy
 from repro.orchestration.kubernetes import Cluster, Deployment, KubeNode, PodPhase, PodTemplate
 from repro.scheduling import BackfillPolicy, SchedCluster, Scheduler, ml_workload
@@ -214,6 +218,115 @@ class TestPreemptionBudgetChaos:
         for rec in server_records:
             assert 0.0 <= rec.start <= rec.end <= now + 1e-9
             assert rec.hours <= now + 1e-9  # metered hours never exceed wall clock
+
+
+class TestFaultChaos:
+    """The PR-4 resilience contract, fuzzed: a fault injector (outage
+    strikes, API-error bursts, per-instance hazard kills) layered on top
+    of the spot-market chaos ops.  Whatever interleaving the calendar and
+    the op sequence produce, every span closes exactly once, metered
+    hours never exceed the wall clock, quota returns to zero, and no
+    InvalidStateError escapes the terminal paths."""
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        seed=st.integers(0, 1000),
+        fault_seed=st.integers(0, 1000),
+        outage_rate=st.floats(0.0, 4.0),
+        burst_rate=st.floats(0.0, 4.0),
+        hazard=st.floats(0.0, 100.0),
+        ops=st.lists(
+            st.tuples(st.integers(0, 4), st.floats(0.25, 4.0)),
+            min_size=5, max_size=30,
+        ),
+    )
+    def test_faults_plus_spot_ops_keep_books_exact(
+        self, seed, fault_seed, outage_rate, burst_rate, hazard, ops
+    ):
+        rng = np.random.default_rng(seed)
+        tb = CloudTestbed()
+        site = tb.add_site(
+            Site(
+                "kvm", SiteKind.KVM, tb.loop,
+                quota=Quota(instances=6, cores=48, ram_gib=192),
+                flavors=CHAMELEON_FLAVORS,
+            )
+        )
+        guard = BudgetGuard(
+            tb.loop, site.compute, site.meter,
+            BudgetPolicy(budget_usd=30.0, check_every_hours=3.0),
+            rate_fn=lambda rec: 1.0,
+        )
+        horizon = sum(dt for _, dt in ops) + 1.0
+        guard.start(until=horizon)
+        calendar = build_fault_calendar(
+            FaultPlanConfig(
+                seed=fault_seed,
+                outage_rate_per_week=outage_rate,
+                burst_rate_per_week=burst_rate,
+                hazard_rate_per_khour=hazard,
+                outage_mean_hours=2.0,
+                sites=("kvm",),
+            ),
+            horizon_hours=horizon,
+        )
+        injector = FaultInjector(tb, calendar)
+
+        created = 0
+        for i, (op, dt) in enumerate(ops):
+            tb.run_until(min(tb.clock.now + dt, horizon))
+            live = list(site.compute.servers.values())
+            try:
+                if op == 0:
+                    site.compute.create_server("p", f"od{i}", "m1.small", user="u1")
+                    created += 1
+                elif op == 1:
+                    site.compute.create_server(
+                        "p", f"spot{i}", "m1.small", user="u2", interruptible=True
+                    )
+                    created += 1
+                elif op == 2 and live:
+                    site.compute.stop_server(live[int(rng.integers(len(live)))].id)
+                elif op == 3 and live:
+                    site.compute.delete_server(live[int(rng.integers(len(live)))].id)
+                elif op == 4:
+                    spots = [s for s in live if s.interruptible]
+                    if spots:
+                        site.compute.preempt_server(
+                            spots[int(rng.integers(len(spots)))].id
+                        )
+            except (QuotaExceededError, NotFoundError, TransientError):
+                # rejected ops — including admission-gate refusals — are
+                # part of the chaos; ServiceUnavailableError is transient
+                pass
+            except InvalidStateError:
+                # only legal for ops racing a fault kill (stop/preempt a
+                # server the injector just failed), never for creates
+                assert op in (2, 4)
+            # SHUTOFF, notice-period and fault-killed-but-undeleted
+            # servers all resolve through the same terminal path, so open
+            # spans track live servers exactly at every step
+            assert site.meter.open_count == len(site.compute.servers)
+
+        tb.run_until(horizon)
+        for server in list(site.compute.servers.values()):
+            site.compute.delete_server(server.id)
+
+        now = tb.clock.now
+        assert site.meter.open_count == 0
+        assert site.quota.usage("instances") == 0
+        assert site.quota.usage("cores") == 0
+        assert site.quota.usage("ram_gib") == 0
+        server_records = [r for r in site.meter.records() if r.kind == "server"]
+        assert len(server_records) == created  # one span per create, closed once
+        for rec in server_records:
+            assert 0.0 <= rec.start <= rec.end <= now + 1e-9
+            assert rec.hours <= now + 1e-9
+        # every admission refusal raised (and was absorbed) — the gate
+        # never silently swallows a create
+        attempted = sum(1 for op, _ in ops if op in (0, 1))
+        assert created <= attempted
+        assert injector.stats.rejections <= attempted
 
 
 class TestTrackingStoreFuzz:
