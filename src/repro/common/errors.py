@@ -63,6 +63,45 @@ class ServiceUnavailableError(TransientError):
     """
 
 
+class WorkerCrashError(TransientError):
+    """A worker process died mid-execution (SIGKILL, OOM kill, ``SystemExit``).
+
+    The typed form of ``concurrent.futures.process.BrokenProcessPool``:
+    the supervisor in :mod:`repro.parallel.engine` maps raw pool deaths to
+    this error so callers see *which shards* were in flight instead of an
+    opaque "process pool is not usable" message.  Retryable — the shards
+    themselves are deterministic plan data, so re-executing them on a
+    fresh worker is always safe.
+    """
+
+    def __init__(self, message: str, *, shard_ids: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.shard_ids = tuple(shard_ids)
+
+
+class PoisonedShardError(ReproError):
+    """A shard crashed its worker on every attempt and tripped the
+    circuit breaker.
+
+    The terminal outcome of a sequence of :class:`WorkerCrashError`\\ s
+    (the analogue of :class:`DeadlineExceededError` for retry exhaustion,
+    and therefore *not* itself retryable): the supervisor stops
+    re-executing a shard once its :class:`~repro.common.retry.RetryPolicy`
+    budget is spent, and reports the shard ids with their crash counts so
+    the poisoned work is attributable instead of looping forever.
+    """
+
+    def __init__(
+        self, message: str, *, crash_counts: dict[str, int] | None = None
+    ) -> None:
+        super().__init__(message)
+        self.crash_counts = dict(crash_counts or {})
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        return tuple(sorted(self.crash_counts))
+
+
 class DeadlineExceededError(ReproError):
     """An operation ran past its deadline (timeout analogue).
 

@@ -131,12 +131,26 @@ class RetryPolicy:
         return backoff
 
     def schedule(self, *, us: Iterator[float] | None = None) -> list[float]:
-        """The full backoff schedule (one entry per possible retry)."""
+        """The full backoff schedule (one entry per possible retry).
+
+        A caller-supplied jitter stream must carry at least
+        ``max_retries`` draws; exhausting it mid-schedule raises
+        :class:`~repro.common.errors.ValidationError` rather than leaking
+        a bare ``StopIteration`` out of the policy.
+        """
         if us is None:
             return [self.backoff_hours(r) for r in range(1, self.max_attempts)]
-        return [
-            self.backoff_hours(r, u=next(us)) for r in range(1, self.max_attempts)
-        ]
+        out: list[float] = []
+        for r in range(1, self.max_attempts):
+            try:
+                u = next(us)
+            except StopIteration:
+                raise ValidationError(
+                    f"jitter stream exhausted after {len(out)} draws; a schedule "
+                    f"for this policy needs {self.max_retries}"
+                ) from None
+            out.append(self.backoff_hours(r, u=u))
+        return out
 
     def total_backoff_hours(self) -> float:
         """Jitter-free sum of the whole schedule (worst-case added delay)."""

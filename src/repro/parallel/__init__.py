@@ -27,13 +27,26 @@ Why that holds (the short version; EXPERIMENTS.md has the long one):
   list" case.
 """
 
-from repro.parallel.engine import ShardResult, run_parallel
+from repro.parallel.engine import (
+    EngineTelemetry,
+    ShardResult,
+    SupervisedRun,
+    SupervisorHalt,
+    SupervisorPolicy,
+    run_parallel,
+    run_parallel_supervised,
+)
 from repro.parallel.merge import merge_shard_records, total_unit_hours
 from repro.parallel.planner import batch_shards
 
 __all__ = [
     "run_parallel",
+    "run_parallel_supervised",
+    "EngineTelemetry",
     "ShardResult",
+    "SupervisedRun",
+    "SupervisorHalt",
+    "SupervisorPolicy",
     "batch_shards",
     "merge_shard_records",
     "total_unit_hours",

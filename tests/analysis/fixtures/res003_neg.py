@@ -1,0 +1,29 @@
+"""Look-alike persistence writes RES003 must stay quiet on."""
+
+import os
+
+
+def publish_manifest(manifest_path, payload):
+    tmp = manifest_path + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(payload)
+    os.replace(tmp, manifest_path)
+
+
+def read_journal(journal_path):
+    with open(journal_path) as fh:
+        return fh.read()
+
+
+def write_report(report_path, payload):
+    with open(report_path, "w") as fh:
+        fh.write(payload)
+
+
+def walk_tree(root):
+    return list(os.walk(root))
+
+
+def retire_segment(segment_path, new_path):
+    os.remove(segment_path)
+    os.rename(segment_path, new_path)

@@ -1,0 +1,23 @@
+"""Seeded RES003 violations: non-atomic writes to recovery-state paths."""
+
+import os
+
+
+def save_manifest(manifest_path, payload):
+    with open(manifest_path, "w") as fh:
+        fh.write(payload)
+
+
+def rotate_journal(journal_path):
+    os.remove(journal_path)
+    with open(journal_path, mode="wb") as fh:
+        fh.write(b"")
+
+
+def drop_segment(segment):
+    segment.unlink()
+
+
+def append_wal(wal_path):
+    with open(wal_path, "a") as fh:
+        fh.write("")

@@ -25,6 +25,7 @@ POSITIVES = {
     "par001_pos.py": ("fixture", "PAR001", [3, 4, 5, 6, 7, 13]),
     "res001_pos.py": ("repro.cloud.fake", "RES001", [9]),
     "res002_pos.py": ("repro.cloud.fake", "RES002", [9]),
+    "res003_pos.py": ("repro.faults.store", "RES003", [7, 12, 13, 18, 22]),
 }
 
 NEGATIVES = {
@@ -36,6 +37,7 @@ NEGATIVES = {
     "par001_neg.py": "fixture",
     "res001_neg.py": "repro.cloud.fake",
     "res002_neg.py": "repro.cloud.fake",
+    "res003_neg.py": "repro.faults.store",
 }
 
 
@@ -65,6 +67,23 @@ def test_res_rules_scoped_to_cloud_and_spot():
     source = (FIXTURES / "res001_pos.py").read_text()
     findings, _ = analyze_source(source, path="res001_pos.py", module="repro.serving.engine")
     assert findings == []
+
+
+def test_res003_exempt_inside_repro_checkpoint():
+    """The same bare writes are sanctioned inside the crash-safety package."""
+    source = (FIXTURES / "res003_pos.py").read_text()
+    for module in ("repro.checkpoint", "repro.checkpoint.journal"):
+        findings, _ = analyze_source(source, path="res003_pos.py", module=module)
+        assert findings == []
+    findings, _ = analyze_source(source, path="res003_pos.py", module="repro.checkpointing")
+    assert {f.rule_id for f in findings} == {"RES003"}
+
+
+def test_res003_fires_everywhere_not_just_cloud_scope():
+    """Unlike RES001/2, RES003 guards every module outside repro.checkpoint."""
+    source = (FIXTURES / "res003_pos.py").read_text()
+    findings, _ = analyze_source(source, path="res003_pos.py", module="fixture")
+    assert {f.rule_id for f in findings} == {"RES003"}
 
 
 def test_par001_allowed_inside_repro_parallel():

@@ -96,6 +96,42 @@ class TestRetrySchedule:
         assert policy.schedule(us=iter([0.0, 0.5])) == pytest.approx([0.0, 1.0])
 
 
+class TestRetryDeadlineBoundaries:
+    """Edge-of-budget semantics the supervisor's circuit breaker leans on."""
+
+    def test_attempt_landing_exactly_on_deadline_is_refused(self):
+        """The deadline is a closed bound: elapsed == deadline means no retry."""
+        policy = RetryPolicy(max_attempts=10, deadline_hours=6.0)
+        assert policy.allows_retry(3, elapsed_hours=5.999999)
+        assert not policy.allows_retry(3, elapsed_hours=6.0)
+
+    def test_deadline_and_attempt_bounds_are_independent(self):
+        policy = RetryPolicy(max_attempts=2, deadline_hours=100.0)
+        assert not policy.allows_retry(1, elapsed_hours=0.0)  # attempts alone
+        assert not policy.allows_retry(0, elapsed_hours=100.0)  # deadline alone
+        assert policy.allows_retry(0, elapsed_hours=99.999)
+
+    def test_zero_retry_budget_refuses_even_at_time_zero(self):
+        policy = RetryPolicy(max_attempts=1)
+        assert not policy.allows_retry(0, elapsed_hours=0.0)
+        assert policy.schedule() == []
+        assert policy.total_backoff_hours() == 0.0
+
+    def test_jitter_stream_exhaustion_is_a_validation_error(self):
+        """A short stream must not leak a bare StopIteration out of the policy."""
+        policy = RetryPolicy(max_attempts=3, jitter=1.0)
+        with pytest.raises(ValidationError, match="jitter stream exhausted after 1 draws"):
+            policy.schedule(us=iter([0.5]))
+
+    def test_exactly_max_retries_draws_is_enough(self):
+        policy = RetryPolicy(max_attempts=3, base_backoff_hours=1.0,
+                             multiplier=1.0, max_backoff_hours=1.0, jitter=1.0)
+        assert policy.schedule(us=iter([0.5, 0.5])) == pytest.approx([1.0, 1.0])
+
+    def test_empty_stream_fine_when_no_retries_possible(self):
+        assert RetryPolicy(max_attempts=1, jitter=1.0).schedule(us=iter([])) == []
+
+
 class TestCanonicalPolicies:
     def test_quota_default_replicates_legacy_constants(self):
         """Byte-compatibility anchor: 60 retries, 6 h apart, constant."""
