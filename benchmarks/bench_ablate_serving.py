@@ -18,7 +18,7 @@ from repro.serving import (
 )
 
 
-def test_serving_config_sweep(benchmark):
+def test_serving_config_sweep(benchmark, quick):
     base = food11_classifier()
     configs = {
         "fp32 b1": (base, BatchingConfig(max_batch=1)),
@@ -30,7 +30,12 @@ def test_serving_config_sweep(benchmark):
         ),
     }
     server = TritonServer(DEVICE_CATALOG["a100"], gpus=1)
-    load = LoadProfile(rate_rps=1500, n_requests=3000, seed=0)
+    load = LoadProfile(rate_rps=1500, n_requests=300 if quick else 3000, seed=0)
+
+    # seeded determinism: the same load profile must reproduce the exact
+    # benchmark numbers (the arrival trace is a pure function of the seed)
+    server.load_model(base, batching=BatchingConfig(max_batch=8, max_queue_delay_ms=2))
+    assert server.benchmark(base.name, load) == server.benchmark(base.name, load)
 
     def run_all():
         out = {}

@@ -1,0 +1,105 @@
+"""Benchmark: a web-scale serving day through the operations layer.
+
+The acceptance scenario of the loadgen subsystem: millions of requests
+per day of flash-crowd traffic driven through admission control, dynamic
+batching, and the reactive autoscaler — once fault-free and once with a
+non-null fault calendar striking the fleet mid-run — reporting p50/p99
+latency, the loss breakdown, and cost per million served requests, with
+the digest-stability contract asserted on every run.
+
+``--quick`` keeps the offered *rate* at millions/day but shortens the
+simulated horizon so CI finishes in seconds.
+"""
+
+from repro.common.tables import format_table
+from repro.faults.plan import build_serving_calendar
+from repro.loadgen import (
+    AutoscalerConfig,
+    SloPolicy,
+    TrafficConfig,
+    build_report,
+    generate_trace,
+    simulate_traffic,
+)
+from repro.serving import DEVICE_CATALOG, InferenceEngine, food11_classifier
+
+
+def test_million_request_day(benchmark, quick):
+    hours = 2.0 if quick else 24.0
+    traffic = TrafficConfig(
+        seed=0,
+        pattern="flash",
+        requests_per_day=2e6,
+        duration_hours=hours,
+        flash_count=1 if quick else 2,
+    )
+    # fault rates chosen so the calendar is non-null on either horizon:
+    # at least one outage window must strike the fleet mid-run
+    fault_rate = 100.0 if quick else 2.0
+    calendar = build_serving_calendar(
+        duration_hours=hours,
+        seed=7,
+        outage_rate_per_week=fault_rate,
+        burst_rate_per_week=fault_rate,
+    )
+    assert calendar.outages, "benchmark requires a non-null fault plan"
+
+    trace = generate_trace(traffic)
+    assert trace.offered_per_day >= 1e6, "the scenario must offer >= 1M requests/day"
+    engine = InferenceEngine(food11_classifier(), DEVICE_CATALOG["server-cpu-16c"])
+    scaler = AutoscalerConfig(min_replicas=1, max_replicas=8)
+
+    def run_both():
+        clean = simulate_traffic(trace, engine, autoscaler=scaler)
+        faulted = simulate_traffic(trace, engine, autoscaler=scaler, calendar=calendar)
+        return clean, faulted
+
+    clean, faulted = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    # digest stability: a rerun and an evaluation-order perturbation must
+    # reproduce both runs byte-for-byte
+    assert simulate_traffic(trace, engine, autoscaler=scaler).digest() == clean.digest()
+    assert (
+        simulate_traffic(
+            trace, engine, autoscaler=scaler, calendar=calendar, perturb=True
+        ).digest()
+        == faulted.digest()
+    )
+
+    policy = SloPolicy(p99_budget_ms=250.0, max_loss_rate=0.01)
+    rows = []
+    for name, result in (("fault-free", clean), ("faulted", faulted)):
+        report = build_report(result, engine, policy)
+        rows.append(
+            [
+                name,
+                result.offered,
+                result.served,
+                f"{result.loss_rate:.3%}",
+                result.p50_ms,
+                result.p99_ms,
+                result.telemetry.peak_replicas,
+                result.replica_hours,
+                report.cost_per_million_usd,
+                "yes" if report.slo.attained else "no",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["run", "offered", "served", "loss", "p50 ms", "p99 ms",
+             "peak", "repl hrs", "$/M", "slo"],
+            rows,
+            title=(
+                f"2M-requests/day flash-crowd traffic on server-cpu-16c"
+                f" ({hours:g} h horizon):"
+            ),
+            float_fmt=",.2f",
+        )
+    )
+
+    # shape: the outage costs requests (losses strictly worse than clean)
+    # while the autoscaler keeps both runs serving the vast majority
+    assert clean.served > 0.9 * clean.offered
+    assert faulted.loss_rate > clean.loss_rate
+    assert faulted.faulted and not clean.faulted

@@ -33,8 +33,11 @@ from repro.core.costmodel import (
     LabCostRow,
     OutageLabCostRow,
     OutageScenario,
+    ServingCostRow,
     SpotLabCostRow,
     SpotScenario,
+    serving_cost_row,
+    serving_equivalent,
 )
 from repro.core.course import (
     COURSE,
@@ -95,6 +98,9 @@ __all__ = [
     "OutageLabCostRow",
     "OutageScenario",
     "OutageWhatIf",
+    "ServingCostRow",
+    "serving_cost_row",
+    "serving_equivalent",
     "FaultReport",
     "table1",
     "fig1_duration_data",

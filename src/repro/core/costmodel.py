@@ -518,3 +518,108 @@ def distribution_stats(costs: dict[str, float], expected: float) -> dict[str, fl
         "expected": float(expected),
         "pct_exceeding_expected": float((arr > expected).mean() * 100.0),
     }
+
+
+# -- serving replica pricing (Table-1 methodology applied to inference) ------------
+
+
+#: Serving device name -> catalog ``gpu_model`` string.  Devices without a
+#: commercial GPU row (edge boards, datacenter parts absent from the
+#: July-2025 snapshot) map to None and price as "NA", like Table 1's edge
+#: rows.
+#: Catalog ``gpu_model`` string per serving device; ``None`` marks a
+#: device with no commercial equivalent (the paper's "NA" rows: retired
+#: GPUs and the CHI@Edge boards).  Devices absent from this mapping are
+#: priced by the generic CPU path.
+SERVING_GPU_MODELS: dict[str, str | None] = {
+    "a100": "A100-40",
+    "t4": "T4",
+    "a30": None,   # no A30 shape in either July-2025 catalog
+    "p100": None,  # P100 retired from both on-demand catalogs
+    "raspberrypi5": None,
+    "jetson-nano": None,
+}
+
+#: Dedicated vCPUs a CPU serving replica occupies (the `server-cpu-16c`
+#: device profile).
+SERVING_CPU_VCPUS = 16
+
+
+@dataclass(frozen=True)
+class ServingCostRow:
+    """One provider's pricing of a replica fleet, in replica-hours.
+
+    ``hourly_usd`` is the per-replica rate: a matched GPU instance's rate
+    divided by its GPU count (one replica = one device, per the serving
+    lab's instance-group model), or the full rate of the cheapest
+    dedicated-core CPU shape that fits.  ``None`` costs mean the device
+    has no commercial equivalent — the paper's "NA".
+    """
+
+    device: str
+    provider: str
+    instance: str | None
+    replica_hours: float
+    hourly_usd: float | None
+
+    @property
+    def cost_usd(self) -> float | None:
+        if self.hourly_usd is None:
+            return None
+        return self.replica_hours * self.hourly_usd
+
+    def cost_per_million(self, served_requests: int) -> float | None:
+        """Dollars per one million served requests (None = NA / no traffic)."""
+        cost = self.cost_usd
+        if cost is None or served_requests <= 0:
+            return None
+        return cost / served_requests * 1e6
+
+
+def serving_equivalent(
+    device_name: str, provider: str, *, is_gpu: bool = True
+) -> CloudInstance | None:
+    """The cheapest commercial instance that can host one serving replica.
+
+    GPU devices match on the catalog's ``gpu_model`` string and are
+    priced per GPU (multi-GPU shapes host one replica per device, exactly
+    the instance-group model of the Triton lab).  CPU devices take the
+    cheapest dedicated-core shape with at least
+    :data:`SERVING_CPU_VCPUS` vCPUs.  Returns None when no shape
+    qualifies.
+    """
+    catalog = {"aws": AWS_CATALOG, "gcp": GCP_CATALOG}.get(provider)
+    if catalog is None:
+        raise ValidationError(f"unknown provider {provider!r}")
+    if device_name in SERVING_GPU_MODELS and SERVING_GPU_MODELS[device_name] is None:
+        return None  # NA row: retired GPU or edge board, on either path
+    if is_gpu:
+        model = SERVING_GPU_MODELS.get(device_name)
+        if model is None:
+            return None
+        candidates = [i for i in catalog if i.gpus > 0 and i.gpu_model == model]
+        return min(candidates, key=lambda i: (i.hourly_usd / i.gpus, i.name), default=None)
+    candidates = [
+        i for i in catalog
+        if i.gpus == 0 and not i.shared_core and i.vcpus >= SERVING_CPU_VCPUS
+    ]
+    return min(candidates, key=lambda i: (i.hourly_usd, i.name), default=None)
+
+
+def serving_cost_row(
+    device_name: str, provider: str, replica_hours: float, *, is_gpu: bool = True
+) -> ServingCostRow:
+    """Price a fleet's replica-hours on one provider (Table-1 style)."""
+    if replica_hours < 0:
+        raise ValidationError(f"replica hours cannot be negative: {replica_hours!r}")
+    inst = serving_equivalent(device_name, provider, is_gpu=is_gpu)
+    if inst is None:
+        return ServingCostRow(
+            device=device_name, provider=provider, instance=None,
+            replica_hours=replica_hours, hourly_usd=None,
+        )
+    rate = inst.hourly_usd / inst.gpus if (is_gpu and inst.gpus) else inst.hourly_usd
+    return ServingCostRow(
+        device=device_name, provider=provider, instance=inst.name,
+        replica_hours=replica_hours, hourly_usd=rate,
+    )

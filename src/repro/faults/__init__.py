@@ -28,6 +28,7 @@ the failure accounting (see ``--help``).
 """
 
 from repro.faults.plan import (
+    SERVING_SITE,
     ApiErrorBurst,
     FaultCalendar,
     FaultEvent,
@@ -37,6 +38,7 @@ from repro.faults.plan import (
     HardwareFailure,
     OutageWindow,
     build_fault_calendar,
+    build_serving_calendar,
     plan_faulted_cohort,
 )
 from repro.faults.inject import FaultInjector, InjectorStats
@@ -50,7 +52,9 @@ __all__ = [
     "FaultEvent",
     "FaultLedger",
     "FaultSweep",
+    "SERVING_SITE",
     "build_fault_calendar",
+    "build_serving_calendar",
     "plan_faulted_cohort",
     "FaultInjector",
     "InjectorStats",

@@ -56,6 +56,12 @@ from repro.core.cohort import (
 #: that would be torn down the instant it boots produces no usage).
 _MIN_SEGMENT_HOURS = 1e-6
 
+#: The logical site the serving stack runs on.  ``repro.loadgen`` builds
+#: its fault calendars against this site name so serving outages and
+#: API-error bursts draw from the same seeded generators as the testbed's,
+#: without ever colliding with the cohort sites' windows.
+SERVING_SITE = "serving"
+
 
 # -- configuration -----------------------------------------------------------------
 
@@ -639,3 +645,36 @@ def plan_faulted_cohort(
     sweep = FaultSweep(calendar, relaunch=relaunch, transient=transient)
     plan = plan_cohort(course, cfg, faults=sweep)
     return plan, sweep.ledger
+
+
+def build_serving_calendar(
+    *,
+    duration_hours: float,
+    seed: int = 7,
+    outage_rate_per_week: float = 0.0,
+    outage_mean_hours: float = 0.25,
+    outage_sigma: float = 0.6,
+    burst_rate_per_week: float = 0.0,
+    burst_mean_hours: float = 0.05,
+    burst_sigma: float = 0.5,
+) -> FaultCalendar:
+    """A fault calendar scoped to the serving site (:data:`SERVING_SITE`).
+
+    The serving stack fails on minutes-scale windows (a replica fleet
+    losing its zone, a rate-limit storm at the front door), not the
+    hours-scale maintenance windows of the cohort testbed, so the window
+    means default two orders of magnitude shorter.  Same seeded
+    generators, same determinism contract: the calendar is a pure
+    function of its arguments, and the zero-rate default is empty.
+    """
+    config = FaultPlanConfig(
+        seed=seed,
+        outage_rate_per_week=outage_rate_per_week,
+        outage_mean_hours=outage_mean_hours,
+        outage_sigma=outage_sigma,
+        burst_rate_per_week=burst_rate_per_week,
+        burst_mean_hours=burst_mean_hours,
+        burst_sigma=burst_sigma,
+        sites=(SERVING_SITE,),
+    )
+    return build_fault_calendar(config, horizon_hours=duration_hours)

@@ -1,0 +1,149 @@
+"""The serving front door: admission control, deadline drops, batching.
+
+One FIFO queue sits between the arrival trace and the replica fleet.
+Three ways a request can fail to be served, each booked under its own
+status so the report can price them separately:
+
+* **rejected** — admission control: the request arrived while the queue
+  already held ``queue_capacity`` waiters (load shedding at the front
+  door, the 429/503 a real gateway returns under pressure).
+* **error** — the arrival landed inside an API-error burst window of the
+  fault calendar; the front door itself was failing.
+* **dropped** — deadline policy: by the time a replica could start the
+  request, it had already waited longer than ``deadline_ms``; serving a
+  dead request wastes capacity, so the queue drops it at dispatch time.
+
+Batches are formed against :class:`repro.serving.BatchingConfig` — the
+same ``window_close`` semantics the closed-loop lab batcher uses — so
+loadgen's operations layer and the Unit-6 batching simulation cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.serving.batching import BatchingConfig
+
+# request terminal statuses (int8 codes in the result arrays)
+SERVED = 0
+REJECTED = 1   # admission control: queue full at arrival
+DROPPED = 2    # deadline exceeded while queued
+ERROR = 3      # arrived during an API-error burst window
+FAILED = 4     # in flight on a replica an outage killed
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Front-door policy knobs."""
+
+    queue_capacity: int = 512
+    deadline_ms: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity <= 0:
+            raise ValidationError(f"queue capacity must be positive: {self!r}")
+        if self.deadline_ms <= 0:
+            raise ValidationError(f"deadline must be positive: {self!r}")
+
+    @property
+    def deadline_s(self) -> float:
+        return self.deadline_ms / 1e3
+
+
+class RequestQueue:
+    """FIFO of admitted request indices, with the three loss policies.
+
+    The queue never inspects the clock itself: the simulation loop feeds
+    it arrivals and dispatch instants in chronological order, and every
+    decision is a pure function of those inputs — no RNG, no ambient
+    state, which is what keeps the whole operations layer order-invariant.
+    """
+
+    def __init__(
+        self,
+        admission: AdmissionConfig,
+        batching: BatchingConfig,
+        arrivals_s: np.ndarray,
+        status: np.ndarray,
+    ) -> None:
+        self.admission = admission
+        self.batching = batching
+        self._arrivals = arrivals_s
+        self._status = status
+        self._pending: deque[int] = deque()
+        self.max_depth = 0
+        self.rejected = 0
+        self.errored = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def depth(self) -> int:
+        return len(self._pending)
+
+    def head_arrival(self) -> float:
+        """Arrival time of the oldest waiter (queue must be non-empty)."""
+        return float(self._arrivals[self._pending[0]])
+
+    # -- arrival side -------------------------------------------------------
+
+    def offer(self, idx: int, *, in_burst: bool) -> bool:
+        """Admit request ``idx`` (True) or book its loss (False)."""
+        if in_burst:
+            self._status[idx] = ERROR
+            self.errored += 1
+            return False
+        if len(self._pending) >= self.admission.queue_capacity:
+            self._status[idx] = REJECTED
+            self.rejected += 1
+            return False
+        self._pending.append(idx)
+        if len(self._pending) > self.max_depth:
+            self.max_depth = len(self._pending)
+        return True
+
+    # -- dispatch side ------------------------------------------------------
+
+    def expire(self, start_s: float) -> int:
+        """Drop queued requests whose wait would exceed the deadline if
+        service started at ``start_s``.  Returns how many were dropped.
+
+        Only the front of the queue can be expired (FIFO: later waiters
+        arrived later and have waited less), so this is a prefix walk.
+        """
+        deadline = self.admission.deadline_s
+        n = 0
+        while self._pending and start_s - self._arrivals[self._pending[0]] > deadline:
+            idx = self._pending.popleft()
+            self._status[idx] = DROPPED
+            self.dropped += 1
+            n += 1
+        return n
+
+    def take_batch(self, earliest_start_s: float) -> list[int]:
+        """Form one batch whose leader could start at ``earliest_start_s``.
+
+        Followers join while they arrived inside the batching window and
+        the batch is below ``max_batch`` — the exact
+        :meth:`~repro.serving.BatchingConfig.window_close` rule of
+        :func:`repro.serving.simulate_batching`.  Caller must have
+        admitted all arrivals up to the window close first.
+        """
+        if not self._pending:
+            return []
+        close = self.batching.window_close(earliest_start_s)
+        batch: list[int] = [self._pending.popleft()]
+        while (
+            self._pending
+            and len(batch) < self.batching.max_batch
+            and self._arrivals[self._pending[0]] <= close
+        ):
+            batch.append(self._pending.popleft())
+        return batch

@@ -1,0 +1,358 @@
+"""The serving-operations simulation: trace in, priced outcomes out.
+
+Drives a :class:`~repro.loadgen.arrivals.RequestTrace` through the full
+operations layer — admission control, deadline drops, dynamic batching
+(:class:`repro.serving.BatchingConfig` semantics), a replica fleet under
+a reactive autoscaler, and the fault calendar's outage/burst windows —
+and records a terminal outcome for every request.
+
+Determinism contract (the loadgen analogue of `repro.parallel`'s
+``records_digest`` equality):
+
+* All randomness lives in the trace and the fault calendar, both seeded
+  and resolved *before* simulation; the simulation itself draws nothing.
+* Every tie is broken on a total order (replica selection by
+  ``(available_time, rid)``), so internal evaluation order cannot leak
+  into results — ``perturb=True`` scans the fleet in reverse and must
+  produce a byte-identical :meth:`TrafficResult.digest`.
+* Control ticks fire at fixed simulated instants and are evaluated at
+  dispatch boundaries; arrivals inside a batching window are admitted
+  before the batch forms.  Both rules are part of the simulation's
+  definition, not scheduling accidents.
+
+The loop advances batch-by-batch (every admitted request is still
+touched exactly once), so a multi-million-request day simulates in
+seconds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.faults.plan import SERVING_SITE, FaultCalendar
+from repro.loadgen.arrivals import RequestTrace
+from repro.loadgen.autoscaler import AutoscalerConfig, FleetTelemetry, ReplicaSet
+from repro.loadgen.queue import (
+    DROPPED,
+    ERROR,
+    FAILED,
+    REJECTED,
+    SERVED,
+    AdmissionConfig,
+    RequestQueue,
+)
+from repro.serving.batching import BatchingConfig
+from repro.serving.engine import InferenceEngine
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class ReplicaSpan:
+    """One closed billing span (the fleet's ledger entry)."""
+
+    rid: int
+    launched_at_s: float
+    ready_at_s: float
+    terminated_at_s: float
+    reason: str
+
+    @property
+    def billed_hours(self) -> float:
+        return (self.terminated_at_s - self.launched_at_s) / 3600.0
+
+
+@dataclass(frozen=True)
+class TrafficResult:
+    """Per-request outcomes plus the fleet ledger for one simulated run."""
+
+    trace: RequestTrace
+    admission: AdmissionConfig
+    batching: BatchingConfig
+    autoscaler: AutoscalerConfig
+    device_name: str
+    model_name: str
+    status: np.ndarray      # int8 terminal codes (queue.SERVED & friends)
+    start_s: np.ndarray     # service start (NaN if never started)
+    finish_s: np.ndarray    # service completion (NaN if lost/never started)
+    replica_of: np.ndarray  # serving replica id (-1 if none)
+    spans: tuple[ReplicaSpan, ...]
+    telemetry: FleetTelemetry
+    batches: int
+    max_queue_depth: int
+    faulted: bool
+
+    # -- outcome counts -----------------------------------------------------
+
+    @property
+    def offered(self) -> int:
+        return len(self.status)
+
+    def count(self, code: int) -> int:
+        return int((self.status == code).sum())
+
+    @property
+    def served(self) -> int:
+        return self.count(SERVED)
+
+    @property
+    def rejected(self) -> int:
+        return self.count(REJECTED)
+
+    @property
+    def dropped(self) -> int:
+        return self.count(DROPPED)
+
+    @property
+    def errored(self) -> int:
+        return self.count(ERROR)
+
+    @property
+    def failed(self) -> int:
+        return self.count(FAILED)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of offered requests that did not get a response."""
+        return 1.0 - self.served / self.offered if self.offered else 0.0
+
+    # -- latency ------------------------------------------------------------
+
+    def latencies_ms(self) -> np.ndarray:
+        """Per-request latency (completion − arrival) of served requests."""
+        mask = self.status == SERVED
+        return (self.finish_s[mask] - self.trace.arrivals_s[mask]) * 1e3
+
+    def percentile_ms(self, q: float) -> float:
+        lat = self.latencies_ms()
+        if not len(lat):
+            return float("nan")
+        return float(np.percentile(lat, q))
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_ms(50)
+
+    @property
+    def p95_ms(self) -> float:
+        return self.percentile_ms(95)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ms(99)
+
+    @property
+    def mean_batch(self) -> float:
+        return self.served / self.batches if self.batches else 0.0
+
+    # -- fleet --------------------------------------------------------------
+
+    @property
+    def replica_hours(self) -> float:
+        return sum(s.billed_hours for s in self.spans)
+
+    # -- the contract -------------------------------------------------------
+
+    def digest(self) -> str:
+        """SHA-256 over the complete observable outcome.
+
+        Covers the trace, every per-request terminal tuple, and the
+        fleet's billing spans — byte-identical digests mean identical
+        latency percentiles, loss accounting, and dollars.
+        """
+        h = hashlib.sha256()
+        h.update(self.trace.digest().encode())
+        h.update(repr((self.admission, self.batching, self.autoscaler)).encode())
+        h.update(self.status.tobytes())
+        h.update(self.start_s.tobytes())
+        h.update(self.finish_s.tobytes())
+        h.update(self.replica_of.tobytes())
+        for span in self.spans:
+            h.update(repr(span).encode())
+        return h.hexdigest()
+
+
+def _serving_windows(
+    calendar: FaultCalendar | None, horizon_s: float
+) -> tuple[list[tuple[float, float]], list[tuple[float, float]]]:
+    """(outages, bursts) on the serving site, in seconds, clipped to horizon."""
+    if calendar is None:
+        return [], []
+    outages = [
+        (w.start * 3600.0, w.end * 3600.0)
+        for w in calendar.outages
+        if w.site == SERVING_SITE and w.start * 3600.0 < horizon_s
+    ]
+    bursts = [
+        (w.start * 3600.0, w.end * 3600.0)
+        for w in calendar.bursts
+        if w.site == SERVING_SITE and w.start * 3600.0 < horizon_s
+    ]
+    return outages, bursts
+
+
+def simulate_traffic(
+    trace: RequestTrace,
+    engine: InferenceEngine,
+    *,
+    admission: AdmissionConfig | None = None,
+    batching: BatchingConfig | None = None,
+    autoscaler: AutoscalerConfig | None = None,
+    calendar: FaultCalendar | None = None,
+    perturb: bool = False,
+) -> TrafficResult:
+    """Run the operations layer over one request trace.
+
+    ``perturb`` flips every internal evaluation order the simulation is
+    free to choose (currently: the fleet scan in replica selection) and
+    must not change the digest — the CLI's ``--verify`` asserts exactly
+    that.
+    """
+    admission = admission if admission is not None else AdmissionConfig()
+    batching = batching if batching is not None else BatchingConfig()
+    autoscaler = autoscaler if autoscaler is not None else AutoscalerConfig()
+
+    arrivals = trace.arrivals_s
+    n = len(arrivals)
+    if n == 0:
+        raise ValidationError("cannot simulate an empty request trace")
+
+    status = np.full(n, SERVED, dtype=np.int8)
+    start_s = np.full(n, np.nan)
+    finish_s = np.full(n, np.nan)
+    replica_of = np.full(n, -1, dtype=np.int32)
+
+    outage_windows, burst_windows = _serving_windows(calendar, trace.config.duration_s)
+    in_burst = np.zeros(n, dtype=bool)
+    for ws, we in burst_windows:
+        lo = int(np.searchsorted(arrivals, ws, side="left"))
+        hi = int(np.searchsorted(arrivals, we, side="left"))
+        in_burst[lo:hi] = True
+
+    # outage edge events, time-ordered: (time, kind) with start before end
+    outage_events: list[tuple[float, int]] = []
+    for ws, we in outage_windows:
+        outage_events.append((ws, 0))
+        outage_events.append((we, 1))
+    outage_events.sort()
+
+    queue = RequestQueue(admission, batching, arrivals, status)
+    fleet = ReplicaSet(autoscaler)
+    interval = autoscaler.control_interval_s
+
+    i = 0        # next arrival to process
+    oi = 0       # next outage edge to process
+    next_tick = interval
+    now = 0.0
+    batches = 0
+
+    def outage_end_covering(t: float) -> float:
+        for ws, we in outage_windows:
+            if ws <= t < we:
+                return we
+        return 0.0
+
+    def advance(limit: float) -> None:
+        """Process every event with time <= limit, in chronological order
+        (outage edges, then control ticks, then arrivals on ties)."""
+        nonlocal i, oi, next_tick, now
+        while True:
+            ta = arrivals[i] if i < n else _INF
+            to = outage_events[oi][0] if oi < len(outage_events) else _INF
+            tm = min(ta, to, next_tick)
+            if tm > limit:
+                break
+            if to <= next_tick and to <= ta:
+                t, kind = outage_events[oi]
+                oi += 1
+                now = t
+                if kind == 0:
+                    for idx in fleet.strike(t):
+                        status[idx] = FAILED
+                        finish_s[idx] = np.nan
+                # window ends are implicit: provisioning clamps handle them
+            elif next_tick <= ta:
+                now = next_tick
+                next_tick += interval
+                fleet.tick(now, queue.depth, not_ready_before_s=outage_end_covering(now))
+            else:
+                now = ta
+                queue.offer(i, in_burst=bool(in_burst[i]))
+                i += 1
+        now = max(now, limit)
+
+    def admit_through_window(close: float) -> None:
+        """Admit arrivals up to the batching-window close (arrivals only:
+        structural events inside the millisecond window are evaluated at
+        the next dispatch boundary — a defined part of the semantics)."""
+        nonlocal i
+        while i < n and arrivals[i] <= close:
+            queue.offer(i, in_burst=bool(in_burst[i]))
+            i += 1
+
+    while True:
+        if queue.depth == 0:
+            if i >= n:
+                break
+            advance(arrivals[i])
+            continue
+
+        avail = fleet.next_available(now, perturb=perturb)
+        next_struct = min(
+            next_tick, outage_events[oi][0] if oi < len(outage_events) else _INF
+        )
+        if avail is None:
+            advance(next_struct)
+            continue
+        t_free, rid = avail
+        t_start = max(t_free, queue.head_arrival())
+        if next_struct <= t_start:
+            advance(next_struct)
+            continue
+        if queue.expire(t_start):
+            continue
+
+        admit_through_window(batching.window_close(t_start))
+        batch = queue.take_batch(t_start)
+        service_start = max(t_start, float(arrivals[batch[-1]]))
+        finish = service_start + engine.service_time_s(len(batch))
+        for idx in batch:
+            start_s[idx] = service_start
+            finish_s[idx] = finish
+            replica_of[idx] = rid
+        fleet.dispatch(rid, tuple(batch), finish)
+        batches += 1
+        now = service_start
+
+    fleet.drain(now)
+    spans = tuple(
+        ReplicaSpan(
+            rid=r.rid,
+            launched_at_s=r.launched_at,
+            ready_at_s=r.ready_at,
+            terminated_at_s=r.terminated_at if r.terminated_at is not None else now,
+            reason=r.reason or "drain",
+        )
+        for r in fleet.replicas
+    )
+    return TrafficResult(
+        trace=trace,
+        admission=admission,
+        batching=batching,
+        autoscaler=autoscaler,
+        device_name=engine.device.name,
+        model_name=engine.model.name,
+        status=status,
+        start_s=start_s,
+        finish_s=finish_s,
+        replica_of=replica_of,
+        spans=spans,
+        telemetry=fleet.telemetry,
+        batches=batches,
+        max_queue_depth=queue.max_depth,
+        faulted=bool(outage_windows or burst_windows),
+    )

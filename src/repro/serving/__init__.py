@@ -16,7 +16,12 @@ throughput under tight performance budgets":
   concurrency × batching) with a benchmark harness and SLO checking.
 """
 
-from repro.serving.batching import BatchingConfig, BatchingResult, simulate_batching
+from repro.serving.batching import (
+    BatchingConfig,
+    BatchingResult,
+    poisson_arrivals,
+    simulate_batching,
+)
 from repro.serving.devices import DEVICE_CATALOG, DeviceProfile
 from repro.serving.engine import InferenceEngine
 from repro.serving.models import Precision, ServableModel, food11_classifier
@@ -31,6 +36,7 @@ __all__ = [
     "InferenceEngine",
     "BatchingConfig",
     "BatchingResult",
+    "poisson_arrivals",
     "simulate_batching",
     "TritonServer",
     "LoadProfile",

@@ -30,6 +30,22 @@ class BatchingConfig:
         if self.max_batch <= 0 or self.n_instances <= 0 or self.max_queue_delay_ms < 0:
             raise ValidationError(f"invalid batching config: {self!r}")
 
+    @property
+    def delay_s(self) -> float:
+        """The straggler window in seconds (simulation-time unit)."""
+        return self.max_queue_delay_ms / 1e3
+
+    def window_close(self, earliest_start_s: float) -> float:
+        """Latest instant a follower may still join a batch whose leader
+        could start service at ``earliest_start_s``.
+
+        This is the one definition of the batching window; both
+        :func:`simulate_batching` and the ``repro.loadgen`` request queue
+        collect followers against it, so the closed-loop benchmark and the
+        open-loop traffic simulation implement the same batcher.
+        """
+        return earliest_start_s + self.delay_s
+
 
 @dataclass(frozen=True)
 class BatchingResult:
@@ -88,7 +104,6 @@ def simulate_batching(
         raise ValidationError("arrivals must be sorted")
 
     n = len(arrivals)
-    delay_s = config.max_queue_delay_ms / 1e3
     instance_free = np.zeros(config.n_instances)
     completion = np.empty(n)
     batch_sizes: list[int] = []
@@ -101,7 +116,7 @@ def simulate_batching(
         earliest = max(instance_free[k], arrivals[i])
         # collect followers: anyone arriving within the delay window (from
         # the moment the leader could start), up to max_batch
-        window_close = earliest + delay_s
+        window_close = config.window_close(earliest)
         j = i + 1
         while j < n and j - i < config.max_batch and arrivals[j] <= window_close:
             j += 1

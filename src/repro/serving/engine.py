@@ -40,6 +40,11 @@ class InferenceEngine:
         compute_ms = batch_size * m.gflops_per_inference / d.throughput_gflops(m.precision.value) * 1e3
         return overhead + weights_ms + compute_ms
 
+    def service_time_s(self, batch_size: int = 1) -> float:
+        """Batch service time in seconds — the unit open-loop traffic
+        simulations (``repro.loadgen``) account time in."""
+        return self.latency_ms(batch_size) / 1e3
+
     def throughput_rps(self, batch_size: int = 1) -> float:
         """Steady-state requests/second at a fixed batch size."""
         return batch_size / (self.latency_ms(batch_size) / 1e3)

@@ -1,0 +1,19 @@
+"""Seeded positive: the arrival generator `repro.loadgen` must never be.
+
+This is the naive load generator most serving tutorials start with — it
+anchors the trace to the wall clock (DET001) and draws inter-arrival
+gaps from an unseeded RNG (DET002).  Either one breaks the request-trace
+digest contract: two runs of the "same" scenario would offer different
+traffic, so no latency or cost number would ever reproduce.
+"""
+
+import time
+
+import numpy as np
+
+
+def naive_arrivals(rate_rps: float, n: int):
+    start = time.time()
+    rng = np.random.default_rng()
+    gaps = rng.exponential(1.0 / rate_rps, size=n)
+    return start + np.cumsum(gaps)

@@ -113,6 +113,36 @@ def test_det001_allowed_inside_clock_module():
     assert [f.rule_id for f in findings] == ["DET001"]
 
 
+def test_naive_loadgen_arrival_generator_is_caught():
+    """The wall-clock + unseeded-RNG arrival generator every serving
+    tutorial starts with trips both determinism rules — the lint-level
+    enforcement of `repro.loadgen`'s request-trace digest contract."""
+    findings, suppressed = run_fixture("loadgen_arrivals_pos.py", "fixture")
+    assert [(f.rule_id, f.line) for f in findings] == [
+        ("DET001", 16),
+        ("DET002", 17),
+    ]
+    assert suppressed == []
+
+
+def test_seeded_loadgen_arrival_generator_is_clean():
+    """The real generator resolves all randomness from the config seed."""
+    from pathlib import Path
+
+    source = (
+        Path(__file__).parent.parent.parent
+        / "src"
+        / "repro"
+        / "loadgen"
+        / "arrivals.py"
+    ).read_text()
+    findings, suppressed = analyze_source(
+        source, path="arrivals.py", module="repro.loadgen.arrivals"
+    )
+    assert findings == []
+    assert suppressed == []
+
+
 def test_rule_selection_runs_subset():
     source = (FIXTURES / "det001_pos.py").read_text()
     findings, _ = analyze_source(source, module="fixture", rules=["DET003"])

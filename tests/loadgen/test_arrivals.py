@@ -1,0 +1,106 @@
+"""The arrival generator: seeded, shaped, and digest-stable."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.loadgen import SECONDS_PER_DAY, TrafficConfig, generate_trace
+
+
+class TestValidation:
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValidationError):
+            TrafficConfig(pattern="bursty")
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            TrafficConfig(requests_per_day=0)
+
+    def test_peak_to_trough_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            TrafficConfig(peak_to_trough=0.5)
+
+    def test_flash_multiplier_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            TrafficConfig(flash_multiplier=0.9)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("pattern", ["poisson", "diurnal", "flash"])
+    def test_same_seed_same_digest(self, pattern):
+        config = TrafficConfig(
+            seed=3, pattern=pattern, requests_per_day=5e4, duration_hours=2.0
+        )
+        a, b = generate_trace(config), generate_trace(config)
+        assert a.digest() == b.digest()
+        assert np.array_equal(a.arrivals_s, b.arrivals_s)
+
+    def test_different_seed_different_trace(self):
+        base = TrafficConfig(seed=0, requests_per_day=5e4, duration_hours=2.0)
+        other = TrafficConfig(seed=1, requests_per_day=5e4, duration_hours=2.0)
+        assert generate_trace(base).digest() != generate_trace(other).digest()
+
+    def test_flash_settings_do_not_perturb_base_stream(self):
+        # independent spawned streams: the diurnal backbone is identical
+        # whether or not flash crowds ride on top of it
+        diurnal = generate_trace(
+            TrafficConfig(seed=5, pattern="diurnal", requests_per_day=2e4)
+        )
+        flash = generate_trace(
+            TrafficConfig(seed=5, pattern="flash", requests_per_day=2e4, flash_count=1)
+        )
+        base = np.intersect1d(diurnal.arrivals_s, flash.arrivals_s)
+        assert len(base) == len(diurnal)
+
+
+class TestShape:
+    def test_arrivals_sorted_and_in_horizon(self):
+        trace = generate_trace(
+            TrafficConfig(seed=2, pattern="flash", requests_per_day=1e5, duration_hours=3.0)
+        )
+        t = trace.arrivals_s
+        assert np.all(np.diff(t) >= 0)
+        assert t[0] >= 0.0 and t[-1] <= 3.0 * 3600.0
+
+    def test_poisson_rate_matches_configured_mean(self):
+        config = TrafficConfig(seed=0, pattern="poisson", requests_per_day=1e6)
+        trace = generate_trace(config)
+        assert trace.offered_per_day == pytest.approx(1e6, rel=0.01)
+
+    def test_diurnal_peak_beats_trough(self):
+        config = TrafficConfig(
+            seed=0,
+            pattern="diurnal",
+            requests_per_day=5e5,
+            peak_to_trough=4.0,
+            peak_hour=20.0,
+        )
+        t = generate_trace(config).arrivals_s / 3600.0
+        peak = ((t >= 19.0) & (t < 21.0)).sum()
+        trough = ((t >= 7.0) & (t < 9.0)).sum()  # trough is peak_hour - 12
+        assert peak > 2.5 * trough
+
+    def test_flash_crowd_adds_spikes_on_top(self):
+        base_cfg = TrafficConfig(
+            seed=4, pattern="diurnal", requests_per_day=1e5, duration_hours=6.0
+        )
+        flash_cfg = TrafficConfig(
+            seed=4,
+            pattern="flash",
+            requests_per_day=1e5,
+            duration_hours=6.0,
+            flash_count=2,
+            flash_multiplier=10.0,
+            flash_duration_s=300.0,
+        )
+        base, flash = generate_trace(base_cfg), generate_trace(flash_cfg)
+        # expected extra: count * duration * rate * (multiplier - 1)
+        expected_extra = 2 * 300.0 * base_cfg.rate_rps * 9.0
+        assert (len(flash) - len(base)) == pytest.approx(expected_extra, rel=0.15)
+
+    def test_rate_scales_to_millions_per_day(self):
+        trace = generate_trace(
+            TrafficConfig(seed=0, pattern="poisson", requests_per_day=5e6, duration_hours=1.0)
+        )
+        assert len(trace) == pytest.approx(5e6 / 24.0, rel=0.01)
+        assert trace.offered_rps == pytest.approx(5e6 / SECONDS_PER_DAY, rel=0.01)

@@ -1,0 +1,81 @@
+"""Boundary behaviour of the dynamic batcher.
+
+The ISSUE-driven edge cases: an empty queue cannot be flushed (the
+simulation refuses an empty arrival array loudly), a batch that lands
+exactly at ``max_batch`` closes there even with stragglers still inside
+the delay window, and a lone request forms a singleton batch whose
+latency is pure service time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.serving import BatchingConfig, simulate_batching
+
+
+def flat_service(batch: int) -> float:
+    """1 ms per batch regardless of size — isolates queueing effects."""
+    return 1.0
+
+
+class TestEmptyQueueFlush:
+    def test_empty_arrivals_raise(self):
+        with pytest.raises(ValidationError):
+            simulate_batching(np.empty(0), flat_service, BatchingConfig())
+
+    def test_two_dimensional_arrivals_raise(self):
+        with pytest.raises(ValidationError):
+            simulate_batching(np.zeros((2, 2)), flat_service, BatchingConfig())
+
+    def test_unsorted_arrivals_raise(self):
+        with pytest.raises(ValidationError):
+            simulate_batching(np.array([1.0, 0.5]), flat_service, BatchingConfig())
+
+
+class TestBatchExactlyAtMaxSize:
+    def test_window_full_of_stragglers_closes_at_max_batch(self):
+        # 10 requests all arrive inside one delay window; max_batch=4 must
+        # split them 4 + 4 + 2, never overfilling the leader's batch
+        config = BatchingConfig(max_batch=4, max_queue_delay_ms=100.0)
+        arrivals = np.linspace(0.0, 0.009, 10)
+        result = simulate_batching(arrivals, flat_service, config)
+        assert result.batch_sizes.tolist() == [4, 4, 2]
+
+    def test_exactly_max_batch_arrivals_form_one_batch(self):
+        config = BatchingConfig(max_batch=4, max_queue_delay_ms=100.0)
+        arrivals = np.linspace(0.0, 0.009, 4)
+        result = simulate_batching(arrivals, flat_service, config)
+        assert result.batch_sizes.tolist() == [4]
+        # one batched inference: every member completes at the same instant
+        completions = arrivals + result.latencies_ms / 1e3
+        assert np.allclose(completions, completions[0])
+
+    def test_follower_exactly_at_window_close_joins(self):
+        # window_close is inclusive: a follower arriving at exactly
+        # earliest + delay still joins the batch
+        config = BatchingConfig(max_batch=8, max_queue_delay_ms=5.0)
+        arrivals = np.array([0.0, config.window_close(0.0)])
+        result = simulate_batching(arrivals, flat_service, config)
+        assert result.batch_sizes.tolist() == [2]
+
+    def test_follower_just_past_window_close_starts_new_batch(self):
+        config = BatchingConfig(max_batch=8, max_queue_delay_ms=5.0)
+        arrivals = np.array([0.0, config.window_close(0.0) + 1e-9])
+        result = simulate_batching(arrivals, flat_service, config)
+        assert result.batch_sizes.tolist() == [1, 1]
+
+
+class TestSingleRequestBatch:
+    def test_single_request_is_served_alone(self):
+        config = BatchingConfig(max_batch=8, max_queue_delay_ms=5.0)
+        result = simulate_batching(np.array([1.0]), flat_service, config)
+        assert result.batch_sizes.tolist() == [1]
+        # a lone leader never waits for the window: latency is service only
+        assert result.latencies_ms == pytest.approx([1.0])
+
+    def test_zero_delay_window_disables_coalescing_for_spread_arrivals(self):
+        config = BatchingConfig(max_batch=8, max_queue_delay_ms=0.0)
+        arrivals = np.array([0.0, 0.01, 0.02])
+        result = simulate_batching(arrivals, lambda b: 1.0, config)
+        assert result.batch_sizes.tolist() == [1, 1, 1]
