@@ -80,6 +80,38 @@ class Baseline:
             )
         return cls(entries=entries)
 
+    def stale_entries(
+        self, findings: list[Finding], sources: dict[str, str]
+    ) -> list[BaselineEntry]:
+        """Entries no current finding consumes (the hazard was fixed or the
+        line rewrote) — ``--prune-baseline`` reports and drops them."""
+        budget: dict[tuple[str, str, str], int] = {}
+        for e in self.entries:
+            budget[e.key()] = budget.get(e.key(), 0) + 1
+        for f in findings:
+            key = (f.file, f.rule_id, _snippet(sources, f))
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+        stale: list[BaselineEntry] = []
+        for e in sorted(self.entries, key=BaselineEntry.key):
+            if budget.get(e.key(), 0) > 0:
+                budget[e.key()] -= 1
+                stale.append(e)
+        return stale
+
+    def without(self, stale: list[BaselineEntry]) -> "Baseline":
+        """A copy with ``stale`` removed (multiset subtraction)."""
+        remove: dict[tuple[str, str, str], int] = {}
+        for e in stale:
+            remove[e.key()] = remove.get(e.key(), 0) + 1
+        kept: list[BaselineEntry] = []
+        for e in self.entries:
+            if remove.get(e.key(), 0) > 0:
+                remove[e.key()] -= 1
+            else:
+                kept.append(e)
+        return Baseline(entries=kept)
+
     def partition(
         self, findings: list[Finding], sources: dict[str, str]
     ) -> tuple[list[Finding], list[Finding]]:

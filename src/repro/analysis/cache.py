@@ -1,0 +1,190 @@
+"""Incremental analysis cache, keyed by file sha256.
+
+CI runs the analyzer on every push; most pushes touch a handful of
+files.  The cache stores, per display path, the sha256 of the source it
+analyzed and the findings that analysis produced, so an unchanged file
+is never re-parsed.  The whole-program pass caches against a *program
+digest* — the sha256 over every ``(path, file-sha)`` pair — because a
+flow finding in one file can be caused by an edit in another; any
+changed file invalidates the whole-program entry while per-file entries
+survive.
+
+The cache identifies the rule configuration it was built under
+(``rules_key``): a run with a different ``--select`` set or a different
+installed rule pack starts cold rather than serving wrong answers.
+Corrupt or version-mismatched cache files are silently treated as empty
+— a cache must never be able to fail the build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.engine import SuppressedFinding
+from repro.analysis.findings import Finding, Severity
+
+CACHE_VERSION = 1
+
+
+def source_sha(source: str) -> str:
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def program_digest(sources: dict[str, str]) -> str:
+    """sha256 over every (path, file-sha) pair, order-independent."""
+    h = hashlib.sha256()
+    for display in sorted(sources):
+        h.update(display.encode())
+        h.update(b"\0")
+        h.update(source_sha(sources[display]).encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def _finding_to_json(f: Finding) -> dict:
+    return {
+        "file": f.file,
+        "line": f.line,
+        "rule_id": f.rule_id,
+        "severity": f.severity.value,
+        "message": f.message,
+    }
+
+
+def _finding_from_json(raw: dict) -> Finding:
+    return Finding(
+        file=raw["file"],
+        line=raw["line"],
+        rule_id=raw["rule_id"],
+        severity=Severity(raw["severity"]),
+        message=raw["message"],
+    )
+
+
+@dataclass
+class AnalysisCache:
+    """Per-file and whole-program finding cache (JSON on disk)."""
+
+    path: Path
+    rules_key: str
+    files: dict[str, dict] = field(default_factory=dict)
+    program: dict | None = None
+    dirty: bool = False
+
+    @classmethod
+    def load(cls, path: Path, rules_key: str) -> "AnalysisCache":
+        """Read the cache; anything unusable degrades to an empty cache."""
+        cache = cls(path=path, rules_key=rules_key)
+        if not path.exists():
+            return cache
+        try:
+            raw = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return cache
+        if not isinstance(raw, dict):
+            return cache
+        if raw.get("version") != CACHE_VERSION or raw.get("rules_key") != rules_key:
+            return cache
+        files = raw.get("files")
+        if isinstance(files, dict):
+            cache.files = files
+        program = raw.get("program")
+        if isinstance(program, dict):
+            cache.program = program
+        return cache
+
+    def save(self) -> None:
+        """Publish atomically (temp file + os.replace) when anything changed."""
+        if not self.dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "rules_key": self.rules_key,
+            "files": self.files,
+            "program": self.program,
+        }
+        data = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+        from repro.checkpoint import atomic_write_bytes
+
+        atomic_write_bytes(self.path, data, durable=False)
+
+    # -- per-file entries ----------------------------------------------------
+
+    def lookup_file(
+        self, display: str, source: str
+    ) -> tuple[list[Finding], list[SuppressedFinding]] | None:
+        entry = self.files.get(display)
+        if not isinstance(entry, dict) or entry.get("sha") != source_sha(source):
+            return None
+        try:
+            active = [_finding_from_json(raw) for raw in entry["findings"]]
+            waived = [
+                SuppressedFinding(
+                    finding=_finding_from_json(raw["finding"]), reason=raw["reason"]
+                )
+                for raw in entry["suppressed"]
+            ]
+        except (KeyError, TypeError, ValueError):
+            return None
+        return active, waived
+
+    def store_file(
+        self,
+        display: str,
+        source: str,
+        active: list[Finding],
+        waived: list[SuppressedFinding],
+    ) -> None:
+        self.files[display] = {
+            "sha": source_sha(source),
+            "findings": [_finding_to_json(f) for f in active],
+            "suppressed": [
+                {"finding": _finding_to_json(s.finding), "reason": s.reason} for s in waived
+            ],
+        }
+        self.dirty = True
+
+    # -- the whole-program entry ---------------------------------------------
+
+    def lookup_program(
+        self, sources: dict[str, str]
+    ) -> tuple[list[Finding], list[SuppressedFinding]] | None:
+        entry = self.program
+        if not isinstance(entry, dict) or entry.get("digest") != program_digest(sources):
+            return None
+        try:
+            active = [_finding_from_json(raw) for raw in entry["findings"]]
+            waived = [
+                SuppressedFinding(
+                    finding=_finding_from_json(raw["finding"]), reason=raw["reason"]
+                )
+                for raw in entry["suppressed"]
+            ]
+        except (KeyError, TypeError, ValueError):
+            return None
+        return active, waived
+
+    def store_program(
+        self,
+        sources: dict[str, str],
+        active: list[Finding],
+        waived: list[SuppressedFinding],
+    ) -> None:
+        self.program = {
+            "digest": program_digest(sources),
+            "findings": [_finding_to_json(f) for f in active],
+            "suppressed": [
+                {"finding": _finding_to_json(s.finding), "reason": s.reason} for s in waived
+            ],
+        }
+        self.dirty = True
+
+    def prune_missing(self, present: set[str]) -> None:
+        """Drop per-file entries for paths no longer analyzed."""
+        gone = [d for d in self.files if d not in present]
+        for d in gone:
+            del self.files[d]
+            self.dirty = True

@@ -1,21 +1,33 @@
 """Command-line interface: ``python -m repro.analysis [paths...]``.
 
 Exit codes: 0 clean (or everything waived), 1 new findings, 2 usage error.
+
+The whole-program flow pass (``--whole-program``) runs the PUR001 /
+SEED001 / RES004 / DET004 pack over the full module set; ``--cache``
+makes repeat runs incremental (only changed files re-analyze), and
+``--graph`` dumps the call graph + shard reachability as JSON for
+debugging why PUR001 does or does not reach a function.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.engine import analyze_paths, iter_python_files
-from repro.analysis.registry import RULES, load_builtin_rules
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.cache import AnalysisCache
+from repro.analysis.engine import analyze_paths, iter_python_files, module_name_for
+from repro.analysis.findings import Severity
+from repro.analysis.registry import RULES, WHOLE_PROGRAM_RULES, load_builtin_rules
+from repro.analysis.reporters import render_github, render_json, render_text
 from repro.common.errors import ReproError
 
 DEFAULT_BASELINE = "analysis-baseline.json"
+
+#: Severity rank for ``--min-severity`` (higher = more severe).
+_SEVERITY_RANK = {Severity.WARNING: 0, Severity.ERROR: 1}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -25,7 +37,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", help="report format"
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="report format (github = GitHub Actions ::error annotations)",
     )
     parser.add_argument(
         "--baseline",
@@ -38,6 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="accept every current finding into the baseline file and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="report baseline entries no current finding matches and rewrite "
+        "the baseline without them",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print per-rule new/suppressed/baselined counts",
@@ -48,7 +69,68 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated rule ids to run (default: all)",
     )
+    parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help="also run the flow rules (PUR001/SEED001/RES004/DET004) over "
+        "the full module set",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="dump the call graph and shard-execution reachability as JSON "
+        "and exit (no findings are reported)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=None,
+        help="incremental cache file: unchanged files (by sha256) are not "
+        "re-analyzed",
+    )
+    parser.add_argument(
+        "--min-severity",
+        choices=tuple(s.value for s in Severity),
+        default=None,
+        help="findings below this severity are reported as advisory and do "
+        "not affect the exit code",
+    )
     return parser
+
+
+def _graph_dump(paths: list[Path]) -> str:
+    """JSON call-graph dump for ``--graph``."""
+    import ast as _ast
+
+    from repro.analysis.engine import ModuleContext
+    from repro.analysis.flow import build_program
+    from repro.analysis.rules.flow_rules import SHARD_ENTRY_POINTS
+
+    contexts = []
+    for file in iter_python_files(paths):
+        source = file.read_text()
+        try:
+            tree = _ast.parse(source)
+        except SyntaxError:
+            continue
+        contexts.append(
+            ModuleContext(
+                path=str(file), module=module_name_for(file), source=source, tree=tree
+            )
+        )
+    program = build_program(contexts)
+    entries = [e for e in SHARD_ENTRY_POINTS if e in program.index.functions]
+    parents = program.graph.reachable_from(entries)
+    payload = {
+        "modules": sorted(program.index.modules),
+        "functions": len(program.index.functions),
+        "entry_points": entries,
+        "edges": {q: list(callees) for q, callees in sorted(program.graph.edges.items())},
+        "reachable_from_shard_execution": {
+            q: program.graph.witness_chain(parents, q) for q in sorted(parents)
+        },
+    }
+    return json.dumps(payload, indent=2)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -59,10 +141,12 @@ def main(argv: list[str] | None = None) -> int:
     rules: list[str] | None = None
     if args.select is not None:
         rules = [r.strip() for r in args.select.split(",") if r.strip()]
-        unknown = [r for r in rules if r not in RULES]
+        unknown = [r for r in rules if r not in RULES and r not in WHOLE_PROGRAM_RULES]
         if unknown:
             print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
             return 2
+        if any(r in WHOLE_PROGRAM_RULES for r in rules):
+            args.whole_program = True  # selecting a flow rule implies the pass
 
     paths = [Path(p) for p in args.paths]
     missing = [p for p in paths if not p.exists()]
@@ -70,13 +154,32 @@ def main(argv: list[str] | None = None) -> int:
         print(f"no such path(s): {', '.join(map(str, missing))}", file=sys.stderr)
         return 2
 
+    if args.graph:
+        print(_graph_dump(paths))
+        return 0
+
+    cache: AnalysisCache | None = None
+    if args.cache is not None:
+        selected = rules if rules is not None else sorted(RULES) + sorted(WHOLE_PROGRAM_RULES)
+        rules_key = ",".join(selected)
+        cache = AnalysisCache.load(Path(args.cache), rules_key)
+
     baseline_path = Path(args.baseline)
     try:
         baseline = Baseline.load(baseline_path)
-        result = analyze_paths(paths, baseline=baseline, rules=rules)
+        result = analyze_paths(
+            paths,
+            baseline=baseline,
+            rules=rules,
+            whole_program=args.whole_program,
+            cache=cache,
+        )
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if cache is not None:
+        cache.prune_missing({str(f) for f in iter_python_files(paths)})
+        cache.save()
 
     if args.write_baseline:
         sources = {str(f): f.read_text() for f in iter_python_files(paths)}
@@ -86,8 +189,30 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {len(merged)} finding(s) to {baseline_path}")
         return 0
 
-    render = render_json if args.format == "json" else render_text
-    print(render(result, stats=args.stats))
+    if args.prune_baseline:
+        stale = result.stale_baseline
+        if stale:
+            for entry in stale:
+                print(f"stale baseline entry: {entry.file}: {entry.rule_id} {entry.snippet!r}")
+            baseline.without(stale).save(baseline_path)
+            print(f"pruned {len(stale)} stale entr{'y' if len(stale) == 1 else 'ies'}")
+        else:
+            print("baseline has no stale entries")
+
+    if args.min_severity is not None:
+        threshold = _SEVERITY_RANK[Severity(args.min_severity)]
+        gating = [f for f in result.findings if _SEVERITY_RANK[f.severity] >= threshold]
+        result.advisory = [
+            f for f in result.findings if _SEVERITY_RANK[f.severity] < threshold
+        ]
+        result.findings = gating
+
+    if args.format == "json":
+        print(render_json(result, stats=args.stats))
+    elif args.format == "github":
+        print(render_github(result))
+    else:
+        print(render_text(result, stats=args.stats))
     return 0 if result.ok else 1
 
 

@@ -1,0 +1,314 @@
+"""Intraprocedural control-flow graphs, with exception edges.
+
+One node per statement (plus synthetic entry/exit/junction nodes), built
+for path questions like RES004's "does every route from ``open_span`` to
+function exit pass a close?".  Exception edges are modelled where they
+are *structurally visible*: every ``raise``, every ``assert``, and every
+statement lexically inside a ``try`` body gets edges to the applicable
+handlers (or out of the function when nothing catches).  ``finally``
+bodies are instantiated once per route — normal, exceptional, and
+early-return — so a close inside ``finally`` covers all three.
+
+Deliberate limit: a call *outside* any ``try`` is not given a may-raise
+edge.  Doing so would make every statement a potential exit and drown
+the one real leak class (early return / caught-and-skipped close) in
+noise; DESIGN §10 records the trade.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.analysis.flow.modindex import FunctionNode
+
+CallPred = Callable[[ast.Call], bool]
+
+
+@dataclass(frozen=True)
+class CFG:
+    """Statement-level flow graph for one function body."""
+
+    entry: int
+    exit: int
+    succ: dict[int, tuple[int, ...]]
+    stmts: dict[int, ast.stmt | None]  # None for synthetic nodes
+
+    def nodes(self) -> list[int]:
+        return sorted(self.succ)
+
+
+@dataclass(frozen=True)
+class _Frame:
+    """Where abnormal control transfers go from the current position."""
+
+    raise_to: tuple[int, ...]  # explicit `raise` / failing `assert`
+    stmt_exc_to: tuple[int, ...]  # any statement inside a try body
+    return_to: int  # EXIT, or the innermost finally's return junction
+    breaks: list[int] = field(default_factory=list)
+    continues: list[int] = field(default_factory=list)
+
+
+def _catches_everything(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names = []
+    t = handler.type
+    elts = t.elts if isinstance(t, ast.Tuple) else [t]
+    for e in elts:
+        if isinstance(e, ast.Name):
+            names.append(e.id)
+    return any(n in ("Exception", "BaseException") for n in names)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.succ: dict[int, set[int]] = {}
+        self.stmts: dict[int, ast.stmt | None] = {}
+
+    def node(self, stmt: ast.stmt | None) -> int:
+        nid = len(self.stmts)
+        self.stmts[nid] = stmt
+        self.succ[nid] = set()
+        return nid
+
+    def edge(self, frm: int, to: int) -> None:
+        self.succ[frm].add(to)
+
+    def edges(self, frontier: set[int], to: int) -> None:
+        for f in frontier:
+            self.edge(f, to)
+
+    # -- statement dispatch --------------------------------------------------
+
+    def stmts_seq(self, body: list[ast.stmt], frontier: set[int], frame: _Frame) -> set[int]:
+        for stmt in body:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self.stmt(stmt, frontier, frame)
+        return frontier
+
+    def stmt(self, stmt: ast.stmt, frontier: set[int], frame: _Frame) -> set[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier, frame)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier, frame)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier, frame)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            head = self._plain(stmt, frontier, frame)
+            return self.stmts_seq(stmt.body, head, frame)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier, frame)
+        if isinstance(stmt, ast.Return):
+            head = self._plain(stmt, frontier, frame)
+            self.edges(head, frame.return_to)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            nid = self.node(stmt)
+            self.edges(frontier, nid)
+            for t in frame.raise_to:
+                self.edge(nid, t)
+            return set()
+        if isinstance(stmt, ast.Assert):
+            # a failing assert raises; a passing one falls through
+            head = self._plain(stmt, frontier, frame)
+            for nid in head:
+                for t in frame.raise_to:
+                    self.edge(nid, t)
+            return head
+        if isinstance(stmt, ast.Break):
+            nid = self.node(stmt)
+            self.edges(frontier, nid)
+            frame.breaks.append(nid)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            nid = self.node(stmt)
+            self.edges(frontier, nid)
+            frame.continues.append(nid)
+            return set()
+        return self._plain(stmt, frontier, frame)
+
+    def _plain(self, stmt: ast.stmt, frontier: set[int], frame: _Frame) -> set[int]:
+        nid = self.node(stmt)
+        self.edges(frontier, nid)
+        for t in frame.stmt_exc_to:
+            self.edge(nid, t)
+        return {nid}
+
+    def _if(self, stmt: ast.If, frontier: set[int], frame: _Frame) -> set[int]:
+        head = self._plain(stmt, frontier, frame)
+        then_out = self.stmts_seq(stmt.body, set(head), frame)
+        else_out = self.stmts_seq(stmt.orelse, set(head), frame) if stmt.orelse else set(head)
+        return then_out | else_out
+
+    def _loop(self, stmt: ast.While | ast.For | ast.AsyncFor, frontier: set[int],
+              frame: _Frame) -> set[int]:
+        head = self._plain(stmt, frontier, frame)
+        loop_frame = replace(frame, breaks=[], continues=[])
+        body_out = self.stmts_seq(stmt.body, set(head), loop_frame)
+        for nid in body_out:
+            for h in head:
+                self.edge(nid, h)
+        for nid in loop_frame.continues:
+            for h in head:
+                self.edge(nid, h)
+        never_exits = (
+            isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and bool(stmt.test.value)
+        )
+        exits: set[int] = set() if never_exits else set(head)
+        exits |= set(loop_frame.breaks)
+        if stmt.orelse and not never_exits:
+            exits = self.stmts_seq(stmt.orelse, set(head), frame) | set(loop_frame.breaks)
+        return exits
+
+    def _match(self, stmt: ast.Match, frontier: set[int], frame: _Frame) -> set[int]:
+        head = self._plain(stmt, frontier, frame)
+        out: set[int] = set()
+        wildcard = False
+        for case in stmt.cases:
+            out |= self.stmts_seq(case.body, set(head), frame)
+            if isinstance(case.pattern, ast.MatchAs) and case.pattern.pattern is None:
+                if case.guard is None:
+                    wildcard = True
+        if not wildcard:
+            out |= head
+        return out
+
+    def _try(self, stmt: ast.Try, frontier: set[int], frame: _Frame) -> set[int]:
+        head = self._plain(stmt, frontier, frame)
+        has_final = bool(stmt.finalbody)
+        # junction collecting exceptions no handler here catches
+        exc_out = self.node(None)
+        ret_junction = self.node(None) if has_final else None
+
+        handler_heads = [self.node(h) for h in stmt.handlers]
+        caught_all = any(_catches_everything(h) for h in stmt.handlers)
+        body_exc = tuple(handler_heads) + (() if caught_all else (exc_out,))
+        inner_return = ret_junction if ret_junction is not None else frame.return_to
+        body_frame = replace(
+            frame, raise_to=body_exc, stmt_exc_to=body_exc, return_to=inner_return
+        )
+        body_out = self.stmts_seq(stmt.body, set(head), body_frame)
+
+        # handlers and orelse raise *past* this try (but through its finally)
+        outer_frame = replace(
+            frame,
+            raise_to=(exc_out,),
+            stmt_exc_to=(exc_out,) if has_final else frame.stmt_exc_to,
+            return_to=inner_return,
+        )
+        normal_out = (
+            self.stmts_seq(stmt.orelse, body_out, outer_frame) if stmt.orelse else body_out
+        )
+        for hid, handler in zip(handler_heads, stmt.handlers):
+            normal_out |= self.stmts_seq(handler.body, {hid}, outer_frame)
+
+        if not has_final:
+            for t in frame.raise_to:
+                self.edge(exc_out, t)
+            return normal_out
+
+        # normal completion runs finally and falls through
+        after = self.stmts_seq(stmt.finalbody, normal_out, frame)
+        # exceptional route: finally runs, then the exception propagates
+        exc_fin = self.stmts_seq(stmt.finalbody, {exc_out}, frame)
+        for nid in exc_fin:
+            for t in frame.raise_to:
+                self.edge(nid, t)
+        # early-return route: finally runs, then control leaves the function
+        assert ret_junction is not None
+        ret_fin = self.stmts_seq(stmt.finalbody, {ret_junction}, frame)
+        for nid in ret_fin:
+            self.edge(nid, frame.return_to)
+        return after
+
+
+def build_cfg(fn: FunctionNode) -> CFG:
+    """Build the CFG of one function body (nested defs are opaque nodes)."""
+    b = _Builder()
+    entry = b.node(None)
+    exit_ = b.node(None)
+    frame = _Frame(raise_to=(exit_,), stmt_exc_to=(), return_to=exit_)
+    frontier = b.stmts_seq(fn.body, {entry}, frame)
+    b.edges(frontier, exit_)
+    return CFG(
+        entry=entry,
+        exit=exit_,
+        succ={n: tuple(sorted(s)) for n, s in b.succ.items()},
+        stmts=dict(b.stmts),
+    )
+
+
+def may_reach_exit_open(cfg: CFG, is_open: CallPred, is_close: CallPred) -> list[ast.Call]:
+    """Forward may-analysis: open calls for which *some* path reaches the
+    function exit without passing a close.  Nested function/lambda bodies
+    are excluded on both sides — code that does not run on this frame's
+    path neither opens nor closes anything here."""
+    gen: dict[int, list[ast.Call]] = {}
+    kill: dict[int, bool] = {}
+    for nid, stmt in cfg.stmts.items():
+        opens: list[ast.Call] = []
+        closes = False
+        if stmt is not None:
+            for call in _same_frame_calls(stmt):
+                if is_close(call):
+                    closes = True
+                elif is_open(call):
+                    opens.append(call)
+        gen[nid] = opens
+        kill[nid] = closes
+
+    preds: dict[int, list[int]] = {n: [] for n in cfg.succ}
+    for pred, succs in cfg.succ.items():
+        for s in succs:
+            preds[s].append(pred)
+    live_in: dict[int, set[int]] = {n: set() for n in cfg.succ}
+    live_out: dict[int, set[int]] = {n: set() for n in cfg.succ}
+    by_id: dict[int, ast.Call] = {}
+    for opens in gen.values():
+        for call in opens:
+            by_id[id(call)] = call
+
+    changed = True
+    while changed:
+        changed = False
+        for nid in cfg.nodes():
+            inset: set[int] = set()
+            for pred in preds[nid]:
+                inset |= live_out[pred]
+            outset = set() if kill[nid] else set(inset)
+            outset |= {id(c) for c in gen[nid]}
+            if inset != live_in[nid] or outset != live_out[nid]:
+                live_in[nid] = inset
+                live_out[nid] = outset
+                changed = True
+
+    leaked = [by_id[cid] for cid in live_in[cfg.exit]]
+    leaked.sort(key=lambda c: (c.lineno, c.col_offset))
+    return leaked
+
+
+def _same_frame_calls(stmt: ast.stmt) -> list[ast.Call]:
+    """Calls made when this statement executes — skipping nested defs
+    and lambdas, whose bodies run on some other frame, some other time."""
+    out: list[ast.Call] = []
+    stack: list[ast.AST] = []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        # a nested def: only its decorators and argument defaults run now
+        stack.extend(stmt.decorator_list)
+        stack.extend(stmt.args.defaults)
+        stack.extend(d for d in stmt.args.kw_defaults if d is not None)
+    else:
+        stack.append(stmt)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out

@@ -1,0 +1,322 @@
+"""Project-wide module index: every module, class, and function by name.
+
+The per-file engine resolves import aliases inside one
+:class:`~repro.analysis.engine.ModuleContext`; this index stitches those
+contexts into one namespace so whole-program rules can ask "what function
+does ``repro.parallel.run_parallel`` actually name?" and "what type does
+``self.compute`` have on a ``Site``?".  Resolution is deliberately
+best-effort: anything the index cannot prove stays ``None`` and the rules
+treat it as opaque (no finding), never as a guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import ModuleContext
+
+#: An ``from a import b`` chain is followed at most this many hops before
+#: resolution gives up (guards against pathological re-export cycles).
+_MAX_HOPS = 8
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+#: Typing containers whose *outer* name never resolves to a project class;
+#: for unions/optionals the element types are worth trying instead.
+_UNION_WRAPPERS = frozenset({"Optional", "Union"})
+_CONTAINER_NAMES = frozenset(
+    {"list", "tuple", "set", "frozenset", "dict", "List", "Tuple", "Set", "Dict", "FrozenSet"}
+)
+
+
+@dataclass
+class FunctionInfo:
+    """One indexed function or method."""
+
+    qname: str  # "repro.core.cohort.execute_shard" / "repro.cloud.site.Site.server"
+    module: str
+    cls: str | None  # owning class qname, None for free functions
+    name: str
+    node: FunctionNode
+    ctx: ModuleContext
+
+
+@dataclass
+class ClassInfo:
+    """One indexed class: methods, resolved bases, and attribute types."""
+
+    qname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    ctx: ModuleContext
+    bases: tuple[str, ...] = ()  # resolved class qnames only
+    methods: dict[str, str] = field(default_factory=dict)  # method name -> function qname
+    # attr name -> annotation/constructor expression, resolved lazily
+    attr_exprs: dict[str, ast.expr] = field(default_factory=dict)
+
+
+@dataclass
+class ProgramIndex:
+    """All modules of one analysis run, merged into a single namespace."""
+
+    modules: dict[str, ModuleContext] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+    # -- namespace resolution ------------------------------------------------
+
+    def resolve_dotted(self, dotted: str) -> str | None:
+        """Follow re-export chains until ``dotted`` names an indexed
+        function or class; ``None`` when it never does (external names,
+        locals, unresolvable star-imports)."""
+        seen: set[str] = set()
+        for _ in range(_MAX_HOPS):
+            if dotted in seen:
+                return None
+            seen.add(dotted)
+            if dotted in self.functions or dotted in self.classes:
+                return dotted
+            hop = self._reexport_hop(dotted)
+            if hop is None:
+                return None
+            dotted = hop
+        return None
+
+    def _reexport_hop(self, dotted: str) -> str | None:
+        """One import hop: find the longest module prefix of ``dotted`` and
+        push the next segment through that module's import table."""
+        parts = dotted.split(".")
+        for i in range(len(parts) - 1, 0, -1):
+            mctx = self.modules.get(".".join(parts[:i]))
+            if mctx is None:
+                continue
+            target = mctx.imports.get(parts[i])
+            if target is None:
+                return None
+            return ".".join([target, *parts[i + 1 :]])
+        return None
+
+    def resolve_in_module(self, ctx: ModuleContext, name: str) -> str | None:
+        """Resolve a bare name as seen from ``ctx``: module-local definition
+        first, then the import table."""
+        local = f"{ctx.module}.{name}"
+        if local in self.functions or local in self.classes:
+            return local
+        imported = ctx.imports.get(name)
+        if imported is None:
+            return None
+        return self.resolve_dotted(imported)
+
+    # -- class structure -----------------------------------------------------
+
+    def lookup_method(self, cls_qname: str, name: str) -> str | None:
+        """Find ``name`` on the class or (depth-first) on its bases."""
+        seen: set[str] = set()
+        stack = [cls_qname]
+        while stack:
+            qn = stack.pop(0)
+            if qn in seen:
+                continue
+            seen.add(qn)
+            info = self.classes.get(qn)
+            if info is None:
+                continue
+            hit = info.methods.get(name)
+            if hit is not None:
+                return hit
+            stack.extend(info.bases)
+        return None
+
+    def attr_class(self, cls_qname: str, attr: str) -> str | None:
+        """The class of ``instance.attr`` when the index can prove one."""
+        seen: set[str] = set()
+        stack = [cls_qname]
+        while stack:
+            qn = stack.pop(0)
+            if qn in seen:
+                continue
+            seen.add(qn)
+            info = self.classes.get(qn)
+            if info is None:
+                continue
+            expr = info.attr_exprs.get(attr)
+            if expr is not None:
+                return self.annotation_class(info.ctx, expr)
+            stack.extend(info.bases)
+        return None
+
+    def return_class(self, fn_qname: str) -> str | None:
+        """The class a function returns, from its return annotation."""
+        info = self.functions.get(fn_qname)
+        if info is None or info.node.returns is None:
+            return None
+        return self.annotation_class(info.ctx, info.node.returns)
+
+    # -- annotations ---------------------------------------------------------
+
+    def annotation_class(self, ctx: ModuleContext, node: ast.expr | None) -> str | None:
+        """Map a type annotation (or constructor call) to an indexed class.
+
+        Understands plain names, dotted names, string annotations,
+        ``X | None`` unions, ``Optional[X]``/``Union[X, ...]``, and
+        constructor/factory calls whose target resolves in the index.
+        Containers (``list[X]`` etc.) intentionally resolve to ``None`` —
+        an attribute holding a list of X is not an X.
+        """
+        for cand in self._annotation_names(node):
+            resolved = self._resolve_type_name(ctx, cand)
+            if resolved is not None:
+                return resolved
+        return None
+
+    def _annotation_names(self, node: ast.expr | None) -> list[str]:
+        if node is None:
+            return []
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, str):
+                try:
+                    inner = ast.parse(node.value, mode="eval").body
+                except SyntaxError:
+                    return []
+                return self._annotation_names(inner)
+            return []
+        if isinstance(node, ast.Name):
+            if node.id in _CONTAINER_NAMES:
+                return []
+            return [node.id]
+        if isinstance(node, ast.Attribute):
+            dotted = dotted_name(node)
+            return [dotted] if dotted is not None else []
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return self._annotation_names(node.left) + self._annotation_names(node.right)
+        if isinstance(node, ast.Subscript):
+            head = node.value
+            head_name = head.id if isinstance(head, ast.Name) else None
+            if head_name in _UNION_WRAPPERS:
+                sl = node.slice
+                elts = sl.elts if isinstance(sl, ast.Tuple) else [sl]
+                out: list[str] = []
+                for elt in elts:
+                    out.extend(self._annotation_names(elt))
+                return out
+            return self._annotation_names(head)
+        if isinstance(node, ast.Call):
+            # constructor / factory call used as an attribute initializer
+            target = dotted_name(node.func)
+            return [target] if target is not None else []
+        return []
+
+    def _resolve_type_name(self, ctx: ModuleContext, dotted: str) -> str | None:
+        head, _, rest = dotted.partition(".")
+        base = ctx.imports.get(head)
+        candidate = ".".join(filter(None, [base, rest])) if base else None
+        for full in (candidate, f"{ctx.module}.{dotted}" if not rest else None):
+            if full is None:
+                continue
+            resolved = self.resolve_dotted(full)
+            if resolved is None:
+                continue
+            if resolved in self.classes:
+                return resolved
+            # a factory function: follow its return annotation
+            if resolved in self.functions:
+                return self.return_class(resolved)
+        return None
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` -> "a.b.c" when the chain roots in a plain name."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    return ".".join([cur.id, *reversed(parts)])
+
+
+def _index_class(info: ClassInfo, index: ProgramIndex) -> None:
+    """Collect methods and attribute-type evidence from one class body."""
+    for stmt in info.node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods[stmt.name] = f"{info.qname}.{stmt.name}"
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            info.attr_exprs.setdefault(stmt.target.id, stmt.annotation)
+    # ``self.attr = ...`` bindings anywhere in the class's methods; the
+    # first binding wins (``__init__`` comes first in idiomatic code).
+    for stmt in info.node.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        params = {a.arg: a.annotation for a in all_args(stmt) if a.annotation is not None}
+        for sub in ast.walk(stmt):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                target, value = sub.targets[0], sub.value
+            elif isinstance(sub, ast.AnnAssign):
+                target, value = sub.target, sub.annotation
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and value is not None
+            ):
+                # ``self.x = param`` inherits the parameter's annotation
+                if isinstance(value, ast.Name) and value.id in params:
+                    value = params[value.id]
+                info.attr_exprs.setdefault(target.attr, value)
+
+
+def all_args(fn: FunctionNode) -> list[ast.arg]:
+    a = fn.args
+    return [*a.posonlyargs, *a.args, *a.kwonlyargs]
+
+
+def build_index(modules: list[ModuleContext]) -> ProgramIndex:
+    """Index every top-level function and class across ``modules``.
+
+    Later definitions shadow earlier ones under the same qualified name
+    (matching runtime rebinding semantics), which is also what lets tests
+    plant a violation by appending a redefinition to a module's source.
+    """
+    index = ProgramIndex()
+    for ctx in modules:
+        index.modules[ctx.module] = ctx
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qname = f"{ctx.module}.{stmt.name}"
+                index.functions[qname] = FunctionInfo(
+                    qname=qname, module=ctx.module, cls=None, name=stmt.name, node=stmt, ctx=ctx
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                cls_qname = f"{ctx.module}.{stmt.name}"
+                index.classes[cls_qname] = ClassInfo(
+                    qname=cls_qname, module=ctx.module, name=stmt.name, node=stmt, ctx=ctx
+                )
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        mq = f"{cls_qname}.{sub.name}"
+                        index.functions[mq] = FunctionInfo(
+                            qname=mq,
+                            module=ctx.module,
+                            cls=cls_qname,
+                            name=sub.name,
+                            node=sub,
+                            ctx=ctx,
+                        )
+    # second pass: class structure (needs every class name known first)
+    for info in index.classes.values():
+        _index_class(info, index)
+        bases: list[str] = []
+        for b in info.node.bases:
+            dotted = dotted_name(b)
+            if dotted is None:
+                continue
+            resolved = index._resolve_type_name(info.ctx, dotted)
+            if resolved is not None and resolved in index.classes:
+                bases.append(resolved)
+        info.bases = tuple(bases)
+    return index

@@ -1,0 +1,468 @@
+"""Effect detection and taint propagation for the flow rules.
+
+Three analyses live here, each scoped to one function at a time (the
+call graph supplies the inter-procedural glue):
+
+* :func:`direct_effects` — PUR001's purity check: RNG construction,
+  wall-clock/entropy reads, and module-global mutation.  Effects inside
+  nested defs and lambdas *count*: shard execution schedules closures,
+  and a closure that draws entropy runs on the shard's clock.
+* :func:`seed_provenance_findings` — SEED001: every ``Generator``
+  construction must be fed from a parameter, attribute, or spawned
+  ``SeedSequence``; literal or module-constant seeds are findings.
+* :func:`unordered_flow` — DET004: values produced by unordered dict/set
+  iteration, propagated through local assignments to a fixpoint, must
+  not reach journaled/digested/reported sinks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.flow.modindex import FunctionInfo, all_args
+from repro.analysis.rules.determinism import WALL_CLOCK_CALLS, _is_set_expr
+
+#: numpy.random entry points that construct generator state.
+RNG_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.MT19937",
+    }
+)
+
+#: Method calls that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One impurity found inside a function body."""
+
+    node: ast.AST
+    kind: str  # "rng" | "clock" | "global"
+    detail: str
+
+
+def _local_store_names(fn_node: ast.AST) -> set[str]:
+    """Every name the function (incl. nested scopes) binds locally."""
+    names: set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.update(a.arg for a in all_args(node))
+        elif isinstance(node, ast.Lambda):
+            a = node.args
+            names.update(x.arg for x in [*a.posonlyargs, *a.args, *a.kwonlyargs])
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                names.add((alias.asname or alias.name).split(".", 1)[0])
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+    return names
+
+
+def _module_level_bindings(tree: ast.Module) -> set[str]:
+    """Names bound by module-level statements (mutable state candidates)."""
+    out: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                for n in ast.walk(t):
+                    if isinstance(n, ast.Name):
+                        out.add(n.id)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(stmt.target, ast.Name):
+                out.add(stmt.target.id)
+    return out
+
+
+def _root_name(expr: ast.expr) -> str | None:
+    cur = expr
+    while isinstance(cur, (ast.Attribute, ast.Subscript)):
+        cur = cur.value
+    return cur.id if isinstance(cur, ast.Name) else None
+
+
+def direct_effects(fi: FunctionInfo) -> list[Effect]:
+    """Impure operations lexically inside ``fi`` (nested scopes included)."""
+    ctx = fi.ctx
+    effects: list[Effect] = []
+    module_names = _module_level_bindings(ctx.tree)
+    local_names = _local_store_names(fi.node) | {a.arg for a in all_args(fi.node)}
+    globals_declared: set[str] = set()
+    for node in ast.walk(fi.node):
+        if isinstance(node, ast.Global):
+            globals_declared.update(node.names)
+
+    for node in ast.walk(fi.node):
+        if isinstance(node, ast.Call):
+            qname = ctx.qualified_name(node.func)
+            if qname is None:
+                continue
+            if qname in RNG_CONSTRUCTORS or qname == "random.Random":
+                effects.append(Effect(node, "rng", f"constructs RNG state via {qname}()"))
+            elif qname in WALL_CLOCK_CALLS or (
+                qname.startswith("random.") and qname != "random.Random"
+            ):
+                effects.append(Effect(node, "clock", f"reads wall clock/entropy via {qname}()"))
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in module_names
+                and node.func.value.id not in local_names
+            ):
+                effects.append(
+                    Effect(
+                        node,
+                        "global",
+                        f"mutates module global {node.func.value.id!r} "
+                        f"via .{node.func.attr}()",
+                    )
+                )
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in globals_declared:
+                    effects.append(
+                        Effect(node, "global", f"rebinds module global {target.id!r}")
+                    )
+                elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                    root = _root_name(target)
+                    if root is not None and root in module_names and root not in local_names:
+                        effects.append(
+                            Effect(node, "global", f"writes into module global {root!r}")
+                        )
+    effects.sort(key=lambda e: (getattr(e.node, "lineno", 0), getattr(e.node, "col_offset", 0)))
+    return effects
+
+
+# -- SEED001: generator seed provenance ---------------------------------------------
+
+#: Provenance tags a seed expression can carry.
+_OK_TAGS = frozenset({"param", "attr", "spawn"})
+_BAD_TAGS = frozenset({"literal", "global"})
+
+
+def _function_stack_map(tree: ast.Module) -> dict[int, list[ast.AST]]:
+    """node id -> enclosing function-def chain (innermost last)."""
+    out: dict[int, list[ast.AST]] = {}
+
+    def visit(node: ast.AST, stack: list[ast.AST]) -> None:
+        out[id(node)] = list(stack)
+        is_fn = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        if is_fn:
+            stack = [*stack, node]
+        for child in ast.iter_child_nodes(node):
+            visit(child, stack)
+
+    visit(tree, [])
+    return out
+
+
+def _params_of(stack: list[ast.AST]) -> set[str]:
+    params: set[str] = set()
+    for fn in stack:
+        if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            params.update(a.arg for a in all_args(fn))
+        elif isinstance(fn, ast.Lambda):
+            a = fn.args
+            params.update(x.arg for x in [*a.posonlyargs, *a.args, *a.kwonlyargs])
+    return params
+
+
+def _local_assignments(stack: list[ast.AST]) -> dict[str, ast.expr]:
+    """name -> last assigned expression within the enclosing functions."""
+    env: dict[str, ast.expr] = {}
+    for fn in stack:
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                t = node.targets[0]
+                if isinstance(t, ast.Name):
+                    env[t.id] = node.value
+            elif isinstance(node, ast.For) and isinstance(node.target, ast.Name):
+                env[node.target.id] = node.iter
+    return env
+
+
+def seed_tags(
+    expr: ast.expr,
+    ctx: ModuleContext,
+    params: set[str],
+    env: dict[str, ast.expr],
+    _depth: int = 0,
+) -> set[str]:
+    """Classify where a seed expression's entropy comes from."""
+    if _depth > 6:
+        return {"unknown"}
+    if isinstance(expr, ast.Constant):
+        return {"literal"}
+    if isinstance(expr, ast.Name):
+        if expr.id in params:
+            return {"param"}
+        if expr.id in env:
+            return seed_tags(env[expr.id], ctx, params, env, _depth + 1)
+        if expr.id in ctx.imports or expr.id in _module_level_bindings(ctx.tree):
+            return {"global"}
+        return {"unknown"}
+    if isinstance(expr, ast.Attribute):
+        root = _root_name(expr)
+        if root is not None and (root in params or root == "self"):
+            return {"attr"}
+        if ctx.qualified_name(expr) is not None:
+            return {"global"}
+        return {"unknown"}
+    if isinstance(expr, ast.Subscript):
+        return seed_tags(expr.value, ctx, params, env, _depth + 1)
+    if isinstance(expr, ast.Call):
+        if isinstance(expr.func, ast.Attribute) and expr.func.attr == "spawn":
+            return {"spawn"}
+        qname = ctx.qualified_name(expr.func)
+        if qname == "numpy.random.SeedSequence":
+            if not expr.args:
+                return {"literal"}
+            return seed_tags(expr.args[0], ctx, params, env, _depth + 1)
+        return {"unknown"}
+    if isinstance(expr, ast.BinOp):
+        return seed_tags(expr.left, ctx, params, env, _depth + 1) | seed_tags(
+            expr.right, ctx, params, env, _depth + 1
+        )
+    if isinstance(expr, ast.IfExp):
+        return seed_tags(expr.body, ctx, params, env, _depth + 1) | seed_tags(
+            expr.orelse, ctx, params, env, _depth + 1
+        )
+    return {"unknown"}
+
+
+@dataclass(frozen=True)
+class SeedFinding:
+    """One Generator construction whose seed never left the module."""
+
+    node: ast.Call
+    tags: frozenset[str]
+
+
+def seed_provenance_findings(ctx: ModuleContext) -> list[SeedFinding]:
+    """SEED001 evidence for one module (the rule applies scope/exemptions)."""
+    stacks = _function_stack_map(ctx.tree)
+    out: list[SeedFinding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        qname = ctx.qualified_name(node.func)
+        if qname not in ("numpy.random.default_rng", "numpy.random.Generator"):
+            continue
+        seed: ast.expr | None = node.args[0] if node.args else None
+        for kw in node.keywords:
+            if kw.arg == "seed":
+                seed = kw.value
+        if seed is None or (isinstance(seed, ast.Constant) and seed.value is None):
+            continue  # ambient entropy is DET002's finding, not SEED001's
+        stack = stacks.get(id(node), [])
+        params = _params_of(stack)
+        env = _local_assignments(stack)
+        tags = seed_tags(seed, ctx, params, env)
+        if tags & _OK_TAGS:
+            continue
+        if tags and tags <= _BAD_TAGS:
+            out.append(SeedFinding(node=node, tags=frozenset(tags)))
+    out.sort(key=lambda f: (f.node.lineno, f.node.col_offset))
+    return out
+
+
+# -- DET004: unordered iteration flowing into stable outputs ------------------------
+
+#: Sink call names: anything whose result is journaled, digested, or reported.
+_HASH_CONSTRUCTORS = frozenset(
+    {"hashlib.sha256", "hashlib.sha1", "hashlib.md5", "hashlib.blake2b", "hashlib.blake2s"}
+)
+_JSON_SINKS = frozenset({"json.dump", "json.dumps"})
+_PROPAGATE_MUTATORS = frozenset({"append", "add", "extend", "insert", "update", "setdefault"})
+_TAINT_ROUNDS = 4
+
+
+@dataclass(frozen=True)
+class UnorderedFlow:
+    """One unordered-iteration site whose values reach a stable-output sink."""
+
+    site: ast.AST  # the iterable expression (anchor)
+    kind: str  # "set" | "dict view"
+    sink: ast.Call
+    sink_desc: str
+
+
+@dataclass(frozen=True)
+class _Site:
+    """One unordered-iteration construct and the taint it seeds."""
+
+    anchor: ast.AST  # the iterable expression (where the finding points)
+    names: frozenset[str]  # loop-target names carrying iteration order
+    node_ids: frozenset[int]  # expression nodes carrying it (comprehensions)
+    kind: str  # "set" | "dict view"
+
+
+def _classify_unordered(iterable: ast.expr) -> str | None:
+    if _is_set_expr(iterable):
+        return "set"
+    if (
+        isinstance(iterable, ast.Call)
+        and isinstance(iterable.func, ast.Attribute)
+        and iterable.func.attr in ("keys", "values", "items")
+        and not iterable.args
+    ):
+        return "dict view"
+    return None
+
+
+def _unordered_sites(fn_node: ast.AST) -> list[_Site]:
+    sites: list[_Site] = []
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            kind = _classify_unordered(node.iter)
+            if kind is not None:
+                names = frozenset(
+                    n.id
+                    for n in ast.walk(node.target)
+                    if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Store)
+                )
+                sites.append(
+                    _Site(anchor=node.iter, names=names, node_ids=frozenset(), kind=kind)
+                )
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                kind = _classify_unordered(gen.iter)
+                if kind is not None:
+                    # the comprehension's value itself carries the taint
+                    sites.append(
+                        _Site(
+                            anchor=gen.iter,
+                            names=frozenset(),
+                            node_ids=frozenset({id(node)}),
+                            kind=kind,
+                        )
+                    )
+    return sites
+
+
+def _mentions(node: ast.AST, names: set[str], node_ids: set[int]) -> bool:
+    for sub in ast.walk(node):
+        if id(sub) in node_ids:
+            return True
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load) and sub.id in names:
+            return True
+    return False
+
+
+def _sink_desc(call: ast.Call, ctx: ModuleContext, hash_locals: set[str]) -> str | None:
+    qname = ctx.qualified_name(call.func)
+    if qname in _JSON_SINKS:
+        return f"{qname}() serialization"
+    if qname in _HASH_CONSTRUCTORS:
+        return f"{qname}() digest"
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        if func.attr == "update" and isinstance(func.value, ast.Name):
+            if func.value.id in hash_locals:
+                return f"{func.value.id}.update() digest"
+        if "digest" in func.attr:
+            return f".{func.attr}() digest"
+        if func.attr in ("append", "extend") and isinstance(func.value, ast.Name):
+            low = func.value.id.lower()
+            if "journal" in low or "segment" in low:
+                return f"{func.value.id}.{func.attr}() journal write"
+    if isinstance(func, ast.Name) and "digest" in func.id:
+        return f"{func.id}() digest"
+    return None
+
+
+def unordered_flow(fn_node: ast.AST, ctx: ModuleContext) -> list[UnorderedFlow]:
+    """DET004 evidence: per unordered site, the first sink its taint reaches."""
+    sites = _unordered_sites(fn_node)
+    if not sites:
+        return []
+    hash_locals: set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            t = node.targets[0]
+            if isinstance(t, ast.Name) and isinstance(node.value, ast.Call):
+                if ctx.qualified_name(node.value.func) in _HASH_CONSTRUCTORS:
+                    hash_locals.add(t.id)
+
+    flows: list[UnorderedFlow] = []
+    for site in sites:
+        tainted = set(site.names)
+        tainted_nodes = set(site.node_ids)
+        for _ in range(_TAINT_ROUNDS):
+            changed = False
+            for node in ast.walk(fn_node):
+                if isinstance(node, ast.Assign):
+                    if _mentions(node.value, tainted, tainted_nodes):
+                        for t in node.targets:
+                            for n in ast.walk(t):
+                                if isinstance(n, ast.Name) and n.id not in tainted:
+                                    tainted.add(n.id)
+                                    changed = True
+                elif isinstance(node, ast.AugAssign):
+                    if isinstance(node.target, ast.Name) and _mentions(
+                        node.value, tainted, tainted_nodes
+                    ):
+                        if node.target.id not in tainted:
+                            tainted.add(node.target.id)
+                            changed = True
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in _PROPAGATE_MUTATORS
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id not in tainted
+                        and any(_mentions(a, tainted, tainted_nodes) for a in node.args)
+                    ):
+                        tainted.add(func.value.id)
+                        changed = True
+            if not changed:
+                break
+        for node in ast.walk(fn_node):
+            if not isinstance(node, ast.Call):
+                continue
+            desc = _sink_desc(node, ctx, hash_locals)
+            if desc is None:
+                continue
+            payload = list(node.args) + [kw.value for kw in node.keywords]
+            if any(_mentions(a, tainted, tainted_nodes) for a in payload):
+                flows.append(
+                    UnorderedFlow(site=site.anchor, kind=site.kind, sink=node, sink_desc=desc)
+                )
+                break
+    flows.sort(
+        key=lambda f: (getattr(f.site, "lineno", 0), getattr(f.site, "col_offset", 0))
+    )
+    return flows

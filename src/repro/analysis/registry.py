@@ -16,35 +16,83 @@ from repro.common.errors import ValidationError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.analysis.engine import ModuleContext
     from repro.analysis.findings import Finding
+    from repro.analysis.flow import ProgramContext
 
 RuleFn = Callable[["ModuleContext"], Iterable["Finding"]]
+WholeProgramRuleFn = Callable[["ProgramContext"], Iterable["Finding"]]
 
 
 @dataclass(frozen=True)
 class Rule:
-    """A registered rule: id, one-line description, and the check itself."""
+    """A registered per-module rule: id, description, and the check."""
 
     rule_id: str
     description: str
     check: RuleFn
 
 
+@dataclass(frozen=True)
+class WholeProgramRule:
+    """A rule that consumes the whole :class:`ProgramContext` at once."""
+
+    rule_id: str
+    description: str
+    check: WholeProgramRuleFn
+
+
 #: rule_id -> Rule, in registration order (dicts preserve it).
 RULES: dict[str, Rule] = {}
+
+#: rule_id -> WholeProgramRule; run only under ``--whole-program``.
+WHOLE_PROGRAM_RULES: dict[str, WholeProgramRule] = {}
+
+
+def _claim_rule_id(rule_id: str) -> None:
+    if rule_id in RULES or rule_id in WHOLE_PROGRAM_RULES:
+        raise ValidationError(f"rule {rule_id!r} registered twice")
 
 
 def rule(rule_id: str, description: str) -> Callable[[RuleFn], RuleFn]:
     """Register ``fn`` as the implementation of ``rule_id``."""
 
     def decorate(fn: RuleFn) -> RuleFn:
-        if rule_id in RULES:
-            raise ValidationError(f"rule {rule_id!r} registered twice")
+        _claim_rule_id(rule_id)
         RULES[rule_id] = Rule(rule_id=rule_id, description=description, check=fn)
         return fn
 
     return decorate
 
 
+def whole_program_rule(
+    rule_id: str, description: str
+) -> Callable[[WholeProgramRuleFn], WholeProgramRuleFn]:
+    """Register ``fn`` as a whole-program rule (one call per analysis run)."""
+
+    def decorate(fn: WholeProgramRuleFn) -> WholeProgramRuleFn:
+        _claim_rule_id(rule_id)
+        WHOLE_PROGRAM_RULES[rule_id] = WholeProgramRule(
+            rule_id=rule_id, description=description, check=fn
+        )
+        return fn
+
+    return decorate
+
+
+def rule_description(rule_id: str) -> str:
+    """Description for either rule kind ("" when unknown)."""
+    if rule_id in RULES:
+        return RULES[rule_id].description
+    if rule_id in WHOLE_PROGRAM_RULES:
+        return WHOLE_PROGRAM_RULES[rule_id].description
+    return ""
+
+
 def load_builtin_rules() -> None:
     """Import the built-in rule pack (idempotent)."""
-    from repro.analysis.rules import determinism, errors, parallelism, resources  # noqa: F401
+    from repro.analysis.rules import (  # noqa: F401
+        determinism,
+        errors,
+        flow_rules,
+        parallelism,
+        resources,
+    )

@@ -1,33 +1,42 @@
-"""Text and JSON reporters over an :class:`AnalysisResult`."""
+"""Text, JSON, and GitHub Actions reporters over an :class:`AnalysisResult`."""
 
 from __future__ import annotations
 
 import json
 
 from repro.analysis.engine import AnalysisResult
-from repro.analysis.registry import RULES
+from repro.analysis.registry import RULES, WHOLE_PROGRAM_RULES, rule_description
 
 
 def render_text(result: AnalysisResult, *, stats: bool = False) -> str:
     lines: list[str] = []
     for f in result.findings:
         lines.append(f.render())
+    for f in result.advisory:
+        lines.append(f"{f.render()} (advisory)")
     if stats:
         lines.extend(_render_stats(result))
     n, s, b = len(result.findings), len(result.suppressed), len(result.baselined)
-    lines.append(
+    summary = (
         f"{result.files_checked} files checked: {n} new finding{'s' if n != 1 else ''}, "
         f"{s} suppressed inline, {b} baselined"
     )
+    if result.advisory:
+        summary += f", {len(result.advisory)} advisory"
+    if result.files_reanalyzed < result.files_checked:
+        summary += (
+            f" ({result.files_checked - result.files_reanalyzed} unchanged, from cache)"
+        )
+    lines.append(summary)
     return "\n".join(lines)
 
 
 def _render_stats(result: AnalysisResult) -> list[str]:
     per_rule = result.stats()
     lines = ["", "per-rule counts (new / suppressed / baselined):"]
-    for rule_id in sorted(set(per_rule) | set(RULES)):
+    for rule_id in sorted(set(per_rule) | set(RULES) | set(WHOLE_PROGRAM_RULES)):
         counts = per_rule.get(rule_id, {"new": 0, "suppressed": 0, "baselined": 0})
-        desc = RULES[rule_id].description if rule_id in RULES else ""
+        desc = rule_description(rule_id)
         lines.append(
             f"  {rule_id:<8} {counts['new']:>4} / {counts['suppressed']:>4} / "
             f"{counts['baselined']:>4}  {desc}"
@@ -39,6 +48,7 @@ def _render_stats(result: AnalysisResult) -> list[str]:
 def render_json(result: AnalysisResult, *, stats: bool = False) -> str:
     payload: dict = {
         "files_checked": result.files_checked,
+        "files_reanalyzed": result.files_reanalyzed,
         "findings": [
             {
                 "file": f.file,
@@ -48,6 +58,16 @@ def render_json(result: AnalysisResult, *, stats: bool = False) -> str:
                 "message": f.message,
             }
             for f in result.findings
+        ],
+        "advisory": [
+            {
+                "file": f.file,
+                "line": f.line,
+                "rule_id": f.rule_id,
+                "severity": f.severity.value,
+                "message": f.message,
+            }
+            for f in result.advisory
         ],
         "suppressed": [
             {
@@ -61,7 +81,41 @@ def render_json(result: AnalysisResult, *, stats: bool = False) -> str:
         "baselined": [
             {"file": f.file, "line": f.line, "rule_id": f.rule_id} for f in result.baselined
         ],
+        "stale_baseline": [
+            {"file": e.file, "rule_id": e.rule_id, "snippet": e.snippet}
+            for e in result.stale_baseline
+        ],
     }
     if stats:
         payload["stats"] = result.stats()
     return json.dumps(payload, indent=2)
+
+
+def _gh_escape(text: str) -> str:
+    """GitHub Actions workflow-command escaping for message data."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(result: AnalysisResult) -> str:
+    """GitHub Actions ``::error``/``::warning`` annotations, one per finding.
+
+    Gating findings annotate as errors regardless of rule severity (they
+    fail the job); advisory findings annotate as warnings so they surface
+    inline on the PR without failing it.
+    """
+    lines: list[str] = []
+    for f in result.findings:
+        lines.append(
+            f"::error file={f.file},line={f.line},title={f.rule_id}::{_gh_escape(f.message)}"
+        )
+    for f in result.advisory:
+        lines.append(
+            f"::warning file={f.file},line={f.line},title={f.rule_id}::"
+            f"{_gh_escape(f.message)} (advisory)"
+        )
+    n = len(result.findings)
+    lines.append(
+        f"{result.files_checked} files checked: {n} new finding{'s' if n != 1 else ''}, "
+        f"{len(result.advisory)} advisory"
+    )
+    return "\n".join(lines)

@@ -156,7 +156,11 @@ class UsageMeter:
             lab=span.lab,
         )
         self.close_span(resource_id)
-        self.open_span(resource_id, quantity=quantity, **meta)
+        # the replacement span stays open on purpose: it bills until the
+        # resource's own terminal path closes it
+        self.open_span(  # repro: noqa RES004 (span rotation: stays open until terminate)
+            resource_id, quantity=quantity, **meta
+        )
 
     def is_open(self, resource_id: str) -> bool:
         return resource_id in self._open

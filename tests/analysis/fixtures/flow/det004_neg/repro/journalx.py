@@ -1,0 +1,26 @@
+"""Fixture: the same flows with a total order imposed at the source."""
+
+import hashlib
+import json
+
+
+def digest_members(members):
+    h = hashlib.sha256()
+    for name in sorted({m.lower() for m in members}):
+        h.update(name.encode())
+    return h.hexdigest()
+
+
+def report_rows(table):
+    rows = []
+    for key in sorted(table.keys()):
+        rows.append(key)
+    return json.dumps(rows)
+
+
+def harmless_set_loop(members):
+    # unordered iteration that never reaches a sink is DET003's advisory
+    total = 0
+    for m in {x for x in members}:
+        total += 1
+    return total

@@ -1,0 +1,18 @@
+"""Fixture: unordered iteration flowing into digest/serialized output."""
+
+import hashlib
+import json
+
+
+def digest_members(members):
+    h = hashlib.sha256()
+    for name in {m.lower() for m in members}:
+        h.update(name.encode())
+    return h.hexdigest()
+
+
+def report_rows(table):
+    rows = []
+    for key in table.keys():
+        rows.append(key)
+    return json.dumps(rows)

@@ -1,0 +1,16 @@
+"""Fixture: pure shard execution; RNG lives in an unreachable helper."""
+
+import numpy as np
+
+
+def _helper(rng):
+    return float(rng.random())
+
+
+def _execute_batch(batch, rng):
+    return [_helper(rng) for _ in batch]
+
+
+def _chaos_tool(seed):
+    # constructs RNG, but nothing on the shard-execution path calls it
+    return np.random.default_rng(seed)

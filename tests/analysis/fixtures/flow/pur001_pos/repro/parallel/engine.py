@@ -1,0 +1,23 @@
+"""Fixture: shard execution transitively reaches impure operations."""
+
+import numpy as np
+
+_CACHE = {}
+
+
+def _jitter():
+    rng = np.random.default_rng(7)
+    return rng.random()
+
+
+def _remember(key, value):
+    _CACHE[key] = value
+
+
+def _helper(batch):
+    _remember(len(batch), batch)
+    return _jitter() + 1.0
+
+
+def _execute_batch(batch):
+    return [_helper(batch) for _ in batch]

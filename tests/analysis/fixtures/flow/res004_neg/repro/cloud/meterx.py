@@ -1,0 +1,41 @@
+"""Fixture: spans closed on every path, including exception edges."""
+
+
+class Meter:
+    def open_span(self, rid):
+        pass
+
+    def close_span(self, rid):
+        pass
+
+
+class Service:
+    def __init__(self):
+        self.meter = Meter()
+
+    def create_finally(self, rid, ok):
+        self.meter.open_span(rid)
+        try:
+            if not ok:
+                raise ValueError(rid)
+            return rid
+        finally:
+            self.meter.close_span(rid)
+
+    def create_both_branches(self, rid, ok):
+        self.meter.open_span(rid)
+        if ok:
+            self.meter.close_span(rid)
+            return True
+        self.meter.close_span(rid)
+        return False
+
+    def create_handler(self, rid):
+        self.meter.open_span(rid)
+        try:
+            value = int(rid)
+        except Exception:
+            self.meter.close_span(rid)
+            raise
+        self.meter.close_span(rid)
+        return value

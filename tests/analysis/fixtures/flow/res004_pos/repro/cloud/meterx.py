@@ -1,0 +1,28 @@
+"""Fixture: spans opened but not closed on every control-flow path."""
+
+
+class Meter:
+    def open_span(self, rid):
+        pass
+
+    def close_span(self, rid):
+        pass
+
+
+class Service:
+    def __init__(self):
+        self.meter = Meter()
+
+    def create_early_return(self, rid, ok):
+        self.meter.open_span(rid)
+        if not ok:
+            return None  # leaks: this path never closes
+        self.meter.close_span(rid)
+        return rid
+
+    def create_raise(self, rid, ok):
+        self.meter.open_span(rid)
+        if not ok:
+            raise ValueError(rid)  # leaks along the exception edge
+        self.meter.close_span(rid)
+        return rid

@@ -1,0 +1,9 @@
+"""Fixture: a plan-time module may root the seed tree from config."""
+
+import numpy as np
+
+
+def plan(config_seed=2024):
+    root = np.random.SeedSequence(2024)
+    streams = root.spawn(3)
+    return np.random.default_rng(streams[0])

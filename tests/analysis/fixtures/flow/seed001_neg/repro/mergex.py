@@ -1,0 +1,24 @@
+"""Fixture: generators whose seeds flow in from the caller (clean)."""
+
+import numpy as np
+
+
+def from_param(seed):
+    return np.random.default_rng(seed)
+
+
+def from_spawn(ss):
+    child = ss.spawn(1)[0]
+    return np.random.default_rng(child)
+
+
+def from_config(config):
+    return np.random.default_rng(config.seed)
+
+
+class Sim:
+    def __init__(self, seed):
+        self._seed = seed
+
+    def rng(self):
+        return np.random.default_rng(self._seed)

@@ -1,0 +1,17 @@
+"""Fixture: literal- and module-constant-seeded generators (findings)."""
+
+import numpy as np
+
+_DEFAULT_SEED = 99
+
+
+def from_literal():
+    return np.random.default_rng(1234)
+
+
+def from_module_constant():
+    return np.random.default_rng(_DEFAULT_SEED)
+
+
+def from_wrapped_literal():
+    return np.random.default_rng(np.random.SeedSequence(42))

@@ -74,3 +74,67 @@ def test_unknown_rule_is_usage_error(tree, capsys):
 def test_missing_path_is_usage_error(tmp_path, monkeypatch, capsys):
     monkeypatch.chdir(tmp_path)
     assert main(["does-not-exist"]) == 2
+
+
+def test_github_format_emits_workflow_annotations(tree, capsys):
+    assert main(["code", "--format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+    assert "line=2" in out
+    assert "title=DET001" in out
+
+
+def test_min_severity_demotes_warnings_to_advisory(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "warn.py").write_text("for x in {1, 2}:\n    pass\n")
+    assert main(["warn.py"]) == 1  # DET003 warning gates by default
+    assert main(["warn.py", "--min-severity", "error"]) == 0
+    out = capsys.readouterr().out
+    assert "(advisory)" in out
+    assert "1 advisory" in out
+
+
+def test_min_severity_advisory_in_github_format(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "warn.py").write_text("for x in {1, 2}:\n    pass\n")
+    assert main(["warn.py", "--min-severity", "error", "--format", "github"]) == 0
+    out = capsys.readouterr().out
+    assert "::warning file=" in out
+
+
+def test_prune_baseline_reports_and_removes_stale_entries(tree, capsys):
+    assert main(["code", "--write-baseline", "--baseline", "base.json"]) == 0
+    (tree / "bad.py").write_text(CLEAN)  # the baselined finding is fixed
+    assert main(["code", "--baseline", "base.json", "--prune-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "stale baseline" in out
+    # a second prune finds nothing left to remove
+    assert main(["code", "--baseline", "base.json", "--prune-baseline"]) == 0
+    assert "no stale entries" in capsys.readouterr().out
+
+
+def test_whole_program_flag_runs_flow_rules(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "mergex.py").write_text(
+        "import numpy as np\n\n\ndef seeded():\n    return np.random.default_rng(7)\n"
+    )
+    assert main(["repro", "--select", "SEED001"]) == 1  # auto-enables whole-program
+    out = capsys.readouterr().out
+    assert "SEED001" in out
+
+
+def test_graph_dump(tree, capsys):
+    assert main(["code", "--graph"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "entry_points" in payload
+    assert "edges" in payload
+    assert payload["modules"] == ["bad", "clean"]
+
+
+def test_cache_reports_unchanged_files(tree, capsys):
+    assert main(["code", "--cache", "cache.json", "--write-baseline", "--baseline", "b.json"]) == 0
+    assert main(["code", "--cache", "cache.json", "--baseline", "b.json"]) == 0
+    out = capsys.readouterr().out
+    assert "from cache" in out

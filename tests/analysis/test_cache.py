@@ -1,0 +1,148 @@
+"""Tests for the incremental analysis cache (sha256 file keys + program digest)."""
+
+from pathlib import Path
+
+from repro.analysis.cache import AnalysisCache, program_digest, source_sha
+from repro.analysis.engine import SuppressedFinding, analyze_paths
+from repro.analysis.findings import Finding, Severity
+
+RULES_KEY = "DET001,DET002"
+
+DIRTY = "import numpy as np\n\n\ndef f():\n    return np.random.rand()\n"
+CLEAN = "def g():\n    return 42\n"
+
+
+def a_finding(path: str = "x.py") -> Finding:
+    return Finding(file=path, line=3, rule_id="DET001", severity=Severity.ERROR, message="m")
+
+
+class TestRoundTrip:
+    def test_file_entry_round_trips_through_disk(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = AnalysisCache(path=path, rules_key=RULES_KEY)
+        waived = SuppressedFinding(finding=a_finding(), reason="because")
+        cache.store_file("x.py", DIRTY, [a_finding()], [waived])
+        cache.save()
+
+        loaded = AnalysisCache.load(path, RULES_KEY)
+        hit = loaded.lookup_file("x.py", DIRTY)
+        assert hit is not None
+        active, suppressed = hit
+        assert active == [a_finding()]
+        assert suppressed[0].reason == "because"
+
+    def test_program_entry_round_trips_through_disk(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = AnalysisCache(path=path, rules_key=RULES_KEY)
+        sources = {"a.py": CLEAN, "b.py": DIRTY}
+        cache.store_program(sources, [a_finding("b.py")], [])
+        cache.save()
+
+        loaded = AnalysisCache.load(path, RULES_KEY)
+        hit = loaded.lookup_program(sources)
+        assert hit is not None
+        assert hit[0] == [a_finding("b.py")]
+
+    def test_save_is_a_noop_when_nothing_changed(self, tmp_path):
+        path = tmp_path / "cache.json"
+        AnalysisCache(path=path, rules_key=RULES_KEY).save()
+        assert not path.exists()
+
+
+class TestInvalidation:
+    def test_changed_source_misses(self, tmp_path):
+        cache = AnalysisCache(path=tmp_path / "c.json", rules_key=RULES_KEY)
+        cache.store_file("x.py", CLEAN, [], [])
+        assert cache.lookup_file("x.py", CLEAN) == ([], [])
+        assert cache.lookup_file("x.py", CLEAN + "# edited\n") is None
+
+    def test_any_changed_file_invalidates_the_program_entry(self, tmp_path):
+        cache = AnalysisCache(path=tmp_path / "c.json", rules_key=RULES_KEY)
+        sources = {"a.py": CLEAN, "b.py": DIRTY}
+        cache.store_program(sources, [], [])
+        assert cache.lookup_program(sources) is not None
+        assert cache.lookup_program({**sources, "a.py": CLEAN + "#\n"}) is None
+        assert cache.lookup_program({"a.py": CLEAN}) is None  # file removed
+
+    def test_rules_key_mismatch_starts_cold(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = AnalysisCache(path=path, rules_key=RULES_KEY)
+        cache.store_file("x.py", CLEAN, [], [])
+        cache.save()
+        other = AnalysisCache.load(path, "RES001")
+        assert other.lookup_file("x.py", CLEAN) is None
+
+    def test_corrupt_cache_degrades_to_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json")
+        loaded = AnalysisCache.load(path, RULES_KEY)
+        assert loaded.files == {}
+        path.write_text('{"version": 999, "rules_key": "%s"}' % RULES_KEY)
+        assert AnalysisCache.load(path, RULES_KEY).files == {}
+
+    def test_prune_missing_drops_departed_files(self, tmp_path):
+        cache = AnalysisCache(path=tmp_path / "c.json", rules_key=RULES_KEY)
+        cache.store_file("keep.py", CLEAN, [], [])
+        cache.store_file("gone.py", CLEAN, [], [])
+        cache.dirty = False
+        cache.prune_missing({"keep.py"})
+        assert "gone.py" not in cache.files
+        assert "keep.py" in cache.files
+        assert cache.dirty
+
+
+class TestDigest:
+    def test_program_digest_is_order_independent(self):
+        d1 = program_digest({"a.py": CLEAN, "b.py": DIRTY})
+        d2 = program_digest({"b.py": DIRTY, "a.py": CLEAN})
+        assert d1 == d2
+        assert d1 != program_digest({"a.py": CLEAN, "b.py": DIRTY + "#\n"})
+
+    def test_source_sha_tracks_content(self):
+        assert source_sha(CLEAN) == source_sha(CLEAN)
+        assert source_sha(CLEAN) != source_sha(DIRTY)
+
+
+class TestEngineIntegration:
+    def test_unchanged_files_are_not_reanalyzed(self, tmp_path):
+        tree = tmp_path / "proj"
+        tree.mkdir()
+        (tree / "dirty.py").write_text(DIRTY)
+        (tree / "clean.py").write_text(CLEAN)
+
+        cache = AnalysisCache(path=tmp_path / "cache.json", rules_key="all")
+        first = analyze_paths([tree], cache=cache)
+        assert first.files_checked == 2
+        assert first.files_reanalyzed == 2
+        cache.save()
+
+        warm = AnalysisCache.load(tmp_path / "cache.json", "all")
+        second = analyze_paths([tree], cache=warm)
+        assert second.files_checked == 2
+        assert second.files_reanalyzed == 0
+        # cached findings are identical to fresh ones
+        assert [f.rule_id for f in second.findings] == [f.rule_id for f in first.findings]
+
+        (tree / "clean.py").write_text(CLEAN + "# touched\n")
+        third = analyze_paths([tree], cache=warm)
+        assert third.files_reanalyzed == 1
+
+    def test_whole_program_entry_survives_reload(self, tmp_path):
+        tree = tmp_path / "proj" / "repro"
+        tree.mkdir(parents=True)
+        (tree / "mergex.py").write_text(
+            "import numpy as np\n\n\ndef seeded():\n    return np.random.default_rng(7)\n"
+        )
+        cache = AnalysisCache(path=tmp_path / "cache.json", rules_key="SEED001")
+        first = analyze_paths(
+            [tmp_path / "proj"], whole_program=True, rules=["SEED001"], cache=cache
+        )
+        assert [f.rule_id for f in first.findings] == ["SEED001"]
+        cache.save()
+
+        warm = AnalysisCache.load(Path(tmp_path / "cache.json"), "SEED001")
+        second = analyze_paths(
+            [tmp_path / "proj"], whole_program=True, rules=["SEED001"], cache=warm
+        )
+        assert second.files_reanalyzed == 0
+        assert [f.rule_id for f in second.findings] == ["SEED001"]
