@@ -36,10 +36,12 @@ from repro.analysis.flow.taint import (
 )
 from repro.analysis.registry import whole_program_rule
 
-#: Functions whose transitive callees must be pure: the parallel engine's
-#: per-worker shard executor, the serial shard executor it wraps, and the
-#: loadgen simulation loop (the two digest-equality contracts in CI).
+#: Functions whose transitive callees must be pure: the columnar record
+#: kernel, the parallel engine's per-worker shard executor, the serial
+#: shard executor it wraps, and the loadgen simulation loop (the
+#: digest-equality contracts in CI).
 SHARD_ENTRY_POINTS = (
+    "repro.columnar.kernels.emit_records",
     "repro.core.cohort.execute_shard",
     "repro.loadgen.sim.simulate_traffic",
     "repro.parallel.engine._execute_batch",
@@ -49,6 +51,7 @@ SHARD_ENTRY_POINTS = (
 #: root the SeedSequence tree and may seed from config literals.
 PLAN_TIME_MODULES = frozenset(
     {
+        "repro.columnar.planner",
         "repro.core.cohort",
         "repro.faults.plan",
         "repro.loadgen.arrivals",

@@ -1,0 +1,706 @@
+"""Columnar plan-time: the cohort's randomness resolved into arrays.
+
+Replays the object planner's RNG contract *draw for draw* — same
+SeedSequence tree, same per-stream call order, same float ops — but
+lands the results in flat activity tables instead of per-shard activity
+objects.  Two paths produce the same tables:
+
+* :func:`plan_columns` — the native path: whole-cohort draws (fanned out
+  over worker processes by contiguous student range, each worker
+  rebuilding its streams via
+  :func:`repro.core.cohort.student_seed_sequence`), vectorized slot
+  calendar walk, then the columnar admission sweeps
+  (:mod:`repro.columnar.admission`).
+* :func:`columns_from_plan` — the converter: flattens an already-swept
+  object :class:`~repro.core.cohort.CohortPlan` into the same tables.
+  This is how fault plans enter the columnar engine (the fault sweep
+  rewrites object shards, so faulted runs plan through
+  :func:`repro.core.cohort.plan_cohort` first), and it is the
+  differential harness's reference: native tables must equal converted
+  tables array-for-array.
+
+The one RNG call replayed manually is ``rng.choice(names, p=weights)``:
+numpy's Generator implementation draws exactly one ``rng.random()`` and
+walks the normalized cumulative weights with
+``searchsorted(side="right")``, so the planner does the same — one
+uniform per slot against a precomputed CDF — keeping the stream aligned
+without paying ``choice``'s per-call setup a million times
+(``tests/columnar`` pins draw-level equality).
+
+This module is plan-time by definition (SEED001's allow-list includes
+it): every Generator here is constructed from the seed tree before any
+shard kernel runs, and the kernels themselves stay RNG-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.core.cohort import (
+    EDGE_SITE,
+    METAL_SITE,
+    CohortConfig,
+    CohortPlan,
+    SlotCalendar,
+    cohort_seed_sequence,
+    draw_cohort_level,
+    group_seed_sequence,
+    student_seed_sequence,
+)
+from repro.core.course import COURSE, CourseDefinition, LabKind
+from repro.columnar.schema import SITE_CODES, ColumnSchema
+
+
+@dataclass
+class ActivityTables:
+    """Every cohort activity as parallel columns, one block per family.
+
+    Rows are in **sweep rank order** (the order the object sweeps would
+    enumerate arrivals): ``vm_*`` student-major / VM-lab-minor, ``slot_*``
+    student-major / (reserved-lab, k)-minor, project blocks group-major
+    in build order.  Each row carries everything emission needs (flavor,
+    counts, sizes), so faulted plans — which rewrite per-activity fields
+    — convert losslessly.
+    """
+
+    # student VM labs
+    vm_student: np.ndarray  # int32
+    vm_lab: np.ndarray  # int16, schema lab code
+    vm_start: np.ndarray  # float64
+    vm_duration: np.ndarray  # float64
+    vm_flavor: np.ndarray  # int16, schema rtype code
+    vm_count: np.ndarray  # int16
+    vm_block_gb: np.ndarray  # int32
+    vm_object_gb: np.ndarray  # float64
+    # student reservation slots
+    slot_student: np.ndarray  # int32
+    slot_lab: np.ndarray  # int16, schema lab code
+    slot_node: np.ndarray  # int16, schema rtype code
+    slot_start: np.ndarray  # float64
+    slot_hours: np.ndarray  # float64
+    slot_site: np.ndarray  # int8, schema site code
+    slot_edge: np.ndarray  # bool
+    # project service VMs
+    pvm_group: np.ndarray  # int32
+    pvm_flavor: np.ndarray  # int16, schema rtype code
+    pvm_start: np.ndarray  # float64
+    pvm_hours: np.ndarray  # float64
+    pvm_with_fip: np.ndarray  # bool
+    # project leases
+    pl_group: np.ndarray  # int32
+    pl_node: np.ndarray  # int16, schema rtype code
+    pl_start: np.ndarray  # float64
+    pl_hours: np.ndarray  # float64
+    pl_site: np.ndarray  # int8
+    pl_edge: np.ndarray  # bool
+    # project storage
+    ps_group: np.ndarray  # int32
+    ps_start: np.ndarray  # float64
+    ps_hours: np.ndarray  # float64
+    ps_block_gb: np.ndarray  # int32
+    ps_object_gb: np.ndarray  # float64
+
+    def family_counts(self) -> dict[str, int]:
+        return {
+            "vm_labs": len(self.vm_start),
+            "slots": len(self.slot_start),
+            "project_vms": len(self.pvm_start),
+            "project_leases": len(self.pl_start),
+            "project_storage": len(self.ps_start),
+        }
+
+    @property
+    def activity_count(self) -> int:
+        return sum(self.family_counts().values())
+
+
+@dataclass(frozen=True)
+class ColumnarPlan:
+    """The fully resolved semester as admitted activity tables."""
+
+    seed: int
+    semester_hours: float
+    schema: ColumnSchema
+    tables: ActivityTables
+    sweep_info: dict[str, bool] = field(default_factory=dict)
+
+
+# -- course metadata ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _VmLabMeta:
+    lab_id: str
+    week: float
+    flavor: str
+    vm_count: int
+    block_gb: int
+    object_gb: float
+    expected_hours: float
+
+
+@dataclass(frozen=True)
+class _ResLabMeta:
+    lab_id: str
+    week: float
+    slot_hours: float
+    mean_slots: float
+    node_types: tuple[str, ...]
+    cdf: tuple[float, ...]  # normalized cumulative option weights
+    edge: bool
+    site: str
+
+
+def _lab_metas(course: CourseDefinition) -> list[tuple[str, _VmLabMeta | _ResLabMeta]]:
+    """Per-lab metadata in ``course.labs`` order (the draw-stream order)."""
+    metas: list[tuple[str, _VmLabMeta | _ResLabMeta]] = []
+    for lab in course.labs:
+        if lab.kind is LabKind.VM:
+            metas.append(
+                (
+                    "vm",
+                    _VmLabMeta(
+                        lab_id=lab.id,
+                        week=lab.week,
+                        flavor=lab.flavor or "",
+                        vm_count=lab.vm_count,
+                        block_gb=lab.block_gb,
+                        object_gb=lab.object_gb,
+                        expected_hours=lab.expected_hours,
+                    ),
+                )
+            )
+        else:
+            weights = np.array([o.weight for o in lab.options], dtype=np.float64)
+            cdf = weights.cumsum()
+            cdf = cdf / cdf[-1]  # numpy's Generator.choice normalizes the same way
+            metas.append(
+                (
+                    "res",
+                    _ResLabMeta(
+                        lab_id=lab.id,
+                        week=lab.week,
+                        slot_hours=lab.slot_hours,
+                        mean_slots=lab.mean_slots,
+                        node_types=tuple(o.node_type for o in lab.options),
+                        cdf=tuple(float(c) for c in cdf),
+                        edge=lab.kind is LabKind.EDGE,
+                        site=EDGE_SITE if lab.kind is LabKind.EDGE else METAL_SITE,
+                    ),
+                )
+            )
+    return metas
+
+
+# -- whole-cohort draws (fan-out worker) -------------------------------------------
+
+
+def _draw_student_range(
+    args: tuple[CourseDefinition, CohortConfig, int, int, np.ndarray],
+) -> dict[str, np.ndarray]:
+    """Draws for students [lo, hi): one worker's share of the cohort.
+
+    Pure function of (course, config, range, propensity slice): streams
+    are rebuilt from ``(seed, spawn_key=(1, i))``, so the fan-out ships
+    two ints per range instead of pickled SeedSequences and any worker
+    count reassembles to identical arrays.
+    """
+    course, config, lo, hi, propensity = args
+    metas = _lab_metas(course)
+    vm_positions = [j for j, (tag, _) in enumerate(metas) if tag == "vm"]
+    res_positions = [j for j, (tag, _) in enumerate(metas) if tag == "res"]
+    n_vm, n_res = len(vm_positions), len(res_positions)
+    count = hi - lo
+
+    participates = np.zeros((count, n_vm), dtype=bool)
+    start_jitter = np.zeros((count, n_vm), dtype=np.float64)
+    score_jitter = np.zeros((count, n_vm), dtype=np.float64)
+    slot_counts = np.zeros((count, n_res), dtype=np.int32)
+    slot_codes: list[int] = []  # option index per slot, (student, lab, k) order
+    slot_code_lab: list[int] = []  # reserved-lab position per slot, same order
+
+    # per-lab dispatch table, hoisted out of the hot loop; cdfs as plain
+    # float lists so bisect_right replays choice's searchsorted exactly
+    lab_seq: list[tuple[bool, int, float, list[float]]] = []
+    vm_j = res_j = 0
+    for tag, meta in metas:
+        if tag == "vm":
+            lab_seq.append((True, vm_j, 0.0, []))
+            vm_j += 1
+        else:
+            lab_seq.append((False, res_j, meta.mean_slots, list(meta.cdf)))
+            res_j += 1
+
+    from bisect import bisect_right
+
+    participation = config.participation
+    seed = config.seed
+    prop_list = [float(p) for p in propensity]
+    default_rng = np.random.default_rng
+    for row in range(count):
+        rng = default_rng(student_seed_sequence(seed, lo + row))
+        random, uniform = rng.random, rng.uniform
+        lognormal, poisson = rng.lognormal, rng.poisson
+        prop = prop_list[row]
+        for is_vm, j, mean_slots, cdf in lab_seq:
+            if is_vm:
+                # identical stream consumption to cohort.draw_student
+                participates[row, j] = random() < participation
+                start_jitter[row, j] = uniform(0.0, 96.0)
+                score_jitter[row, j] = lognormal(0.0, 0.5)
+            else:
+                c = int(poisson(mean_slots * prop))
+                slot_counts[row, j] = c
+                for _ in range(c):
+                    # bisect_right == searchsorted(side="right"), which is
+                    # what Generator.choice(p=...) does with its one draw
+                    slot_codes.append(bisect_right(cdf, random()))
+                    slot_code_lab.append(j)
+    return {
+        "participates": participates,
+        "start_jitter": start_jitter,
+        "score_jitter": score_jitter,
+        "slot_counts": slot_counts,
+        "slot_codes": np.asarray(slot_codes, dtype=np.int16),
+        "slot_code_lab": np.asarray(slot_code_lab, dtype=np.int16),
+    }
+
+
+def _draw_group_range(
+    args: tuple[CourseDefinition, CohortConfig, int, int],
+) -> dict[str, np.ndarray]:
+    """Group streams for groups [lo, hi): jitter + per-flavor spread."""
+    course, config, lo, hi = args
+    n_flavors = len(course.project.vm_flavor_shares)
+    count = hi - lo
+    jitter = np.zeros(count, dtype=np.float64)
+    vm_spread = np.zeros((count, n_flavors), dtype=np.float64)
+    for row in range(count):
+        rng = np.random.default_rng(group_seed_sequence(config.seed, lo + row))
+        jitter[row] = rng.uniform(0.0, 48.0)
+        for j in range(n_flavors):
+            vm_spread[row, j] = rng.lognormal(-0.02, 0.2)
+    return {"jitter": jitter, "vm_spread": vm_spread}
+
+
+def _fan_out(fn, items: Sequence, *, workers: int) -> list:
+    """Order-preserving map, pooled only when it pays."""
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    from repro.parallel.engine import deterministic_map
+
+    return deterministic_map(fn, items, workers=workers)
+
+
+# -- the native columnar planner ---------------------------------------------------
+
+
+def plan_columns(
+    course: CourseDefinition = COURSE,
+    config: CohortConfig | None = None,
+    *,
+    workers: int = 1,
+) -> ColumnarPlan:
+    """Resolve one semester natively into admitted activity tables.
+
+    Digest-contract twin of :func:`repro.core.cohort.plan_cohort` with
+    ``faults=None``: same seed tree, same draws, same slot calendar walk,
+    same admission outcomes — ``tests/columnar`` holds the two equal
+    array-for-array and digest-for-digest.  ``workers`` parallelizes only
+    the per-student/per-group draw loops; the output is identical for
+    every worker count.
+    """
+    from repro.columnar.admission import sweep_lease_calendar, sweep_kvm_quota
+
+    config = config if config is not None else CohortConfig()
+    if workers < 1:
+        raise ValidationError(f"workers must be positive: {workers!r}")
+    raw, schema = _raw_tables(course, config, workers=workers)
+    info: dict[str, bool] = {}
+    raw = sweep_kvm_quota(raw, course=course, config=config, info=info, schema=schema)
+    raw = sweep_lease_calendar(raw, course=course, info=info, schema=schema)
+    return ColumnarPlan(
+        seed=config.seed,
+        semester_hours=course.semester_hours,
+        schema=schema,
+        tables=raw,
+        sweep_info=info,
+    )
+
+
+def _raw_tables(
+    course: CourseDefinition, config: CohortConfig, *, workers: int
+) -> tuple[ActivityTables, ColumnSchema]:
+    """Pre-admission tables: draws, duration assignment, calendar walk."""
+    from repro.parallel.planner import index_ranges
+
+    schema = ColumnSchema.for_course(course)
+    n = course.enrollment
+    metas = _lab_metas(course)
+    vm_metas = [meta for tag, meta in metas if tag == "vm"]
+    res_metas = [meta for tag, meta in metas if tag == "res"]
+
+    cohort_rng = np.random.default_rng(cohort_seed_sequence(config.seed))
+    propensity, pools = draw_cohort_level(course, config, cohort_rng)
+
+    ranges = index_ranges(n, max(workers * 4, 1)) if workers > 1 else [(0, n)]
+    parts = _fan_out(
+        _draw_student_range,
+        [(course, config, lo, hi, propensity[lo:hi]) for lo, hi in ranges],
+        workers=workers,
+    )
+    participates = np.concatenate([p["participates"] for p in parts], axis=0)
+    start_jitter = np.concatenate([p["start_jitter"] for p in parts], axis=0)
+    score_jitter = np.concatenate([p["score_jitter"] for p in parts], axis=0)
+    slot_counts = np.concatenate([p["slot_counts"] for p in parts], axis=0)
+    slot_codes = np.concatenate([p["slot_codes"] for p in parts])
+    slot_code_lab = np.concatenate([p["slot_code_lab"] for p in parts])
+
+    # duration assignment: longest pool entries to the highest scores,
+    # exactly as the object planner vectorizes it
+    durations = np.zeros((n, len(vm_metas)), dtype=np.float64)
+    for j, meta in enumerate(vm_metas):
+        scores = propensity * score_jitter[:, j]
+        assigned = np.empty(n)
+        assigned[np.argsort(scores)] = pools[meta.lab_id]
+        dur = np.maximum(assigned, meta.expected_hours * 0.5)
+        if config.vm_reaper:
+            dur = np.minimum(dur, meta.expected_hours + config.vm_reaper_grace)
+        durations[:, j] = dur
+
+    # VM lab rows: student-major, lab-minor (flatten order == rank order)
+    mask = participates.reshape(-1)
+    students_grid = np.repeat(np.arange(n, dtype=np.int32), len(vm_metas))
+    labs_grid = np.tile(np.arange(len(vm_metas), dtype=np.int16), n)
+    starts_grid = (
+        np.array([m.week * 168.0 for m in vm_metas])[None, :] + start_jitter
+    ).reshape(-1)
+    vm_student = students_grid[mask]
+    vm_lab_pos = labs_grid[mask]
+    vm_start = starts_grid[mask]
+    vm_duration = durations.reshape(-1)[mask]
+    vm_lab = np.array(
+        [schema.lab_codes[m.lab_id] for m in vm_metas], dtype=np.int16
+    )[vm_lab_pos]
+    vm_flavor = np.array(
+        [schema.rtype_codes[m.flavor] for m in vm_metas], dtype=np.int16
+    )[vm_lab_pos]
+    vm_count = np.array([m.vm_count for m in vm_metas], dtype=np.int16)[vm_lab_pos]
+    vm_block = np.array([m.block_gb for m in vm_metas], dtype=np.int32)[vm_lab_pos]
+    vm_object = np.array([m.object_gb for m in vm_metas], dtype=np.float64)[vm_lab_pos]
+
+    calendar = SlotCalendar()
+    slot_cols = _walk_lab_slots(
+        res_metas, slot_counts, slot_codes, slot_code_lab, calendar, schema
+    )
+    group_cols = _plan_groups_columnar(course, config, calendar, schema, workers=workers)
+
+    tables = ActivityTables(
+        vm_student=vm_student,
+        vm_lab=vm_lab,
+        vm_start=vm_start,
+        vm_duration=vm_duration,
+        vm_flavor=vm_flavor,
+        vm_count=vm_count,
+        vm_block_gb=vm_block,
+        vm_object_gb=vm_object,
+        **slot_cols,
+        **group_cols,
+    )
+    return tables, schema
+
+
+def _walk_lab_slots(
+    res_metas: list[_ResLabMeta],
+    slot_counts: np.ndarray,
+    slot_codes: np.ndarray,
+    slot_code_lab: np.ndarray,
+    calendar: SlotCalendar,
+    schema: ColumnSchema,
+) -> dict[str, np.ndarray]:
+    """Replay the slot-calendar cursor walk, vectorized per lab.
+
+    The walk order is the object planner's: lab-major, student-minor, k.
+    Each node type's cursor advances one slot per booking, so booking
+    ``m`` of a type (counting from that type's current cursor ``c``)
+    starts at ``week_start + ((c + m) // capacity) * slot_hours`` — pure
+    integer math, identical to ``SlotCalendar.next_start`` applied
+    serially.  Output rows are then reordered student-major/(lab, k) to
+    match the sweep rank order.
+    """
+    n = slot_counts.shape[0]
+    per_lab: list[dict[str, np.ndarray]] = []
+    for j, meta in enumerate(res_metas):
+        counts = slot_counts[:, j]
+        total = int(counts.sum())
+        # codes arrive (student, lab, k)-ordered; selecting one lab keeps
+        # (student, k) order — the calendar's student-minor walk order
+        codes = slot_codes[slot_code_lab == j]
+        students = np.repeat(np.arange(n, dtype=np.int32), counts)
+        k_idx = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts, dtype=np.int64) - counts, counts
+        )
+        starts = np.zeros(total, dtype=np.float64)
+        week_start = meta.week * 168.0
+        for t_idx, node_type in enumerate(meta.node_types):
+            sel = codes == t_idx
+            m = int(sel.sum())
+            if not m:
+                continue
+            capacity = calendar.capacity[node_type]
+            cursor = calendar.cursors.get(node_type, 0)
+            positions = cursor + np.arange(m, dtype=np.int64)
+            starts[sel] = week_start + (positions // capacity) * meta.slot_hours
+            calendar.cursors[node_type] = cursor + m
+        node_rtype = np.array(
+            [schema.rtype_codes[t] for t in meta.node_types], dtype=np.int16
+        )[codes]
+        per_lab.append(
+            {
+                "student": students,
+                "lab_pos": np.full(total, j, dtype=np.int16),
+                "k": k_idx,
+                "node": node_rtype,
+                "start": starts,
+                "hours": np.full(total, meta.slot_hours, dtype=np.float64),
+                "site": np.full(total, SITE_CODES[meta.site], dtype=np.int8),
+                "edge": np.full(total, meta.edge, dtype=bool),
+                "lab": np.full(total, schema.lab_codes[meta.lab_id], dtype=np.int16),
+            }
+        )
+
+    def cat(key: str) -> np.ndarray:
+        if not per_lab:
+            return np.empty(0, dtype=np.int64 if key == "k" else np.float64)
+        return np.concatenate([block[key] for block in per_lab])
+
+    student = cat("student")
+    lab_pos = cat("lab_pos")
+    k = cat("k")
+    # rank order: student-major, (lab, k)-minor
+    order = np.lexsort((k, lab_pos, student))
+    return {
+        "slot_student": student[order].astype(np.int32, copy=False),
+        "slot_lab": cat("lab")[order].astype(np.int16, copy=False),
+        "slot_node": cat("node")[order].astype(np.int16, copy=False),
+        "slot_start": cat("start")[order],
+        "slot_hours": cat("hours")[order],
+        "slot_site": cat("site")[order].astype(np.int8, copy=False),
+        "slot_edge": cat("edge")[order].astype(bool, copy=False),
+    }
+
+
+def _plan_groups_columnar(
+    course: CourseDefinition,
+    config: CohortConfig,
+    calendar: SlotCalendar,
+    schema: ColumnSchema,
+    *,
+    workers: int,
+) -> dict[str, np.ndarray]:
+    """The project phase as arrays, continuing the labs' calendar walk.
+
+    Group slot *counts* are deterministic (no RNG feeds them), so the
+    per-group cursor walk collapses to arithmetic: within the group walk
+    each node type is visited once per group with a fixed booking count,
+    so group ``g``'s ``m``-th booking of a type sits at walk position
+    ``cursor + g * per_group + m``.
+    """
+    from repro.parallel.planner import index_ranges
+
+    project = course.project
+    g_count = project.groups
+    start = (course.semester_weeks - project.weeks) * 168.0
+    duration = project.weeks * 168.0
+
+    ranges = index_ranges(g_count, max(workers * 4, 1)) if workers > 1 else [(0, g_count)]
+    parts = _fan_out(
+        _draw_group_range,
+        [(course, config, lo, hi) for lo, hi in ranges],
+        workers=workers,
+    )
+    jitter = np.concatenate([p["jitter"] for p in parts])
+    vm_spread = np.concatenate([p["vm_spread"] for p in parts], axis=0)
+
+    groups = np.arange(g_count, dtype=np.int32)
+    g_start = start + jitter
+    cap_hours = duration - jitter
+
+    # service VMs: group-major, flavor-share order
+    n_flavors = len(project.vm_flavor_shares)
+    pvm_group = np.repeat(groups, n_flavors)
+    pvm_flavor = np.zeros(g_count * n_flavors, dtype=np.int16)
+    pvm_hours = np.zeros(g_count * n_flavors, dtype=np.float64)
+    pvm_with_fip = np.zeros(g_count * n_flavors, dtype=bool)
+    for idx, (flavor, share) in enumerate(project.vm_flavor_shares):
+        base = project.vm_hours_total * share / g_count
+        hours = np.minimum(base * vm_spread[:, idx], cap_hours)
+        pvm_flavor[idx::n_flavors] = schema.rtype_codes[flavor]
+        pvm_hours[idx::n_flavors] = hours
+        pvm_with_fip[idx::n_flavors] = idx == 0
+    pvm_start = np.repeat(g_start, n_flavors)
+
+    # leases: per group — GPU slots (type-share order), big-data job, edge
+    lease_specs: list[tuple[str, int, float, bool]] = []  # (node_type, count/group, step, edge)
+    for node_type, share in project.gpu_type_shares:
+        hours = project.gpu_hours_total * share / g_count
+        lease_specs.append((node_type, max(1, int(round(hours / 4.0))), 4.0, False))
+    bm_hours = project.baremetal_cpu_hours / g_count
+    lease_specs.append((project.baremetal_cpu_type, 1, bm_hours, False))
+    edge_hours = project.edge_hours / g_count
+    lease_specs.append((project.edge_type, 1, edge_hours, True))
+    if len({t for t, _, _, _ in lease_specs}) != len(lease_specs):
+        # the closed-form cursor walk below assumes each node type shows
+        # up once per group; a course violating that must use the object
+        # planner (plan_cohort + columns_from_plan)
+        raise ValidationError(
+            "columnar group planning requires distinct project lease node types"
+        )
+
+    per_group = sum(c for _, c, _, _ in lease_specs)
+    pl_group = np.repeat(groups, per_group)
+    pl_node = np.zeros(g_count * per_group, dtype=np.int16)
+    pl_start = np.zeros(g_count * per_group, dtype=np.float64)
+    pl_hours = np.zeros(g_count * per_group, dtype=np.float64)
+    pl_site = np.zeros(g_count * per_group, dtype=np.int8)
+    pl_edge = np.zeros(g_count * per_group, dtype=bool)
+    offset = 0
+    for node_type, count, step, is_edge in lease_specs:
+        capacity = calendar.capacity[node_type]
+        cursor = calendar.cursors.get(node_type, 0)
+        # walk positions for group g, booking m: cursor + g*count + m
+        positions = cursor + (
+            groups.astype(np.int64)[:, None] * count + np.arange(count, dtype=np.int64)
+        ).reshape(-1)
+        starts = start + (positions // capacity) * step
+        for m in range(count):
+            cols = np.arange(g_count) * per_group + offset + m
+            pl_node[cols] = schema.rtype_codes[node_type]
+            pl_start[cols] = starts[m::count]
+            pl_hours[cols] = step
+            pl_site[cols] = SITE_CODES[EDGE_SITE if is_edge else METAL_SITE]
+            pl_edge[cols] = is_edge
+        calendar.cursors[node_type] = cursor + g_count * count
+        offset += count
+
+    ps_block = int(round(project.block_storage_gb / g_count))
+    ps_object = project.object_storage_gb / g_count
+    return {
+        "pvm_group": pvm_group,
+        "pvm_flavor": pvm_flavor,
+        "pvm_start": pvm_start,
+        "pvm_hours": pvm_hours,
+        "pvm_with_fip": pvm_with_fip,
+        "pl_group": pl_group,
+        "pl_node": pl_node,
+        "pl_start": pl_start,
+        "pl_hours": pl_hours,
+        "pl_site": pl_site,
+        "pl_edge": pl_edge,
+        "ps_group": groups,
+        "ps_start": g_start,
+        "ps_hours": cap_hours,
+        "ps_block_gb": np.full(g_count, ps_block, dtype=np.int32),
+        "ps_object_gb": np.full(g_count, ps_object, dtype=np.float64),
+    }
+
+
+# -- the object-plan converter -----------------------------------------------------
+
+
+def columns_from_plan(plan: CohortPlan, course: CourseDefinition = COURSE) -> ColumnarPlan:
+    """Flatten an already-swept object plan into activity tables.
+
+    The entry path for faulted runs (the fault sweep operates on object
+    shards) and the differential reference for the native planner: both
+    must yield identical tables.  Shard tuples are already in rank order
+    per family, so a straight append preserves it.
+    """
+    schema = ColumnSchema.for_course(course)
+    vm_rows: list[tuple] = []
+    slot_rows: list[tuple] = []
+    for si, shard in enumerate(plan.student_shards):
+        for act in shard.vm_labs:
+            vm_rows.append(
+                (
+                    si,
+                    schema.lab_codes[act.lab_id],
+                    act.start,
+                    act.duration,
+                    schema.rtype_codes[act.flavor],
+                    act.vm_count,
+                    act.block_gb,
+                    act.object_gb,
+                )
+            )
+        for slot in shard.slots:
+            slot_rows.append(
+                (
+                    si,
+                    schema.lab_codes[slot.lab_id],
+                    schema.rtype_codes[slot.node_type],
+                    slot.start,
+                    slot.slot_hours,
+                    SITE_CODES[slot.site],
+                    slot.edge,
+                )
+            )
+    pvm_rows: list[tuple] = []
+    pl_rows: list[tuple] = []
+    ps_rows: list[tuple] = []
+    for gi, shard in enumerate(plan.group_shards):
+        for vm in shard.project_vms:
+            pvm_rows.append(
+                (gi, schema.rtype_codes[vm.flavor], vm.start, vm.hours, vm.with_fip)
+            )
+        for lease in shard.project_leases:
+            pl_rows.append(
+                (
+                    gi,
+                    schema.rtype_codes[lease.node_type],
+                    lease.start,
+                    lease.hours,
+                    SITE_CODES[lease.site],
+                    lease.edge_session,
+                )
+            )
+        for st in shard.project_storage:
+            ps_rows.append((gi, st.start, st.hours, st.block_gb, st.object_gb))
+
+    def cols(rows: list[tuple], dtypes: list) -> list[np.ndarray]:
+        if not rows:
+            return [np.empty(0, dtype=dt) for dt in dtypes]
+        transposed = list(zip(*rows))
+        return [np.asarray(vals, dtype=dt) for vals, dt in zip(transposed, dtypes)]
+
+    vm = cols(
+        vm_rows,
+        [np.int32, np.int16, np.float64, np.float64, np.int16, np.int16, np.int32, np.float64],
+    )
+    slot = cols(slot_rows, [np.int32, np.int16, np.int16, np.float64, np.float64, np.int8, bool])
+    pvm = cols(pvm_rows, [np.int32, np.int16, np.float64, np.float64, bool])
+    pl = cols(pl_rows, [np.int32, np.int16, np.float64, np.float64, np.int8, bool])
+    ps = cols(ps_rows, [np.int32, np.float64, np.float64, np.int32, np.float64])
+    tables = ActivityTables(
+        vm_student=vm[0], vm_lab=vm[1], vm_start=vm[2], vm_duration=vm[3],
+        vm_flavor=vm[4], vm_count=vm[5], vm_block_gb=vm[6], vm_object_gb=vm[7],
+        slot_student=slot[0], slot_lab=slot[1], slot_node=slot[2], slot_start=slot[3],
+        slot_hours=slot[4], slot_site=slot[5], slot_edge=slot[6],
+        pvm_group=pvm[0], pvm_flavor=pvm[1], pvm_start=pvm[2], pvm_hours=pvm[3],
+        pvm_with_fip=pvm[4],
+        pl_group=pl[0], pl_node=pl[1], pl_start=pl[2], pl_hours=pl[3],
+        pl_site=pl[4], pl_edge=pl[5],
+        ps_group=ps[0], ps_start=ps[1], ps_hours=ps[2], ps_block_gb=ps[3],
+        ps_object_gb=ps[4],
+    )
+    return ColumnarPlan(
+        seed=plan.seed,
+        semester_hours=plan.semester_hours,
+        schema=schema,
+        tables=tables,
+        sweep_info={"converted_from_object_plan": True},
+    )

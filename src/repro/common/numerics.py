@@ -1,0 +1,46 @@
+"""Stable floating-point accumulation shared by every accounting path.
+
+The object path historically summed usage hours in arrival order with
+``+=`` while the columnar engine reduces whole column arrays at once.
+Naive float addition is not associative, so the two paths could disagree
+on the last few ulps of a total — enough to break byte-level artifact
+equality — purely through reassociation.  Both paths therefore funnel
+every hours/Gb-hours total through :func:`stable_sum`.
+
+``stable_sum`` is :func:`math.fsum` — Shewchuk's exactly-rounded
+summation.  It tracks the running sum as a sequence of non-overlapping
+partials, so the result is the *mathematically exact* sum rounded once
+to the nearest float.  That is strictly stronger than pairwise or Kahan
+compensation: the result is a function of the input *multiset only*,
+invariant to permutation, chunking, and any reassociation, which is the
+property the differential harness (``tests/columnar``) needs —
+object-path arrival order and columnar chunk order land on the identical
+bit pattern, even for adversarial magnitude spreads (see
+``tests/common/test_numerics.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def stable_sum(values: Iterable[float]) -> float:
+    """Exactly-rounded float sum, invariant to ordering and chunking.
+
+    Accepts any iterable of floats (including numpy float64 scalars and
+    chained per-chunk streams).  Empty input sums to ``0.0``.
+    """
+    return math.fsum(values)
+
+
+def stable_dot(quantities: Iterable[float], hours: Iterable[float]) -> float:
+    """Exactly-rounded sum of elementwise products.
+
+    The billing integral ``sum(quantity * hours)``: each product is a
+    single correctly-rounded float multiply (identical on both paths),
+    then the products are summed exactly — so conservation checks between
+    per-record and columnar totals are bit-for-bit equalities, not
+    tolerances.
+    """
+    return math.fsum(q * h for q, h in zip(quantities, hours))

@@ -286,6 +286,33 @@ def quota_for(course: CourseDefinition) -> Quota:
 # -- planning ----------------------------------------------------------------------
 
 
+# The seed hierarchy is ``SeedSequence(seed).spawn(3)`` → (cohort stream,
+# student root, group root), then one child per student / group.  numpy
+# spawn keys are positional, so a child is reconstructible *directly*
+# from (seed, spawn_key) without walking the tree: the cohort stream is
+# spawn_key (0,), student ``i`` is (1, i), group ``g`` is (2, g).  The
+# helpers below are that reconstruction — they let any worker rebuild an
+# arbitrary student range's streams from two integers instead of
+# shipping a million pickled SeedSequences (``repro.columnar`` fans its
+# whole-cohort draw loop out this way), and a regression test pins them
+# to the spawn tree bit-for-bit.
+
+
+def cohort_seed_sequence(seed: int) -> np.random.SeedSequence:
+    """The cohort-level stream (propensity + duration pools)."""
+    return np.random.SeedSequence(seed, spawn_key=(0,))
+
+
+def student_seed_sequence(seed: int, index: int) -> np.random.SeedSequence:
+    """Student ``index``'s private stream, identical to the spawned child."""
+    return np.random.SeedSequence(seed, spawn_key=(1, index))
+
+
+def group_seed_sequence(seed: int, index: int) -> np.random.SeedSequence:
+    """Project group ``index``'s private stream."""
+    return np.random.SeedSequence(seed, spawn_key=(2, index))
+
+
 @dataclass
 class _StudentDraws:
     """Raw per-student randomness, drawn from the student's own stream."""
@@ -294,6 +321,83 @@ class _StudentDraws:
     start_jitter: dict[str, float] = field(default_factory=dict)  # VM lab -> U(0,96)
     score_jitter: dict[str, float] = field(default_factory=dict)  # VM lab -> LN(0,0.5)
     slot_types: dict[str, list[str]] = field(default_factory=dict)  # reserved lab -> types
+
+
+def draw_cohort_level(
+    course: CourseDefinition, config: CohortConfig, rng: np.random.Generator
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Propensity + per-VM-lab stratified duration pools (cohort stream).
+
+    Consumes the cohort stream in a fixed order: one propensity vector,
+    then one sorted duration pool per VM lab in ``course.labs`` order.
+    """
+    n = course.enrollment
+    propensity = stratified_lognormal(1.0, config.propensity_sigma, n, rng)
+    pools: dict[str, np.ndarray] = {}
+    semester_end = course.semester_hours
+    for lab in course.labs:
+        if lab.kind is not LabKind.VM:
+            continue
+        # calibrated mean, corrected for participation and semester-end capping
+        target = (lab.mean_actual_hours or 1.0) / config.participation
+        cap = semester_end - (lab.week * 168.0 + 48.0)
+        raw_mean = capped_mean_compensation(target, lab.sigma, cap)
+        pools[lab.id] = np.sort(stratified_lognormal(raw_mean, lab.sigma, n, rng))
+    return propensity, pools
+
+
+def draw_student(
+    course: CourseDefinition,
+    config: CohortConfig,
+    rng: np.random.Generator,
+    propensity: float,
+) -> _StudentDraws:
+    """All of one student's randomness, in a fixed per-lab order.
+
+    The draw order over ``course.labs`` — (participation, start jitter,
+    score jitter) per VM lab; (slot count, one type per slot) per
+    reserved lab — is the stream contract both engines share: the
+    columnar planner replays exactly these calls against exactly this
+    stream, so the plans agree draw-for-draw.
+    """
+    draws = _StudentDraws()
+    for lab in course.labs:
+        if lab.kind is LabKind.VM:
+            draws.participates[lab.id] = bool(rng.random() < config.participation)
+            draws.start_jitter[lab.id] = float(rng.uniform(0.0, 96.0))
+            draws.score_jitter[lab.id] = float(rng.lognormal(0.0, 0.5))
+        else:
+            count = int(rng.poisson(lab.mean_slots * propensity))
+            names = [o.node_type for o in lab.options]
+            weights = np.array([o.weight for o in lab.options])
+            draws.slot_types[lab.id] = [str(rng.choice(names, p=weights)) for _ in range(count)]
+    return draws
+
+
+class SlotCalendar:
+    """The serial, conflict-free reservation cursor per node type.
+
+    One cursor walk hands out slot start times in a canonical global
+    order (lab-major / student-minor during labs, then the project
+    phase) — the walk itself is the shared-resource resolution, so both
+    planners must advance one identical calendar instance through the
+    identical visit order.
+    """
+
+    def __init__(self) -> None:
+        self.cursors: dict[str, int] = {}  # node_type -> next slot index
+        self.capacity: dict[str, int] = {
+            **{n.name: n.count_available for n in CHAMELEON_NODE_TYPES.values()},
+            **{d.name: d.count_available for d in EDGE_DEVICE_TYPES.values()},
+        }
+
+    def next_start(self, node_type: str, week_start: float, slot_hours: float) -> float:
+        """Book the next free slot; round ``k`` starts ``k`` slots in."""
+        capacity = self.capacity[node_type]
+        cursor = self.cursors.get(node_type, 0)
+        self.cursors[node_type] = cursor + 1
+        round_idx = cursor // capacity
+        return week_start + round_idx * slot_hours
 
 
 class _CohortPlanner:
@@ -322,61 +426,19 @@ class _CohortPlanner:
         self._cohort_rng = np.random.default_rng(cohort_ss)
         self._student_seqs = student_root.spawn(course.enrollment)
         self._group_seqs = group_root.spawn(course.project.groups)
-        self._slot_cursors: dict[str, int] = {}  # node_type -> next slot index
-        self._slot_capacity: dict[str, int] = {
-            **{n.name: n.count_available for n in CHAMELEON_NODE_TYPES.values()},
-            **{d.name: d.count_available for d in EDGE_DEVICE_TYPES.values()},
-        }
-
-    # -- randomness ------------------------------------------------------------
-
-    def _draw_cohort_level(self) -> tuple[np.ndarray, dict[str, np.ndarray]]:
-        """Propensity + per-VM-lab stratified duration pools (cohort stream)."""
-        n = self.course.enrollment
-        propensity = stratified_lognormal(1.0, self.config.propensity_sigma, n, self._cohort_rng)
-        pools: dict[str, np.ndarray] = {}
-        semester_end = self.course.semester_hours
-        for lab in self.course.labs:
-            if lab.kind is not LabKind.VM:
-                continue
-            # calibrated mean, corrected for participation and semester-end capping
-            target = (lab.mean_actual_hours or 1.0) / self.config.participation
-            cap = semester_end - (lab.week * 168.0 + 48.0)
-            raw_mean = capped_mean_compensation(target, lab.sigma, cap)
-            pools[lab.id] = np.sort(stratified_lognormal(raw_mean, lab.sigma, n, self._cohort_rng))
-        return propensity, pools
-
-    def _draw_student(self, index: int, propensity: float) -> _StudentDraws:
-        """All of one student's randomness, in a fixed per-lab order."""
-        rng = np.random.default_rng(self._student_seqs[index])
-        draws = _StudentDraws()
-        for lab in self.course.labs:
-            if lab.kind is LabKind.VM:
-                draws.participates[lab.id] = bool(rng.random() < self.config.participation)
-                draws.start_jitter[lab.id] = float(rng.uniform(0.0, 96.0))
-                draws.score_jitter[lab.id] = float(rng.lognormal(0.0, 0.5))
-            else:
-                count = int(rng.poisson(lab.mean_slots * propensity))
-                names = [o.node_type for o in lab.options]
-                weights = np.array([o.weight for o in lab.options])
-                draws.slot_types[lab.id] = [str(rng.choice(names, p=weights)) for _ in range(count)]
-        return draws
-
-    # -- shared-resource resolution --------------------------------------------
-
-    def _next_slot_start(self, node_type: str, week_start: float, slot_hours: float) -> float:
-        """Serial, conflict-free slot calendar per node type."""
-        capacity = self._slot_capacity[node_type]
-        cursor = self._slot_cursors.get(node_type, 0)
-        self._slot_cursors[node_type] = cursor + 1
-        round_idx = cursor // capacity
-        return week_start + round_idx * slot_hours
+        self._calendar = SlotCalendar()
+        self._slot_capacity = self._calendar.capacity
 
     def plan(self) -> CohortPlan:
         course, config = self.course, self.config
         n = course.enrollment
-        propensity, pools = self._draw_cohort_level()
-        draws = [self._draw_student(i, float(propensity[i])) for i in range(n)]
+        propensity, pools = draw_cohort_level(course, config, self._cohort_rng)
+        draws = [
+            draw_student(
+                course, config, np.random.default_rng(self._student_seqs[i]), float(propensity[i])
+            )
+            for i in range(n)
+        ]
 
         # assign the longest durations in each lab's pool to the most
         # negligence-prone students, so the per-student tail of Fig 2 is
@@ -425,7 +487,7 @@ class _CohortPlanner:
                                 user=f"student{i:03d}",
                                 site=site,
                                 node_type=node_type,
-                                start=self._next_slot_start(
+                                start=self._calendar.next_start(
                                     node_type, week_start, lab.slot_hours
                                 ),
                                 slot_hours=lab.slot_hours,
@@ -470,80 +532,99 @@ class _CohortPlanner:
         )
 
     def _plan_project(self) -> tuple[ShardPlan, ...]:
-        project = self.course.project
-        start = (self.course.semester_weeks - project.weeks) * 168.0
-        duration = project.weeks * 168.0
-        g = project.groups
+        return tuple(
+            plan_group(
+                self.course,
+                group,
+                np.random.default_rng(self._group_seqs[group]),
+                self._calendar,
+            )
+            for group in range(self.course.project.groups)
+        )
 
-        shards: list[ShardPlan] = []
-        for group in range(g):
-            rng = np.random.default_rng(self._group_seqs[group])
-            user = f"group{group:02d}"
-            jitter = float(rng.uniform(0.0, 48.0))
-            g_start = start + jitter
 
-            # long-lived service VMs per flavor; one floating IP per group
-            vms: list[ProjectVmActivity] = []
-            for idx, (flavor, share) in enumerate(project.vm_flavor_shares):
-                hours = project.vm_hours_total * share / g
-                hours *= float(rng.lognormal(-0.02, 0.2))  # mild group-to-group spread
-                hours = min(hours, duration - jitter)
-                vms.append(
-                    ProjectVmActivity(
-                        user=user, flavor=flavor, start=g_start, hours=hours,
-                        with_fip=(idx == 0),
-                    )
-                )
+def plan_group(
+    course: CourseDefinition,
+    group: int,
+    rng: np.random.Generator,
+    calendar: SlotCalendar,
+) -> ShardPlan:
+    """One project group's raw shard: VMs, leases, storage.
 
-            leases: list[ProjectLeaseActivity] = []
-            # GPU training slots (4-hour blocks); shared slot calendar base
-            for node_type, share in project.gpu_type_shares:
-                hours = project.gpu_hours_total * share / g
-                n_slots = max(1, int(round(hours / 4.0)))
-                for _ in range(n_slots):
-                    s = self._next_slot_start(node_type, start, 4.0)
-                    leases.append(
-                        ProjectLeaseActivity(
-                            user=user, site=METAL_SITE, node_type=node_type,
-                            start=s, hours=4.0, edge_session=False,
-                        )
-                    )
-            # big-data bare-metal (CPU) job
-            bm_hours = project.baremetal_cpu_hours / g
-            s = self._next_slot_start(project.baremetal_cpu_type, start, bm_hours)
+    Shared between the object planner and ``repro.columnar`` so the two
+    engines consume the group stream and advance the slot calendar
+    identically.  ``calendar`` must arrive positioned exactly where the
+    lab-slot cursor walk left it, and groups must be planned in index
+    order — the walk *is* the shared-resource resolution.
+    """
+    project = course.project
+    start = (course.semester_weeks - project.weeks) * 168.0
+    duration = project.weeks * 168.0
+    g = project.groups
+
+    user = f"group{group:02d}"
+    jitter = float(rng.uniform(0.0, 48.0))
+    g_start = start + jitter
+
+    # long-lived service VMs per flavor; one floating IP per group
+    vms: list[ProjectVmActivity] = []
+    for idx, (flavor, share) in enumerate(project.vm_flavor_shares):
+        hours = project.vm_hours_total * share / g
+        hours *= float(rng.lognormal(-0.02, 0.2))  # mild group-to-group spread
+        hours = min(hours, duration - jitter)
+        vms.append(
+            ProjectVmActivity(
+                user=user, flavor=flavor, start=g_start, hours=hours,
+                with_fip=(idx == 0),
+            )
+        )
+
+    leases: list[ProjectLeaseActivity] = []
+    # GPU training slots (4-hour blocks); shared slot calendar base
+    for node_type, share in project.gpu_type_shares:
+        hours = project.gpu_hours_total * share / g
+        n_slots = max(1, int(round(hours / 4.0)))
+        for _ in range(n_slots):
+            s = calendar.next_start(node_type, start, 4.0)
             leases.append(
                 ProjectLeaseActivity(
-                    user=user, site=METAL_SITE, node_type=project.baremetal_cpu_type,
-                    start=s, hours=bm_hours, edge_session=False,
+                    user=user, site=METAL_SITE, node_type=node_type,
+                    start=s, hours=4.0, edge_session=False,
                 )
             )
-            # edge deployment slots
-            edge_hours = project.edge_hours / g
-            s = self._next_slot_start(project.edge_type, start, edge_hours)
-            leases.append(
-                ProjectLeaseActivity(
-                    user=user, site=EDGE_SITE, node_type=project.edge_type,
-                    start=s, hours=edge_hours, edge_session=True,
-                )
-            )
+    # big-data bare-metal (CPU) job
+    bm_hours = project.baremetal_cpu_hours / g
+    s = calendar.next_start(project.baremetal_cpu_type, start, bm_hours)
+    leases.append(
+        ProjectLeaseActivity(
+            user=user, site=METAL_SITE, node_type=project.baremetal_cpu_type,
+            start=s, hours=bm_hours, edge_session=False,
+        )
+    )
+    # edge deployment slots
+    edge_hours = project.edge_hours / g
+    s = calendar.next_start(project.edge_type, start, edge_hours)
+    leases.append(
+        ProjectLeaseActivity(
+            user=user, site=EDGE_SITE, node_type=project.edge_type,
+            start=s, hours=edge_hours, edge_session=True,
+        )
+    )
 
-            storage = ProjectStorageActivity(
-                user=user,
-                start=g_start,
-                block_gb=int(round(project.block_storage_gb / g)),
-                object_gb=project.object_storage_gb / g,
-                hours=duration - jitter,
-            )
-            shards.append(
-                ShardPlan(
-                    shard_id=user,
-                    spawn_key=(2, group),
-                    project_vms=tuple(vms),
-                    project_leases=tuple(leases),
-                    project_storage=(storage,),
-                )
-            )
-        return tuple(shards)
+    storage = ProjectStorageActivity(
+        user=user,
+        start=g_start,
+        block_gb=int(round(project.block_storage_gb / g)),
+        object_gb=project.object_storage_gb / g,
+        hours=duration - jitter,
+    )
+    return ShardPlan(
+        shard_id=user,
+        spawn_key=(2, group),
+        project_vms=tuple(vms),
+        project_leases=tuple(leases),
+        project_storage=(storage,),
+    )
 
 
 def plan_cohort(

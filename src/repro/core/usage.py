@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 from repro.cloud.metering import UsageRecord
+from repro.common.numerics import stable_sum
 
 _INSTANCE_KINDS = ("server", "baremetal", "edge")
 
@@ -105,48 +106,68 @@ class StorageUsage:
 
 
 def aggregate_by_assignment(records: list[UsageRecord]) -> dict[tuple[str, str], AssignmentUsage]:
-    """Group instance records into (lab, resource_type) rows with FIP hours."""
+    """Group instance records into (lab, resource_type) rows with FIP hours.
+
+    Every hours total is a :func:`~repro.common.numerics.stable_sum` over
+    the contributing records, so the rows are invariant to record order
+    and to whether the stream arrived serially or from columnar chunks
+    (the summation contract of DESIGN §11).
+    """
     rows: dict[tuple[str, str], AssignmentUsage] = {}
-    fip_hours_by_lab: dict[str, float] = defaultdict(float)
+    row_hours: dict[tuple[str, str], list[float]] = defaultdict(list)
+    user_hours: dict[tuple[str, str], dict[str, list[float]]] = defaultdict(dict)
+    fip_hours_by_lab: dict[str, list[float]] = defaultdict(list)
 
     for rec in records:
         if rec.lab is None:
             continue
         if rec.kind in _INSTANCE_KINDS:
             key = (rec.lab, rec.resource_type)
-            row = rows.get(key)
-            if row is None:
-                row = rows[key] = AssignmentUsage(lab_id=rec.lab, resource_type=rec.resource_type)
-            row.instance_hours += rec.unit_hours
+            if key not in rows:
+                rows[key] = AssignmentUsage(lab_id=rec.lab, resource_type=rec.resource_type)
+            row_hours[key].append(rec.unit_hours)
             if rec.user is not None:
-                row.per_user_hours[rec.user] = row.per_user_hours.get(rec.user, 0.0) + rec.unit_hours
+                user_hours[key].setdefault(rec.user, []).append(rec.unit_hours)
         elif rec.kind == "floating_ip":
-            fip_hours_by_lab[rec.lab] += rec.unit_hours
+            fip_hours_by_lab[rec.lab].append(rec.unit_hours)
+
+    for key, row in rows.items():
+        row.instance_hours = stable_sum(row_hours[key])
+        row.per_user_hours = {
+            user: stable_sum(vals) for user, vals in user_hours[key].items()
+        }
 
     # apportion per-lab FIP hours across the lab's rows by instance share
-    lab_instance_totals: dict[str, float] = defaultdict(float)
+    lab_row_hours: dict[str, list[float]] = defaultdict(list)
     for row in rows.values():
-        lab_instance_totals[row.lab_id] += row.instance_hours
+        lab_row_hours[row.lab_id].append(row.instance_hours)
+    lab_totals = {lab: stable_sum(vals) for lab, vals in lab_row_hours.items()}
+    fip_totals = {lab: stable_sum(vals) for lab, vals in fip_hours_by_lab.items()}
     for row in rows.values():
-        total = lab_instance_totals[row.lab_id]
+        total = lab_totals[row.lab_id]
         if total > 0:
-            row.floating_ip_hours = fip_hours_by_lab[row.lab_id] * row.instance_hours / total
+            row.floating_ip_hours = fip_totals.get(row.lab_id, 0.0) * row.instance_hours / total
     return rows
 
 
 def aggregate_storage(records: list[UsageRecord]) -> dict[str, StorageUsage]:
-    """Per-lab block/object storage usage."""
+    """Per-lab block/object storage usage (order-invariant totals)."""
     out: dict[str, StorageUsage] = {}
+    block: dict[str, list[float]] = defaultdict(list)
+    obj: dict[str, list[float]] = defaultdict(list)
     for rec in records:
         if rec.lab is None or rec.kind not in ("volume", "object_storage"):
             continue
         su = out.setdefault(rec.lab, StorageUsage(lab_id=rec.lab))
         if rec.kind == "volume":
-            su.block_gb_hours += rec.unit_hours
+            block[rec.lab].append(rec.unit_hours)
             su.peak_block_gb = max(su.peak_block_gb, rec.quantity)
         else:
-            su.object_gb_hours += rec.unit_hours
+            obj[rec.lab].append(rec.unit_hours)
             su.peak_object_gb = max(su.peak_object_gb, rec.quantity)
+    for lab, su in out.items():
+        su.block_gb_hours = stable_sum(block[lab])
+        su.object_gb_hours = stable_sum(obj[lab])
     return out
 
 
@@ -154,15 +175,18 @@ def per_user_instance_hours(
     records: list[UsageRecord], *, labs: set[str] | None = None
 ) -> dict[str, dict[tuple[str, str], float]]:
     """user -> {(lab, resource_type): instance hours} (Fig 2 input)."""
-    out: dict[str, dict[tuple[str, str], float]] = defaultdict(dict)
+    acc: dict[str, dict[tuple[str, str], list[float]]] = defaultdict(dict)
     for rec in records:
         if rec.kind not in _INSTANCE_KINDS or rec.lab is None or rec.user is None:
             continue
         if labs is not None and rec.lab not in labs:
             continue
         key = (rec.lab, rec.resource_type)
-        out[rec.user][key] = out[rec.user].get(key, 0.0) + rec.unit_hours
-    return dict(out)
+        acc[rec.user].setdefault(key, []).append(rec.unit_hours)
+    return {
+        user: {key: stable_sum(vals) for key, vals in per_key.items()}
+        for user, per_key in acc.items()
+    }
 
 
 def per_user_fip_hours(
@@ -171,12 +195,12 @@ def per_user_fip_hours(
     """user -> floating-IP hours (Fig 2 input; FIP spans carry no user for
     reserved labs booked per slot, so those are counted via the lab share
     by the cost model instead)."""
-    out: dict[str, float] = defaultdict(float)
+    acc: dict[str, list[float]] = defaultdict(list)
     for rec in records:
         if rec.kind != "floating_ip" or rec.lab is None:
             continue
         if labs is not None and rec.lab not in labs:
             continue
         if rec.user is not None:
-            out[rec.user] += rec.unit_hours
-    return dict(out)
+            acc[rec.user].append(rec.unit_hours)
+    return {user: stable_sum(vals) for user, vals in acc.items()}

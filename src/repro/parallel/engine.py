@@ -225,6 +225,28 @@ def _execute_batch(batch: _ShardBatch) -> list[ShardResult]:
     return results
 
 
+def deterministic_map(fn, items, *, workers: int) -> list:
+    """Order-preserving parallel map: ``[fn(x) for x in items]`` on a pool.
+
+    The sanctioned fan-out primitive for callers outside this package
+    (PAR001 bans them from touching ``multiprocessing`` directly — the
+    columnar planner's draw fan-out routes through here).  Results come
+    back in *item order* regardless of completion order, ``workers=1``
+    (or a single item) runs in-process with no pool, and ``fn`` must be a
+    picklable module-level callable that is a pure function of its item —
+    under those terms the output is identical for every worker count.
+    """
+    if workers < 1:
+        raise ValidationError(f"workers must be positive: {workers!r}")
+    items = list(items)
+    if workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(items)), mp_context=_pool_context()
+    ) as pool:
+        return list(pool.map(fn, items))
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     # fork skips re-importing numpy/scipy in every worker; fall back to
     # the platform default where fork is unavailable (the engine's output
@@ -563,6 +585,7 @@ __all__ = [
     "SupervisedRun",
     "SupervisorHalt",
     "SupervisorPolicy",
+    "deterministic_map",
     "execute_plan",
     "execute_plan_supervised",
     "run_parallel",

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.cloud.metering import UsageRecord
+from repro.common.numerics import stable_sum
 from repro.core.usage import canonicalize_records
 
 
@@ -30,5 +31,9 @@ def total_unit_hours(records: Iterable[UsageRecord]) -> float:
 
     The merge must conserve this exactly (it only reorders records and
     re-mints ids); the Hypothesis pack checks shard-sum == merged-total.
+    :func:`~repro.common.numerics.stable_sum` makes that an exact bit
+    equality rather than a tolerance: the total depends only on the
+    record *multiset*, never on shard boundaries or arrival order, and
+    matches the columnar engine's array-side total (DESIGN §11).
     """
-    return sum(rec.unit_hours for rec in records)
+    return stable_sum(rec.unit_hours for rec in records)

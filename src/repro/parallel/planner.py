@@ -16,6 +16,32 @@ from repro.common.errors import ValidationError
 from repro.core.cohort import ShardPlan
 
 
+def index_ranges(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into at most ``parts`` contiguous [lo, hi) ranges.
+
+    The columnar planner fans its whole-cohort draw loop out over these:
+    each worker rebuilds the per-student seed streams for one range
+    directly from ``(seed, spawn_key)`` (see
+    :func:`repro.core.cohort.student_seed_sequence`), so the partition
+    carries two ints per worker instead of ``n`` pickled SeedSequences.
+    Contiguity + reassembly in range order make the partition invisible
+    to the output for any ``parts``.
+    """
+    if parts <= 0:
+        raise ValidationError(f"parts must be positive: {parts!r}")
+    if n <= 0:
+        return []
+    parts = min(parts, n)
+    step, extra = divmod(n, parts)
+    ranges: list[tuple[int, int]] = []
+    lo = 0
+    for p in range(parts):
+        hi = lo + step + (1 if p < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
 def batch_shards(shards: Sequence[ShardPlan], workers: int) -> list[tuple[ShardPlan, ...]]:
     """Split ``shards`` into at most ``workers`` contiguous batches.
 

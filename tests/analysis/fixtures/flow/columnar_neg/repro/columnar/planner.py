@@ -1,0 +1,13 @@
+"""Fixture: the columnar planner roots the seed tree from config.
+
+``repro.columnar.planner`` is a plan-time module: it may construct
+Generators from config-carried seeds without tripping SEED001 (that is
+where randomness is *supposed* to be resolved).
+"""
+
+import numpy as np
+
+
+def plan_columns(config):
+    rng = np.random.default_rng(np.random.SeedSequence(config.seed, spawn_key=(0,)))
+    return {"start": rng.uniform(0.0, 96.0, 8), "hours": rng.uniform(1.0, 48.0, 8)}

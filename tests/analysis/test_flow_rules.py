@@ -29,6 +29,28 @@ class TestPUR001:
         assert result.findings == []
 
 
+class TestColumnarEntryPoint:
+    """The columnar kernel is a shard-execution entry point (DESIGN §11):
+    ``repro.columnar.kernels.emit_records`` must be transitively pure, and
+    ``repro.columnar.planner`` is plan-time (may root the seed tree)."""
+
+    def test_fires_on_rng_and_wall_clock_reachable_from_emit_records(self):
+        result = run_rule("columnar_pos", "PUR001")
+        assert len(result.findings) == 2
+        assert all(f.rule_id == "PUR001" for f in result.findings)
+        messages = " | ".join(f.message for f in result.findings)
+        assert "default_rng" in messages
+        assert all("emit_records" in f.message for f in result.findings)
+
+    def test_quiet_on_pure_kernels_and_plan_time_planner(self):
+        result = analyze_paths(
+            [FIXTURES / "columnar_neg"],
+            whole_program=True,
+            rules=["PUR001", "SEED001"],
+        )
+        assert result.findings == []
+
+
 class TestSEED001:
     def test_fires_on_literal_and_module_constant_seeds(self):
         result = run_rule("seed001_pos", "SEED001")

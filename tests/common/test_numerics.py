@@ -1,0 +1,78 @@
+"""Regression tests for the shared stable-summation rule.
+
+The contract both accounting paths rely on: the total is the exactly
+rounded sum of the input *multiset* — invariant to permutation,
+chunking, and reassociation, even for adversarial magnitude spreads
+where naive or pairwise summation drifts by many ulps.  If these break,
+the columnar/object byte-equality gate breaks with them.
+"""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.numerics import stable_dot, stable_sum
+
+#: Magnitudes spanning ~10^32: one big value, a sea of small ones that a
+#: running ``+=`` in the wrong order annihilates entirely.
+ADVERSARIAL = [1e16, 1.0, -1e16, 1.0] * 500 + [1e-16] * 1000
+
+
+def test_adversarial_magnitudes_sum_exactly():
+    """Naive left-to-right loses the small terms; fsum must not."""
+    exact = float(sum(Fraction(v) for v in ADVERSARIAL))
+    assert stable_sum(ADVERSARIAL) == exact
+    # the case is actually adversarial: the naive loop gets it wrong
+    naive = 0.0
+    for v in ADVERSARIAL:
+        naive += v
+    assert naive != exact
+
+
+def test_permutation_and_chunk_invariance():
+    reference = stable_sum(ADVERSARIAL)
+    assert stable_sum(reversed(ADVERSARIAL)) == reference
+    assert stable_sum(sorted(ADVERSARIAL)) == reference
+    # chunked like the columnar merge: per-bucket arrays chained
+    chunks = [ADVERSARIAL[i : i + 97] for i in range(0, len(ADVERSARIAL), 97)]
+    chained = stable_sum(v for chunk in chunks for v in chunk)
+    assert chained == reference
+
+
+@settings(deadline=None, max_examples=100)
+@given(
+    st.lists(
+        st.floats(
+            min_value=-1e18, max_value=1e18, allow_nan=False, allow_infinity=False
+        ),
+        max_size=60,
+    ),
+    st.randoms(use_true_random=False),
+)
+def test_stable_sum_is_multiset_function(values, rnd):
+    """Property form: any shuffle of any list lands on the same bits."""
+    shuffled = list(values)
+    rnd.shuffle(shuffled)
+    assert stable_sum(shuffled) == stable_sum(values)
+    exact = sum(Fraction(v) for v in values)
+    assert stable_sum(values) == float(exact)
+
+
+def test_numpy_scalars_and_empty():
+    arr = np.array(ADVERSARIAL)
+    assert stable_sum(arr.tolist()) == stable_sum(ADVERSARIAL)
+    assert stable_sum(iter(arr)) == stable_sum(ADVERSARIAL)
+    assert stable_sum([]) == 0.0
+    assert stable_dot([], []) == 0.0
+
+
+def test_stable_dot_matches_per_product_fsum():
+    q = [3.0, 1e12, 2e-12, 7.5] * 200
+    h = [1e-12, 2.5e12, 4.0, 1e3] * 200
+    products = [a * b for a, b in zip(q, h)]
+    assert stable_dot(q, h) == math.fsum(products)
+    exact = sum(Fraction(p) for p in products)
+    assert stable_dot(q, h) == float(exact)
