@@ -55,6 +55,7 @@ PLAN_TIME_MODULES = frozenset(
         "repro.core.cohort",
         "repro.faults.plan",
         "repro.loadgen.arrivals",
+        "repro.resilience.clients",
     }
 )
 

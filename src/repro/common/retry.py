@@ -86,6 +86,35 @@ class RetryPolicy:
         )
 
     @classmethod
+    def client_default(cls) -> "RetryPolicy":
+        """How a serving *client* re-issues a failed request: seconds-scale
+        exponential backoff with full jitter and a tight attempt budget —
+        the retry loop every SDK ships.  Hours are still the unit (the
+        policy is shared with the testbed); callers on the serving clock
+        read :meth:`backoff_seconds`."""
+        return cls(
+            max_attempts=4,
+            base_backoff_hours=1.0 / 3600.0,   # 1 s
+            multiplier=2.0,
+            max_backoff_hours=30.0 / 3600.0,   # 30 s cap
+            jitter=0.5,
+        )
+
+    @classmethod
+    def storm_default(cls) -> "RetryPolicy":
+        """The naive client the retry-storm scenario indicts: many fast
+        attempts, minimal jitter, no give-up deadline — each failure
+        re-offers almost immediately, which is exactly the closed-loop
+        amplification the metastable scenario measures."""
+        return cls(
+            max_attempts=6,
+            base_backoff_hours=0.5 / 3600.0,   # 500 ms
+            multiplier=1.5,
+            max_backoff_hours=5.0 / 3600.0,    # 5 s cap
+            jitter=0.1,
+        )
+
+    @classmethod
     def transient_default(cls) -> "RetryPolicy":
         """Reaction to API-error bursts: short exponential backoff with a
         tight attempt budget — the classic 503/429 client loop."""
@@ -129,6 +158,10 @@ class RetryPolicy:
         if self.jitter:
             backoff *= 1.0 + self.jitter * (2.0 * u - 1.0)
         return backoff
+
+    def backoff_seconds(self, retry: int, *, u: float = 0.5) -> float:
+        """:meth:`backoff_hours` on the serving clock (simulated seconds)."""
+        return self.backoff_hours(retry, u=u) * 3600.0
 
     def schedule(self, *, us: Iterator[float] | None = None) -> list[float]:
         """The full backoff schedule (one entry per possible retry).

@@ -623,3 +623,26 @@ def serving_cost_row(
         device=device_name, provider=provider, instance=inst.name,
         replica_hours=replica_hours, hourly_usd=rate,
     )
+
+
+def quality_adjusted_served(
+    served_full: int, served_brownout: int, quality_discount: float
+) -> float:
+    """Effective full-quality request count of a brownout-mode run.
+
+    The resilience layer's brownout defense serves degraded responses
+    (smaller model, truncated inputs) when the queue is deep; pretending
+    a degraded answer equals a full one would make brownout look free.
+    Each brownout-served request counts as ``1 - quality_discount`` of a
+    full response, so cost-per-million stays comparable across the
+    policy ladder.
+    """
+    if served_full < 0 or served_brownout < 0:
+        raise ValidationError(
+            f"served counts cannot be negative: {served_full!r}, {served_brownout!r}"
+        )
+    if not (0.0 <= quality_discount < 1.0):
+        raise ValidationError(
+            f"quality_discount must be in [0, 1): {quality_discount!r}"
+        )
+    return served_full + served_brownout * (1.0 - quality_discount)

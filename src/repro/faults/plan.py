@@ -678,3 +678,37 @@ def build_serving_calendar(
         sites=(SERVING_SITE,),
     )
     return build_fault_calendar(config, horizon_hours=duration_hours)
+
+
+def build_outage_calendar(
+    *, outage_start_s: float, outage_end_s: float, horizon_hours: float
+) -> FaultCalendar:
+    """One explicit serving-site outage window, placed in seconds.
+
+    The retry-storm scenario (`repro.resilience.scenario`) needs a
+    *controlled* experiment: the same outage at the same instant under
+    every client policy, so rung-to-rung differences are policy and
+    nothing else.  A sampled calendar can't give that — this builds the
+    window directly (the config is the null plan; the window is explicit,
+    not drawn).
+    """
+    if not (0.0 <= outage_start_s < outage_end_s):
+        raise ValidationError(
+            f"need 0 <= start < end: {outage_start_s!r}, {outage_end_s!r}"
+        )
+    if outage_end_s > horizon_hours * 3600.0:
+        raise ValidationError(
+            f"outage ends past the horizon: {outage_end_s!r} s vs {horizon_hours!r} h"
+        )
+    return FaultCalendar(
+        config=FaultPlanConfig(seed=0, sites=(SERVING_SITE,)),
+        horizon_hours=horizon_hours,
+        outages=(
+            OutageWindow(
+                site=SERVING_SITE,
+                start=outage_start_s / 3600.0,
+                end=outage_end_s / 3600.0,
+            ),
+        ),
+        bursts=(),
+    )

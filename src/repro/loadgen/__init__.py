@@ -35,6 +35,7 @@ from repro.loadgen.queue import (
     FAILED,
     REJECTED,
     SERVED,
+    SHED,
     AdmissionConfig,
     RequestQueue,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "DROPPED",
     "ERROR",
     "FAILED",
+    "SHED",
     "AutoscalerConfig",
     "Replica",
     "ReplicaSet",

@@ -13,6 +13,12 @@ status so the report can price them separately:
   request, it had already waited longer than ``deadline_ms``; serving a
   dead request wastes capacity, so the queue drops it at dispatch time.
 
+A fourth loss class, **shed** (:data:`SHED`), is booked by the
+resilience layer (`repro.resilience`) *before* the queue is consulted:
+an open circuit breaker or a priority tier over its depth threshold
+fails the request fast at the front door without it ever holding a
+queue slot.  The open-loop simulation never produces it.
+
 Batches are formed against :class:`repro.serving.BatchingConfig` — the
 same ``window_close`` semantics the closed-loop lab batcher uses — so
 loadgen's operations layer and the Unit-6 batching simulation cannot
@@ -35,6 +41,7 @@ REJECTED = 1   # admission control: queue full at arrival
 DROPPED = 2    # deadline exceeded while queued
 ERROR = 3      # arrived during an API-error burst window
 FAILED = 4     # in flight on a replica an outage killed
+SHED = 5       # load-shed at the front door (breaker open / tier over threshold)
 
 
 @dataclass(frozen=True)
@@ -70,10 +77,17 @@ class RequestQueue:
         batching: BatchingConfig,
         arrivals_s: np.ndarray,
         status: np.ndarray,
+        *,
+        enqueued_at: np.ndarray | None = None,
     ) -> None:
         self.admission = admission
         self.batching = batching
         self._arrivals = arrivals_s
+        # per-request enqueue instants: the arrival array itself in the
+        # open-loop simulation, a writable copy under closed-loop retries
+        # (an attempt's deadline and batch-window run from the *attempt*
+        # arrival, not the original request's)
+        self._times = enqueued_at if enqueued_at is not None else arrivals_s
         self._status = status
         self._pending: deque[int] = deque()
         self.max_depth = 0
@@ -89,8 +103,8 @@ class RequestQueue:
         return len(self._pending)
 
     def head_arrival(self) -> float:
-        """Arrival time of the oldest waiter (queue must be non-empty)."""
-        return float(self._arrivals[self._pending[0]])
+        """Enqueue time of the oldest waiter (queue must be non-empty)."""
+        return float(self._times[self._pending[0]])
 
     # -- arrival side -------------------------------------------------------
 
@@ -111,21 +125,28 @@ class RequestQueue:
 
     # -- dispatch side ------------------------------------------------------
 
-    def expire(self, start_s: float) -> int:
+    def expire(self, start_s: float) -> list[int]:
         """Drop queued requests whose wait would exceed the deadline if
-        service started at ``start_s``.  Returns how many were dropped.
+        service started at ``start_s``.  Returns the dropped indices (so
+        a closed-loop client layer can schedule their retries).
+
+        Boundary semantics: a waiter whose wait *equals* the deadline is
+        still served — the drop condition is strictly ``wait > deadline``
+        (the request is dead only once the deadline has passed, exactly
+        like :meth:`RetryPolicy.allows_retry`'s ``elapsed >= deadline``
+        refusal is the mirror-image give-up rule on the client side).
 
         Only the front of the queue can be expired (FIFO: later waiters
         arrived later and have waited less), so this is a prefix walk.
         """
         deadline = self.admission.deadline_s
-        n = 0
-        while self._pending and start_s - self._arrivals[self._pending[0]] > deadline:
+        dropped: list[int] = []
+        while self._pending and start_s - self._times[self._pending[0]] > deadline:
             idx = self._pending.popleft()
             self._status[idx] = DROPPED
             self.dropped += 1
-            n += 1
-        return n
+            dropped.append(idx)
+        return dropped
 
     def take_batch(self, earliest_start_s: float) -> list[int]:
         """Form one batch whose leader could start at ``earliest_start_s``.
@@ -143,7 +164,7 @@ class RequestQueue:
         while (
             self._pending
             and len(batch) < self.batching.max_batch
-            and self._arrivals[self._pending[0]] <= close
+            and self._times[self._pending[0]] <= close
         ):
             batch.append(self._pending.popleft())
         return batch

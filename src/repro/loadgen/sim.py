@@ -23,12 +23,22 @@ Determinism contract (the loadgen analogue of `repro.parallel`'s
 The loop advances batch-by-batch (every admitted request is still
 touched exactly once), so a multi-million-request day simulates in
 seconds.
+
+**Closed loop.**  Passing a :class:`~repro.resilience.clients.ResilienceModel`
+turns failures into re-offers: every retryable terminal outcome asks the
+model's runtime for a retry instant (all jitter resolved at plan time),
+and scheduled retries join the event loop through a deterministic
+min-heap ordered by ``(time, schedule-sequence)``.  With
+``resilience=None`` the simulation takes exactly the open-loop path and
+its digest is byte-identical to the pre-resilience definition.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -42,11 +52,15 @@ from repro.loadgen.queue import (
     FAILED,
     REJECTED,
     SERVED,
+    SHED,
     AdmissionConfig,
     RequestQueue,
 )
 from repro.serving.batching import BatchingConfig
 from repro.serving.engine import InferenceEngine
+
+if TYPE_CHECKING:  # no runtime import: loadgen must not depend on resilience
+    from repro.resilience.clients import ResilienceModel, ResilienceOutcome
 
 _INF = float("inf")
 
@@ -85,6 +99,7 @@ class TrafficResult:
     batches: int
     max_queue_depth: int
     faulted: bool
+    resilience: "ResilienceOutcome | None" = None
 
     # -- outcome counts -----------------------------------------------------
 
@@ -114,6 +129,15 @@ class TrafficResult:
     @property
     def failed(self) -> int:
         return self.count(FAILED)
+
+    @property
+    def shed(self) -> int:
+        return self.count(SHED)
+
+    @property
+    def attempts_total(self) -> int:
+        """Attempts offered at the front door (== offered when open-loop)."""
+        return self.resilience.attempts_total if self.resilience else self.offered
 
     @property
     def loss_rate(self) -> float:
@@ -173,6 +197,10 @@ class TrafficResult:
         h.update(self.replica_of.tobytes())
         for span in self.spans:
             h.update(repr(span).encode())
+        if self.resilience is not None:
+            # extends the hash stream only when the closed loop ran, so
+            # open-loop digests stay byte-identical across this change
+            self.resilience.digest_update(h)
         return h.hexdigest()
 
 
@@ -195,6 +223,24 @@ def _serving_windows(
     return outages, bursts
 
 
+def _merged_edges(windows: list[tuple[float, float]]) -> np.ndarray:
+    """Flattened edge array of the merged ``[start, end)`` windows.
+
+    Searchsorted parity against this array answers "is instant ``t``
+    inside any window" for retry attempts, matching the index-based
+    ``in_burst`` marking used for the original arrivals (left-closed,
+    right-open; overlapping windows union)."""
+    if not windows:
+        return np.zeros(0)
+    merged: list[list[float]] = []
+    for ws, we in sorted(windows):
+        if merged and ws <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], we)
+        else:
+            merged.append([ws, we])
+    return np.asarray([edge for w in merged for edge in w])
+
+
 def simulate_traffic(
     trace: RequestTrace,
     engine: InferenceEngine,
@@ -203,9 +249,16 @@ def simulate_traffic(
     batching: BatchingConfig | None = None,
     autoscaler: AutoscalerConfig | None = None,
     calendar: FaultCalendar | None = None,
+    resilience: "ResilienceModel | None" = None,
     perturb: bool = False,
 ) -> TrafficResult:
     """Run the operations layer over one request trace.
+
+    ``resilience`` closes the loop: failed attempts consult the model's
+    runtime (retry policy, budget, breaker, shedding — all draws made at
+    plan time) and re-enter the event loop at their scheduled instants.
+    ``None`` is the open-loop simulation, byte-identical to before the
+    resilience layer existed.
 
     ``perturb`` flips every internal evaluation order the simulation is
     free to choose (currently: the fleet scan in replica selection) and
@@ -240,7 +293,19 @@ def simulate_traffic(
         outage_events.append((we, 1))
     outage_events.sort()
 
-    queue = RequestQueue(admission, batching, arrivals, status)
+    closed_loop = resilience is not None
+    if closed_loop:
+        # writable per-attempt enqueue instants: a retry's deadline and
+        # batch-window membership run from the attempt, not the arrival
+        enq = arrivals.copy()
+        runtime = resilience.runtime(arrivals, admission.queue_capacity)
+        burst_edges = _merged_edges(burst_windows)
+        queue = RequestQueue(admission, batching, arrivals, status, enqueued_at=enq)
+    else:
+        enq = arrivals
+        runtime = None
+        burst_edges = np.zeros(0)
+        queue = RequestQueue(admission, batching, arrivals, status)
     fleet = ReplicaSet(autoscaler)
     interval = autoscaler.control_interval_s
 
@@ -249,6 +314,10 @@ def simulate_traffic(
     next_tick = interval
     now = 0.0
     batches = 0
+    # scheduled retries: (due_s, schedule_seq, idx) — the seq makes the
+    # heap order total, so equal due instants pop in scheduling order
+    retry_heap: list[tuple[float, int, int]] = []
+    retry_seq = 0
 
     def outage_end_covering(t: float) -> float:
         for ws, we in outage_windows:
@@ -256,17 +325,54 @@ def simulate_traffic(
                 return we
         return 0.0
 
+    def in_burst_at(t: float) -> bool:
+        """Burst-window membership by instant (retries re-check by time)."""
+        return bool(np.searchsorted(burst_edges, t, side="right") % 2)
+
+    def book_failure(idx: int, t: float, code: int) -> None:
+        """Closed loop only: one attempt just terminated as ``code``.  Ask
+        the runtime for a retry instant; if granted, un-book the loss and
+        put the request back in flight on the retry heap."""
+        nonlocal retry_seq
+        retry_at = runtime.on_failure(idx, t, code)
+        if retry_at is None:
+            return
+        status[idx] = SERVED  # pending again; the next terminal rewrites it
+        start_s[idx] = np.nan
+        finish_s[idx] = np.nan
+        replica_of[idx] = -1
+        heapq.heappush(retry_heap, (retry_at, retry_seq, idx))
+        retry_seq += 1
+
+    def offer_attempt(idx: int, t: float, burst: bool) -> None:
+        """One front-door attempt (fresh arrival or retry) at instant ``t``."""
+        if not closed_loop:
+            queue.offer(idx, in_burst=burst)
+            return
+        runtime.begin_attempt(idx)
+        enq[idx] = t
+        if burst:
+            queue.offer(idx, in_burst=True)  # books ERROR
+            book_failure(idx, t, ERROR)
+        elif not runtime.admit(idx, t, queue.depth):
+            status[idx] = SHED
+            book_failure(idx, t, SHED)
+        elif not queue.offer(idx, in_burst=False):  # books REJECTED
+            book_failure(idx, t, REJECTED)
+
     def advance(limit: float) -> None:
         """Process every event with time <= limit, in chronological order
-        (outage edges, then control ticks, then arrivals on ties)."""
+        (outage edges, then control ticks, then arrivals, then retries on
+        ties)."""
         nonlocal i, oi, next_tick, now
         while True:
             ta = arrivals[i] if i < n else _INF
+            tr = retry_heap[0][0] if retry_heap else _INF
             to = outage_events[oi][0] if oi < len(outage_events) else _INF
-            tm = min(ta, to, next_tick)
+            tm = min(ta, tr, to, next_tick)
             if tm > limit:
                 break
-            if to <= next_tick and to <= ta:
+            if to <= next_tick and to <= ta and to <= tr:
                 t, kind = outage_events[oi]
                 oi += 1
                 now = t
@@ -274,31 +380,50 @@ def simulate_traffic(
                     for idx in fleet.strike(t):
                         status[idx] = FAILED
                         finish_s[idx] = np.nan
+                        if closed_loop:
+                            book_failure(idx, t, FAILED)
                 # window ends are implicit: provisioning clamps handle them
-            elif next_tick <= ta:
+            elif next_tick <= ta and next_tick <= tr:
                 now = next_tick
                 next_tick += interval
                 fleet.tick(now, queue.depth, not_ready_before_s=outage_end_covering(now))
-            else:
+                if closed_loop:
+                    runtime.sample_depth(now, queue.depth, fleet.open_spans)
+            elif ta <= tr:
                 now = ta
-                queue.offer(i, in_burst=bool(in_burst[i]))
+                offer_attempt(i, ta, bool(in_burst[i]))
                 i += 1
+            else:
+                t, _, idx = heapq.heappop(retry_heap)
+                now = t
+                offer_attempt(idx, t, in_burst_at(t))
         now = max(now, limit)
 
     def admit_through_window(close: float) -> None:
-        """Admit arrivals up to the batching-window close (arrivals only:
-        structural events inside the millisecond window are evaluated at
-        the next dispatch boundary — a defined part of the semantics)."""
+        """Admit arrivals and due retries up to the batching-window close
+        (attempts only: structural events inside the millisecond window
+        are evaluated at the next dispatch boundary — a defined part of
+        the semantics).  Original arrivals beat retries on exact ties."""
         nonlocal i
-        while i < n and arrivals[i] <= close:
-            queue.offer(i, in_burst=bool(in_burst[i]))
-            i += 1
+        while True:
+            ta = arrivals[i] if i < n else _INF
+            tr = retry_heap[0][0] if retry_heap else _INF
+            if min(ta, tr) > close:
+                break
+            if ta <= tr:
+                offer_attempt(i, ta, bool(in_burst[i]))
+                i += 1
+            else:
+                t, _, idx = heapq.heappop(retry_heap)
+                offer_attempt(idx, t, in_burst_at(t))
 
     while True:
         if queue.depth == 0:
-            if i >= n:
+            ta = arrivals[i] if i < n else _INF
+            tr = retry_heap[0][0] if retry_heap else _INF
+            if ta == _INF and tr == _INF:
                 break
-            advance(arrivals[i])
+            advance(min(ta, tr))
             continue
 
         avail = fleet.next_available(now, perturb=perturb)
@@ -313,20 +438,37 @@ def simulate_traffic(
         if next_struct <= t_start:
             advance(next_struct)
             continue
-        if queue.expire(t_start):
+        expired = queue.expire(t_start)
+        if expired:
+            if closed_loop:
+                for idx in expired:
+                    book_failure(idx, t_start, DROPPED)
             continue
 
         admit_through_window(batching.window_close(t_start))
+        depth_at_dispatch = queue.depth
         batch = queue.take_batch(t_start)
-        service_start = max(t_start, float(arrivals[batch[-1]]))
-        finish = service_start + engine.service_time_s(len(batch))
+        service_start = max(t_start, float(enq[batch[-1]]))
+        service_time = engine.service_time_s(len(batch))
+        if closed_loop:
+            factor = runtime.service_factor(depth_at_dispatch)
+            if factor != 1.0:
+                # < 1: brownout, degraded but faster; > 1: congestion
+                # collapse, the server is thrashing under a deep queue
+                service_time *= factor
+                if factor < 1.0:
+                    runtime.mark_brownout(batch)
+        finish = service_start + service_time
         for idx in batch:
+            status[idx] = SERVED
             start_s[idx] = service_start
             finish_s[idx] = finish
             replica_of[idx] = rid
         fleet.dispatch(rid, tuple(batch), finish)
         batches += 1
         now = service_start
+        if closed_loop:
+            runtime.on_served(service_start, len(batch))
 
     fleet.drain(now)
     spans = tuple(
@@ -355,4 +497,5 @@ def simulate_traffic(
         batches=batches,
         max_queue_depth=queue.max_depth,
         faulted=bool(outage_windows or burst_windows),
+        resilience=runtime.finish() if closed_loop else None,
     )

@@ -44,6 +44,13 @@ class SloOutcome:
 
     @property
     def latency_ok(self) -> bool:
+        """Vacuously true with zero served requests: percentiles are NaN
+        (no latency evidence either way), and ``NaN <= budget`` would
+        silently read as a latency violation.  A served-nothing run is
+        judged — and fails — on the loss gate, which is the gate that
+        actually observed the problem."""
+        if self.served == 0:
+            return True
         return self.p99_ms <= self.policy.p99_budget_ms
 
     @property

@@ -13,8 +13,8 @@ worker (``BrokenProcessPool``, a SIGKILLed PID, a ``SystemExit`` escaping
 a task) surfaces as a typed
 :class:`~repro.common.errors.WorkerCrashError` carrying the shard ids
 that were in flight, lost shards are re-executed under a bounded
-:class:`~repro.common.retry.RetryPolicy`, a per-shard circuit breaker
-turns repeat offenders into
+:class:`~repro.common.retry.RetryPolicy`, a per-shard
+:class:`~repro.common.breaker.RetryBreaker` turns repeat offenders into
 :class:`~repro.common.errors.PoisonedShardError` instead of looping, and
 the pool degrades to in-process serial execution once workers keep
 dying.  Because the merge is canonical (invariant to shard order and
@@ -40,6 +40,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.checkpoint.journal import ShardJournal
 from repro.checkpoint.manifest import RunManifest
+from repro.common.breaker import RetryBreaker
 from repro.cloud.metering import UsageRecord
 from repro.cloud.quota import Quota
 from repro.cloud.testbed import chameleon
@@ -278,7 +279,7 @@ class _Supervisor:
         self.policy = policy
         self.shards = plan.shards(include_project=include_project)
         self.results: dict[str, ShardResult] = {}
-        self.crashes: dict[str, int] = {}
+        self.breaker = RetryBreaker(policy.retry)
         self.telemetry = EngineTelemetry(shards_total=len(self.shards))
         self._armed_crashes = set(policy.crash_after_shards)
         self._segments_this_run = 0
@@ -324,15 +325,11 @@ class _Supervisor:
         """Count a crash incident and decide: retry, poison, or surface."""
         self.telemetry.worker_crashes += 1
         for sid in shard_ids:
-            self.crashes[sid] = self.crashes.get(sid, 0) + 1
-        # the first execution is attempt 1, so a shard with c failed
-        # attempts has used c-1 retries; the breaker trips when the
-        # policy refuses to schedule retry number c
-        exhausted = {
-            sid: self.crashes[sid]
-            for sid in shard_ids
-            if not self.policy.retry.allows_retry(self.crashes[sid] - 1)
-        }
+            self.breaker.record_failure(sid)
+        # the shared per-key breaker (repro.common.breaker): the first
+        # execution is attempt 1, so a shard with c failed attempts has
+        # used c-1 retries and trips when retry number c is refused
+        exhausted = self.breaker.exhausted(shard_ids)
         crash = WorkerCrashError(
             f"worker crash ({cause}) lost {len(shard_ids)} shard(s): "
             f"{', '.join(sorted(shard_ids)[:8])}"

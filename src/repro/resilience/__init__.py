@@ -1,0 +1,85 @@
+"""Closed-loop resilience: retries, breakers, shedding, and the storm.
+
+`repro.loadgen` answers "what does serving this traffic cost?" for
+clients that shrug off failure.  This package models the clients real
+systems actually have — ones that *retry* — and the defenses that keep
+retries from becoming the outage:
+
+* `repro.resilience.clients` — the closed loop: per-request retry
+  schedules planned from seeded streams, a token-bucket retry budget
+  capping amplification at 1 + fill ratio.
+* `repro.resilience.breaker` — the serving front door's circuit breaker
+  (the shared `repro.common.breaker` state machine plus the
+  outcome-to-error-window mapping).
+* `repro.resilience.shedding` — priority-tiered load shedding and the
+  brownout mode, priced at a quality discount.
+* `repro.resilience.scenario` — the metastable retry-storm experiment:
+  one outage, three client policies, reported as amplification,
+  time-to-recovery, and storm cost per policy.
+
+Same determinism contract as every other subsystem: all randomness is
+resolved at plan time, and ``python -m repro.resilience --verify``
+proves the storm digest is byte-identical under rerun, evaluation-order
+perturbation, and worker counts {1, 2, 4}.
+"""
+
+from repro.common.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    BreakerTelemetry,
+    CircuitBreaker,
+    RetryBreaker,
+)
+from repro.resilience.breaker import FrontDoor, serving_breaker_config
+from repro.resilience.clients import (
+    RETRYABLE,
+    ClientConfig,
+    ClosedLoopRuntime,
+    ResilienceModel,
+    ResilienceOutcome,
+    RetryBudgetConfig,
+    plan_resilience,
+)
+from repro.resilience.scenario import (
+    RUNGS,
+    RungMetrics,
+    RungSpec,
+    StormConfig,
+    StormReport,
+    run_rung,
+    run_storm,
+    storm_ladder,
+)
+from repro.resilience.shedding import CongestionConfig, SheddingConfig, assign_tiers
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "BreakerConfig",
+    "BreakerTelemetry",
+    "CircuitBreaker",
+    "RetryBreaker",
+    "FrontDoor",
+    "serving_breaker_config",
+    "RETRYABLE",
+    "ClientConfig",
+    "ClosedLoopRuntime",
+    "ResilienceModel",
+    "ResilienceOutcome",
+    "RetryBudgetConfig",
+    "plan_resilience",
+    "RUNGS",
+    "RungMetrics",
+    "RungSpec",
+    "StormConfig",
+    "StormReport",
+    "run_rung",
+    "run_storm",
+    "storm_ladder",
+    "CongestionConfig",
+    "SheddingConfig",
+    "assign_tiers",
+]

@@ -1,0 +1,138 @@
+"""CLI: run the metastable retry-storm ladder and print the verdict.
+
+Examples
+--------
+The default storm — two-minute full-fleet outage under 250 rps, three
+client policies::
+
+    python -m repro.resilience --storm
+
+Prove the determinism contract (rerun, per-simulation evaluation-order
+perturbation, and worker counts {1, 2, 4} must all reproduce the storm
+digest byte-for-byte; exit 1 otherwise)::
+
+    python -m repro.resilience --storm --verify
+
+Machine-readable output for sweep harnesses::
+
+    python -m repro.resilience --storm --json -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.resilience.scenario import StormConfig, run_storm
+
+VERIFY_WORKERS = (1, 2, 4)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="Closed-loop retry storms against the serving operations layer.",
+    )
+    parser.add_argument(
+        "--storm", action="store_true",
+        help="run the three-rung retry-storm ladder (the default action)",
+    )
+    parser.add_argument("--seed", type=int, default=11, help="scenario seed (default 11)")
+    parser.add_argument(
+        "--rpd", type=float, default=2.16e7,
+        help="mean offered requests per day (default 2.16e7 = 250 rps)",
+    )
+    parser.add_argument(
+        "--duration-s", type=float, default=1200.0,
+        help="simulated horizon in seconds (default 1200)",
+    )
+    parser.add_argument(
+        "--outage-start-s", type=float, default=300.0,
+        help="outage start instant in seconds (default 300)",
+    )
+    parser.add_argument(
+        "--outage-end-s", type=float, default=420.0,
+        help="outage end instant in seconds (default 420)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=2, help="fixed fleet size (default 2)"
+    )
+    parser.add_argument(
+        "--queue-cap", type=int, default=256,
+        help="admission-control queue capacity (default 256)",
+    )
+    parser.add_argument(
+        "--budget-fill", type=float, default=0.1,
+        help="retry-budget tokens earned per fresh request (default 0.1)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the rung fan-out (default 1)",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="re-run the ladder fresh, with per-simulation order perturbation, "
+        "and across worker counts {1,2,4}; require byte-identical storm digests "
+        "(exit 1 on mismatch)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the storm report as JSON to PATH ('-' for stdout)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    config = StormConfig(
+        seed=args.seed,
+        requests_per_day=args.rpd,
+        duration_s=args.duration_s,
+        outage_start_s=args.outage_start_s,
+        outage_end_s=args.outage_end_s,
+        queue_capacity=args.queue_cap,
+        max_replicas=args.replicas,
+        retry_budget_fill=args.budget_fill,
+    )
+
+    report = run_storm(config, workers=args.workers)
+    digest = report.digest()
+    payload = report.to_dict()
+
+    ok = True
+    if args.verify:
+        digests = {"first": digest}
+        digests["perturbed"] = run_storm(config, perturb=True).digest()
+        for workers in VERIFY_WORKERS:
+            digests[f"workers={workers}"] = run_storm(config, workers=workers).digest()
+        ok = len(set(digests.values())) == 1
+        payload["verify"] = {**digests, "digest_match": ok}
+
+    if args.json == "-":
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(report.render())
+        print()
+        print(f"{'storm digest':>14}: {digest}")
+        if args.verify:
+            for key, value in payload["verify"].items():
+                print(f"{key:>14}: {value}")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"{'json':>14}: {args.json}")
+
+    if not ok:
+        print(
+            "DIGEST MISMATCH: storm ladder is not worker-count/rerun invariant",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

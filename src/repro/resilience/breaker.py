@@ -1,0 +1,70 @@
+"""The serving front door's circuit breaker: policy + outcome mapping.
+
+Mounts the shared :class:`repro.common.breaker.CircuitBreaker` ahead of
+the request queue and encodes the one serving-specific decision the
+generic state machine refuses to make: *which terminal outcomes feed the
+error window*.
+
+* Failures: ``REJECTED`` (queue full), ``ERROR`` (API burst),
+  ``DROPPED`` (deadline expired in queue), ``FAILED`` (replica died
+  mid-flight) — everything the server itself failed to answer.
+* Success: ``SERVED``.
+* Not recorded: ``SHED``.  A shed is the breaker's (or the tier
+  policy's) own verdict; feeding it back as a failure would latch the
+  breaker open on its own output instead of on observed service health.
+
+Defaults are serving-timescale (seconds, not the testbed's hours):
+a ~15 s observation window, a 10 s cooldown, and a small probe batch —
+the breaker should react within one autoscaler control interval.
+"""
+
+from __future__ import annotations
+
+from repro.common.breaker import BreakerConfig, BreakerTelemetry, CircuitBreaker
+from repro.loadgen.queue import SERVED, SHED
+
+
+def serving_breaker_config(
+    *,
+    window_s: float = 15.0,
+    error_threshold: float = 0.5,
+    min_volume: int = 50,
+    cooldown_s: float = 10.0,
+    half_open_probes: int = 16,
+) -> BreakerConfig:
+    """The front door's default windowed-error-rate policy."""
+    return BreakerConfig(
+        window_s=window_s,
+        error_threshold=error_threshold,
+        min_volume=min_volume,
+        cooldown_s=cooldown_s,
+        half_open_probes=half_open_probes,
+    )
+
+
+class FrontDoor:
+    """One run's breaker instance plus the outcome→window mapping."""
+
+    def __init__(self, config: BreakerConfig) -> None:
+        self._breaker = CircuitBreaker(config)
+
+    @property
+    def state(self) -> str:
+        return self._breaker.state
+
+    @property
+    def telemetry(self) -> BreakerTelemetry:
+        return self._breaker.telemetry
+
+    def admit(self, now_s: float) -> bool:
+        """Ask the breaker whether an attempt may pass the front door."""
+        return self._breaker.admit(now_s)
+
+    def record(self, now_s: float, code: int, *, count: int = 1) -> None:
+        """Feed one booked terminal outcome into the error window."""
+        if code == SHED:
+            return
+        self._breaker.record(now_s, code == SERVED, count=count)
+
+
+__all__ = ["FrontDoor", "serving_breaker_config"]

@@ -1,0 +1,450 @@
+"""The metastable retry-storm scenario: one outage, three client policies.
+
+The experiment the resilience layer exists to run.  A fixed serving
+fleet takes stationary Poisson traffic below capacity; a short outage
+kills every replica; replacements come up after the provisioning lag.
+What happens next depends entirely on the *client* policy:
+
+* **no-retry** — the open-loop fiction: failures vanish, the fleet
+  recovers as soon as replicas are back.  Cheap, but every lost request
+  is a lost answer.
+* **naive-retry** — every failure re-offers on a fast, barely-jittered
+  schedule with no budget.  During the outage a retry backlog builds;
+  when replicas return, fresh load *times* the retry multiplier exceeds
+  capacity, rejections breed more retries, and the system locks into
+  sustained overload **after the fault is gone** — the metastable
+  failure mode (Bronson et al.'s "metastable failures" shape, built
+  from this repo's own queue/autoscaler/faults parts).
+* **budgeted-retry + breaker** — the same appetite for retries under a
+  token-bucket budget (amplification provably ≤ 1 + fill ratio), behind
+  a circuit breaker, tiered shedding, and brownout.  The storm is paid
+  for in sheds and degraded answers instead of in hours of overload.
+
+Each rung is priced through the serving cost model with brownout
+servings quality-discounted, so the ladder lands on the paper's axis:
+what does operational robustness cost, per million answers?
+
+Determinism: rungs are pure functions of :class:`RungSpec` (trace,
+calendar, and resilience plan are all seeded and resolved before the
+simulation), executed through
+:func:`repro.parallel.engine.deterministic_map` — the storm digest is
+byte-identical under rerun, ``perturb=True``, and any worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.common.breaker import BreakerConfig
+from repro.common.errors import ValidationError
+from repro.common.tables import format_table
+from repro.core.costmodel import quality_adjusted_served
+from repro.faults.plan import build_outage_calendar
+from repro.loadgen.arrivals import TrafficConfig, generate_trace
+from repro.loadgen.autoscaler import AutoscalerConfig
+from repro.loadgen.queue import AdmissionConfig
+from repro.loadgen.report import build_report
+from repro.loadgen.sim import TrafficResult, simulate_traffic
+from repro.parallel.engine import deterministic_map
+from repro.resilience.breaker import serving_breaker_config
+from repro.resilience.clients import ClientConfig, plan_resilience
+from repro.resilience.shedding import CongestionConfig, SheddingConfig
+from repro.serving import DEVICE_CATALOG, BatchingConfig, InferenceEngine, food11_classifier
+
+#: The policy ladder, weakest defense first.
+RUNGS = ("no-retry", "naive-retry", "budgeted-retry+breaker")
+
+
+@dataclass(frozen=True)
+class StormConfig:
+    """The controlled experiment: same traffic, same outage, per-rung policy.
+
+    Defaults put stationary load at ~60% of fleet capacity (food11 on
+    ``server-cpu-16c``: ~200 rps/replica at batch 8, two replicas) and
+    knock the whole fleet out for two minutes mid-run — enough headroom
+    that an open-loop fleet recovers instantly, and enough closed-loop
+    amplification (× ``storm_default``'s six attempts) that a naive
+    client pushes the recovered fleet back over capacity.
+    """
+
+    seed: int = 11
+    requests_per_day: float = 2.16e7   # 250 rps mean
+    duration_s: float = 1200.0
+    outage_start_s: float = 300.0
+    outage_end_s: float = 420.0
+    queue_capacity: int = 256
+    deadline_ms: float = 1000.0
+    max_batch: int = 8
+    max_replicas: int = 2
+    control_interval_s: float = 10.0
+    provisioning_lag_s: float = 30.0
+    #: Queue-depth fraction at or above which a control tick counts as
+    #: congested (the recovery criterion reads these tick samples).
+    congestion_fraction: float = 0.5
+    retry_budget_fill: float = 0.1
+    #: The server-under-study's congestion collapse (applied to every
+    #: rung): past this depth fraction, service time inflates by the
+    #: slowdown — the capacity loss that lets a storm turn metastable.
+    thrash_depth_fraction: float = 0.4
+    thrash_slowdown: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.outage_start_s < self.outage_end_s <= self.duration_s):
+            raise ValidationError(f"outage must sit inside the run: {self!r}")
+        if not (0.0 < self.congestion_fraction <= 1.0):
+            raise ValidationError(
+                f"congestion_fraction must be in (0, 1]: {self.congestion_fraction!r}"
+            )
+
+    @property
+    def duration_hours(self) -> float:
+        return self.duration_s / 3600.0
+
+    @property
+    def congestion_depth(self) -> float:
+        return self.congestion_fraction * self.queue_capacity
+
+
+@dataclass(frozen=True)
+class RungSpec:
+    """One ladder rung, fully specified and picklable (the pool item)."""
+
+    name: str
+    storm: StormConfig
+    client: ClientConfig
+    shedding: SheddingConfig | None
+    breaker: BreakerConfig | None
+    congestion: CongestionConfig | None
+    #: Flip the simulation's free evaluation orders (must not change digests).
+    perturb: bool = False
+
+
+def storm_ladder(
+    config: StormConfig, *, perturb: bool = False
+) -> tuple[RungSpec, ...]:
+    """The three-rung policy ladder over one storm configuration.
+
+    Every rung runs against the *same server* — including its congestion
+    collapse — and the same outage; only the client policy and the
+    front-door defenses differ between rungs.
+    """
+    congestion = CongestionConfig(
+        thrash_depth_fraction=config.thrash_depth_fraction,
+        slowdown=config.thrash_slowdown,
+    )
+    return (
+        RungSpec(
+            name="no-retry",
+            storm=config,
+            client=ClientConfig.no_retry(seed=config.seed),
+            shedding=None,
+            breaker=None,
+            congestion=congestion,
+            perturb=perturb,
+        ),
+        RungSpec(
+            name="naive-retry",
+            storm=config,
+            client=ClientConfig.naive(seed=config.seed),
+            shedding=None,
+            breaker=None,
+            congestion=congestion,
+            perturb=perturb,
+        ),
+        RungSpec(
+            name="budgeted-retry+breaker",
+            storm=config,
+            client=ClientConfig.budgeted(
+                seed=config.seed, fill_per_request=config.retry_budget_fill
+            ),
+            # brownout engages *below* the thrash depth: the server goes
+            # degraded-but-fast before it can go full-quality-but-slow
+            shedding=SheddingConfig(
+                brownout_depth_fraction=config.thrash_depth_fraction * 0.75
+            ),
+            breaker=serving_breaker_config(),
+            congestion=congestion,
+            perturb=perturb,
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class RungMetrics:
+    """One rung's observables: the storm, measured and priced."""
+
+    name: str
+    digest: str
+    offered: int
+    served: int
+    shed: int
+    loss_rate: float
+    p99_ms: float
+    amplification: float
+    attempts_total: int
+    brownout_served: int
+    breaker_opens: int
+    #: Seconds from outage end to the last congested control tick
+    #: (0.0 = never congested after the outage; None = locked).
+    time_to_recovery_s: float | None
+    #: True when the final control tick was still congested: the storm
+    #: outlived the fault — the metastable signature.
+    locked: bool
+    cost_usd: float | None
+    #: Dollars per million quality-adjusted served requests (brownout
+    #: servings count at a discount).
+    usd_per_million_effective: float | None
+
+    @property
+    def recovered(self) -> bool:
+        return not self.locked
+
+
+def recovery_from_samples(
+    samples, *, outage_end_s: float, congestion_depth: float
+) -> tuple[float | None, bool]:
+    """(time-to-recovery, locked) from the (t, depth, alive) tick series.
+
+    Recovery time is measured to the *last* congested tick at or after
+    the outage end — transient dips below the threshold don't count as
+    recovered.  If the final tick of the run is still congested the run
+    never recovered: ``(None, True)``.
+    """
+    after = samples[samples[:, 0] >= outage_end_s]
+    if not len(after):
+        return 0.0, False
+    congested = after[:, 1] >= congestion_depth
+    if not congested.any():
+        return 0.0, False
+    if congested[-1]:
+        return None, True
+    last = float(after[congested][-1, 0])
+    return last - outage_end_s, False
+
+
+def _storm_engine() -> InferenceEngine:
+    return InferenceEngine(food11_classifier(), DEVICE_CATALOG["server-cpu-16c"])
+
+
+def run_rung(spec: RungSpec) -> tuple[RungMetrics, TrafficResult]:
+    """Simulate one rung (pure function of the spec; pool-safe)."""
+    storm = spec.storm
+    trace = generate_trace(
+        TrafficConfig(
+            seed=storm.seed,
+            pattern="poisson",
+            requests_per_day=storm.requests_per_day,
+            duration_hours=storm.duration_hours,
+        )
+    )
+    engine = _storm_engine()
+    calendar = build_outage_calendar(
+        outage_start_s=storm.outage_start_s,
+        outage_end_s=storm.outage_end_s,
+        horizon_hours=storm.duration_hours,
+    )
+    model = plan_resilience(
+        trace,
+        spec.client,
+        shedding=spec.shedding,
+        breaker=spec.breaker,
+        congestion=spec.congestion,
+    )
+    result = simulate_traffic(
+        trace,
+        engine,
+        admission=AdmissionConfig(
+            queue_capacity=storm.queue_capacity, deadline_ms=storm.deadline_ms
+        ),
+        batching=BatchingConfig(max_batch=storm.max_batch),
+        autoscaler=AutoscalerConfig(
+            min_replicas=storm.max_replicas,
+            max_replicas=storm.max_replicas,
+            control_interval_s=storm.control_interval_s,
+            provisioning_lag_s=storm.provisioning_lag_s,
+        ),
+        calendar=calendar,
+        resilience=model,
+        perturb=spec.perturb,
+    )
+    outcome = result.resilience
+    assert outcome is not None
+    ttr, locked = recovery_from_samples(
+        outcome.depth_samples,
+        outage_end_s=storm.outage_end_s,
+        congestion_depth=storm.congestion_depth,
+    )
+    report = build_report(result, engine)
+    priced = [r.cost_usd for r in report.cost_rows if r.cost_usd is not None]
+    cost = min(priced) if priced else report.device_cost_usd
+    discount = spec.shedding.quality_discount if spec.shedding is not None else 0.0
+    effective = quality_adjusted_served(
+        result.served - outcome.brownout_served, outcome.brownout_served, discount
+    )
+    metrics = RungMetrics(
+        name=spec.name,
+        digest=result.digest(),
+        offered=result.offered,
+        served=result.served,
+        shed=result.shed,
+        loss_rate=result.loss_rate,
+        p99_ms=result.p99_ms,
+        amplification=outcome.amplification,
+        attempts_total=outcome.attempts_total,
+        brownout_served=outcome.brownout_served,
+        breaker_opens=outcome.breaker_opens,
+        time_to_recovery_s=ttr,
+        locked=locked,
+        cost_usd=cost,
+        usd_per_million_effective=(cost / effective * 1e6 if effective else None),
+    )
+    return metrics, result
+
+
+def _run_rung_metrics(spec: RungSpec) -> RungMetrics:
+    """Pool entry point: the metrics alone (small, picklable)."""
+    return run_rung(spec)[0]
+
+
+@dataclass(frozen=True)
+class StormReport:
+    """The ladder's verdict: per-rung metrics over one shared storm."""
+
+    config: StormConfig
+    rungs: tuple[RungMetrics, ...]
+
+    def rung(self, name: str) -> RungMetrics:
+        for m in self.rungs:
+            if m.name == name:
+                return m
+        raise ValidationError(f"unknown rung {name!r}; have {[m.name for m in self.rungs]}")
+
+    def digest(self) -> str:
+        """SHA-256 over every rung's full result digest plus its metrics.
+
+        The CI contract: byte-identical under rerun, evaluation-order
+        perturbation inside each simulation, and any worker count in the
+        rung fan-out.
+        """
+        h = hashlib.sha256()
+        h.update(repr(self.config).encode())
+        for m in self.rungs:
+            h.update(m.digest.encode())
+            h.update(repr(m).encode())
+        return h.hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "config": repr(self.config),
+            "digest": self.digest(),
+            "rungs": [
+                {
+                    "name": m.name,
+                    "digest": m.digest,
+                    "offered": m.offered,
+                    "served": m.served,
+                    "shed": m.shed,
+                    "loss_rate": m.loss_rate,
+                    "p99_ms": m.p99_ms,
+                    "amplification": m.amplification,
+                    "attempts_total": m.attempts_total,
+                    "brownout_served": m.brownout_served,
+                    "breaker_opens": m.breaker_opens,
+                    "time_to_recovery_s": m.time_to_recovery_s,
+                    "locked": m.locked,
+                    "cost_usd": m.cost_usd,
+                    "usd_per_million_effective": m.usd_per_million_effective,
+                }
+                for m in self.rungs
+            ],
+        }
+
+    def render(self) -> str:
+        cfg = self.config
+        rows = [
+            (
+                m.name,
+                m.served,
+                m.shed,
+                f"{m.loss_rate:.3%}",
+                f"{m.amplification:.3f}",
+                "LOCKED" if m.locked else f"{m.time_to_recovery_s:.0f}",
+                m.breaker_opens,
+                m.brownout_served,
+                m.cost_usd,
+                m.usd_per_million_effective,
+            )
+            for m in self.rungs
+        ]
+        table = format_table(
+            [
+                "policy",
+                "served",
+                "shed",
+                "loss",
+                "amp",
+                "ttr_s",
+                "opens",
+                "brownout",
+                "cost_usd",
+                "usd_per_M_eff",
+            ],
+            rows,
+            title=(
+                f"retry storm: {cfg.requests_per_day:,.0f} req/day,"
+                f" outage {cfg.outage_start_s:.0f}-{cfg.outage_end_s:.0f} s,"
+                f" {cfg.max_replicas} replicas"
+                " (ttr = seconds congested past outage end; LOCKED = never drained)"
+            ),
+            float_fmt=",.4f",
+        )
+        naive = self.rung("naive-retry")
+        guarded = self.rung("budgeted-retry+breaker")
+        verdict = (
+            "metastable: the naive client never drains the storm"
+            if naive.locked
+            else f"naive client drains after {naive.time_to_recovery_s:.0f} s"
+        )
+        guarded_line = (
+            "LOCKED"
+            if guarded.locked
+            else f"drains {guarded.time_to_recovery_s:.0f} s after the outage"
+        )
+        return "\n".join(
+            [
+                table,
+                "",
+                f"verdict: {verdict}; budgeted-retry+breaker {guarded_line}"
+                f" at {guarded.amplification:.3f}x amplification"
+                f" (cap 1 + fill = {1.0 + cfg.retry_budget_fill:.2f}).",
+            ]
+        )
+
+
+def run_storm(
+    config: StormConfig | None = None, *, workers: int = 1, perturb: bool = False
+) -> StormReport:
+    """Run the full ladder; rung fan-out via :func:`deterministic_map`.
+
+    Neither ``workers`` nor ``perturb`` may change
+    :meth:`StormReport.digest` — that is the scenario's determinism
+    contract, and what the CLI's ``--verify`` (and CI) pin.
+    """
+    config = config if config is not None else StormConfig()
+    specs = storm_ladder(config, perturb=perturb)
+    metrics = deterministic_map(_run_rung_metrics, specs, workers=workers)
+    return StormReport(config=config, rungs=tuple(metrics))
+
+
+__all__ = [
+    "RUNGS",
+    "RungMetrics",
+    "RungSpec",
+    "StormConfig",
+    "StormReport",
+    "recovery_from_samples",
+    "run_rung",
+    "run_storm",
+    "storm_ladder",
+]

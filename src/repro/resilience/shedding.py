@@ -1,0 +1,148 @@
+"""Priority-tiered load shedding and the brownout mode.
+
+Server-side overload defense number two (the circuit breaker is number
+one): instead of treating every request identically until the queue is
+physically full, the front door assigns each request a **priority tier**
+at plan time (a seeded draw over configured traffic shares) and sheds
+lower tiers at progressively lower queue depths.  Background traffic is
+turned away while the queue still has headroom for critical traffic —
+the 429-with-priority policy real gateways run.
+
+**Brownout** is the third defense: past a configured depth the server
+stops trying to deliver full quality and serves *degraded* responses
+(smaller model, truncated inputs) that are faster per batch.  Capacity
+goes up exactly when it is scarcest, at a quality price — so the report
+prices brownout-served requests at a configured discount
+(:func:`repro.core.costmodel.quality_adjusted_served`) instead of
+pretending a degraded answer is a full one.
+
+Everything here is a pure function of (config, plan-time draws, queue
+depth): no RNG and no clock at simulation time, per the PUR001 purity
+contract on :func:`repro.loadgen.sim.simulate_traffic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class SheddingConfig:
+    """Tiered admission thresholds plus the brownout knobs.
+
+    ``tier_shares`` are the traffic fractions per tier, tier 0 first
+    (most critical); they must sum to 1.  ``tier_depth_fractions`` gives,
+    per tier, the queue-depth fraction (of ``queue_capacity``) at or
+    above which that tier is shed — tier 0 conventionally at 1.0 (shed
+    only when the queue is full, which admission control already
+    enforces), later tiers lower.
+
+    Brownout: when the depth fraction reaches ``brownout_depth_fraction``
+    at dispatch time, batches are served degraded — service time scales
+    by ``brownout_speedup`` (< 1: degraded answers are cheaper to
+    compute) and each request served that way is priced at
+    ``1 - quality_discount`` of a full-quality response.
+    """
+
+    tier_shares: tuple[float, ...] = (0.2, 0.6, 0.2)
+    tier_depth_fractions: tuple[float, ...] = (1.0, 0.8, 0.5)
+    brownout_depth_fraction: float = 0.6
+    brownout_speedup: float = 0.6
+    quality_discount: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.tier_shares or len(self.tier_shares) != len(self.tier_depth_fractions):
+            raise ValidationError(
+                f"tier_shares and tier_depth_fractions must align: {self!r}"
+            )
+        if any(s < 0 for s in self.tier_shares) or abs(sum(self.tier_shares) - 1.0) > 1e-9:
+            raise ValidationError(f"tier shares must be >= 0 and sum to 1: {self!r}")
+        if any(not (0.0 < f <= 1.0) for f in self.tier_depth_fractions):
+            raise ValidationError(
+                f"tier depth fractions must be in (0, 1]: {self!r}"
+            )
+        if not (0.0 < self.brownout_depth_fraction <= 1.0):
+            raise ValidationError(
+                f"brownout_depth_fraction must be in (0, 1]: {self.brownout_depth_fraction!r}"
+            )
+        if not (0.0 < self.brownout_speedup <= 1.0):
+            raise ValidationError(
+                f"brownout_speedup must be in (0, 1]: {self.brownout_speedup!r}"
+            )
+        if not (0.0 <= self.quality_discount < 1.0):
+            raise ValidationError(
+                f"quality_discount must be in [0, 1): {self.quality_discount!r}"
+            )
+
+    @property
+    def tiers(self) -> int:
+        return len(self.tier_shares)
+
+    def depth_limits(self, queue_capacity: int) -> tuple[int, ...]:
+        """Per-tier shed depths in absolute waiters, for one queue size.
+
+        A tier-``t`` request is shed when the current depth is at or
+        above ``limits[t]``; ceil keeps a 1.0 fraction exactly at
+        capacity (so tier 0 is only ever turned away by admission
+        control itself).
+        """
+        return tuple(
+            int(np.ceil(f * queue_capacity)) for f in self.tier_depth_fractions
+        )
+
+    def brownout_depth(self, queue_capacity: int) -> int:
+        """Absolute depth at which dispatch switches to degraded serving."""
+        return int(np.ceil(self.brownout_depth_fraction * queue_capacity))
+
+
+@dataclass(frozen=True)
+class CongestionConfig:
+    """Server-side congestion collapse: deep queues make service *slower*.
+
+    The physics that turns overload metastable (Bronson et al.): past a
+    queue depth the server thrashes — memory pressure, GC, timeouts on
+    internal calls — and per-batch service time inflates by ``slowdown``.
+    Capacity drops exactly when load is highest, so a closed-loop retry
+    storm can hold effective capacity *below* the fresh arrival rate and
+    sustain itself after the fault clears.  Brownout is the counter-move:
+    serving degraded answers sheds the pressure that causes thrashing, so
+    a brownout-mode server never enters this regime.
+
+    This is a property of the *server under study*, not a defense — the
+    storm scenario applies the same congestion model to every rung.
+    """
+
+    thrash_depth_fraction: float = 0.4
+    slowdown: float = 1.8
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.thrash_depth_fraction <= 1.0):
+            raise ValidationError(
+                f"thrash_depth_fraction must be in (0, 1]: {self.thrash_depth_fraction!r}"
+            )
+        if self.slowdown < 1.0:
+            raise ValidationError(
+                f"slowdown must be >= 1 (it is a degradation): {self.slowdown!r}"
+            )
+
+    def thrash_depth(self, queue_capacity: int) -> int:
+        """Absolute depth at which service enters the thrashing regime."""
+        return int(np.ceil(self.thrash_depth_fraction * queue_capacity))
+
+
+def assign_tiers(u: np.ndarray, shares: tuple[float, ...]) -> np.ndarray:
+    """Map uniform draws in [0, 1) to tier codes by cumulative share.
+
+    Plan-time helper: ``u`` comes from a spawned ``SeedSequence`` stream
+    (see :func:`repro.resilience.clients.plan_resilience`), so the tier
+    of every request is fixed before the simulation starts.
+    """
+    edges = np.cumsum(np.asarray(shares, dtype=np.float64))[:-1]
+    return np.searchsorted(edges, u, side="right").astype(np.int8)
+
+
+__all__ = ["CongestionConfig", "SheddingConfig", "assign_tiers"]

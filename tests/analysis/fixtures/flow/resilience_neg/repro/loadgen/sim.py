@@ -1,0 +1,11 @@
+"""Fixture: pure closed-loop simulation — hooks consume plan-time draws."""
+
+from repro.resilience.clients import ClosedLoopRuntime
+
+
+def simulate_traffic(trace, jitter_u):
+    runtime = ClosedLoopRuntime(jitter_u)
+    total = 0.0
+    for idx in range(4):
+        total += runtime.on_failure(idx, float(idx), 1)
+    return total

@@ -1,0 +1,25 @@
+"""Fixture: the resilience discipline done right.
+
+``repro.resilience.clients`` is a plan-time module (it roots its own
+seed tree — SEED001-exempt by registration), and the runtime the
+simulation drives is a pure state machine over plan-time arrays.
+"""
+
+import numpy as np
+
+
+class ClosedLoopRuntime:
+    def __init__(self, jitter_u):
+        self.jitter_u = jitter_u
+        self.retries = 0
+
+    def on_failure(self, idx, now_s, code):
+        u = float(self.jitter_u[idx])
+        self.retries += 1
+        return now_s + u
+
+
+def plan_resilience(n):
+    # plan-time modules may root the SeedSequence tree from literals
+    base = np.random.default_rng(np.random.SeedSequence(11))
+    return base.random(n)

@@ -1,0 +1,19 @@
+"""Fixture: the simulation loop drives an impure closed-loop runtime.
+
+``simulate_traffic`` is a PUR001 entry point; the runtime's hooks are
+inside its purity boundary, so the RNG/clock use in
+``ClosedLoopRuntime.on_failure`` must surface with a witness chain
+through this function.
+"""
+
+from repro.resilience.clients import ClosedLoopRuntime
+
+
+def simulate_traffic(trace, engine, resilience=None):
+    runtime = ClosedLoopRuntime(resilience)
+    total = 0.0
+    for idx in range(8):
+        due = runtime.on_failure(idx, float(idx), 1)
+        if due is not None:
+            total += due
+    return total

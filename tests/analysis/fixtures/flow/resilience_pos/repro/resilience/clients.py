@@ -1,0 +1,26 @@
+"""Fixture: a closed-loop runtime that re-draws randomness at sim time.
+
+The exact bug class PUR001 guards the resilience layer against: a
+runtime hook "re-jitters" a retry schedule (and stamps the wall clock)
+when a failure is booked, instead of consuming the plan-time draws on
+the model — the replayed storm would diverge the moment evaluation
+order changes.
+"""
+
+import time
+
+import numpy as np
+
+
+class ClosedLoopRuntime:
+    def __init__(self, model):
+        self.model = model
+        self.retries = 0
+
+    def on_failure(self, idx, now_s, code):
+        rng = np.random.default_rng(idx)
+        jitter = rng.random()
+        self.retries += 1
+        if time.time() > 0:
+            return now_s + jitter
+        return None

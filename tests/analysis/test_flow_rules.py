@@ -51,6 +51,29 @@ class TestColumnarEntryPoint:
         assert result.findings == []
 
 
+class TestResilienceEntryPoint:
+    """The closed-loop runtime lives inside ``simulate_traffic``'s purity
+    boundary (DESIGN §12): its hooks must consume plan-time draws, never
+    make their own, while ``repro.resilience.clients`` is registered
+    plan-time (may root the seed tree)."""
+
+    def test_fires_on_rng_and_clock_in_runtime_hooks(self):
+        result = run_rule("resilience_pos", "PUR001")
+        assert len(result.findings) == 2
+        assert all(f.rule_id == "PUR001" for f in result.findings)
+        messages = " | ".join(f.message for f in result.findings)
+        assert "default_rng" in messages
+        assert all("simulate_traffic" in f.message for f in result.findings)
+
+    def test_quiet_on_pure_runtime_and_plan_time_clients(self):
+        result = analyze_paths(
+            [FIXTURES / "resilience_neg"],
+            whole_program=True,
+            rules=["PUR001", "SEED001"],
+        )
+        assert result.findings == []
+
+
 class TestSEED001:
     def test_fires_on_literal_and_module_constant_seeds(self):
         result = run_rule("seed001_pos", "SEED001")

@@ -156,3 +156,48 @@ class TestCanonicalPolicies:
         with pytest.raises(AttributeError):
             policy.max_attempts = 10  # type: ignore[misc]
         assert RetryPolicy.quota_default() == RetryPolicy.quota_default()
+
+
+class TestServingClockPolicies:
+    """The seconds-scale policies the closed-loop client layer drives."""
+
+    def test_client_default_is_jittered_exponential_seconds(self):
+        policy = RetryPolicy.client_default()
+        assert policy.max_attempts == 4
+        assert policy.jitter == 0.5
+        # 1 s, 2 s, 4 s at the jitter-free midpoint, capped at 30 s
+        assert [policy.backoff_seconds(r) for r in (1, 2, 3)] == pytest.approx(
+            [1.0, 2.0, 4.0]
+        )
+        assert policy.backoff_seconds(20) == pytest.approx(30.0)
+
+    def test_storm_default_is_fast_and_barely_jittered(self):
+        """The naive client the metastable scenario indicts: six attempts
+        re-offering within seconds, so an outage's backlog slams the
+        recovering fleet near-simultaneously."""
+        policy = RetryPolicy.storm_default()
+        assert policy.max_attempts == 6
+        assert policy.deadline_hours is None  # it never gives up on time
+        assert policy.backoff_seconds(1) == pytest.approx(0.5)
+        schedule_s = [policy.backoff_seconds(r) for r in range(1, 6)]
+        assert sum(schedule_s) < 15.0
+        assert max(schedule_s) <= 5.0  # capped at 5 s
+
+    def test_backoff_seconds_is_hours_times_3600(self):
+        policy = RetryPolicy(base_backoff_hours=0.5, jitter=0.2)
+        for retry, u in ((1, 0.0), (2, 0.9)):
+            assert policy.backoff_seconds(retry, u=u) == pytest.approx(
+                policy.backoff_hours(retry, u=u) * 3600.0
+            )
+
+    def test_storm_schedule_at_zero_retry_budget(self):
+        """A storm-schedule policy clamped to one attempt is exactly the
+        open-loop client: no retry is ever allowed, even at t=0."""
+        policy = RetryPolicy(
+            max_attempts=1,
+            base_backoff_hours=RetryPolicy.storm_default().base_backoff_hours,
+            multiplier=RetryPolicy.storm_default().multiplier,
+            max_backoff_hours=RetryPolicy.storm_default().max_backoff_hours,
+        )
+        assert not policy.allows_retry(0, elapsed_hours=0.0)
+        assert policy.schedule() == []

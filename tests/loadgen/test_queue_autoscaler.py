@@ -55,7 +55,7 @@ class TestDeadlineDrops:
         for i in range(3):
             queue.offer(i, in_burst=False)
         # service starting at t=3.0: waits are 3.0, 2.5, 0.1 seconds
-        assert queue.expire(3.0) == 2
+        assert queue.expire(3.0) == [0, 1]
         assert list(status[:2]) == [DROPPED, DROPPED]
         assert queue.depth == 1
 
@@ -63,7 +63,7 @@ class TestDeadlineDrops:
         queue, _ = make_queue([0.0, 0.1], deadline_ms=1000.0)
         queue.offer(0, in_burst=False)
         queue.offer(1, in_burst=False)
-        assert queue.expire(0.5) == 0
+        assert queue.expire(0.5) == []
         assert queue.depth == 2
 
 

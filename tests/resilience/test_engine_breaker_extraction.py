@@ -1,0 +1,88 @@
+"""Regression: extracting the engine's breaker into ``repro.common.breaker``.
+
+The parallel engine's per-shard crash breaker is now the shared
+:class:`~repro.common.breaker.RetryBreaker`.  The extraction must be
+behaviour-preserving: the engine's verdicts (retry / poison / surface)
+are exactly the shared breaker's verdicts for the same failure sequence,
+and a crash-then-retry run still lands on the serial digest with the
+same telemetry it had before the refactor.
+"""
+
+import pytest
+
+from repro.common.breaker import RetryBreaker
+from repro.common.errors import PoisonedShardError, WorkerCrashError
+from repro.common.retry import RetryPolicy
+from repro.core.cohort import CohortConfig, CohortSimulation, plan_cohort
+from repro.core.course import scaled_course
+from repro.core.report import records_digest
+from repro.parallel.engine import SupervisorPolicy, run_parallel_supervised
+
+SMALL = scaled_course(0.25)
+SEED = 42
+NO_BACKOFF = dict(base_backoff_hours=0.0, max_backoff_hours=0.0)
+
+
+def kill_shard(index=3):
+    return plan_cohort(SMALL, CohortConfig(seed=SEED)).shards()[index].shard_id
+
+
+def run_with_crashes(policy):
+    return run_parallel_supervised(
+        SMALL, CohortConfig(seed=SEED), workers=2, policy=policy
+    )
+
+
+class TestDropInEquivalence:
+    def test_recovered_crash_keeps_digest_and_telemetry(self):
+        """One worker SystemExit, default retry budget: the run self-heals
+        to the serial digest with the pre-extraction telemetry shape
+        (one crash incident, retried shards, pool intact)."""
+        serial = records_digest(CohortSimulation(SMALL, CohortConfig(seed=SEED)).run())
+        policy = SupervisorPolicy(crash_after_shards=(kill_shard(),), crash_mode="exit")
+        records, run = run_with_crashes(policy)
+        assert records_digest(records) == serial
+        assert run.telemetry.worker_crashes == 1
+        assert run.telemetry.shards_retried > 0
+        assert run.telemetry.pool_rebuilds == 0  # SystemExit leaves the pool alive
+        assert run.telemetry.serial_fallback is False
+
+    def test_poison_verdict_matches_shared_breaker_oracle(self):
+        """Drive a bare RetryBreaker with the failure sequence the engine
+        will see; the engine's PoisonedShardError must carry exactly the
+        breaker's exhaustion verdict."""
+        sid = kill_shard()
+        retry = RetryPolicy(max_attempts=2, **NO_BACKOFF)
+
+        oracle = RetryBreaker(retry)
+        verdicts = []
+        while True:
+            oracle.record_failure(sid)
+            verdicts.append(oracle.exhausted([sid]))
+            if verdicts[-1]:
+                break
+        assert verdicts == [{}, {sid: 2}]  # retry once, then poison
+
+        policy = SupervisorPolicy(
+            retry=retry, crash_after_shards=(sid,), crash_mode="exit",
+            crash_every_attempt=True,
+        )
+        with pytest.raises(PoisonedShardError) as excinfo:
+            run_with_crashes(policy)
+        assert excinfo.value.crash_counts == verdicts[-1]
+
+    def test_zero_retry_budget_surfaces_the_crash_not_a_poison_verdict(self):
+        """max_attempts=1 trips the breaker on the first failure, but the
+        engine must surface the typed WorkerCrashError itself (nothing
+        was ever retried, so 'poisoned' would be a lie)."""
+        retry = RetryPolicy(max_attempts=1, **NO_BACKOFF)
+        assert RetryBreaker(retry).exhausted([kill_shard()]) == {}
+        breaker = RetryBreaker(retry)
+        breaker.record_failure(kill_shard())
+        assert breaker.exhausted([kill_shard()]) == {kill_shard(): 1}
+
+        policy = SupervisorPolicy(
+            retry=retry, crash_after_shards=(kill_shard(),), crash_mode="exit"
+        )
+        with pytest.raises(WorkerCrashError):
+            run_with_crashes(policy)

@@ -1,0 +1,168 @@
+"""The metastable retry-storm ladder: verdicts, pricing, digest contract.
+
+One shared storm (shorter than the CLI default, same physics): the naive
+client must lock into sustained overload after the fault clears, the
+no-retry client must recover instantly, and the budgeted+breaker client
+must drain under its amplification cap.  The ladder digest must be
+byte-identical under rerun, perturbation, and worker fan-out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.resilience.scenario import (
+    RUNGS,
+    StormConfig,
+    recovery_from_samples,
+    run_rung,
+    run_storm,
+    storm_ladder,
+)
+
+#: Ten minutes with a 90-second mid-run outage: locks the naive rung in
+#: a few seconds of wall clock.
+STORM = StormConfig(duration_s=600.0, outage_start_s=150.0, outage_end_s=240.0)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_storm(STORM)
+
+
+class TestStormConfig:
+    def test_outage_must_sit_inside_the_run(self):
+        with pytest.raises(ValidationError):
+            StormConfig(outage_start_s=500.0, outage_end_s=700.0, duration_s=600.0)
+        with pytest.raises(ValidationError):
+            StormConfig(outage_start_s=100.0, outage_end_s=100.0)
+
+    def test_congestion_fraction_validated(self):
+        with pytest.raises(ValidationError):
+            StormConfig(congestion_fraction=0.0)
+
+    def test_ladder_shares_the_server_congestion_model(self):
+        specs = storm_ladder(STORM)
+        assert tuple(s.name for s in specs) == RUNGS
+        assert len({s.congestion for s in specs}) == 1
+        assert specs[0].congestion.slowdown == STORM.thrash_slowdown
+
+
+class TestVerdicts:
+    def test_no_retry_recovers_instantly_at_unit_amplification(self, report):
+        rung = report.rung("no-retry")
+        assert rung.amplification == 1.0
+        assert rung.locked is False
+        assert rung.time_to_recovery_s == 0.0
+
+    def test_naive_retry_locks_after_the_fault_clears(self, report):
+        """The metastable signature: the outage is 90 s, but the naive
+        client's retry load holds the thrashing server over capacity for
+        the rest of the run."""
+        rung = report.rung("naive-retry")
+        assert rung.locked is True
+        assert rung.time_to_recovery_s is None
+        assert rung.amplification > 1.5
+
+    def test_budgeted_breaker_drains_under_the_cap(self, report):
+        rung = report.rung("budgeted-retry+breaker")
+        assert rung.locked is False
+        assert rung.amplification <= 1.0 + STORM.retry_budget_fill + 1e-9
+        assert rung.breaker_opens >= 1
+        assert rung.shed > 0
+
+    def test_defended_rung_beats_naive_on_loss_and_unit_cost(self, report):
+        naive = report.rung("naive-retry")
+        guarded = report.rung("budgeted-retry+breaker")
+        assert guarded.loss_rate < naive.loss_rate
+        assert guarded.usd_per_million_effective < naive.usd_per_million_effective
+
+    def test_every_rung_is_priced(self, report):
+        for rung in report.rungs:
+            assert rung.cost_usd is not None and rung.cost_usd > 0
+            assert rung.usd_per_million_effective is not None
+
+
+class TestDigestContract:
+    def test_rerun_perturb_and_workers_agree(self, report):
+        """The scenario's CI contract in miniature (the CLI's --verify
+        sweeps workers {1, 2, 4} on the full-size storm)."""
+        baseline = report.digest()
+        assert run_storm(STORM, perturb=True).digest() == baseline
+        assert run_storm(STORM, workers=2).digest() == baseline
+
+    def test_config_reaches_the_digest(self, report):
+        other = run_storm(
+            StormConfig(
+                duration_s=600.0, outage_start_s=150.0, outage_end_s=240.0, seed=12
+            )
+        )
+        assert other.digest() != report.digest()
+
+    def test_rung_metrics_match_the_full_result(self):
+        spec = storm_ladder(STORM)[0]
+        metrics, result = run_rung(spec)
+        assert metrics.digest == result.digest()
+        assert metrics.served == result.served
+
+
+class TestReporting:
+    def test_render_names_the_metastable_verdict(self, report):
+        text = report.render()
+        assert "metastable" in text
+        assert "LOCKED" in text
+        for name in RUNGS:
+            assert name in text
+
+    def test_to_dict_round_trips_the_rungs(self, report):
+        d = report.to_dict()
+        assert d["digest"] == report.digest()
+        assert [r["name"] for r in d["rungs"]] == list(RUNGS)
+        assert d["rungs"][1]["locked"] is True
+
+    def test_unknown_rung_is_refused(self, report):
+        with pytest.raises(ValidationError):
+            report.rung("nonexistent")
+
+
+class TestRecoveryCriterion:
+    def samples(self, *depths, start=240.0, step=10.0):
+        return np.asarray(
+            [(start + i * step, d, 2.0) for i, d in enumerate(depths)], dtype=np.float64
+        )
+
+    def test_no_ticks_after_outage_means_recovered(self):
+        ttr, locked = recovery_from_samples(
+            np.zeros((0, 3)), outage_end_s=240.0, congestion_depth=128.0
+        )
+        assert (ttr, locked) == (0.0, False)
+
+    def test_never_congested_is_instant_recovery(self):
+        ttr, locked = recovery_from_samples(
+            self.samples(10.0, 5.0, 0.0), outage_end_s=240.0, congestion_depth=128.0
+        )
+        assert (ttr, locked) == (0.0, False)
+
+    def test_ttr_measures_to_the_last_congested_tick(self):
+        """A transient dip below threshold does not count as recovered."""
+        ttr, locked = recovery_from_samples(
+            self.samples(200.0, 50.0, 180.0, 3.0, 1.0),
+            outage_end_s=240.0, congestion_depth=128.0,
+        )
+        assert locked is False
+        assert ttr == 20.0  # the 180-deep tick at t=260, not the dip at 250
+
+    def test_final_tick_congested_is_locked(self):
+        ttr, locked = recovery_from_samples(
+            self.samples(200.0, 190.0, 180.0), outage_end_s=240.0, congestion_depth=128.0
+        )
+        assert (ttr, locked) == (None, True)
+
+    def test_pre_outage_congestion_is_ignored(self):
+        samples = np.asarray(
+            [(100.0, 250.0, 0.0), (250.0, 1.0, 2.0)], dtype=np.float64
+        )
+        ttr, locked = recovery_from_samples(
+            samples, outage_end_s=240.0, congestion_depth=128.0
+        )
+        assert (ttr, locked) == (0.0, False)
