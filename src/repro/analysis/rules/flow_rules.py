@@ -38,13 +38,17 @@ from repro.analysis.registry import whole_program_rule
 
 #: Functions whose transitive callees must be pure: the columnar record
 #: kernel, the parallel engine's per-worker shard executor, the serial
-#: shard executor it wraps, and the loadgen simulation loop (the
-#: digest-equality contracts in CI).
+#: shard executor it wraps, the loadgen simulation loop, and the
+#: resilience sweep's per-point execute half (the digest-equality
+#: contracts in CI).  The sweep's plan half (`_plan_point`) draws all
+#: randomness before this boundary — registering `_simulate_point`
+#: proves the split statically.
 SHARD_ENTRY_POINTS = (
     "repro.columnar.kernels.emit_records",
     "repro.core.cohort.execute_shard",
     "repro.loadgen.sim.simulate_traffic",
     "repro.parallel.engine._execute_batch",
+    "repro.resilience.sweep._simulate_point",
 )
 
 #: Modules whose whole purpose is resolving randomness at plan time; they

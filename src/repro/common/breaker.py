@@ -47,7 +47,12 @@ class BreakerConfig:
     the failure fraction reached ``error_threshold``.  It stays open for
     ``cooldown_s`` (shedding every offer), then admits up to
     ``half_open_probes`` trial requests: one recorded failure re-opens
-    it, ``half_open_probes`` recorded successes close it.
+    it, ``half_open_probes`` recorded successes close it.  Only admitted
+    probes carry verdicts — a batched success is counted at most up to
+    the probes still outstanding, so stale work accepted before the trip
+    cannot close the breaker — and a probe quota that sits exhausted for
+    a full ``window_s`` without resolving re-opens the breaker rather
+    than leaking the probes and shedding from half-open limbo forever.
     """
 
     window_s: float = 30.0
@@ -105,6 +110,7 @@ class CircuitBreaker:
         self._errors = 0
         self._total = 0
         self._opened_at = 0.0
+        self._half_opened_at = 0.0
         self._probes_admitted = 0
         self._probe_successes = 0
 
@@ -146,6 +152,7 @@ class CircuitBreaker:
             if now_s - self._opened_at >= self.config.cooldown_s:
                 self.state = HALF_OPEN
                 self.telemetry.half_opens += 1
+                self._half_opened_at = now_s
                 self._probes_admitted = 0
                 self._probe_successes = 0
             else:
@@ -153,6 +160,15 @@ class CircuitBreaker:
                 return False
         if self.state == HALF_OPEN:
             if self._probes_admitted >= self.config.half_open_probes:
+                # quota spent and the verdict is still out.  If a whole
+                # observation window has elapsed since half-opening, the
+                # probes' outcomes are not coming back (shed downstream,
+                # stuck behind a dead dependency) — re-open and restart
+                # the cooldown instead of leaking the probes and shedding
+                # from half-open limbo forever.  Exactly at the window
+                # boundary counts as expired (>=, like the cooldown).
+                if now_s - self._half_opened_at >= self.config.window_s:
+                    self._trip(now_s)
                 self.telemetry.sheds += 1
                 return False
             self._probes_admitted += 1
@@ -172,7 +188,16 @@ class CircuitBreaker:
             if not ok:
                 self._trip(now_s)
             else:
-                self._probe_successes += count
+                # only outcomes of *admitted probes* are probe verdicts: a
+                # batched success can carry stale work admitted before the
+                # trip, and counting it would close the breaker on
+                # evidence that predates the verdict (with zero probes
+                # outstanding the whole batch is stale and moves nothing)
+                outstanding = self._probes_admitted - self._probe_successes
+                counted = min(count, outstanding)
+                if counted <= 0:
+                    return
+                self._probe_successes += counted
                 if self._probe_successes >= self.config.half_open_probes:
                     self.state = CLOSED
                     self.telemetry.closes += 1

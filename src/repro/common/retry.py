@@ -115,6 +115,23 @@ class RetryPolicy:
         )
 
     @classmethod
+    def hedge_default(cls) -> "RetryPolicy":
+        """The hedged-request client's re-offer schedule: the first
+        re-offer is a near-immediate backup request (the hedge — fired as
+        soon as the client observes a fast failure), later re-offers back
+        off steeply so a dead dependency is not hammered.  The schedule
+        alone is naive-fast at retry 1; what keeps it safe is that every
+        hedge spends a retry-budget token, so the ``1 + fill``
+        amplification cap is unchanged."""
+        return cls(
+            max_attempts=4,
+            base_backoff_hours=0.05 / 3600.0,  # 50 ms: the backup request
+            multiplier=20.0,
+            max_backoff_hours=10.0 / 3600.0,   # 10 s cap
+            jitter=0.5,
+        )
+
+    @classmethod
     def transient_default(cls) -> "RetryPolicy":
         """Reaction to API-error bursts: short exponential backoff with a
         tight attempt budget — the classic 503/429 client loop."""

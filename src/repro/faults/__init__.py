@@ -38,8 +38,11 @@ from repro.faults.plan import (
     HardwareFailure,
     OutageWindow,
     build_fault_calendar,
+    build_outage_calendar,
     build_serving_calendar,
+    partial_serving_site,
     plan_faulted_cohort,
+    serving_scope,
 )
 from repro.faults.inject import FaultInjector, InjectorStats
 
@@ -54,8 +57,11 @@ __all__ = [
     "FaultSweep",
     "SERVING_SITE",
     "build_fault_calendar",
+    "build_outage_calendar",
     "build_serving_calendar",
+    "partial_serving_site",
     "plan_faulted_cohort",
+    "serving_scope",
     "FaultInjector",
     "InjectorStats",
 ]

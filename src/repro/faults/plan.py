@@ -63,6 +63,43 @@ _MIN_SEGMENT_HOURS = 1e-6
 SERVING_SITE = "serving"
 
 
+def partial_serving_site(dark_replicas: int) -> str:
+    """The scoped site name for a *partial* serving outage.
+
+    ``serving/dark-k`` means the window strikes only ``k`` replicas of
+    the fleet and caps capacity by ``k`` for its duration — the
+    one-replica-of-N brownfield outage, as opposed to the full-site
+    window spelled :data:`SERVING_SITE`.  The scope rides in the site
+    name so :class:`FaultCalendar` needs no schema change and existing
+    full-site consumers (which filter on ``SERVING_SITE`` exactly) are
+    untouched.
+    """
+    if dark_replicas < 1:
+        raise ValidationError(
+            f"a partial outage darkens at least one replica: {dark_replicas!r}"
+        )
+    return f"{SERVING_SITE}/dark-{dark_replicas}"
+
+
+def serving_scope(site: str) -> int | None:
+    """How many replicas a serving-site window darkens.
+
+    ``0`` = the full site (:data:`SERVING_SITE`), ``k > 0`` = a partial
+    window from :func:`partial_serving_site`, ``None`` = not a serving
+    window at all (a cohort site).
+    """
+    if site == SERVING_SITE:
+        return 0
+    prefix = f"{SERVING_SITE}/dark-"
+    if site.startswith(prefix):
+        try:
+            dark = int(site[len(prefix):])
+        except ValueError:
+            return None
+        return dark if dark >= 1 else None
+    return None
+
+
 # -- configuration -----------------------------------------------------------------
 
 
@@ -681,7 +718,11 @@ def build_serving_calendar(
 
 
 def build_outage_calendar(
-    *, outage_start_s: float, outage_end_s: float, horizon_hours: float
+    *,
+    outage_start_s: float,
+    outage_end_s: float,
+    horizon_hours: float,
+    dark_replicas: int = 0,
 ) -> FaultCalendar:
     """One explicit serving-site outage window, placed in seconds.
 
@@ -691,6 +732,10 @@ def build_outage_calendar(
     nothing else.  A sampled calendar can't give that — this builds the
     window directly (the config is the null plan; the window is explicit,
     not drawn).
+
+    ``dark_replicas=0`` (default) is the full-site outage; ``k > 0``
+    scopes the window via :func:`partial_serving_site` so only ``k``
+    replicas go dark and the rest of the fleet keeps serving.
     """
     if not (0.0 <= outage_start_s < outage_end_s):
         raise ValidationError(
@@ -700,12 +745,15 @@ def build_outage_calendar(
         raise ValidationError(
             f"outage ends past the horizon: {outage_end_s!r} s vs {horizon_hours!r} h"
         )
+    if dark_replicas < 0:
+        raise ValidationError(f"dark_replicas cannot be negative: {dark_replicas!r}")
+    site = SERVING_SITE if dark_replicas == 0 else partial_serving_site(dark_replicas)
     return FaultCalendar(
-        config=FaultPlanConfig(seed=0, sites=(SERVING_SITE,)),
+        config=FaultPlanConfig(seed=0, sites=(site,)),
         horizon_hours=horizon_hours,
         outages=(
             OutageWindow(
-                site=SERVING_SITE,
+                site=site,
                 start=outage_start_s / 3600.0,
                 end=outage_end_s / 3600.0,
             ),

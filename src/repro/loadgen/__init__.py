@@ -44,6 +44,7 @@ from repro.loadgen.report import (
     FrontierPoint,
     ServingLoadReport,
     build_report,
+    pareto_front,
     slo_cost_frontier,
 )
 from repro.loadgen.sim import ReplicaSpan, TrafficResult, simulate_traffic
@@ -77,5 +78,6 @@ __all__ = [
     "build_report",
     "Frontier",
     "FrontierPoint",
+    "pareto_front",
     "slo_cost_frontier",
 ]

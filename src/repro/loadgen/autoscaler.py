@@ -166,26 +166,44 @@ class ReplicaSet:
 
     # -- fault actuation ----------------------------------------------------
 
-    def strike(self, now_s: float) -> list[int]:
-        """An outage hits the serving site: every live replica is killed
-        through the terminal path.  Returns the request indices lost in
-        flight, in deterministic (rid) order."""
+    def strike(self, now_s: float, *, limit: int | None = None) -> list[int]:
+        """An outage hits the serving site: live replicas are killed
+        through the terminal path.  ``limit=None`` is the full-site
+        strike; a partial outage kills at most ``limit`` replicas, in
+        ascending rid order (the oldest instances — a zone holds the
+        replicas that were placed there, not a random sample), so the
+        casualty set is deterministic.  Returns the request indices lost
+        in flight, in (rid) order."""
         lost: list[int] = []
+        killed = 0
         for r in list(self.replicas):
+            if limit is not None and killed >= limit:
+                break
             if r.live:
                 lost.extend(self.terminate(r.rid, now_s, "outage"))
                 self.telemetry.outage_kills += 1
+                killed += 1
         self._idle_ticks = 0
         return lost
 
     # -- the reactive controller --------------------------------------------
 
-    def tick(self, now_s: float, queue_depth: int, *, not_ready_before_s: float = 0.0) -> None:
+    def tick(
+        self,
+        now_s: float,
+        queue_depth: int,
+        *,
+        not_ready_before_s: float = 0.0,
+        dark_replicas: int = 0,
+    ) -> None:
         """One control interval: observe, then scale.
 
         ``not_ready_before_s`` pushes new replicas' readiness past an
         ongoing outage window — capacity cannot materialize on a down
-        site.
+        site.  ``dark_replicas`` shrinks the ceiling during a *partial*
+        outage: the dark fraction of the fleet's placement cannot host
+        replacements, so the controller can scale at most to
+        ``max_replicas - dark_replicas`` until the window clears.
         """
         cfg = self.config
         self.telemetry.ticks += 1
@@ -197,7 +215,7 @@ class ReplicaSet:
             cfg.min_replicas,
             math.ceil(queue_depth / cfg.target_queue_per_replica) if queue_depth else 0,
         )
-        desired = min(desired, cfg.max_replicas)
+        desired = min(desired, max(cfg.max_replicas - max(dark_replicas, 0), 0))
         if desired > alive:
             ready = max(now_s + cfg.provisioning_lag_s, not_ready_before_s)
             for _ in range(desired - alive):

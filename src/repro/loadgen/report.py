@@ -157,6 +157,37 @@ def build_report(
     )
 
 
+def pareto_front(items, objectives) -> list[int]:
+    """Indices of the Pareto-minimal items under ``objectives``.
+
+    ``objectives(item)`` returns the tuple of values to *minimize*, or
+    None to exclude the item from consideration entirely (e.g. unpriced
+    points).  An item is on the front when no considered item is <= on
+    every objective and < on at least one.  Indices come back in input
+    order, so the front is deterministic for a deterministic sweep.
+
+    Shared by :func:`slo_cost_frontier` (p99 vs $/M served) and the
+    resilience sweep's defense frontier ($/M effective vs
+    time-to-recovery) — one dominance definition, priced on whatever
+    axes the caller sweeps.
+    """
+    scored = [
+        (i, obj) for i, obj in ((i, objectives(item)) for i, item in enumerate(items))
+        if obj is not None
+    ]
+    front: list[int] = []
+    for i, oi in scored:
+        dominated = any(
+            all(a <= b for a, b in zip(oj, oi))
+            and any(a < b for a, b in zip(oj, oi))
+            for j, oj in scored
+            if j != i
+        )
+        if not dominated:
+            front.append(i)
+    return front
+
+
 @dataclass(frozen=True)
 class FrontierPoint:
     """One configuration of the what-if sweep."""
@@ -317,10 +348,12 @@ def slo_cost_frontier(
     loss_gated = bool(feasible)
     if not feasible:
         feasible = priced
+    front = pareto_front(
+        feasible, lambda p: (p.p99_ms, p.cost_per_million_usd)
+    )
     pareto_keys = {
-        (q.max_replicas, q.max_batch, q.queue_capacity)
-        for q in feasible
-        if not any(p.dominates(q) for p in feasible)
+        (feasible[i].max_replicas, feasible[i].max_batch, feasible[i].queue_capacity)
+        for i in front
     }
     flagged = tuple(
         replace(

@@ -43,7 +43,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.common.errors import ValidationError
-from repro.faults.plan import SERVING_SITE, FaultCalendar
+from repro.faults.plan import SERVING_SITE, FaultCalendar, serving_scope
 from repro.loadgen.arrivals import RequestTrace
 from repro.loadgen.autoscaler import AutoscalerConfig, FleetTelemetry, ReplicaSet
 from repro.loadgen.queue import (
@@ -206,15 +206,24 @@ class TrafficResult:
 
 def _serving_windows(
     calendar: FaultCalendar | None, horizon_s: float
-) -> tuple[list[tuple[float, float]], list[tuple[float, float]]]:
-    """(outages, bursts) on the serving site, in seconds, clipped to horizon."""
+) -> tuple[list[tuple[float, float, int]], list[tuple[float, float]]]:
+    """(outages, bursts) on the serving site, in seconds, clipped to horizon.
+
+    Outage windows carry their scope as a third element: ``dark == 0``
+    is the full-site window (every replica struck, no capacity until it
+    clears), ``dark == k`` a partial window from
+    :func:`repro.faults.plan.partial_serving_site` (``k`` replicas
+    struck, the fleet ceiling shrunk by ``k`` for the duration).  Bursts
+    stay full-site: a rate-limit storm hits the API front door, which
+    has no per-replica scope.
+    """
     if calendar is None:
         return [], []
-    outages = [
-        (w.start * 3600.0, w.end * 3600.0)
-        for w in calendar.outages
-        if w.site == SERVING_SITE and w.start * 3600.0 < horizon_s
-    ]
+    outages = []
+    for w in calendar.outages:
+        dark = serving_scope(w.site)
+        if dark is not None and w.start * 3600.0 < horizon_s:
+            outages.append((w.start * 3600.0, w.end * 3600.0, dark))
     bursts = [
         (w.start * 3600.0, w.end * 3600.0)
         for w in calendar.bursts
@@ -286,11 +295,12 @@ def simulate_traffic(
         hi = int(np.searchsorted(arrivals, we, side="left"))
         in_burst[lo:hi] = True
 
-    # outage edge events, time-ordered: (time, kind) with start before end
-    outage_events: list[tuple[float, int]] = []
-    for ws, we in outage_windows:
-        outage_events.append((ws, 0))
-        outage_events.append((we, 1))
+    # outage edge events, time-ordered: (time, kind, scope) with start
+    # before end on ties (kind 0 < 1), full-site before partial
+    outage_events: list[tuple[float, int, int]] = []
+    for ws, we, dark in outage_windows:
+        outage_events.append((ws, 0, dark))
+        outage_events.append((we, 1, dark))
     outage_events.sort()
 
     closed_loop = resilience is not None
@@ -318,10 +328,14 @@ def simulate_traffic(
     # heap order total, so equal due instants pop in scheduling order
     retry_heap: list[tuple[float, int, int]] = []
     retry_seq = 0
+    dark_now = 0  # replicas the active partial-outage windows keep dark
 
     def outage_end_covering(t: float) -> float:
-        for ws, we in outage_windows:
-            if ws <= t < we:
+        # full-site windows only: during a partial outage the surviving
+        # placement can still host replacements, so readiness is not
+        # clamped — the dark_replicas ceiling is the partial constraint
+        for ws, we, dark in outage_windows:
+            if dark == 0 and ws <= t < we:
                 return we
         return 0.0
 
@@ -364,7 +378,7 @@ def simulate_traffic(
         """Process every event with time <= limit, in chronological order
         (outage edges, then control ticks, then arrivals, then retries on
         ties)."""
-        nonlocal i, oi, next_tick, now
+        nonlocal i, oi, next_tick, now, dark_now
         while True:
             ta = arrivals[i] if i < n else _INF
             tr = retry_heap[0][0] if retry_heap else _INF
@@ -373,20 +387,30 @@ def simulate_traffic(
             if tm > limit:
                 break
             if to <= next_tick and to <= ta and to <= tr:
-                t, kind = outage_events[oi]
+                t, kind, dark = outage_events[oi]
                 oi += 1
                 now = t
                 if kind == 0:
-                    for idx in fleet.strike(t):
+                    if dark:
+                        dark_now += dark
+                    for idx in fleet.strike(t, limit=dark if dark else None):
                         status[idx] = FAILED
                         finish_s[idx] = np.nan
                         if closed_loop:
                             book_failure(idx, t, FAILED)
-                # window ends are implicit: provisioning clamps handle them
+                elif dark:
+                    dark_now -= dark
+                # full-site window ends are otherwise implicit: the
+                # provisioning clamp handles them
             elif next_tick <= ta and next_tick <= tr:
                 now = next_tick
                 next_tick += interval
-                fleet.tick(now, queue.depth, not_ready_before_s=outage_end_covering(now))
+                fleet.tick(
+                    now,
+                    queue.depth,
+                    not_ready_before_s=outage_end_covering(now),
+                    dark_replicas=dark_now,
+                )
                 if closed_loop:
                     runtime.sample_depth(now, queue.depth, fleet.open_spans)
             elif ta <= tr:

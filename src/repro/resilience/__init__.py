@@ -14,13 +14,19 @@ retries from becoming the outage:
 * `repro.resilience.shedding` — priority-tiered load shedding and the
   brownout mode, priced at a quality discount.
 * `repro.resilience.scenario` — the metastable retry-storm experiment:
-  one outage, three client policies, reported as amplification,
+  one outage, the client-policy ladder, reported as amplification,
   time-to-recovery, and storm cost per policy.
+* `repro.resilience.sweep` + `repro.resilience.report` — the phase-map
+  campaign: the storm fanned over load × outage length × outage scope ×
+  policy × budget fill × breaker threshold through `repro.parallel`,
+  every point classified RECOVERED / DEGRADED / LOCKED and the defended
+  survivors priced into a ($/M effective, time-to-recovery) Pareto
+  frontier.
 
 Same determinism contract as every other subsystem: all randomness is
-resolved at plan time, and ``python -m repro.resilience --verify``
-proves the storm digest is byte-identical under rerun, evaluation-order
-perturbation, and worker counts {1, 2, 4}.
+resolved at plan time, and ``python -m repro.resilience --verify`` (and
+``--sweep --verify``) proves the storm/sweep digests are byte-identical
+under rerun, evaluation-order perturbation, and worker counts {1, 2, 4}.
 """
 
 from repro.common.breaker import (
@@ -42,17 +48,31 @@ from repro.resilience.clients import (
     RetryBudgetConfig,
     plan_resilience,
 )
+from repro.resilience.report import PointMetrics, SweepReport
 from repro.resilience.scenario import (
+    DEFENDED_POLICIES,
+    POLICIES,
     RUNGS,
     RungMetrics,
     RungSpec,
     StormConfig,
     StormReport,
+    policy_spec,
     run_rung,
     run_storm,
     storm_ladder,
 )
 from repro.resilience.shedding import CongestionConfig, SheddingConfig, assign_tiers
+from repro.resilience.sweep import (
+    PHASES,
+    PointSpec,
+    SweepAxes,
+    SweepConfig,
+    build_points,
+    classify,
+    quick_sweep_config,
+    run_sweep,
+)
 
 __all__ = [
     "CLOSED",
@@ -71,13 +91,26 @@ __all__ = [
     "ResilienceOutcome",
     "RetryBudgetConfig",
     "plan_resilience",
+    "DEFENDED_POLICIES",
+    "PHASES",
+    "POLICIES",
     "RUNGS",
+    "PointMetrics",
+    "PointSpec",
     "RungMetrics",
     "RungSpec",
     "StormConfig",
     "StormReport",
+    "SweepAxes",
+    "SweepConfig",
+    "SweepReport",
+    "build_points",
+    "classify",
+    "policy_spec",
+    "quick_sweep_config",
     "run_rung",
     "run_storm",
+    "run_sweep",
     "storm_ladder",
     "CongestionConfig",
     "SheddingConfig",

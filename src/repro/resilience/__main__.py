@@ -16,6 +16,14 @@ digest byte-for-byte; exit 1 otherwise)::
 Machine-readable output for sweep harnesses::
 
     python -m repro.resilience --storm --json -
+
+The phase-map campaign — the storm fanned over load × outage length ×
+outage scope × policy × budget fill × breaker threshold (336 points by
+default; ``--quick`` swaps in the 24-point CI grid)::
+
+    python -m repro.resilience --sweep --workers 4
+    python -m repro.resilience --sweep --phase-map      # just the map
+    python -m repro.resilience --sweep --quick --verify
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ import json
 import sys
 
 from repro.resilience.scenario import StormConfig, run_storm
+from repro.resilience.sweep import SweepConfig, quick_sweep_config, run_sweep
 
 VERIFY_WORKERS = (1, 2, 4)
 
@@ -37,6 +46,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--storm", action="store_true",
         help="run the three-rung retry-storm ladder (the default action)",
+    )
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="run the phase-map sweep instead of the single-storm ladder",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="with --sweep: the 24-point CI grid instead of the full campaign",
+    )
+    parser.add_argument(
+        "--phase-map", action="store_true",
+        help="with --sweep: print only the rendered phase map",
     )
     parser.add_argument("--seed", type=int, default=11, help="scenario seed (default 11)")
     parser.add_argument(
@@ -83,8 +104,55 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _main_sweep(args) -> int:
+    config = quick_sweep_config() if args.quick else SweepConfig()
+    report = run_sweep(config, workers=args.workers)
+    digest = report.digest()
+
+    ok = True
+    verify: dict[str, object] = {}
+    if args.verify:
+        verify = {"first": digest}
+        verify["perturbed"] = run_sweep(config, perturb=True).digest()
+        for workers in VERIFY_WORKERS:
+            verify[f"workers={workers}"] = run_sweep(config, workers=workers).digest()
+        ok = len(set(verify.values())) == 1
+        verify["digest_match"] = ok
+
+    if args.json == "-":
+        payload = report.to_dict()
+        if verify:
+            payload["verify"] = verify
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(report.render_phase_map() if args.phase_map else report.render())
+        print()
+        print(f"{'sweep digest':>14}: {digest}")
+        for key, value in verify.items():
+            print(f"{key:>14}: {value}")
+        if args.json:
+            payload = report.to_dict()
+            if verify:
+                payload["verify"] = verify
+            with open(args.json, "w") as fh:
+                json.dump(payload, fh, indent=2)
+            print(f"{'json':>14}: {args.json}")
+
+    if not ok:
+        print(
+            "DIGEST MISMATCH: sweep is not worker-count/rerun invariant",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    if args.sweep:
+        return _main_sweep(args)
 
     config = StormConfig(
         seed=args.seed,

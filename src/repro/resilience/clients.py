@@ -81,15 +81,22 @@ class ClientConfig:
     ``retry`` is the shared :class:`~repro.common.retry.RetryPolicy`
     (seconds read via ``backoff_seconds``); ``retry_on`` the observable
     outcomes it re-issues; ``budget`` the amplification cap (None =
-    unbudgeted, the naive client).  ``seed`` roots the jitter/tier
-    streams — independent of the traffic seed, so enabling retries never
-    perturbs the arrival process itself.
+    unbudgeted, the naive client).  ``give_up_deadline_s`` makes the
+    client *adaptive*: before scheduling a retry it computes the retry's
+    own (plan-indexed) backoff and gives up when the re-offer instant
+    would already sit past the deadline measured from first arrival —
+    a retry that cannot possibly be answered in time is load with no
+    possible value, so it is never offered and never spends a budget
+    token.  ``seed`` roots the jitter/tier streams — independent of the
+    traffic seed, so enabling retries never perturbs the arrival process
+    itself.
     """
 
     seed: int = 0
     retry: RetryPolicy = RetryPolicy.client_default()
     retry_on: tuple[int, ...] = RETRYABLE
     budget: RetryBudgetConfig | None = None
+    give_up_deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         known = set(RETRYABLE)
@@ -97,6 +104,10 @@ class ClientConfig:
             raise ValidationError(
                 f"retry_on must be drawn from the retryable terminals {RETRYABLE}: "
                 f"{self.retry_on!r}"
+            )
+        if self.give_up_deadline_s is not None and self.give_up_deadline_s <= 0:
+            raise ValidationError(
+                f"give_up_deadline_s must be positive: {self.give_up_deadline_s!r}"
             )
 
     @classmethod
@@ -118,6 +129,47 @@ class ClientConfig:
             seed=seed,
             retry=RetryPolicy.client_default(),
             budget=RetryBudgetConfig(fill_per_request=fill_per_request),
+        )
+
+    @classmethod
+    def adaptive(
+        cls,
+        seed: int = 0,
+        *,
+        fill_per_request: float = 0.1,
+        give_up_deadline_s: float = 10.0,
+    ) -> "ClientConfig":
+        """The budgeted client plus deadline-aware give-up: a retry whose
+        backoff lands past ``give_up_deadline_s`` after first arrival is
+        declined *before* it spends a token — during an outage the bucket
+        drains slower, so recovery finds both less queued work and more
+        budget headroom."""
+        return cls(
+            seed=seed,
+            retry=RetryPolicy.client_default(),
+            budget=RetryBudgetConfig(fill_per_request=fill_per_request),
+            give_up_deadline_s=give_up_deadline_s,
+        )
+
+    @classmethod
+    def hedged(
+        cls,
+        seed: int = 0,
+        *,
+        fill_per_request: float = 0.1,
+        give_up_deadline_s: float = 10.0,
+    ) -> "ClientConfig":
+        """Hedged requests under the same token bucket: the first
+        re-offer is a near-immediate backup request
+        (:meth:`RetryPolicy.hedge_default`), so a transient blip costs
+        ~50 ms of tail instead of a full backoff — and because every
+        hedge still buys its token, amplification ≤ 1 + fill remains a
+        theorem, not a hope."""
+        return cls(
+            seed=seed,
+            retry=RetryPolicy.hedge_default(),
+            budget=RetryBudgetConfig(fill_per_request=fill_per_request),
+            give_up_deadline_s=give_up_deadline_s,
         )
 
 
@@ -202,6 +254,7 @@ class ResilienceOutcome:
     depth_samples: np.ndarray
     retries: int
     retries_denied_budget: int
+    retries_declined_deadline: int
     retries_exhausted: int
     shed_breaker: int
     shed_tier: int
@@ -235,6 +288,7 @@ class ResilienceOutcome:
                 (
                     self.retries,
                     self.retries_denied_budget,
+                    self.retries_declined_deadline,
                     self.retries_exhausted,
                     self.shed_breaker,
                     self.shed_tier,
@@ -292,6 +346,7 @@ class ClosedLoopRuntime:
         self._depth_samples: list[tuple[float, float, float]] = []
         self.retries = 0
         self.retries_denied_budget = 0
+        self.retries_declined_deadline = 0
         self.retries_exhausted = 0
         self.shed_breaker = 0
         self.shed_tier = 0
@@ -328,9 +383,14 @@ class ClosedLoopRuntime:
         """Book one failed attempt; returns the retry instant, or None.
 
         The decision ladder: outcome retryable → policy attempt/deadline
-        budget → token bucket.  The jitter draw is the plan-time uniform
-        for exactly this (request, retry-number) pair, so replays and
-        evaluation-order perturbations cannot move it.
+        budget → adaptive give-up → token bucket.  The jitter draw is
+        the plan-time uniform for exactly this (request, retry-number)
+        pair, so replays and evaluation-order perturbations cannot move
+        it — and because the adaptive check reads the *same* indexed
+        draw, give-up decisions replay byte-identically too.  Give-up is
+        checked before the token spend: a retry the client already knows
+        cannot beat its deadline must not drain the budget the useful
+        retries need.
         """
         # any failure voids a provisional degraded serving: a brownout
         # batch the outage killed mid-flight was never actually answered
@@ -340,19 +400,25 @@ class ClosedLoopRuntime:
         if code not in self._retry_on:
             return None
         retries_done = int(self.attempts[idx]) - 1
-        elapsed_hours = (now_s - float(self._arrivals[idx])) / 3600.0
+        arrival_s = float(self._arrivals[idx])
+        elapsed_hours = (now_s - arrival_s) / 3600.0
         if not self._policy.allows_retry(retries_done, elapsed_hours=elapsed_hours):
             self.retries_exhausted += 1
+            return None
+        retry = retries_done + 1  # 1-based retry number
+        u = float(self.model.jitter_u[idx, retry - 1])
+        instant = now_s + self._policy.backoff_seconds(retry, u=u)
+        give_up = self.model.client.give_up_deadline_s
+        if give_up is not None and instant - arrival_s >= give_up:
+            self.retries_declined_deadline += 1
             return None
         if self._budget is not None:
             if self._tokens < 1.0:
                 self.retries_denied_budget += 1
                 return None
             self._tokens -= 1.0
-        retry = retries_done + 1  # 1-based retry number
-        u = float(self.model.jitter_u[idx, retry - 1])
         self.retries += 1
-        return now_s + self._policy.backoff_seconds(retry, u=u)
+        return instant
 
     # -- dispatch-side defenses ----------------------------------------------
 
@@ -399,6 +465,7 @@ class ClosedLoopRuntime:
             depth_samples=samples,
             retries=self.retries,
             retries_denied_budget=self.retries_denied_budget,
+            retries_declined_deadline=self.retries_declined_deadline,
             retries_exhausted=self.retries_exhausted,
             shed_breaker=self.shed_breaker,
             shed_tier=self.shed_tier,

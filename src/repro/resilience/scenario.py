@@ -34,7 +34,7 @@ byte-identical under rerun, ``perturb=True``, and any worker count.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.common.breaker import BreakerConfig
 from repro.common.errors import ValidationError
@@ -73,6 +73,11 @@ class StormConfig:
     duration_s: float = 1200.0
     outage_start_s: float = 300.0
     outage_end_s: float = 420.0
+    #: 0 = the full fleet goes dark (the classic storm).  k > 0 = a
+    #: *partial* outage: only k replicas are struck and the autoscaler's
+    #: ceiling shrinks by k for the window — the breaker must ride it
+    #: out closed, because the surviving fraction is still answering.
+    outage_dark_replicas: int = 0
     queue_capacity: int = 256
     deadline_ms: float = 1000.0
     max_batch: int = 8
@@ -95,6 +100,11 @@ class StormConfig:
         if not (0.0 < self.congestion_fraction <= 1.0):
             raise ValidationError(
                 f"congestion_fraction must be in (0, 1]: {self.congestion_fraction!r}"
+            )
+        if not (0 <= self.outage_dark_replicas < self.max_replicas):
+            raise ValidationError(
+                f"outage_dark_replicas must leave a survivor (0 <= k < "
+                f"max_replicas={self.max_replicas}): {self.outage_dark_replicas!r}"
             )
 
     @property
@@ -129,44 +139,86 @@ def storm_ladder(
     collapse — and the same outage; only the client policy and the
     front-door defenses differ between rungs.
     """
+    return (
+        policy_spec("no-retry", config, perturb=perturb),
+        policy_spec("naive-retry", config, perturb=perturb),
+        policy_spec("budgeted-retry+breaker", config, perturb=perturb),
+    )
+
+
+#: Client policies a spec can name: the ladder's three plus the sweep's
+#: adaptive and hedged rungs (both defended like the budgeted client).
+POLICIES = (
+    "no-retry",
+    "naive-retry",
+    "budgeted-retry+breaker",
+    "adaptive-retry+breaker",
+    "hedged-retry+breaker",
+)
+
+#: Policies that mount the full server-side defense stack.
+DEFENDED_POLICIES = POLICIES[2:]
+
+
+def policy_spec(
+    name: str,
+    config: StormConfig,
+    *,
+    breaker_error_threshold: float | None = None,
+    perturb: bool = False,
+) -> RungSpec:
+    """One named client policy over one storm, fully specified.
+
+    The single place a policy name becomes a (client, defenses) bundle —
+    the ladder and the phase-map sweep both build their specs here, so
+    "budgeted" means the same thing in both.  Undefended policies
+    (no-retry, naive) take no breaker; ``breaker_error_threshold``
+    overrides the serving breaker's trip point on defended ones (the
+    sweep's breaker axis).
+    """
     congestion = CongestionConfig(
         thrash_depth_fraction=config.thrash_depth_fraction,
         slowdown=config.thrash_slowdown,
     )
-    return (
-        RungSpec(
-            name="no-retry",
-            storm=config,
-            client=ClientConfig.no_retry(seed=config.seed),
-            shedding=None,
-            breaker=None,
-            congestion=congestion,
-            perturb=perturb,
-        ),
-        RungSpec(
-            name="naive-retry",
-            storm=config,
-            client=ClientConfig.naive(seed=config.seed),
-            shedding=None,
-            breaker=None,
-            congestion=congestion,
-            perturb=perturb,
-        ),
-        RungSpec(
-            name="budgeted-retry+breaker",
-            storm=config,
-            client=ClientConfig.budgeted(
-                seed=config.seed, fill_per_request=config.retry_budget_fill
-            ),
-            # brownout engages *below* the thrash depth: the server goes
-            # degraded-but-fast before it can go full-quality-but-slow
-            shedding=SheddingConfig(
-                brownout_depth_fraction=config.thrash_depth_fraction * 0.75
-            ),
-            breaker=serving_breaker_config(),
-            congestion=congestion,
-            perturb=perturb,
-        ),
+    fill = config.retry_budget_fill
+    if name == "no-retry":
+        client = ClientConfig.no_retry(seed=config.seed)
+    elif name == "naive-retry":
+        client = ClientConfig.naive(seed=config.seed)
+    elif name == "budgeted-retry+breaker":
+        client = ClientConfig.budgeted(seed=config.seed, fill_per_request=fill)
+    elif name == "adaptive-retry+breaker":
+        client = ClientConfig.adaptive(
+            seed=config.seed,
+            fill_per_request=fill,
+            give_up_deadline_s=config.deadline_ms / 1000.0 * 10.0,
+        )
+    elif name == "hedged-retry+breaker":
+        client = ClientConfig.hedged(
+            seed=config.seed,
+            fill_per_request=fill,
+            give_up_deadline_s=config.deadline_ms / 1000.0 * 10.0,
+        )
+    else:
+        raise ValidationError(f"unknown policy {name!r}; have {POLICIES}")
+    if name in DEFENDED_POLICIES:
+        breaker = serving_breaker_config()
+        if breaker_error_threshold is not None:
+            breaker = replace(breaker, error_threshold=breaker_error_threshold)
+        shedding: SheddingConfig | None = SheddingConfig.guarding(
+            config.thrash_depth_fraction
+        )
+    else:
+        breaker = None
+        shedding = None
+    return RungSpec(
+        name=name,
+        storm=config,
+        client=client,
+        shedding=shedding,
+        breaker=breaker,
+        congestion=congestion,
+        perturb=perturb,
     )
 
 
@@ -243,6 +295,7 @@ def run_rung(spec: RungSpec) -> tuple[RungMetrics, TrafficResult]:
         outage_start_s=storm.outage_start_s,
         outage_end_s=storm.outage_end_s,
         horizon_hours=storm.duration_hours,
+        dark_replicas=storm.outage_dark_replicas,
     )
     model = plan_resilience(
         trace,
@@ -438,11 +491,14 @@ def run_storm(
 
 
 __all__ = [
+    "DEFENDED_POLICIES",
+    "POLICIES",
     "RUNGS",
     "RungMetrics",
     "RungSpec",
     "StormConfig",
     "StormReport",
+    "policy_spec",
     "recovery_from_samples",
     "run_rung",
     "run_storm",

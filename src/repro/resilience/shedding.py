@@ -78,6 +78,16 @@ class SheddingConfig:
                 f"quality_discount must be in [0, 1): {self.quality_discount!r}"
             )
 
+    @classmethod
+    def guarding(cls, thrash_depth_fraction: float) -> "SheddingConfig":
+        """The defended rungs' shedding, sized against a server's
+        congestion collapse: brownout engages at 75% of the thrash depth,
+        so the server goes degraded-but-fast *before* it can go
+        full-quality-but-slow.  Shared by the storm ladder and every
+        defended point of the phase-map sweep — sizing brownout against
+        thrash is a policy decision, made once."""
+        return cls(brownout_depth_fraction=thrash_depth_fraction * 0.75)
+
     @property
     def tiers(self) -> int:
         return len(self.tier_shares)

@@ -1,0 +1,9 @@
+"""Fixture: plan-time module rooting the sweep's seed tree (SEED001-exempt)."""
+
+import numpy as np
+
+
+def plan_resilience(n):
+    # plan-time modules may root the SeedSequence tree from literals
+    base = np.random.default_rng(np.random.SeedSequence(23))
+    return base.random(n)

@@ -1,0 +1,28 @@
+"""Fixture: a naive sweep driver that re-draws randomness at sim time.
+
+The bug class the `_simulate_point` registration guards against: a sweep
+written as one monolithic per-point runner that "re-jitters" the retry
+schedule (and stamps the wall clock) inside the execute half instead of
+resolving every draw in `_plan_point`.  The phase map would silently
+depend on worker count and evaluation order — PUR001 must surface both
+effects with a witness chain through ``_simulate_point``.
+"""
+
+import time
+
+import numpy as np
+
+
+def _classify_with_jitter(spec, now_s):
+    rng = np.random.default_rng(spec)
+    slack = rng.random()
+    if time.time() > 0:
+        return now_s + slack
+    return now_s
+
+
+def _simulate_point(spec, trace, engine, calendar, model):
+    verdict = 0.0
+    for idx in range(4):
+        verdict += _classify_with_jitter(spec, float(idx))
+    return verdict

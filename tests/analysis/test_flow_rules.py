@@ -74,6 +74,29 @@ class TestResilienceEntryPoint:
         assert result.findings == []
 
 
+class TestSweepEntryPoint:
+    """The phase-map sweep's execute half is a shard entry point (DESIGN
+    §13): ``repro.resilience.sweep._simulate_point`` must be transitively
+    pure — a driver that re-jitters retries or stamps the clock per point
+    would make the phase map worker-count-dependent."""
+
+    def test_fires_on_rng_and_clock_in_naive_point_runner(self):
+        result = run_rule("sweep_pos", "PUR001")
+        assert len(result.findings) == 2
+        assert all(f.rule_id == "PUR001" for f in result.findings)
+        messages = " | ".join(f.message for f in result.findings)
+        assert "default_rng" in messages
+        assert all("_simulate_point" in f.message for f in result.findings)
+
+    def test_quiet_on_plan_execute_split(self):
+        result = analyze_paths(
+            [FIXTURES / "sweep_neg"],
+            whole_program=True,
+            rules=["PUR001", "SEED001"],
+        )
+        assert result.findings == []
+
+
 class TestSEED001:
     def test_fires_on_literal_and_module_constant_seeds(self):
         result = run_rule("seed001_pos", "SEED001")

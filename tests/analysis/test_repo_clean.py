@@ -43,10 +43,10 @@ def test_every_inline_suppression_carries_a_reason():
         [REPO / "src", REPO / "benchmarks", REPO / "examples"], whole_program=True
     )
     assert all(s.reason for s in result.suppressed)
-    # today: seven accepted hazards — the standing object-storage span, the
-    # wall-clock timers in the parallel/columnar CLIs and the speedup/
-    # journal/columnar benches (all report real elapsed seconds, outside
-    # any simulated state), and the metering span rotation that
+    # today: eight accepted hazards — the standing object-storage span,
+    # the wall-clock timers in the parallel/columnar CLIs and the speedup/
+    # journal/columnar/sweep benches (all report real elapsed seconds,
+    # outside any simulated state), and the metering span rotation that
     # deliberately leaves the replacement span open until the resource's
     # own terminal path closes it
     files = sorted({s.finding.file for s in result.suppressed})
@@ -54,6 +54,7 @@ def test_every_inline_suppression_carries_a_reason():
         str(REPO / "benchmarks" / "bench_checkpoint.py"),
         str(REPO / "benchmarks" / "bench_columnar_cohort.py"),
         str(REPO / "benchmarks" / "bench_parallel_cohort.py"),
+        str(REPO / "benchmarks" / "bench_resilience_sweep.py"),
         str(REPO / "src" / "repro" / "cloud" / "metering.py"),
         str(REPO / "src" / "repro" / "cloud" / "storage.py"),
         str(REPO / "src" / "repro" / "columnar" / "__main__.py"),

@@ -1,0 +1,158 @@
+"""Property pack: the retry-budget amplification theorem.
+
+The claim the budgeted/adaptive/hedged clients stake the whole storm
+defense on: with a token bucket starting empty (``initial=0``), earning
+``fill`` per fresh request and spending one per retry, closed-loop
+amplification can never exceed ``1 + fill`` — against *any* server
+behaviour.  Hypothesis plays the adversarial server: every attempt fails
+with high probability, failure codes are drawn at random, and the client
+re-offers through its own ladder until the bucket, the policy, or the
+give-up deadline stops it.
+
+A starting balance ``t0`` relaxes the bound to exactly
+``1 + fill + t0/n`` — also pinned here.
+"""
+
+import hashlib
+import heapq
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.retry import RetryPolicy
+from repro.resilience.clients import (
+    RETRYABLE,
+    ClientConfig,
+    RetryBudgetConfig,
+    plan_resilience,
+)
+
+
+class _Trace:
+    """The minimal trace protocol ``plan_resilience`` needs: a length."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+
+    def __len__(self) -> int:
+        return self.n
+
+
+def _drive(client: ClientConfig, n: int, fail_seed: int, fail_p: float = 0.92):
+    """Run one closed loop against a Hypothesis-seeded adversarial server.
+
+    Event-driven: every due attempt is offered in time order; the server
+    fails it with probability ``fail_p`` under a random retryable code;
+    the runtime decides — via its full ladder — whether a re-offer
+    happens.  Returns the finished outcome.
+    """
+    arrivals = np.arange(n, dtype=np.float64) * 0.01
+    runtime = plan_resilience(_Trace(n), client).runtime(arrivals, 64)
+    rng = np.random.default_rng(fail_seed)
+    events = [(float(arrivals[i]), i) for i in range(n)]
+    heapq.heapify(events)
+    while events:
+        now, idx = heapq.heappop(events)
+        runtime.begin_attempt(idx)
+        if rng.random() < fail_p:
+            code = RETRYABLE[int(rng.integers(len(RETRYABLE)))]
+            due = runtime.on_failure(idx, now, code)
+            if due is not None:
+                heapq.heappush(events, (due, idx))
+    return runtime.finish()
+
+
+def _client(kind: str, fill: float, capacity: float, give_up_s: float,
+            initial: float | None = 0.0) -> ClientConfig:
+    budget = RetryBudgetConfig(
+        capacity=capacity, fill_per_request=fill, initial=initial
+    )
+    if kind == "budgeted":
+        return ClientConfig(retry=RetryPolicy.client_default(), budget=budget)
+    if kind == "adaptive":
+        return ClientConfig(
+            retry=RetryPolicy.client_default(),
+            budget=budget,
+            give_up_deadline_s=give_up_s,
+        )
+    assert kind == "hedged"
+    return ClientConfig(
+        retry=RetryPolicy.hedge_default(),
+        budget=budget,
+        give_up_deadline_s=give_up_s,
+    )
+
+
+class TestAmplificationTheorem:
+    @given(
+        n=st.integers(5, 60),
+        fill=st.floats(0.0, 1.0),
+        capacity=st.floats(1.0, 20.0),
+        give_up_s=st.floats(0.05, 30.0),
+        kind=st.sampled_from(["budgeted", "adaptive", "hedged"]),
+        fail_seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_amplification_never_exceeds_one_plus_fill(
+        self, n, fill, capacity, give_up_s, kind, fail_seed
+    ):
+        """With an empty starting bucket the bound is exact, for the
+        plain budgeted client and both new variants: deadline give-up
+        declines retries *without* spending, and every hedge *does*
+        spend, so neither mechanism can breach the cap."""
+        out = _drive(_client(kind, fill, capacity, give_up_s), n, fail_seed)
+        assert out.amplification <= 1.0 + fill + 1e-9
+        # the ledger form of the same theorem: spends never exceed earns
+        assert out.retries <= fill * n + 1e-9
+
+    @given(
+        n=st.integers(5, 40),
+        fill=st.floats(0.0, 0.5),
+        initial=st.floats(0.0, 10.0),
+        kind=st.sampled_from(["budgeted", "adaptive", "hedged"]),
+        fail_seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_starting_balance_relaxes_the_cap_by_exactly_t0_over_n(
+        self, n, fill, initial, kind, fail_seed
+    ):
+        capacity = max(initial, 1.0)
+        out = _drive(
+            _client(kind, fill, capacity, 5.0, initial=initial), n, fail_seed
+        )
+        assert out.amplification <= 1.0 + fill + initial / n + 1e-9
+
+    @given(
+        n=st.integers(5, 40),
+        fill=st.floats(0.0, 1.0),
+        kind=st.sampled_from(["budgeted", "adaptive", "hedged"]),
+        fail_seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_closed_loop_replays_byte_identically(self, n, fill, kind, fail_seed):
+        """Same plan, same server behaviour → the same outcome digest:
+        the property form of the sweep's determinism contract."""
+
+        def digest(out):
+            h = hashlib.sha256()
+            out.digest_update(h)
+            return h.hexdigest()
+
+        a = _drive(_client(kind, fill, 10.0, 2.0), n, fail_seed)
+        b = _drive(_client(kind, fill, 10.0, 2.0), n, fail_seed)
+        assert digest(a) == digest(b)
+
+    @given(
+        n=st.integers(5, 40),
+        fail_seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_the_naive_client_has_no_such_cap(self, n, fail_seed):
+        """The control arm: without a bucket the adversarial server can
+        push amplification to the policy's attempt limit — the theorem
+        is a property of the budget, not of retrying politely."""
+        out = _drive(ClientConfig.naive(), n, fail_seed)
+        assert out.amplification <= RetryPolicy.storm_default().max_attempts
+        # no budget, no denials — every retry the policy allows happens
+        assert out.retries_denied_budget == 0

@@ -140,12 +140,57 @@ class TestHalfOpenState:
         assert b.telemetry.opens == 2
 
     def test_probe_successes_close(self):
-        b = self.half_open()
+        b = self.half_open()  # the transition admitted probe 1
+        assert b.admit(7.0)   # probe 2
         for _ in range(CFG.half_open_probes):
             b.record(7.0, True)
         assert b.state == CLOSED
         assert b.telemetry.closes == 1
         assert b.error_rate == 0.0  # fresh window after closing
+
+    def test_stale_batched_success_cannot_close(self):
+        """A served batch can carry work admitted before the trip; only
+        the outstanding probes' worth of it is probe evidence."""
+        b = self.half_open()            # one probe outstanding
+        b.record(7.0, True, count=100)  # 99 stale successes ride along
+        assert b.state == HALF_OPEN     # 1 of 2 verdicts in — not closed
+        assert b.admit(7.5)             # the second probe slot is real
+        b.record(8.0, True)
+        assert b.state == CLOSED
+        assert b.telemetry.closes == 1
+
+    def test_zero_outstanding_batch_moves_nothing(self):
+        """With every admitted probe already resolved, a stale success
+        batch is no evidence at all: the close must wait for a probe."""
+        b = self.half_open()
+        b.record(7.0, True)            # probe 1's verdict: 1 of 2
+        b.record(7.0, True, count=50)  # fully stale: zero outstanding
+        assert b.state == HALF_OPEN
+        assert b.admit(7.5)
+        b.record(8.0, True)            # the real second verdict closes
+        assert b.state == CLOSED
+        assert b.telemetry.closes == 1
+
+    def test_probe_timeout_reopens_at_window_boundary(self):
+        """Quota spent and unresolved for a full window: the next offer
+        re-opens the breaker instead of shedding from limbo forever.
+        Exactly at the boundary counts as expired (>=)."""
+        b = self.half_open()   # half-opened at t = 6.0
+        assert b.admit(6.0)    # probe 2: quota spent, verdicts pending
+        assert not b.admit(6.0 + CFG.window_s)  # boundary: re-open + shed
+        assert b.state == OPEN
+        assert b.telemetry.opens == 2
+        # the re-open restarted the cooldown, so it half-opens again
+        assert b.admit(6.0 + CFG.window_s + CFG.cooldown_s)
+        assert b.state == HALF_OPEN
+
+    def test_probe_timeout_not_before_window(self):
+        """Inside the window the verdicts may still arrive: shed, wait."""
+        b = self.half_open()
+        assert b.admit(6.0)
+        assert not b.admit(6.0 + CFG.window_s - 0.01)
+        assert b.state == HALF_OPEN
+        assert b.telemetry.opens == 1
 
     def test_full_cycle_is_replayable(self):
         """Same call sequence, same states: the machine is clock-free."""
@@ -156,6 +201,8 @@ class TestHalfOpenState:
             states.append(b.state)
             b.admit(1.0 + CFG.cooldown_s)
             states.append(b.state)
+            for _ in range(CFG.half_open_probes - 1):
+                b.admit(7.0)
             for _ in range(CFG.half_open_probes):
                 b.record(7.0, True)
             states.append(b.state)

@@ -70,6 +70,22 @@ class TestConfigs:
         assert budgeted.budget is not None
         assert budgeted.budget.fill_per_request == 0.2
 
+    def test_give_up_deadline_validated(self):
+        with pytest.raises(ValidationError):
+            ClientConfig(give_up_deadline_s=0.0)
+        with pytest.raises(ValidationError):
+            ClientConfig(give_up_deadline_s=-5.0)
+
+    def test_adaptive_and_hedged_clients(self):
+        adaptive = ClientConfig.adaptive(fill_per_request=0.2, give_up_deadline_s=5.0)
+        assert adaptive.retry == RetryPolicy.client_default()
+        assert adaptive.budget is not None and adaptive.budget.fill_per_request == 0.2
+        assert adaptive.give_up_deadline_s == 5.0
+        hedged = ClientConfig.hedged()
+        assert hedged.retry == RetryPolicy.hedge_default()
+        assert hedged.budget is not None
+        assert hedged.give_up_deadline_s == 10.0
+
 
 class TestPlan:
     def test_jitter_shape_covers_every_possible_retry(self, trace):
@@ -172,6 +188,85 @@ class TestRetryLadder:
         rt.begin_attempt(1)
         rt.begin_attempt(1)  # a retry attempt earns nothing
         assert rt.finish().tokens_left == 1.5
+
+
+class TestAdaptiveGiveUp:
+    """Deadline-aware give-up: a retry whose re-offer instant lands at or
+    past the deadline (measured from first arrival) is declined *before*
+    it spends a budget token."""
+
+    def client(self, *, backoff_s, give_up_s):
+        return ClientConfig(
+            retry=RetryPolicy(
+                max_attempts=9,
+                base_backoff_hours=backoff_s / 3600.0,
+                multiplier=1.0,
+                max_backoff_hours=backoff_s / 3600.0,
+                jitter=0.0,
+            ),
+            budget=RetryBudgetConfig(capacity=1.0, fill_per_request=0.0, initial=1.0),
+            give_up_deadline_s=give_up_s,
+        )
+
+    def test_doomed_retry_declined_without_spending_a_token(self, trace):
+        rt = runtime_for(trace, self.client(backoff_s=5.0, give_up_s=2.0))
+        arrival = float(trace.arrivals_s[0])
+        rt.begin_attempt(0)
+        assert rt.on_failure(0, arrival + 0.1, REJECTED) is None
+        out = rt.finish()
+        assert out.retries_declined_deadline == 1
+        assert out.retries_denied_budget == 0
+        assert out.tokens_left == 1.0  # declined before the bucket
+        assert rt.retries == 0
+
+    def test_viable_retry_still_spends_the_token(self, trace):
+        rt = runtime_for(trace, self.client(backoff_s=5.0, give_up_s=30.0))
+        arrival = float(trace.arrivals_s[0])
+        rt.begin_attempt(0)
+        due = rt.on_failure(0, arrival + 0.1, REJECTED)
+        assert due == pytest.approx(arrival + 0.1 + 5.0)
+        assert rt.finish().tokens_left == 0.0
+
+    def test_deadline_boundary_is_inclusive(self, trace):
+        rt = runtime_for(trace, self.client(backoff_s=2.0, give_up_s=2.0))
+        rt.begin_attempt(0)
+        assert rt.on_failure(0, float(trace.arrivals_s[0]), REJECTED) is None
+        assert rt.retries_declined_deadline == 1
+
+    def test_deadline_runs_from_first_arrival_not_the_attempt(self, trace):
+        """The same backoff is viable early and doomed late: time already
+        burned against the deadline counts."""
+        arrival = float(trace.arrivals_s[0])
+        early = runtime_for(trace, self.client(backoff_s=1.0, give_up_s=10.0))
+        early.begin_attempt(0)
+        assert early.on_failure(0, arrival + 1.0, REJECTED) is not None
+        late = runtime_for(trace, self.client(backoff_s=1.0, give_up_s=10.0))
+        late.begin_attempt(0)
+        assert late.on_failure(0, arrival + 9.5, REJECTED) is None
+        assert late.retries_declined_deadline == 1
+
+
+class TestHedgedClient:
+    def test_first_reoffer_is_the_50ms_hedge(self):
+        policy = RetryPolicy.hedge_default()
+        assert policy.backoff_seconds(1) == pytest.approx(0.05)
+        assert policy.backoff_seconds(2) == pytest.approx(1.0)
+        assert policy.backoff_seconds(3) == pytest.approx(10.0)  # capped
+
+    def test_every_hedge_buys_a_token(self, trace):
+        """The amplification theorem survives hedging because the hedge
+        goes through the same bucket as any retry."""
+        client = ClientConfig(
+            retry=RetryPolicy.hedge_default(),
+            budget=RetryBudgetConfig(capacity=1.0, fill_per_request=0.0, initial=1.0),
+            give_up_deadline_s=60.0,
+        )
+        rt = runtime_for(trace, client)
+        rt.begin_attempt(0)
+        assert rt.on_failure(0, float(trace.arrivals_s[0]), REJECTED) is not None
+        rt.begin_attempt(1)
+        assert rt.on_failure(1, float(trace.arrivals_s[1]), REJECTED) is None
+        assert rt.retries_denied_budget == 1
 
 
 class TestFrontDoorAndDispatch:

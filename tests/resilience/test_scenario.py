@@ -7,6 +7,8 @@ must drain under its amplification cap.  The ladder digest must be
 byte-identical under rerun, perturbation, and worker fan-out.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,7 @@ from repro.common.errors import ValidationError
 from repro.resilience.scenario import (
     RUNGS,
     StormConfig,
+    policy_spec,
     recovery_from_samples,
     run_rung,
     run_storm,
@@ -123,6 +126,58 @@ class TestReporting:
     def test_unknown_rung_is_refused(self, report):
         with pytest.raises(ValidationError):
             report.rung("nonexistent")
+
+
+class TestPolicySpecs:
+    def test_unknown_policy_is_refused(self):
+        with pytest.raises(ValidationError):
+            policy_spec("yolo-retry", STORM)
+
+    def test_adaptive_and_hedged_specs_mount_the_full_defense(self):
+        for name in ("adaptive-retry+breaker", "hedged-retry+breaker"):
+            spec = policy_spec(name, STORM, breaker_error_threshold=0.25)
+            assert spec.breaker is not None
+            assert spec.breaker.error_threshold == 0.25
+            assert spec.shedding is not None
+            assert spec.client.give_up_deadline_s == pytest.approx(10.0)
+
+    def test_hedged_rung_recovers_under_the_cap(self):
+        metrics, _ = run_rung(policy_spec("hedged-retry+breaker", STORM))
+        assert metrics.locked is False
+        assert metrics.amplification <= 1.0 + STORM.retry_budget_fill + 1e-9
+
+
+class TestPartialOutage:
+    def test_dark_replicas_validated(self):
+        with pytest.raises(ValidationError):
+            StormConfig(outage_dark_replicas=2)  # max_replicas is 2
+        with pytest.raises(ValidationError):
+            StormConfig(outage_dark_replicas=-1)
+
+    def test_partial_storm_keeps_the_breaker_closed(self):
+        """One dark replica is a capacity loss, not a fleet outage: the
+        surviving replica keeps answering, so the error window never
+        crosses the trip threshold and the breaker must ride the whole
+        storm out closed."""
+        storm = replace(STORM, outage_dark_replicas=1)
+        metrics, result = run_rung(policy_spec("budgeted-retry+breaker", storm))
+        assert metrics.breaker_opens == 0
+        assert metrics.locked is False
+        assert result.served > 0
+
+    def test_partial_scope_is_not_a_smaller_full_outage(self):
+        """The blackout drops its backlog fast and recovers instantly;
+        the partial outage leaves an *undefended* survivor thrash-pinned
+        at the queue cap — congestion collapse locks the fleet without a
+        single retry.  (The defended policies escape exactly this via
+        depth shedding; see the breaker test above.)"""
+        full = run_rung(policy_spec("no-retry", STORM))[0]
+        partial = run_rung(
+            policy_spec("no-retry", replace(STORM, outage_dark_replicas=1))
+        )[0]
+        assert full.digest != partial.digest
+        assert full.locked is False and full.time_to_recovery_s == 0.0
+        assert partial.locked is True
 
 
 class TestRecoveryCriterion:
